@@ -1,0 +1,98 @@
+// Ablation (Section 5, "Predict Failures"): single-feature predictors
+// vs the per-category ensemble. "Prediction efforts must account for
+// significant shifts in system behavior ... predictors should
+// specialize in sets of failures with similar predictive behaviors."
+//
+// Protocol: per system, train on the first 60% of the collection
+// window (fit precursor pairs, periodicity, and the ensemble routing),
+// evaluate on the remaining 40% against ground-truth failure onsets.
+#include "bench_common.hpp"
+
+#include "predict/ensemble.hpp"
+#include "predict/periodic.hpp"
+#include "predict/precursor.hpp"
+#include "predict/rate_burst.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wss;
+  bench::header("Ablation: failure prediction",
+                "single-feature predictors vs per-category ensemble");
+  core::Study study(bench::standard_options());
+
+  util::Table t({"System", "Predictor", "Predictions", "Precision",
+                 "Recall", "F1"});
+  bench::begin_csv("prediction");
+  util::CsvWriter csv(std::cout);
+  csv.row({"system", "predictor", "predictions", "precision", "recall",
+           "f1"});
+
+  bool ensemble_dominates = true;
+  for (const auto id : parse::kAllSystems) {
+    const auto& spec = sim::system_spec(id);
+    const auto all = study.simulator(id).ground_truth_alerts();
+    const util::TimeUs split =
+        spec.start_time() + (spec.end_time() - spec.start_time()) * 6 / 10;
+    std::vector<filter::Alert> train;
+    std::vector<filter::Alert> test;
+    for (const auto& a : all) (a.time < split ? train : test).push_back(a);
+    const auto incidents = predict::ground_truth_incidents(test);
+    if (incidents.empty() || train.empty()) continue;
+
+    auto rate = std::make_unique<predict::RateBurstPredictor>();
+    auto precursor = std::make_unique<predict::PrecursorPredictor>();
+    precursor->fit(train);
+    auto periodic = std::make_unique<predict::PeriodicPredictor>();
+    periodic->fit(train);
+
+    double best_single = 0.0;
+    const auto report = [&](const char* name, predict::Predictor& p,
+                            bool single) {
+      const auto score = predict::score_predictions(
+          predict::run_predictor(p, test), incidents);
+      if (single) best_single = std::max(best_single, score.f1());
+      t.add_row({std::string(parse::system_name(id)), name,
+                 std::to_string(score.predictions),
+                 util::format("%.2f", score.precision()),
+                 util::format("%.2f", score.recall()),
+                 util::format("%.2f", score.f1())});
+      csv.row({std::string(parse::system_short_name(id)), name,
+               std::to_string(score.predictions),
+               util::format("%.4f", score.precision()),
+               util::format("%.4f", score.recall()),
+               util::format("%.4f", score.f1())});
+      return score.f1();
+    };
+    report("rate-burst", *rate, true);
+    report("precursor", *precursor, true);
+    report("periodic", *periodic, true);
+
+    std::vector<std::unique_ptr<predict::Predictor>> members;
+    members.push_back(std::move(rate));
+    members.push_back(std::move(precursor));
+    members.push_back(std::move(periodic));
+    predict::EnsemblePredictor ensemble(std::move(members));
+    ensemble.fit_routing(train);
+    const double f1 = report("ensemble", ensemble, false);
+    // The comparison is against the best member chosen WITH HINDSIGHT;
+    // the ensemble must get close to it without knowing which feature
+    // works on this machine. Below the noise floor, everything ties.
+    if (best_single >= 0.05 && f1 < 0.85 * best_single) {
+      ensemble_dominates = false;
+    }
+    t.add_separator();
+  }
+  bench::end_csv("prediction");
+  std::cout << "\n" << t.render();
+  std::cout << util::format(
+      "\nEnsemble within 15%% of the best hindsight-chosen single\n"
+      "predictor on every system, without knowing which feature works\n"
+      "where: %s\n"
+      "(Low absolute recall matches the paper: many failure categories\n"
+      "carry no predictive signature at all, and no single feature\n"
+      "covers every machine -- hence the ensemble recommendation.)\n",
+      ensemble_dominates ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation X3: "a filtering threshold must be selected in advance and
+// is then applied across all kinds of alerts. In reality, each alert
+// category may require a different threshold." Sweeps the global T and
+// compares against data-driven per-category thresholds.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+#include "filter/adaptive.hpp"
+#include "filter/score.hpp"
+#include "filter/simultaneous.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wss;
+  bench::header("Ablation: threshold sweep", "global T vs per-category T");
+  core::Study study(bench::standard_options());
+  const auto alerts =
+      study.simulator(parse::SystemId::kBlueGeneL).ground_truth_alerts();
+
+  util::Table t({"T (s)", "Kept", "Failures repr.", "TP lost", "FP kept"});
+  bench::begin_csv("threshold_sweep");
+  util::CsvWriter csv(std::cout);
+  csv.row({"threshold_s", "kept", "failures_represented", "tp_lost",
+           "fp_kept"});
+  for (const double seconds : {0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0}) {
+    filter::SimultaneousFilter f(
+        static_cast<util::TimeUs>(seconds * 1e6));
+    const auto s = filter::score_filter(f, alerts);
+    t.add_row({util::format("%.1f", seconds), std::to_string(s.kept_alerts),
+               std::to_string(s.failures_represented),
+               std::to_string(s.true_positives_lost),
+               std::to_string(s.false_positives_kept)});
+    csv.row_numeric({seconds, static_cast<double>(s.kept_alerts),
+                     static_cast<double>(s.failures_represented),
+                     static_cast<double>(s.true_positives_lost),
+                     static_cast<double>(s.false_positives_kept)});
+  }
+  bench::end_csv("threshold_sweep");
+  std::cout << "\nGlobal threshold sweep (BG/L ground-truth alerts):\n"
+            << t.render();
+
+  // Per-category adaptive thresholds.
+  const auto thresholds = filter::suggest_thresholds(alerts);
+  filter::AdaptiveFilter adaptive(thresholds, study.threshold());
+  const auto a = filter::score_filter(adaptive, alerts);
+  filter::SimultaneousFilter fixed(study.threshold());
+  const auto fx = filter::score_filter(fixed, alerts);
+  std::cout << util::format(
+      "\nPer-category adaptive thresholds (%zu categories tuned):\n"
+      "  fixed T=5s : kept %zu, TP lost %zu, FP kept %zu\n"
+      "  adaptive   : kept %zu, TP lost %zu, FP kept %zu\n"
+      "-> adaptive removes the leaky-chain redundancy the fixed threshold "
+      "misses: %s\n",
+      thresholds.size(), fx.kept_alerts, fx.true_positives_lost,
+      fx.false_positives_kept, a.kept_alerts, a.true_positives_lost,
+      a.false_positives_kept,
+      a.false_positives_kept < fx.false_positives_kept ? "REPRODUCED"
+                                                       : "NOT reproduced");
+  return 0;
+}

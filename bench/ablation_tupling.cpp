@@ -1,0 +1,58 @@
+// Ablation: event tupling (Tsao [26], Buckley & Siewiorek [4]) versus
+// the paper's per-category filtering, on ground-truth alert streams.
+// Tuples fuse unrelated concurrent failures (collisions); per-category
+// filtering keeps one representative per (category, window) and so
+// splits multi-category failures instead. The paper's Section 4 asks
+// for filters "aware of correlations among messages" precisely because
+// neither pure scheme wins.
+#include "bench_common.hpp"
+
+#include "filter/score.hpp"
+#include "filter/simultaneous.hpp"
+#include "filter/tuple.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wss;
+  bench::header("Ablation: tupling vs filtering",
+                "Tsao tuples against Algorithm 3.1");
+  core::Study study(bench::standard_options());
+
+  util::Table t({"System", "Failures", "Filter kept", "Tuples",
+                 "Collided tuples", "Split failures"});
+  bench::begin_csv("tupling");
+  util::CsvWriter csv(std::cout);
+  csv.row({"system", "failures", "filter_kept", "tuples", "collided",
+           "split"});
+  for (const auto id : parse::kAllSystems) {
+    const auto alerts = study.simulator(id).ground_truth_alerts();
+    filter::SimultaneousFilter f(study.threshold());
+    const auto fscore = filter::score_filter(f, alerts);
+    const auto tuples = filter::build_tuples(alerts, study.threshold());
+    const auto tscore = filter::score_tuples(tuples);
+    t.add_row({std::string(parse::system_name(id)),
+               std::to_string(fscore.failures_total),
+               std::to_string(fscore.kept_alerts),
+               std::to_string(tscore.tuples),
+               std::to_string(tscore.collided_tuples),
+               std::to_string(tscore.split_failures)});
+    csv.row({std::string(parse::system_short_name(id)),
+             std::to_string(fscore.failures_total),
+             std::to_string(fscore.kept_alerts),
+             std::to_string(tscore.tuples),
+             std::to_string(tscore.collided_tuples),
+             std::to_string(tscore.split_failures)});
+  }
+  bench::end_csv("tupling");
+  std::cout << "\n" << t.render();
+  std::cout
+      << "\nReading: tuples approach the failure count too, but collided\n"
+      << "tuples hide distinct failures inside one object (the cost of\n"
+      << "ignoring categories), while the per-category filter reports\n"
+      << "correlated multi-category failures more than once (Figure 4's\n"
+      << "PBS_CHK/PBS_BFD). Hence the paper's call for correlation-aware\n"
+      << "filtering.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 1: the operational-context state machine that the
+// paper proposes logging ("it may be sufficient to record only a few
+// bytes of data: the time and cause of system state changes"), the
+// RAS metrics it underpins, and the Section 3.2.1 disambiguation
+// example.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+#include "sim/opcontext.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace wss;
+  bench::header("Figure 1", "operational context and RAS metrics");
+
+  const auto& spec = sim::system_spec(parse::SystemId::kRedStorm);
+  util::Rng rng(42);
+  const auto tl = sim::OpContextTimeline::generate(spec, rng);
+
+  std::cout << "State diagram (Figure 1):\n"
+            << "  production <-> scheduled downtime (PM, upgrades)\n"
+            << "  production  -> unscheduled downtime (failures) -> "
+               "production\n"
+            << "  production <-> engineering (dedicated system test)\n\n";
+
+  std::cout << "First 12 logged transitions (time, new state, cause):\n";
+  std::size_t shown = 0;
+  for (const auto& tr : tl.transitions()) {
+    if (shown++ >= 12) break;
+    std::cout << "  " << util::format_iso(tr.time) << "  ->  "
+              << sim::op_state_name(tr.to) << "  (" << tr.cause << ")\n";
+  }
+
+  const auto m = tl.metrics();
+  std::cout << util::format(
+      "\nRAS metrics over %d days:\n"
+      "  production          %6.2f%%\n"
+      "  scheduled downtime  %6.2f%%\n"
+      "  unscheduled downtime%6.2f%%\n"
+      "  engineering         %6.2f%%\n"
+      "  availability        %6.3f\n"
+      "  unscheduled outages %zu (MTBF %.1f h)\n",
+      spec.days, 100 * m.production_fraction, 100 * m.scheduled_fraction,
+      100 * m.unscheduled_fraction, 100 * m.engineering_fraction,
+      m.availability, m.unscheduled_outages, m.mtbf_hours);
+
+  // The Section 3.2.1 disambiguation example.
+  const util::TimeUs pm = tl.transitions().front().time + util::kUsPerHour;
+  const util::TimeUs prod = tl.start() + util::kUsPerHour;
+  std::cout
+      << "\nDisambiguation example (Section 3.2.1):\n"
+      << "  message: 'BGLMASTER FAILURE ciodb exited normally with exit "
+         "code 0'\n"
+      << "  at " << util::format_iso(pm) << " (state: "
+      << sim::op_state_name(tl.state_at(pm))
+      << ") -> harmless artifact of maintenance\n"
+      << "  at " << util::format_iso(prod) << " (state: "
+      << sim::op_state_name(tl.state_at(prod))
+      << ") -> all running jobs were killed\n";
+
+  bench::begin_csv("fig1");
+  util::CsvWriter csv(std::cout);
+  csv.row({"time", "state", "cause"});
+  for (const auto& tr : tl.transitions()) {
+    csv.row({util::format_iso(tr.time),
+             std::string(sim::op_state_name(tr.to)), tr.cause});
+  }
+  bench::end_csv("fig1");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 6: the log distribution of interarrival times
+// after filtering -- bimodal on BG/L (a), unimodal on Spirit (b).
+// "One of the modes (the first peak) is attributed to unfiltered
+// redundancy": chains spaced just over the T=5s threshold survive.
+#include "bench_common.hpp"
+
+#include "util/strings.hpp"
+
+#include "util/chart.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+void show(wss::core::Study& study, wss::parse::SystemId id,
+          const char* label, std::size_t expected_modes) {
+  using namespace wss;
+  const auto d = core::fig6(study, id);
+  std::cout << label << " filtered interarrival histogram "
+            << "(log10 seconds, 4 bins/decade):\n"
+            << util::column_chart(d.hist.bins(), 10) << "\n";
+  std::cout << util::format(
+      "modes detected: %zu (paper: %zu) -> %s\n\n", d.modes.size(),
+      expected_modes,
+      d.modes.size() == expected_modes ? "REPRODUCED" : "NOT reproduced");
+
+  bench::begin_csv(std::string("fig6_") +
+                   std::string(parse::system_short_name(id)));
+  util::CsvWriter csv(std::cout);
+  csv.row({"bin_lo_seconds", "count"});
+  for (std::size_t i = 0; i < d.hist.bins().size(); ++i) {
+    csv.row_numeric({d.hist.bin_lo(i), d.hist.bins()[i]});
+  }
+  bench::end_csv(std::string("fig6_") +
+                 std::string(parse::system_short_name(id)));
+}
+
+}  // namespace
+
+int main() {
+  using namespace wss;
+  bench::header("Figure 6", "filtered interarrival distributions");
+  core::Study study(bench::standard_options());
+  show(study, parse::SystemId::kBlueGeneL, "(a) BG/L", 2);
+  show(study, parse::SystemId::kSpirit, "(b) Spirit", 1);
+  std::cout << "The BG/L first peak is unfiltered redundancy (chains spaced "
+               "just above T); Spirit's distribution is unimodal after "
+               "filtering.\n";
+  return 0;
+}

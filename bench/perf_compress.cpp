@@ -1,0 +1,82 @@
+// Perf: codec throughput and stage contributions on rendered log text
+// (the Table 2 compression substrate).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "compress/codec.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "sim/generator.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace wss;
+
+const std::string& sample_log() {
+  static const std::string text = [] {
+    sim::SimOptions opts;
+    opts.category_cap = 5000;
+    opts.chatter_events = 20000;
+    const sim::Simulator simulator(parse::SystemId::kSpirit, opts);
+    std::string out;
+    for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+      out.append(simulator.line(i));
+      out.push_back('\n');
+    }
+    return out;
+  }();
+  return text;
+}
+
+void BM_LzssOnly(benchmark::State& state) {
+  const auto& text = sample_log();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::lzss_compress(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_LzssOnly);
+
+void BM_FullCodec(benchmark::State& state) {
+  const auto& text = sample_log();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::compress(text));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_FullCodec);
+
+void BM_Decompress(benchmark::State& state) {
+  const std::string packed = compress::compress(sample_log());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compress::decompress(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample_log().size()));
+}
+BENCHMARK(BM_Decompress);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& text = sample_log();
+  const std::string lzss = compress::lzss_compress(text);
+  const std::string full = compress::compress(text);
+  std::cout << "==== Perf: wss codec on rendered Spirit log text ====\n"
+            << util::format(
+                   "raw %zu B -> lzss %zu B (%.3f) -> +huffman %zu B "
+                   "(%.3f)\n\n",
+                   text.size(), lzss.size(),
+                   static_cast<double>(lzss.size()) /
+                       static_cast<double>(text.size()),
+                   full.size(),
+                   static_cast<double>(full.size()) /
+                       static_cast<double>(text.size()));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Perf: parser throughput per log format. The collection servers see
+// thousands of messages per second (Table 2's Rate column peaks at
+// 3.3 KB/s average with far higher bursts); parsing must be orders of
+// magnitude faster than arrival.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "parse/dispatch.hpp"
+#include "sim/generator.hpp"
+
+namespace {
+
+using namespace wss;
+
+std::vector<std::string> corpus(parse::SystemId id) {
+  sim::SimOptions opts;
+  opts.category_cap = 3000;
+  opts.chatter_events = 20000;
+  const sim::Simulator simulator(id, opts);
+  std::vector<std::string> lines;
+  lines.reserve(simulator.events().size());
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    lines.push_back(simulator.line(i));
+  }
+  return lines;
+}
+
+void parse_corpus(benchmark::State& state, parse::SystemId id, int year) {
+  static std::map<parse::SystemId, std::vector<std::string>> cache;
+  if (!cache.count(id)) cache[id] = corpus(id);
+  const auto& lines = cache[id];
+  std::size_t bytes = 0;
+  for (const auto& l : lines) bytes += l.size();
+  for (auto _ : state) {
+    std::size_t valid = 0;
+    for (const auto& line : lines) {
+      const auto rec = parse::parse_line(id, line, year);
+      valid += rec.timestamp_valid ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(valid);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lines.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+
+void BM_ParseSyslog(benchmark::State& state) {
+  parse_corpus(state, parse::SystemId::kSpirit, 2005);
+}
+BENCHMARK(BM_ParseSyslog);
+
+void BM_ParseBglRas(benchmark::State& state) {
+  parse_corpus(state, parse::SystemId::kBlueGeneL, 2005);
+}
+BENCHMARK(BM_ParseBglRas);
+
+void BM_ParseRedStorm(benchmark::State& state) {
+  parse_corpus(state, parse::SystemId::kRedStorm, 2006);
+}
+BENCHMARK(BM_ParseRedStorm);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "==== Perf: parser throughput per log format ====\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

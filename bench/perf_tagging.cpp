@@ -1,0 +1,88 @@
+// Perf: tag-engine throughput, with and without the required-literal
+// pre-filter (DESIGN.md ablation 5). Tagging must keep up with
+// hundreds of millions of messages, so the miss path (chatter) is what
+// matters.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "sim/generator.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace {
+
+using namespace wss;
+
+struct Corpus {
+  std::vector<std::string> lines;
+  tag::RuleSet rules;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    sim::SimOptions opts;
+    opts.category_cap = 2000;
+    opts.chatter_events = 30000;
+    opts.inject_corruption = false;
+    const sim::Simulator simulator(parse::SystemId::kBlueGeneL, opts);
+    Corpus out{{}, tag::build_ruleset(parse::SystemId::kBlueGeneL)};
+    for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+      out.lines.push_back(simulator.line(i));
+    }
+    return out;
+  }();
+  return c;
+}
+
+void tag_all(benchmark::State& state, bool use_prefilter) {
+  const auto& c = corpus();
+  // Measures the dominant cost: every rule's primary whole-line regex
+  // probed against every line (the miss path is what scales to 10^9
+  // messages).
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& line : c.lines) {
+      for (const auto& rule : c.rules.rules()) {
+        if (rule.predicate.terms().front().re->search(line, use_prefilter)) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.lines.size()));
+}
+
+void BM_TagWithPrefilter(benchmark::State& state) { tag_all(state, true); }
+BENCHMARK(BM_TagWithPrefilter);
+
+void BM_TagWithoutPrefilter(benchmark::State& state) { tag_all(state, false); }
+BENCHMARK(BM_TagWithoutPrefilter);
+
+void BM_TagEngineEndToEnd(benchmark::State& state) {
+  const auto& c = corpus();
+  const tag::TagEngine engine(tag::build_ruleset(parse::SystemId::kBlueGeneL));
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& line : c.lines) {
+      hits += engine.tag_line(line).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.lines.size()));
+}
+BENCHMARK(BM_TagEngineEndToEnd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "==== Perf: tagging throughput (41 BG/L rules, "
+            << corpus().lines.size() << " lines) ====\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

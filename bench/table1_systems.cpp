@@ -1,0 +1,26 @@
+// Reproduces Table 1: system characteristics at the time of
+// collection (static data quoted from the paper / Top500 June 2006).
+#include "bench_common.hpp"
+
+#include "sim/spec.hpp"
+#include "util/csv.hpp"
+
+int main() {
+  using namespace wss;
+  bench::header("Table 1", "system characteristics");
+  std::cout << core::render_table1() << "\n";
+
+  bench::begin_csv("table1");
+  util::CsvWriter csv(std::cout);
+  csv.row({"system", "owner", "vendor", "rank", "procs", "memory_gb",
+           "interconnect"});
+  for (const auto id : parse::kAllSystems) {
+    const auto& s = sim::system_spec(id);
+    csv.row({std::string(parse::system_name(id)), std::string(s.owner),
+             std::string(s.vendor), std::to_string(s.top500_rank),
+             std::to_string(s.procs), std::to_string(s.memory_gb),
+             std::string(s.interconnect)});
+  }
+  bench::end_csv("table1");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: failure-distribution modeling on Thunderbird -- the
+// Section 4 analysis. Fits exponential / lognormal / Weibull models to
+// each category's filtered interarrival times, runs goodness-of-fit,
+// and reaches the paper's conclusion: ECC is exponential-ish, most
+// other categories fit nothing well, so "one size does not fit all".
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "core/study.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/fit.hpp"
+#include "stats/gof.hpp"
+#include "tag/rulesets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wss;
+  core::StudyOptions opts;
+  opts.sim.category_cap = 30000;
+  opts.sim.chatter_events = 10000;
+  core::Study study(opts);
+  const auto id = parse::SystemId::kThunderbird;
+  const auto cats = tag::categories_of(id);
+  const auto survivors = core::filtered_alerts(study, id);
+
+  util::Table t({"Category", "Gaps", "CV", "Exp KS p", "Logn KS p",
+                 "Weib KS p", "Best (AIC)"});
+  t.set_title(
+      "Interarrival modeling of filtered Thunderbird alerts (Section 4):");
+
+  for (std::size_t c = 0; c < cats.size(); ++c) {
+    std::vector<std::int64_t> times;
+    for (const auto& a : survivors) {
+      if (a.category == c) times.push_back(a.time);
+    }
+    const auto gaps = stats::interarrival_seconds(std::move(times));
+    if (gaps.size() < 20) continue;
+
+    const auto ex = stats::fit_exponential(gaps);
+    const auto ln = stats::fit_lognormal(gaps);
+    const auto wb = stats::fit_weibull(gaps);
+    const auto ks_ex =
+        stats::ks_test(gaps, [&](double x) { return ex.cdf(x); });
+    const auto ks_ln =
+        stats::ks_test(gaps, [&](double x) { return ln.cdf(x); });
+    const auto ks_wb =
+        stats::ks_test(gaps, [&](double x) { return wb.cdf(x); });
+
+    const double aic_ex = stats::aic(ex.log_likelihood, 1);
+    const double aic_ln = stats::aic(ln.log_likelihood, 2);
+    const double aic_wb = stats::aic(wb.log_likelihood, 2);
+    const char* best = "exponential";
+    if (aic_ln < aic_ex && aic_ln < aic_wb) best = "lognormal";
+    if (aic_wb < aic_ex && aic_wb < aic_ln) best = "weibull";
+
+    t.add_row({cats[c]->name, std::to_string(gaps.size()),
+               util::format("%.2f", stats::coefficient_of_variation(gaps)),
+               util::format("%.3f", ks_ex.p_value),
+               util::format("%.3f", ks_ln.p_value),
+               util::format("%.3f", ks_wb.p_value), best});
+  }
+  std::cout << t.render();
+
+  std::cout
+      << "\nReading this like the paper does:\n"
+      << "  - ECC (independent physics) is the only category an\n"
+      << "    exponential model fits comfortably (Figure 5).\n"
+      << "  - Correlated categories (EXT_FS, SCSI, CPU, MPT) show CV >> 1\n"
+      << "    and reject every family: \"in even the best visual fit\n"
+      << "    cases, heavy tails result in very poor statistical\n"
+      << "    goodness-of-fit metrics\".\n"
+      << "  - Hence the recommendation: model mechanisms, not marginals,\n"
+      << "    and build per-category ensembles of predictors.\n";
+  return 0;
+}

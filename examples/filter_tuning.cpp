@@ -1,0 +1,73 @@
+// Scenario: choosing a filtering strategy for a new machine. Runs the
+// whole filter family -- temporal, spatial, serial (Liang et al.),
+// simultaneous (Algorithm 3.1), per-category adaptive, and
+// correlation-aware -- over the same Liberty alert stream with ground
+// truth, and prints the accuracy/compression trade-off of each.
+#include <iostream>
+
+#include "core/study.hpp"
+#include "filter/adaptive.hpp"
+#include "filter/correlation_aware.hpp"
+#include "filter/score.hpp"
+#include "filter/serial.hpp"
+#include "filter/simultaneous.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace wss;
+  core::StudyOptions opts;
+  opts.sim.category_cap = 30000;
+  opts.sim.chatter_events = 5000;
+  core::Study study(opts);
+  const auto alerts =
+      study.simulator(parse::SystemId::kLiberty).ground_truth_alerts();
+  const util::TimeUs T = study.threshold();
+
+  util::Table t({"Filter", "Kept", "Failures repr.", "TP lost", "FP kept",
+                 "Compression"});
+  t.set_title(util::format(
+      "Filter family on Liberty (%zu raw alerts, T=5s where applicable):",
+      alerts.size()));
+
+  const auto add = [&](const char* name, filter::StreamFilter& f) {
+    const auto s = filter::score_filter(f, alerts);
+    t.add_row({name, std::to_string(s.kept_alerts),
+               util::format("%zu/%zu", s.failures_represented,
+                            s.failures_total),
+               std::to_string(s.true_positives_lost),
+               std::to_string(s.false_positives_kept),
+               util::format("%.1fx", s.compression)});
+  };
+
+  filter::TemporalFilter temporal(T);
+  add("temporal only", temporal);
+  filter::SpatialFilter spatial(T);
+  add("spatial only", spatial);
+  filter::SerialFilter serial(T);
+  add("serial (Liang et al.)", serial);
+  filter::SimultaneousFilter simultaneous(T);
+  add("simultaneous (Alg. 3.1)", simultaneous);
+
+  const auto thresholds = filter::suggest_thresholds(alerts);
+  filter::AdaptiveFilter adaptive(thresholds, T);
+  add("adaptive per-category", adaptive);
+
+  const auto groups =
+      filter::learn_correlation_groups(alerts, 2 * util::kUsPerMin);
+  filter::CorrelationAwareFilter correlated(groups, T);
+  add("correlation-aware", correlated);
+
+  std::cout << t.render();
+  std::cout << util::format(
+      "\nLearned %zu per-category thresholds and %zu correlated-category "
+      "memberships (PBS_CHK/PBS_BFD style, Figure 4).\n",
+      thresholds.size(), groups.size());
+  std::cout
+      << "\nHow to read this: the simultaneous filter trades at most one\n"
+      << "lost failure for markedly fewer redundant survivors than the\n"
+      << "serial baseline; the paper's future-work filters push further\n"
+      << "by spending structure (per-category thresholds, correlation\n"
+      << "groups) the one-size-fits-all threshold cannot express.\n";
+  return 0;
+}

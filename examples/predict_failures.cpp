@@ -1,0 +1,89 @@
+// Scenario: online failure warning for Liberty, built the way
+// Section 5 recommends -- an ensemble of per-category specialists.
+// Trains on the first 60% of the log, then replays the rest as a live
+// stream and prints warnings as they would have been issued, each
+// annotated with whether a real failure followed.
+#include <algorithm>
+#include <iostream>
+
+#include "core/study.hpp"
+#include "predict/ensemble.hpp"
+#include "predict/periodic.hpp"
+#include "predict/precursor.hpp"
+#include "predict/rate_burst.hpp"
+#include "tag/rulesets.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace wss;
+  core::StudyOptions opts;
+  opts.sim.category_cap = 30000;
+  opts.sim.chatter_events = 5000;
+  core::Study study(opts);
+  const auto id = parse::SystemId::kLiberty;
+  const auto& spec = sim::system_spec(id);
+  const auto cats = tag::categories_of(id);
+  const auto all = study.simulator(id).ground_truth_alerts();
+
+  const util::TimeUs split =
+      spec.start_time() + (spec.end_time() - spec.start_time()) * 6 / 10;
+  std::vector<filter::Alert> train;
+  std::vector<filter::Alert> test;
+  for (const auto& a : all) (a.time < split ? train : test).push_back(a);
+
+  // Build and fit the ensemble.
+  auto rate = std::make_unique<predict::RateBurstPredictor>();
+  auto precursor = std::make_unique<predict::PrecursorPredictor>();
+  precursor->fit(train);
+  auto periodic = std::make_unique<predict::PeriodicPredictor>();
+  periodic->fit(train);
+  std::vector<std::unique_ptr<predict::Predictor>> members;
+  members.push_back(std::move(rate));
+  members.push_back(std::move(precursor));
+  members.push_back(std::move(periodic));
+  predict::EnsemblePredictor ensemble(std::move(members));
+  const std::size_t routed = ensemble.fit_routing(train);
+
+  std::cout << "Trained on " << train.size() << " alerts; routed " << routed
+            << " categories:\n";
+  for (const auto& [cat, member] : ensemble.routing()) {
+    std::cout << "  " << cats[cat]->name << " -> "
+              << ensemble.member(member).name() << "\n";
+  }
+
+  // Replay the test stream.
+  const auto predictions = predict::run_predictor(ensemble, test);
+  const auto incidents = predict::ground_truth_incidents(test);
+  const auto score = predict::score_predictions(predictions, incidents);
+
+  std::cout << "\nReplaying the last 40% of the log ("
+            << test.size() << " alerts, " << incidents.size()
+            << " failures)...\n\n";
+  std::size_t shown = 0;
+  for (const auto& p : predictions) {
+    if (shown++ >= 10) break;
+    bool hit = false;
+    for (const auto& inc : incidents) {
+      if (inc.category == p.category && p.issued_at < inc.time &&
+          p.window_begin <= inc.time && inc.time <= p.window_end) {
+        hit = true;
+        break;
+      }
+    }
+    std::cout << util::format(
+        "  %s  WARN %-8s expect failure within %s   [%s]\n",
+        util::format_iso(p.issued_at).c_str(),
+        cats[p.category]->name.c_str(),
+        util::format_duration(p.window_end - p.issued_at).c_str(),
+        hit ? "failure followed" : "false alarm");
+  }
+  if (predictions.size() > shown) {
+    std::cout << "  ... " << predictions.size() - shown << " more\n";
+  }
+
+  std::cout << "\nOverall: " << score.describe() << "\n"
+            << "\nPer the paper, categories without a predictive signature "
+               "stay unpredicted;\nthe ensemble's value is routing each "
+               "category to the feature that works for it.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "cli/args.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args out;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    out.command_ = argv[i];
+    ++i;
+  }
+  for (; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!util::starts_with(arg, "--")) {
+      out.positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg.size() == 2) {
+      throw std::invalid_argument("bare '--' is not a valid flag");
+    }
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(2, eq - 2));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg.substr(2));
+      // A following token that is not a flag is this flag's value.
+      if (i + 1 < argc && !util::starts_with(argv[i + 1], "--")) {
+        value = argv[++i];
+      }
+    }
+    if (out.flags_.count(name)) {
+      throw std::invalid_argument("repeated flag --" + name);
+    }
+    out.flags_[name] = value;
+  }
+  return out;
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  touched_[name] = true;
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name,
+                         const std::string& def) const {
+  const auto v = get(name);
+  return v ? *v : def;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  const auto parsed = util::parse_i64(*v);
+  if (!parsed) {
+    throw std::invalid_argument("--" + name + " expects an integer, got '" +
+                                *v + "'");
+  }
+  return *parsed;
+}
+
+double Args::get_double(const std::string& name, double def) const {
+  const auto v = get(name);
+  if (!v) return def;
+  const auto parsed = util::parse_double(*v);
+  if (!parsed) {
+    throw std::invalid_argument("--" + name + " expects a number, got '" +
+                                *v + "'");
+  }
+  return *parsed;
+}
+
+bool Args::has(const std::string& name) const {
+  touched_[name] = true;
+  return flags_.count(name) > 0;
+}
+
+std::vector<std::string> Args::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : flags_) {
+    if (!touched_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace wss::cli

@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the wss tool.
+//
+// Supports "--flag value", "--flag=value", and boolean "--flag".
+// Deliberately tiny: the tool has a handful of flags and no external
+// dependency budget.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wss::cli {
+
+/// Parsed command line: a subcommand, flags, and positional arguments.
+class Args {
+ public:
+  /// Parses argv[1..]; argv[1] (if not a flag) is the subcommand.
+  /// Throws std::invalid_argument on a malformed flag ("--" alone,
+  /// repeated flag).
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Value of --name, if present.
+  std::optional<std::string> get(const std::string& name) const;
+
+  /// Value of --name or a default.
+  std::string get_or(const std::string& name, const std::string& def) const;
+
+  /// Integer flag with range checking; throws std::invalid_argument
+  /// on a non-numeric value.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// Double flag.
+  double get_double(const std::string& name, double def) const;
+
+  /// True if --name appeared (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Flags that were never read by any get*/has call -- used to
+  /// reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> touched_;
+};
+
+}  // namespace wss::cli

@@ -1,0 +1,270 @@
+#include "cli/commands.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "filter/simultaneous.hpp"
+#include "logio/anonymize.hpp"
+#include "mine/templates.hpp"
+#include "logio/reader.hpp"
+#include "logio/writer.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wss::cli {
+
+namespace {
+
+std::optional<parse::SystemId> parse_system(const std::string& name) {
+  for (const auto id : parse::kAllSystems) {
+    if (name == parse::system_short_name(id)) return id;
+  }
+  return std::nullopt;
+}
+
+/// Shared guard: reject unknown flags (typos fail loudly).
+bool reject_unused(const Args& args, std::ostream& err) {
+  const auto stray = args.unused();
+  if (stray.empty()) return false;
+  err << "unknown flag --" << stray.front() << "\n";
+  return true;
+}
+
+}  // namespace
+
+void print_usage(std::ostream& os) {
+  os << "wss -- What Supercomputers Say (DSN 2007) reproduction tool\n"
+        "\n"
+        "usage: wss <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  generate   simulate a system log and write it to disk\n"
+        "             --system bgl|tbird|rstorm|spirit|liberty  --out PATH\n"
+        "             [--seed N] [--cap N] [--chatter N] [--compressed]\n"
+        "             [--per-source]\n"
+        "  analyze    parse, tag, and filter a log file; print a summary\n"
+        "             --system NAME --in PATH [--year Y] [--threshold SEC]\n"
+        "  anonymize  pseudonymize IPs/users/paths in a log file\n"
+        "             --in PATH --out PATH [--seed N]\n"
+        "  mine       mine message templates from a log (SLCT-style)\n"
+        "             --in PATH [--support N] [--skip N] [--top N]\n"
+        "  tables     print the paper's tables from a fresh simulation\n"
+        "             [--which N] (default: all)\n";
+}
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto system = parse_system(args.get_or("system", ""));
+  const auto out_path = args.get("out");
+  if (!system || !out_path) {
+    err << "generate requires --system and --out\n";
+    return 2;
+  }
+  sim::SimOptions opts;
+  opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  opts.category_cap =
+      static_cast<std::uint64_t>(args.get_int("cap", 20000));
+  opts.chatter_events =
+      static_cast<std::uint64_t>(args.get_int("chatter", 50000));
+  logio::WriteOptions wopts;
+  wopts.compressed = args.has("compressed");
+  wopts.per_source_dirs = args.has("per-source");
+  if (reject_unused(args, err)) return 2;
+
+  const sim::Simulator simulator(*system, opts);
+  const auto result = logio::write_log(simulator, *out_path, wopts);
+  out << util::format(
+      "wrote %zu lines (%s bytes) across %zu file(s) for %s\n", result.lines,
+      util::with_commas(static_cast<std::int64_t>(result.bytes_written))
+          .c_str(),
+      result.files,
+      std::string(parse::system_name(*system)).c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto system = parse_system(args.get_or("system", ""));
+  const auto in_path = args.get("in");
+  if (!system || !in_path) {
+    err << "analyze requires --system and --in\n";
+    return 2;
+  }
+  const int year = static_cast<int>(args.get_int(
+      "year", sim::system_spec(*system).start_date.year));
+  const double threshold_s = args.get_double("threshold", 5.0);
+  if (threshold_s <= 0.0) {
+    err << "--threshold must be positive\n";
+    return 2;
+  }
+  if (reject_unused(args, err)) return 2;
+
+  const tag::RuleSet rules = tag::build_ruleset(*system);
+  const tag::TagEngine engine(rules);
+  filter::SimultaneousFilter filter(
+      static_cast<util::TimeUs>(threshold_s * 1e6));
+
+  // Numeric source ids for the filter: interned from parsed hostnames.
+  std::map<std::string, std::uint32_t> source_ids;
+  std::vector<std::size_t> raw_counts(rules.size(), 0);
+  std::vector<std::size_t> filtered_counts(rules.size(), 0);
+  std::size_t alerts = 0;
+  std::size_t kept = 0;
+
+  logio::ReadStats stats;
+  try {
+    stats = logio::read_log(*in_path, *system, year,
+                            [&](const parse::LogRecord& rec) {
+      const auto tagged = engine.tag(rec);
+      if (!tagged) return;
+      ++alerts;
+      ++raw_counts[tagged->category];
+      filter::Alert a;
+      a.time = rec.time;
+      a.category = tagged->category;
+      a.type = tagged->type;
+      const auto [it, inserted] = source_ids.emplace(
+          rec.source, static_cast<std::uint32_t>(source_ids.size()));
+      a.source = it->second;
+      if (filter.admit(a)) {
+        ++kept;
+        ++filtered_counts[tagged->category];
+      }
+    });
+  } catch (const std::exception& e) {
+    err << "analyze: " << e.what() << "\n";
+    return 1;
+  }
+
+  out << util::format(
+      "%zu lines: %zu alerts -> %zu after filtering (T=%.1fs); "
+      "%zu corrupted sources, %zu invalid timestamps, %d year rollover(s)\n",
+      stats.lines, alerts, kept, threshold_s, stats.corrupted_sources,
+      stats.invalid_timestamps, stats.year_rollovers);
+  util::Table t({"Category", "Raw", "Filtered"});
+  for (std::uint16_t c = 0; c < rules.size(); ++c) {
+    if (raw_counts[c] == 0) continue;
+    t.add_row({rules.category_name(c), std::to_string(raw_counts[c]),
+               std::to_string(filtered_counts[c])});
+  }
+  out << t.render();
+  return 0;
+}
+
+int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto in_path = args.get("in");
+  const auto out_path = args.get("out");
+  if (!in_path || !out_path) {
+    err << "anonymize requires --in and --out\n";
+    return 2;
+  }
+  const logio::Anonymizer anon(
+      static_cast<std::uint64_t>(args.get_int("seed", 0x5eed)));
+  if (reject_unused(args, err)) return 2;
+
+  std::string text;
+  try {
+    text = logio::read_log_text(*in_path);
+  } catch (const std::exception& e) {
+    err << "anonymize: " << e.what() << "\n";
+    return 1;
+  }
+  std::ofstream os(*out_path, std::ios::binary);
+  if (!os) {
+    err << "anonymize: cannot open " << *out_path << "\n";
+    return 1;
+  }
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    os << anon.anonymize(line) << '\n';
+    ++lines;
+  }
+  out << util::format("anonymized %zu lines -> %s\n", lines,
+                      out_path->c_str());
+  return 0;
+}
+
+int cmd_tables(const Args& args, std::ostream& out, std::ostream& err) {
+  const int which = static_cast<int>(args.get_int("which", 0));
+  if (reject_unused(args, err)) return 2;
+  core::StudyOptions opts;
+  opts.sim.category_cap = 20000;
+  opts.sim.chatter_events = 30000;
+  core::Study study(opts);
+  const auto want = [&](int n) { return which == 0 || which == n; };
+  if (want(1)) out << core::render_table1() << "\n";
+  if (want(2)) out << core::render_table2(study) << "\n";
+  if (want(3)) out << core::render_table3(study) << "\n";
+  if (want(4)) {
+    for (const auto id : parse::kAllSystems) {
+      out << core::render_table4(study, id) << "\n";
+    }
+  }
+  if (want(5)) out << core::render_table5(study) << "\n";
+  if (want(6)) out << core::render_table6(study) << "\n";
+  if (which < 0 || which > 6) {
+    err << "--which must be 1..6\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto in_path = args.get("in");
+  if (!in_path) {
+    err << "mine requires --in\n";
+    return 2;
+  }
+  mine::MinerOptions opts;
+  opts.min_support = static_cast<std::size_t>(args.get_int("support", 20));
+  opts.min_template_count = opts.min_support;
+  opts.skip_positions = static_cast<std::size_t>(args.get_int("skip", 4));
+  const auto top = static_cast<std::size_t>(args.get_int("top", 25));
+  if (reject_unused(args, err)) return 2;
+
+  std::string text;
+  try {
+    text = logio::read_log_text(*in_path);
+  } catch (const std::exception& e) {
+    err << "mine: " << e.what() << "\n";
+    return 1;
+  }
+  mine::TemplateMiner miner(opts);
+  std::istringstream pass1(text);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(pass1, line)) {
+    miner.learn(line);
+    ++lines;
+  }
+  miner.freeze();
+  std::istringstream pass2(text);
+  while (std::getline(pass2, line)) miner.digest(line);
+
+  const auto templates = miner.templates();
+  out << util::format("%zu lines -> %zu templates (support >= %zu)\n", lines,
+                      templates.size(), opts.min_support);
+  for (std::size_t i = 0; i < templates.size() && i < top; ++i) {
+    out << util::format("%8zu  %s\n", templates[i].count,
+                        templates[i].pattern.c_str());
+  }
+  return 0;
+}
+
+int run(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string& cmd = args.command();
+  if (cmd == "generate") return cmd_generate(args, out, err);
+  if (cmd == "analyze") return cmd_analyze(args, out, err);
+  if (cmd == "anonymize") return cmd_anonymize(args, out, err);
+  if (cmd == "tables") return cmd_tables(args, out, err);
+  if (cmd == "mine") return cmd_mine(args, out, err);
+  print_usage(cmd.empty() || cmd == "help" ? out : err);
+  return cmd.empty() || cmd == "help" ? 0 : 2;
+}
+
+}  // namespace wss::cli

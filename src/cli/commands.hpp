@@ -1,0 +1,35 @@
+// Subcommands of the `wss` command-line tool.
+//
+//   wss generate  --system liberty --out log.txt [--seed N] [--cap N]
+//                 [--chatter N] [--compressed] [--per-source]
+//   wss analyze   --system liberty --in log.txt [--year 2004]
+//                 [--threshold 5.0]
+//   wss anonymize --in log.txt --out anon.txt [--seed N]
+//   wss mine      --in log.txt [--support N] [--skip N]
+//   wss tables    [--which 1..6]
+//
+// Each command is a function of (Args, ostream) so tests can drive
+// them without a process boundary; wss_main.cpp is a thin shell.
+#pragma once
+
+#include <ostream>
+
+#include "cli/args.hpp"
+
+namespace wss::cli {
+
+/// Dispatches to the subcommand; returns a process exit code. Usage
+/// and error text go to `err`, results to `out`.
+int run(const Args& args, std::ostream& out, std::ostream& err);
+
+/// Individual commands (exposed for tests).
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_tables(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_mine(const Args& args, std::ostream& out, std::ostream& err);
+
+/// Prints usage.
+void print_usage(std::ostream& os);
+
+}  // namespace wss::cli

@@ -1,0 +1,29 @@
+// Order-0 canonical Huffman coding over bytes.
+//
+// Second stage of the wss codec (see lzss.hpp). The encoded stream is:
+//   [u8 max_code_len == 0 ? raw marker : 255 entries ...]
+// Concretely:
+//   byte 0: format marker (0 = raw passthrough, 1 = huffman)
+//   raw:     the input bytes verbatim
+//   huffman: 256 bytes of code lengths (canonical), u64 LE symbol
+//            count, then the MSB-first bitstream.
+// Raw passthrough is used when coding would expand the input (e.g.
+// already-compressed or tiny inputs).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wss::compress {
+
+/// Maximum canonical code length; lengths are rebalanced to fit.
+inline constexpr int kMaxCodeLen = 15;
+
+/// Encodes `input`; never expands by more than the 1-byte marker plus,
+/// in huffman mode, the fixed 265-byte header.
+std::string huffman_encode(std::string_view input);
+
+/// Decodes; throws std::runtime_error on malformed input.
+std::string huffman_decode(std::string_view encoded);
+
+}  // namespace wss::compress

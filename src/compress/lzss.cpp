@@ -1,0 +1,135 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::compress {
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kMaxChainLength = 64;
+
+std::uint32_t hash4(const unsigned char* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16) |
+                          (static_cast<std::uint32_t>(p[3]) << 24);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string lzss_compress(std::string_view input) {
+  const auto* data = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t n = input.size();
+
+  // head[h]: most recent position with hash h; prev[i % window]: chain.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(kWindowSize, -1);
+
+  std::string out;
+  out.reserve(n / 2 + 16);
+
+  std::size_t flag_pos = 0;  // index of the current flag byte in `out`
+  int items_in_group = 8;    // forces a new flag byte on first item
+  unsigned char flags = 0;
+
+  const auto begin_item = [&](bool is_match) {
+    if (items_in_group == 8) {
+      flag_pos = out.size();
+      out.push_back('\0');
+      flags = 0;
+      items_in_group = 0;
+    }
+    if (is_match) flags |= static_cast<unsigned char>(1u << items_in_group);
+    out[flag_pos] = static_cast<char>(flags);
+    ++items_in_group;
+  };
+
+  const auto insert_pos = [&](std::size_t i) {
+    if (i + kMinMatch > n) return;
+    const std::uint32_t h = hash4(data + i);
+    prev[i % kWindowSize] = head[h];
+    head[h] = static_cast<std::int64_t>(i);
+  };
+
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const std::uint32_t h = hash4(data + i);
+      std::int64_t cand = head[h];
+      const std::size_t limit = std::min(kMaxMatch, n - i);
+      std::size_t chain = 0;
+      while (cand >= 0 && chain < kMaxChainLength) {
+        const auto c = static_cast<std::size_t>(cand);
+        // Distances are encoded in 16 bits, so the largest usable
+        // distance is kWindowSize - 1 (65536 would wrap to 0).
+        if (i - c >= kWindowSize) break;
+        std::size_t len = 0;
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+          if (len == limit) break;
+        }
+        const std::int64_t next = prev[c % kWindowSize];
+        if (next >= cand) break;  // chain entry overwritten; stop
+        cand = next;
+        ++chain;
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_item(/*is_match=*/true);
+      out.push_back(static_cast<char>(best_dist & 0xff));
+      out.push_back(static_cast<char>((best_dist >> 8) & 0xff));
+      out.push_back(static_cast<char>(best_len - kMinMatch));
+      for (std::size_t k = 0; k < best_len; ++k) insert_pos(i + k);
+      i += best_len;
+    } else {
+      begin_item(/*is_match=*/false);
+      out.push_back(static_cast<char>(data[i]));
+      insert_pos(i);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string lzss_decompress(std::string_view tokens) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < tokens.size()) {
+    const auto flags = static_cast<unsigned char>(tokens[i++]);
+    for (int bit = 0; bit < 8 && i < tokens.size(); ++bit) {
+      if (flags & (1u << bit)) {
+        if (i + 3 > tokens.size()) {
+          throw std::runtime_error("lzss: truncated match token");
+        }
+        const std::size_t dist =
+            static_cast<unsigned char>(tokens[i]) |
+            (static_cast<std::size_t>(static_cast<unsigned char>(tokens[i + 1]))
+             << 8);
+        const std::size_t len =
+            static_cast<unsigned char>(tokens[i + 2]) + kMinMatch;
+        i += 3;
+        if (dist == 0 || dist > out.size()) {
+          throw std::runtime_error("lzss: bad match offset");
+        }
+        const std::size_t start = out.size() - dist;
+        for (std::size_t k = 0; k < len; ++k) {
+          out.push_back(out[start + k]);  // may overlap; copy byte-wise
+        }
+      } else {
+        out.push_back(tokens[i++]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wss::compress

@@ -1,0 +1,123 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/chatter.hpp"
+#include "stats/changepoint.hpp"
+#include "stats/timeseries.hpp"
+#include "tag/rulesets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wss::core {
+
+double EvolutionAnalysis::max_drift() const {
+  double m = 0.0;
+  for (const auto& d : drifts) m = std::max(m, d.fingerprint_l1);
+  return m;
+}
+
+EvolutionAnalysis analyze_evolution(Study& study, parse::SystemId system) {
+  const auto& sim = study.simulator(system);
+  const auto& spec = sim.spec();
+  const std::size_t n_cats = tag::categories_of(system).size();
+  const std::size_t n_kinds = sim::chatter_templates(system).size();
+
+  // Daily weighted message counts drive the segmentation.
+  auto daily = stats::TimeSeries::covering(spec.start_time(), spec.end_time(),
+                                           util::kUsPerDay);
+  for (const auto& e : sim.events()) daily.add(e.time, e.weight);
+
+  stats::ChangePointOptions cp_opts;
+  cp_opts.min_segment = 14;  // two weeks of data per epoch minimum
+  const auto cps = stats::detect_changepoints(daily.buckets(), cp_opts);
+
+  // Epoch boundaries in time.
+  std::vector<util::TimeUs> bounds = {spec.start_time()};
+  for (const auto& cp : cps) {
+    bounds.push_back(spec.start_time() +
+                     static_cast<util::TimeUs>(cp.index) * util::kUsPerDay);
+  }
+  bounds.push_back(spec.end_time());
+
+  EvolutionAnalysis out;
+  for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+    Epoch ep;
+    ep.begin = bounds[b];
+    ep.end = bounds[b + 1];
+    ep.fingerprint.assign(n_cats + n_kinds, 0.0);
+    out.epochs.push_back(ep);
+  }
+
+  // Single pass: accumulate weighted volume and fingerprints.
+  std::vector<double> messages(out.epochs.size(), 0.0);
+  std::vector<double> alerts(out.epochs.size(), 0.0);
+  for (const auto& e : sim.events()) {
+    // Locate the epoch (few epochs; linear scan is fine).
+    std::size_t idx = out.epochs.size() - 1;
+    for (std::size_t i = 0; i < out.epochs.size(); ++i) {
+      if (e.time < out.epochs[i].end) {
+        idx = i;
+        break;
+      }
+    }
+    messages[idx] += e.weight;
+    if (e.is_alert()) {
+      alerts[idx] += e.weight;
+      out.epochs[idx].fingerprint[static_cast<std::size_t>(e.category)] +=
+          e.weight;
+    } else {
+      out.epochs[idx].fingerprint[n_cats + e.chatter_kind] += e.weight;
+    }
+  }
+  for (std::size_t i = 0; i < out.epochs.size(); ++i) {
+    Epoch& ep = out.epochs[i];
+    const double hours =
+        static_cast<double>(ep.end - ep.begin) / static_cast<double>(
+                                                     util::kUsPerHour);
+    ep.mean_hourly_messages = hours > 0.0 ? messages[i] / hours : 0.0;
+    ep.alert_fraction = messages[i] > 0.0 ? alerts[i] / messages[i] : 0.0;
+    // Normalize the fingerprint to shares.
+    if (messages[i] > 0.0) {
+      for (auto& f : ep.fingerprint) f /= messages[i];
+    }
+  }
+
+  for (std::size_t i = 1; i < out.epochs.size(); ++i) {
+    EpochDrift d;
+    d.from = i - 1;
+    d.to = i;
+    const Epoch& a = out.epochs[i - 1];
+    const Epoch& b2 = out.epochs[i];
+    d.rate_ratio = a.mean_hourly_messages > 0.0
+                       ? b2.mean_hourly_messages / a.mean_hourly_messages
+                       : 0.0;
+    for (std::size_t k = 0; k < a.fingerprint.size(); ++k) {
+      d.fingerprint_l1 += std::fabs(a.fingerprint[k] - b2.fingerprint[k]);
+    }
+    out.drifts.push_back(d);
+  }
+  return out;
+}
+
+std::string render_evolution(const EvolutionAnalysis& a) {
+  util::Table t({"Epoch", "From", "To", "Msgs/hour", "Alert frac"});
+  t.set_title("Behavioural epochs (segmented at rate changepoints):");
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    const Epoch& e = a.epochs[i];
+    t.add_row({std::to_string(i), util::format_iso(e.begin),
+               util::format_iso(e.end),
+               util::format("%.1f", e.mean_hourly_messages),
+               util::format("%.5f", e.alert_fraction)});
+  }
+  std::string out = t.render();
+  for (const auto& d : a.drifts) {
+    out += util::format(
+        "drift %zu->%zu: rate x%.2f, fingerprint L1 %.3f\n", d.from, d.to,
+        d.rate_ratio, d.fingerprint_l1);
+  }
+  return out;
+}
+
+}  // namespace wss::core

@@ -1,0 +1,61 @@
+// System-evolution (phase shift) analysis.
+//
+// Section 3.2.1: "Log analysis is a moving target ... anything from
+// software upgrades to minor configuration changes can drastically
+// alter the meaning or character of the logs ... The ability to detect
+// phase shifts in behavior would be a valuable tool for triggering
+// relearning or for knowing which existing behavioral model to apply."
+//
+// This module segments a system's message stream into epochs at the
+// detected rate changepoints (Figure 2(a)'s shifts), characterizes
+// each epoch, and quantifies *model drift* across epochs -- the reason
+// "learned patterns and behaviors may not be applicable for very
+// long."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "util/time.hpp"
+
+namespace wss::core {
+
+/// One behavioural epoch of a system's log.
+struct Epoch {
+  util::TimeUs begin = 0;
+  util::TimeUs end = 0;
+  double mean_hourly_messages = 0.0;  ///< weighted
+  double alert_fraction = 0.0;        ///< weighted alerts / messages
+  /// Weighted message share per chatter kind + alert category (a
+  /// coarse behavioural fingerprint; indices are internal but stable
+  /// within one analysis).
+  std::vector<double> fingerprint;
+};
+
+/// Drift between two adjacent epochs.
+struct EpochDrift {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double rate_ratio = 0.0;         ///< mean rate after / before
+  double fingerprint_l1 = 0.0;     ///< L1 distance of the two shares
+};
+
+/// Result of the evolution analysis.
+struct EvolutionAnalysis {
+  std::vector<Epoch> epochs;
+  std::vector<EpochDrift> drifts;
+
+  /// Largest adjacent-epoch fingerprint distance (0 = stationary).
+  double max_drift() const;
+};
+
+/// Segments `system`'s stream at daily-rate changepoints and
+/// characterizes the epochs. The fingerprint vector spans alert
+/// categories followed by chatter template kinds.
+EvolutionAnalysis analyze_evolution(Study& study, parse::SystemId system);
+
+/// Renders the analysis as text (epoch table + drift summary).
+std::string render_evolution(const EvolutionAnalysis& a);
+
+}  // namespace wss::core

@@ -1,0 +1,132 @@
+// Per-experiment drivers: one function per table/figure of the paper.
+//
+// Benches print these; tests assert on them. Filtering-based numbers
+// are computed from the ground-truth alert stream (what a perfect
+// tagger extracts); tagging quality itself is measured separately in
+// PipelineResult::tagging.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/study.hpp"
+#include "filter/alert.hpp"
+#include "stats/fit.hpp"
+#include "stats/gof.hpp"
+#include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
+
+namespace wss::core {
+
+// ---------------------------------------------------------------- T2
+struct Table2Row {
+  parse::SystemId system;
+  int days = 0;
+  double measured_gb = 0.0;            ///< weighted rendered bytes / 1e9
+  double compressed_fraction = 0.0;    ///< wss codec size / raw size
+  double rate_bytes_per_sec = 0.0;
+  double messages = 0.0;               ///< weighted
+  double alerts = 0.0;                 ///< weighted
+  int categories = 0;
+};
+Table2Row table2_row(Study& study, parse::SystemId id);
+
+// ---------------------------------------------------------------- T3
+/// Raw (weighted) and filtered (simultaneous, T) alert counts by
+/// H/S/I type, across all five systems.
+struct Table3Data {
+  double raw[3] = {0, 0, 0};
+  std::uint64_t filtered[3] = {0, 0, 0};
+};
+Table3Data table3(Study& study);
+
+// ---------------------------------------------------------------- T4
+struct Table4Row {
+  std::string category;
+  filter::AlertType type = filter::AlertType::kIndeterminate;
+  double raw_weighted = 0.0;
+  std::uint64_t paper_raw = 0;
+  std::uint64_t filtered_measured = 0;
+  std::uint64_t paper_filtered = 0;
+};
+std::vector<Table4Row> table4_rows(Study& study, parse::SystemId id);
+
+// ------------------------------------------------------------- T5/T6
+struct SeverityRow {
+  parse::Severity severity = parse::Severity::kNone;
+  double messages = 0.0;  ///< weighted count among all messages
+  double alerts = 0.0;    ///< weighted count among alerts
+};
+/// Severity distribution for one system. For Red Storm only the
+/// syslog paths are counted (Table 6's scope); the TCP event-router
+/// path "has no severity analog".
+std::vector<SeverityRow> severity_distribution(Study& study,
+                                               parse::SystemId id);
+
+/// FP/FN rates of FATAL/FAILURE severity tagging on BG/L versus the
+/// expert rules (the paper: FP 59.34%, FN 0%).
+struct SeverityTaggerRates {
+  double false_positive_rate = 0.0;
+  double false_negative_rate = 0.0;
+};
+SeverityTaggerRates bgl_severity_tagging(Study& study);
+
+// ------------------------------------------------------------ Figures
+/// Fig 2(a): Liberty messages per hour (weighted), plus detected
+/// regime changepoints (bucket indices).
+struct Fig2aData {
+  stats::TimeSeries series;
+  std::vector<std::size_t> changepoints;
+};
+Fig2aData fig2a(Study& study);
+
+/// Fig 2(b): per-source weighted message counts, descending, plus the
+/// corrupted-source bucket.
+struct Fig2bData {
+  std::vector<std::pair<std::string, double>> sources;  ///< sorted desc
+  double corrupted_weight = 0.0;
+};
+Fig2bData fig2b(Study& study);
+
+/// Fig 3: the two correlated Liberty GM alert streams.
+struct Fig3Data {
+  std::vector<util::TimeUs> gm_par;
+  std::vector<util::TimeUs> gm_lanai;
+  double cooccur_par_to_lanai = 0.0;  ///< within 10 min
+  double cooccur_lanai_to_par = 0.0;
+  double peak_cross_correlation = 0.0;
+};
+Fig3Data fig3(Study& study);
+
+/// Fig 4: categorized *filtered* Liberty alerts over time.
+struct Fig4Point {
+  util::TimeUs time = 0;
+  std::uint16_t category = 0;
+};
+std::vector<Fig4Point> fig4(Study& study);
+
+/// Fig 5: Thunderbird critical-ECC interarrivals (filtered) and fits.
+struct Fig5Data {
+  std::vector<double> gaps_seconds;
+  stats::ExponentialFit exponential;
+  stats::LognormalFit lognormal;
+  stats::GofResult ks_exponential;
+  stats::GofResult ks_lognormal;
+};
+Fig5Data fig5(Study& study);
+
+/// Fig 6: log-histogram of filtered interarrival times for one system
+/// (the paper contrasts bimodal BG/L with unimodal Spirit).
+struct Fig6Data {
+  stats::LogHistogram hist;
+  std::vector<std::size_t> modes;
+};
+Fig6Data fig6(Study& study, parse::SystemId id);
+
+// ------------------------------------------------------------ Helpers
+/// Ground-truth alerts filtered with the simultaneous algorithm at the
+/// study threshold.
+std::vector<filter::Alert> filtered_alerts(Study& study, parse::SystemId id);
+
+}  // namespace wss::core

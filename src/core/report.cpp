@@ -1,0 +1,161 @@
+#include "core/report.hpp"
+
+#include "sim/spec.hpp"
+#include "tag/rulesets.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace wss::core {
+
+namespace {
+
+std::string fmt_count(double v) {
+  return util::with_commas(static_cast<std::int64_t>(v + 0.5));
+}
+
+}  // namespace
+
+std::string render_table1() {
+  util::Table t({"System", "Owner", "Vendor", "Rank", "Procs", "Memory (GB)",
+                 "Interconnect"});
+  t.set_title("Table 1. System characteristics at the time of collection.");
+  for (const auto id : parse::kAllSystems) {
+    const auto& s = sim::system_spec(id);
+    t.add_row({std::string(parse::system_name(id)), std::string(s.owner),
+               std::string(s.vendor), std::to_string(s.top500_rank),
+               util::with_commas(static_cast<std::int64_t>(s.procs)),
+               util::with_commas(static_cast<std::int64_t>(s.memory_gb)),
+               std::string(s.interconnect)});
+  }
+  return t.render();
+}
+
+std::string render_table2(Study& study) {
+  util::Table t({"System", "Days", "Size(GB) meas", "Size(GB) paper",
+                 "Compr. frac", "Rate(B/s) meas", "Rate(B/s) paper",
+                 "Messages meas", "Messages paper", "Alerts meas",
+                 "Alerts paper", "Cat."});
+  t.set_title(
+      "Table 2. Log characteristics (measured = weighted simulation; "
+      "sizes depend on rendered line lengths, counts are calibrated).");
+  for (const auto id : parse::kAllSystems) {
+    const auto row = table2_row(study, id);
+    const auto& s = sim::system_spec(id);
+    t.add_row({std::string(parse::system_name(id)), std::to_string(row.days),
+               util::format("%.3f", row.measured_gb),
+               util::format("%.3f", s.size_gb),
+               util::format("%.3f", row.compressed_fraction),
+               util::format("%.1f", row.rate_bytes_per_sec),
+               util::format("%.1f", s.rate_bytes_per_sec),
+               fmt_count(row.messages),
+               util::with_commas(static_cast<std::int64_t>(s.messages)),
+               fmt_count(row.alerts),
+               util::with_commas(static_cast<std::int64_t>(s.alerts)),
+               std::to_string(row.categories)});
+  }
+  return t.render();
+}
+
+std::string render_table3(Study& study) {
+  const auto d = table3(study);
+  // Paper values for comparison (Table 3).
+  constexpr double kPaperRaw[3] = {174586516, 144899, 3350044};
+  constexpr std::uint64_t kPaperFiltered[3] = {1999, 6814, 1832};
+
+  double raw_total = 0;
+  std::uint64_t filt_total = 0;
+  for (int i = 0; i < 3; ++i) {
+    raw_total += d.raw[i];
+    filt_total += d.filtered[i];
+  }
+
+  util::Table t({"Type", "Raw meas", "Raw %", "Raw paper", "Filt meas",
+                 "Filt %", "Filt paper"});
+  t.set_title("Table 3. Alert type distribution before and after filtering.");
+  for (int i = 0; i < 3; ++i) {
+    const auto type = static_cast<filter::AlertType>(i);
+    t.add_row({std::string(filter::alert_type_name(type)), fmt_count(d.raw[i]),
+               util::format("%.2f", 100.0 * d.raw[i] / raw_total),
+               fmt_count(kPaperRaw[i]),
+               util::with_commas(static_cast<std::int64_t>(d.filtered[i])),
+               util::format("%.2f", 100.0 * static_cast<double>(d.filtered[i]) /
+                                        static_cast<double>(filt_total)),
+               util::with_commas(static_cast<std::int64_t>(kPaperFiltered[i]))});
+  }
+  return t.render();
+}
+
+std::string render_table4(Study& study, parse::SystemId id) {
+  util::Table t({"Type/Cat.", "Raw meas", "Raw paper", "Filt meas",
+                 "Filt paper"});
+  t.set_title(util::format("Table 4 (%s). Raw and filtered alert counts.",
+                           std::string(parse::system_name(id)).c_str()));
+  double raw_total = 0;
+  std::uint64_t filt_total = 0;
+  for (const auto& r : table4_rows(study, id)) {
+    raw_total += r.raw_weighted;
+    filt_total += r.filtered_measured;
+    t.add_row({util::format("%c / %s", filter::alert_type_letter(r.type),
+                            r.category.c_str()),
+               fmt_count(r.raw_weighted),
+               util::with_commas(static_cast<std::int64_t>(r.paper_raw)),
+               util::with_commas(static_cast<std::int64_t>(r.filtered_measured)),
+               util::with_commas(static_cast<std::int64_t>(r.paper_filtered))});
+  }
+  t.add_separator();
+  t.add_row({"total", fmt_count(raw_total), "",
+             util::with_commas(static_cast<std::int64_t>(filt_total)), ""});
+  return t.render();
+}
+
+namespace {
+
+std::string render_severity_table(Study& study, parse::SystemId id,
+                                  const char* title, bool syslog_names) {
+  const auto rows = severity_distribution(study, id);
+  double msg_total = 0;
+  double alert_total = 0;
+  for (const auto& r : rows) {
+    msg_total += r.messages;
+    alert_total += r.alerts;
+  }
+  util::Table t({"Severity", "Messages", "Msg %", "Alerts", "Alert %"});
+  t.set_title(title);
+  for (const auto& r : rows) {
+    const auto name = syslog_names ? parse::severity_syslog_name(r.severity)
+                                   : parse::severity_bgl_name(r.severity);
+    t.add_row({std::string(name), fmt_count(r.messages),
+               util::format("%.2f", 100.0 * r.messages / msg_total),
+               fmt_count(r.alerts),
+               util::format("%.2f", alert_total > 0
+                                        ? 100.0 * r.alerts / alert_total
+                                        : 0.0)});
+  }
+  return t.render();
+}
+
+}  // namespace
+
+std::string render_table5(Study& study) {
+  std::string out = render_severity_table(
+      study, parse::SystemId::kBlueGeneL,
+      "Table 5. BG/L severity distribution (messages vs expert-tagged "
+      "alerts).",
+      /*syslog_names=*/false);
+  const auto rates = bgl_severity_tagging(study);
+  out += util::format(
+      "Severity tagging (FATAL/FAILURE => alert): FP rate %.2f%% "
+      "(paper: 59.34%%), FN rate %.2f%% (paper: 0%%)\n",
+      100.0 * rates.false_positive_rate, 100.0 * rates.false_negative_rate);
+  return out;
+}
+
+std::string render_table6(Study& study) {
+  return render_severity_table(
+      study, parse::SystemId::kRedStorm,
+      "Table 6. Red Storm syslog severity distribution (syslog paths "
+      "only; the TCP RAS path has no severity analog).",
+      /*syslog_names=*/true);
+}
+
+}  // namespace wss::core

@@ -1,0 +1,30 @@
+// Renders each reproduced table as aligned text, paper value next to
+// measured value, for the bench binaries and examples.
+#pragma once
+
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/study.hpp"
+
+namespace wss::core {
+
+/// Table 1: system characteristics (static data).
+std::string render_table1();
+
+/// Table 2: log characteristics, paper vs measured.
+std::string render_table2(Study& study);
+
+/// Table 3: alert type distribution, raw vs filtered.
+std::string render_table3(Study& study);
+
+/// Table 4: per-category raw/filtered for one system.
+std::string render_table4(Study& study, parse::SystemId id);
+
+/// Table 5: BG/L severity distribution + severity-tagging FP rate.
+std::string render_table5(Study& study);
+
+/// Table 6: Red Storm syslog severity distribution.
+std::string render_table6(Study& study);
+
+}  // namespace wss::core

@@ -1,0 +1,21 @@
+#include "core/study.hpp"
+
+namespace wss::core {
+
+Study::Study(StudyOptions opts) : opts_(opts) {}
+
+const sim::Simulator& Study::simulator(parse::SystemId id) {
+  auto& slot = sims_[static_cast<std::size_t>(id)];
+  if (!slot) slot = std::make_unique<sim::Simulator>(id, opts_.sim);
+  return *slot;
+}
+
+const PipelineResult& Study::pipeline_result(parse::SystemId id) {
+  auto& slot = results_[static_cast<std::size_t>(id)];
+  if (!slot) {
+    slot = std::make_unique<PipelineResult>(run_pipeline(simulator(id)));
+  }
+  return *slot;
+}
+
+}  // namespace wss::core

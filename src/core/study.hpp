@@ -1,0 +1,58 @@
+// Study: the top-level object of the library.
+//
+// A Study owns one Simulator per system (built lazily) plus the
+// pipeline results computed from rendered lines, and is what examples
+// and benches instantiate. Typical use:
+//
+//   wss::core::Study study;                       // default options
+//   const auto& sim = study.simulator(SystemId::kLiberty);
+//   const auto& res = study.pipeline_result(SystemId::kLiberty);
+//
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "sim/generator.hpp"
+
+namespace wss::core {
+
+/// Study-wide options.
+struct StudyOptions {
+  sim::SimOptions sim;
+
+  /// Smaller, test-friendly volumes (a full run takes seconds; tests
+  /// should take milliseconds).
+  static StudyOptions small() {
+    StudyOptions o;
+    o.sim.category_cap = 4000;
+    o.sim.chatter_events = 20000;
+    return o;
+  }
+};
+
+/// Lazily builds and caches the per-system simulators and pipeline
+/// results.
+class Study {
+ public:
+  explicit Study(StudyOptions opts = {});
+
+  const StudyOptions& options() const { return opts_; }
+
+  /// The simulator for one system (built on first use).
+  const sim::Simulator& simulator(parse::SystemId id);
+
+  /// The full parse->tag pipeline result for one system (cached).
+  const PipelineResult& pipeline_result(parse::SystemId id);
+
+  /// The filtering threshold T (paper value: 5 s).
+  util::TimeUs threshold() const { return opts_.sim.threshold_us; }
+
+ private:
+  StudyOptions opts_;
+  std::array<std::unique_ptr<sim::Simulator>, parse::kNumSystems> sims_;
+  std::array<std::unique_ptr<PipelineResult>, parse::kNumSystems> results_;
+};
+
+}  // namespace wss::core

@@ -1,0 +1,78 @@
+#include "filter/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::filter {
+
+AdaptiveFilter::AdaptiveFilter(std::map<std::uint16_t, util::TimeUs> thresholds,
+                               util::TimeUs default_threshold_us)
+    : thresholds_(std::move(thresholds)),
+      default_threshold_(default_threshold_us) {
+  if (default_threshold_us <= 0) {
+    throw std::invalid_argument("AdaptiveFilter: default threshold must be > 0");
+  }
+  for (const auto& [cat, t] : thresholds_) {
+    if (t <= 0) {
+      throw std::invalid_argument("AdaptiveFilter: thresholds must be > 0");
+    }
+  }
+}
+
+util::TimeUs AdaptiveFilter::threshold_for(std::uint16_t category) const {
+  const auto it = thresholds_.find(category);
+  return it == thresholds_.end() ? default_threshold_ : it->second;
+}
+
+bool AdaptiveFilter::admit(const Alert& a) {
+  const util::TimeUs threshold = threshold_for(a.category);
+  const auto it = last_by_category_.find(a.category);
+  const bool redundant =
+      it != last_by_category_.end() && a.time - it->second < threshold;
+  last_by_category_[a.category] = a.time;
+  return !redundant;
+}
+
+void AdaptiveFilter::reset() { last_by_category_.clear(); }
+
+std::map<std::uint16_t, util::TimeUs> suggest_thresholds(
+    const std::vector<Alert>& alerts, const ThresholdSuggestOptions& opts) {
+  // Collect per-category event times.
+  std::map<std::uint16_t, std::vector<util::TimeUs>> times;
+  for (const Alert& a : alerts) times[a.category].push_back(a.time);
+
+  std::map<std::uint16_t, util::TimeUs> out;
+  for (auto& [cat, ts] : times) {
+    if (ts.size() < opts.min_gaps + 1) continue;
+    std::sort(ts.begin(), ts.end());
+    std::vector<double> gaps;
+    gaps.reserve(ts.size() - 1);
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      const auto g = static_cast<double>(ts[i] - ts[i - 1]);
+      if (g > 0.0) gaps.push_back(g);
+    }
+    if (gaps.size() < opts.min_gaps) continue;
+    std::sort(gaps.begin(), gaps.end());
+
+    // Chain regime: gaps at or below the ceiling.
+    const auto ceiling = static_cast<double>(opts.chain_ceiling_us);
+    std::size_t n_chain = 0;
+    while (n_chain < gaps.size() && gaps[n_chain] <= ceiling) ++n_chain;
+    if (n_chain == 0 || n_chain == gaps.size()) continue;
+    if (static_cast<double>(n_chain) <
+        opts.min_chain_fraction * static_cast<double>(gaps.size())) {
+      continue;  // too little redundancy to justify a custom threshold
+    }
+    const double chain_max = gaps[n_chain - 1];
+    const double next = gaps[n_chain];
+    if (next < opts.min_scale_ratio * chain_max) {
+      continue;  // continuous spectrum: no safe place to cut
+    }
+    const auto t = static_cast<util::TimeUs>(std::sqrt(chain_max * next));
+    out[cat] = std::clamp(t, opts.min_threshold_us, opts.max_threshold_us);
+  }
+  return out;
+}
+
+}  // namespace wss::filter

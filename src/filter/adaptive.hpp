@@ -1,0 +1,70 @@
+// Per-category adaptive thresholds (the paper's future-work filter).
+//
+// Section 4: "a filtering threshold must be selected in advance and is
+// then applied across all kinds of alerts. In reality, each alert
+// category may require a different threshold." AdaptiveFilter runs the
+// simultaneous algorithm with a per-category T; suggest_thresholds()
+// derives those T values from the data by splitting each category's
+// interarrival-gap distribution at its widest logarithmic valley
+// (burst-internal gaps vs. between-incident gaps).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// Simultaneous-style filter with a per-category threshold.
+class AdaptiveFilter final : public StreamFilter {
+ public:
+  /// `thresholds` maps category -> T; categories not present use
+  /// `default_threshold_us`.
+  AdaptiveFilter(std::map<std::uint16_t, util::TimeUs> thresholds,
+                 util::TimeUs default_threshold_us);
+
+  bool admit(const Alert& a) override;
+  void reset() override;
+
+  util::TimeUs threshold_for(std::uint16_t category) const;
+
+ private:
+  std::map<std::uint16_t, util::TimeUs> thresholds_;
+  util::TimeUs default_threshold_;
+  std::unordered_map<std::uint16_t, util::TimeUs> last_by_category_;
+};
+
+/// Options for threshold suggestion.
+struct ThresholdSuggestOptions {
+  util::TimeUs default_threshold_us = 5 * util::kUsPerSec;
+  util::TimeUs min_threshold_us = util::kUsPerSec / 10;       // 0.1 s
+  util::TimeUs max_threshold_us = 3600 * util::kUsPerSec;     // 1 h
+  std::size_t min_gaps = 8;  ///< categories with fewer gaps keep default
+  /// Redundant-chain gaps are at most this long. Chains are repeated
+  /// reports of one failure, spaced near the reporting period (a few
+  /// seconds); anything much longer is a distinct failure. Keep this
+  /// a small multiple of the default threshold.
+  util::TimeUs chain_ceiling_us = 15 * util::kUsPerSec;
+  /// Two-scale evidence: at least this fraction of the category's gaps
+  /// must sit in the chain regime.
+  double min_chain_fraction = 0.3;
+  /// ...and the first gap above the chain regime must exceed the
+  /// largest chain gap by this factor (a real gap in the spectrum).
+  double min_scale_ratio = 1.3;
+};
+
+/// Derives a per-category threshold from a (time-sorted or unsorted)
+/// alert sample. Model: a category with redundant reporting has
+/// two-scale interarrivals -- dense chain gaps below chain_ceiling and
+/// much larger between-failure gaps. If the chain regime holds at
+/// least min_chain_fraction of the gaps and is separated from the rest
+/// by min_scale_ratio, the suggested T is the geometric mean of the
+/// boundary pair, clamped to [min, max]. Categories without that
+/// structure (independent, sparse, or continuous-spectrum) abstain and
+/// keep the default.
+std::map<std::uint16_t, util::TimeUs> suggest_thresholds(
+    const std::vector<Alert>& alerts, const ThresholdSuggestOptions& opts = {});
+
+}  // namespace wss::filter

@@ -1,0 +1,53 @@
+#include "filter/alert.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace wss::filter {
+
+std::string_view alert_type_name(AlertType t) {
+  switch (t) {
+    case AlertType::kHardware:
+      return "Hardware";
+    case AlertType::kSoftware:
+      return "Software";
+    case AlertType::kIndeterminate:
+      return "Indeterminate";
+  }
+  return "?";
+}
+
+char alert_type_letter(AlertType t) {
+  switch (t) {
+    case AlertType::kHardware:
+      return 'H';
+    case AlertType::kSoftware:
+      return 'S';
+    case AlertType::kIndeterminate:
+      return 'I';
+  }
+  return '?';
+}
+
+std::vector<Alert> apply_filter(StreamFilter& f, const std::vector<Alert>& in) {
+  std::vector<Alert> out;
+  util::TimeUs prev = in.empty() ? 0 : in.front().time;
+  for (const Alert& a : in) {
+    if (a.time < prev) {
+      throw std::invalid_argument("apply_filter: stream not time-sorted");
+    }
+    prev = a.time;
+    if (f.admit(a)) out.push_back(a);
+  }
+  return out;
+}
+
+void sort_alerts(std::vector<Alert>& alerts) {
+  std::sort(alerts.begin(), alerts.end(), [](const Alert& a, const Alert& b) {
+    return std::tie(a.time, a.source, a.category) <
+           std::tie(b.time, b.source, b.category);
+  });
+}
+
+}  // namespace wss::filter

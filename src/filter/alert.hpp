@@ -1,0 +1,62 @@
+// The alert stream model consumed by the filtering algorithms.
+//
+// An *alert* (paper Section 1) is a tagged log message meriting
+// administrator attention; a *failure* may produce many alerts across
+// nodes and time. Filtering (Section 3.3) tries to reduce the stream
+// to ~one alert per failure. The simulator stamps each alert with its
+// ground-truth failure id so filters can be scored (score.hpp) -- the
+// real logs had no such ground truth, which is exactly why the paper
+// had to argue its accuracy trade-off from sampled cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wss::filter {
+
+/// Alert type by ostensible subsystem of origin (Table 3).
+enum class AlertType : std::uint8_t {
+  kHardware = 0,
+  kSoftware = 1,
+  kIndeterminate = 2,
+};
+
+/// Display name: "Hardware", "Software", "Indeterminate".
+std::string_view alert_type_name(AlertType t);
+
+/// Single-letter tag used in Table 4: H, S, I.
+char alert_type_letter(AlertType t);
+
+/// One alert in a time-ordered stream.
+struct Alert {
+  util::TimeUs time = 0;
+  std::uint32_t source = 0;       ///< numeric node id within the system
+  std::uint16_t category = 0;     ///< tag-rule index (same rule = same cat.)
+  AlertType type = AlertType::kIndeterminate;
+  std::uint64_t failure_id = 0;   ///< ground-truth failure (0 = unknown)
+  double weight = 1.0;            ///< scale-up weight for raw counts
+};
+
+/// Streaming filter interface. Alerts MUST be presented in
+/// non-decreasing time order (the paper's algorithm assumes a sorted
+/// sequence); admit() returns true to keep the alert. Filters are
+/// stateful; reset() restores the initial state.
+class StreamFilter {
+ public:
+  virtual ~StreamFilter() = default;
+  virtual bool admit(const Alert& a) = 0;
+  virtual void reset() = 0;
+};
+
+/// Applies a filter to a (time-sorted) stream, returning the survivors.
+/// Throws std::invalid_argument if the input is not sorted by time.
+std::vector<Alert> apply_filter(StreamFilter& f, const std::vector<Alert>& in);
+
+/// Sorts alerts by (time, source, category) -- the canonical stream
+/// order used throughout.
+void sort_alerts(std::vector<Alert>& alerts);
+
+}  // namespace wss::filter

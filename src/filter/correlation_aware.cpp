@@ -1,0 +1,114 @@
+#include "filter/correlation_aware.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::filter {
+
+CorrelationAwareFilter::CorrelationAwareFilter(
+    std::map<std::uint16_t, std::uint32_t> groups, util::TimeUs threshold_us)
+    : groups_(std::move(groups)), threshold_(threshold_us) {
+  if (threshold_us <= 0) {
+    throw std::invalid_argument(
+        "CorrelationAwareFilter: threshold must be > 0");
+  }
+}
+
+std::uint32_t CorrelationAwareFilter::group_of(std::uint16_t category) const {
+  const auto it = groups_.find(category);
+  if (it != groups_.end()) return it->second;
+  // Ungrouped categories live in a namespace above all explicit ids.
+  return 0x10000u + category;
+}
+
+bool CorrelationAwareFilter::admit(const Alert& a) {
+  const std::uint32_t g = group_of(a.category);
+  const auto it = last_by_group_.find(g);
+  const bool redundant =
+      it != last_by_group_.end() && a.time - it->second < threshold_;
+  last_by_group_[g] = a.time;
+  return !redundant;
+}
+
+void CorrelationAwareFilter::reset() { last_by_group_.clear(); }
+
+namespace {
+
+/// Minimal union-find over category ids.
+class UnionFind {
+ public:
+  std::uint16_t find(std::uint16_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_[x] = x;
+      return x;
+    }
+    if (it->second == x) return x;
+    const std::uint16_t root = find(it->second);
+    parent_[x] = root;
+    return root;
+  }
+
+  void unite(std::uint16_t a, std::uint16_t b) {
+    const std::uint16_t ra = find(a);
+    const std::uint16_t rb = find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+ private:
+  std::map<std::uint16_t, std::uint16_t> parent_;
+};
+
+double directed_cooccurrence(const std::vector<util::TimeUs>& a,
+                             const std::vector<util::TimeUs>& b,
+                             util::TimeUs window) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto t : a) {
+    const auto it = std::lower_bound(b.begin(), b.end(), t - window);
+    if (it != b.end() && *it <= t + window) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+std::map<std::uint16_t, std::uint32_t> learn_correlation_groups(
+    const std::vector<Alert>& alerts, util::TimeUs window_us,
+    double min_fraction) {
+  std::map<std::uint16_t, std::vector<util::TimeUs>> times;
+  for (const Alert& a : alerts) times[a.category].push_back(a.time);
+  for (auto& [cat, ts] : times) std::sort(ts.begin(), ts.end());
+
+  UnionFind uf;
+  std::vector<std::uint16_t> cats;
+  cats.reserve(times.size());
+  for (const auto& [cat, ts] : times) cats.push_back(cat);
+
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    for (std::size_t j = i + 1; j < cats.size(); ++j) {
+      const auto& ta = times[cats[i]];
+      const auto& tb = times[cats[j]];
+      if (directed_cooccurrence(ta, tb, window_us) >= min_fraction &&
+          directed_cooccurrence(tb, ta, window_us) >= min_fraction) {
+        uf.unite(cats[i], cats[j]);
+      }
+    }
+  }
+
+  std::map<std::uint16_t, std::uint32_t> out;
+  for (const std::uint16_t c : cats) {
+    const std::uint16_t root = uf.find(c);
+    // Only emit explicit groups for categories actually merged with
+    // another; singletons filter per-category as usual.
+    if (root != c || std::any_of(cats.begin(), cats.end(),
+                                 [&](std::uint16_t other) {
+                                   return other != c && uf.find(other) == root;
+                                 })) {
+      out[c] = root;
+    }
+  }
+  return out;
+}
+
+}  // namespace wss::filter

@@ -1,0 +1,50 @@
+// Correlation-aware filtering (the paper's other future-work filter).
+//
+// Section 3.3.1 / Figure 4: PBS_CHK and PBS_BFD on Liberty are "a
+// particularly outstanding example of correlated alerts relegated to
+// different categories" -- per-category filtering keeps both even when
+// they report the same failure. Section 5 recommends "filters that are
+// aware of correlations among messages". This filter groups correlated
+// categories and applies the simultaneous algorithm per *group*, so
+// one failure surfacing through several correlated tags yields one
+// surviving alert.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// Simultaneous filter keyed by correlation group instead of category.
+class CorrelationAwareFilter final : public StreamFilter {
+ public:
+  /// `groups` maps category -> group id; ungrouped categories filter
+  /// independently (their group is their own category, namespaced
+  /// apart from explicit group ids).
+  CorrelationAwareFilter(std::map<std::uint16_t, std::uint32_t> groups,
+                         util::TimeUs threshold_us);
+
+  bool admit(const Alert& a) override;
+  void reset() override;
+
+ private:
+  std::uint32_t group_of(std::uint16_t category) const;
+
+  std::map<std::uint16_t, std::uint32_t> groups_;
+  util::TimeUs threshold_;
+  std::unordered_map<std::uint32_t, util::TimeUs> last_by_group_;
+};
+
+/// Learns correlation groups from a (sorted or unsorted) alert sample:
+/// categories whose events co-occur within `window_us` more than
+/// `min_fraction` of the time (in both directions) are merged with
+/// union-find. This is deliberately simple -- the paper asks for
+/// correlation awareness, not a particular learner.
+std::map<std::uint16_t, std::uint32_t> learn_correlation_groups(
+    const std::vector<Alert>& alerts, util::TimeUs window_us,
+    double min_fraction = 0.5);
+
+}  // namespace wss::filter

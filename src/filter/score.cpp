@@ -1,0 +1,45 @@
+#include "filter/score.hpp"
+
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace wss::filter {
+
+FilterScore score_filter(StreamFilter& f, const std::vector<Alert>& input) {
+  f.reset();
+  FilterScore s;
+  s.input_alerts = input.size();
+
+  std::unordered_set<std::uint64_t> failures_in;
+  for (const Alert& a : input) {
+    if (a.failure_id != 0) failures_in.insert(a.failure_id);
+  }
+  s.failures_total = failures_in.size();
+
+  std::unordered_set<std::uint64_t> failures_out;
+  for (const Alert& a : input) {
+    if (!f.admit(a)) continue;
+    ++s.kept_alerts;
+    if (a.failure_id == 0 || !failures_out.insert(a.failure_id).second) {
+      ++s.false_positives_kept;
+    }
+  }
+  s.failures_represented = failures_out.size();
+  s.true_positives_lost = s.failures_total - s.failures_represented;
+  s.compression = s.kept_alerts == 0
+                      ? 0.0
+                      : static_cast<double>(s.input_alerts) /
+                            static_cast<double>(s.kept_alerts);
+  return s;
+}
+
+std::string describe(const FilterScore& s) {
+  return util::format(
+      "kept %zu/%zu, failures represented %zu/%zu, TP lost %zu, FP kept %zu, "
+      "compression %.1fx",
+      s.kept_alerts, s.input_alerts, s.failures_represented, s.failures_total,
+      s.true_positives_lost, s.false_positives_kept, s.compression);
+}
+
+}  // namespace wss::filter

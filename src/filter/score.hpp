@@ -1,0 +1,38 @@
+// Ground-truth scoring of filters.
+//
+// Section 3.3.2 argues the simultaneous filter's accuracy trade-off:
+// "At most one true positive was removed on any single machine,
+// whereas sometimes dozens of false positives were removed by using
+// our filter instead of the serial algorithm." With the simulator's
+// ground-truth failure ids we can compute those quantities exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// Filter quality with respect to ground-truth failures.
+struct FilterScore {
+  std::size_t input_alerts = 0;
+  std::size_t kept_alerts = 0;
+  std::size_t failures_total = 0;        ///< distinct failure ids in input
+  std::size_t failures_represented = 0;  ///< distinct failure ids in output
+  std::size_t true_positives_lost = 0;   ///< failures with no surviving alert
+  std::size_t false_positives_kept = 0;  ///< surviving alerts beyond the
+                                         ///< first per failure
+  double compression = 0.0;              ///< input / kept (0 if kept == 0)
+};
+
+/// Runs `f` (after reset) over the sorted stream and scores the output.
+/// Alerts with failure_id == 0 are treated as noise: they never count
+/// as failures, and any kept ones count as false positives.
+FilterScore score_filter(StreamFilter& f, const std::vector<Alert>& input);
+
+/// Renders a one-line summary ("kept 1430/1665744, failures 1430/1431,
+/// TP lost 1, FP kept 12, compression 1164.9x").
+std::string describe(const FilterScore& s);
+
+}  // namespace wss::filter

@@ -1,0 +1,5 @@
+#include "filter/serial.hpp"
+
+// SerialFilter is header-only; this translation unit anchors it in the
+// wss_filter library so the linker has a home for future out-of-line
+// members.

@@ -1,0 +1,37 @@
+// The serial (temporal-then-spatial) baseline of Liang et al.
+// [DSN'05, DSN'06], which the paper's simultaneous algorithm replaces.
+//
+// "Previous work applied these filters serially." The spatial stage
+// only observes alerts that survive the temporal stage -- which is the
+// root of the failure mode the paper describes: "the temporal filter
+// removes messages that the spatial filter would have used as cues
+// that the failure had already been reported by another source."
+#pragma once
+
+#include "filter/spatial.hpp"
+#include "filter/temporal.hpp"
+
+namespace wss::filter {
+
+/// Temporal stage feeding a spatial stage.
+class SerialFilter final : public StreamFilter {
+ public:
+  explicit SerialFilter(util::TimeUs threshold_us)
+      : temporal_(threshold_us), spatial_(threshold_us) {}
+
+  bool admit(const Alert& a) override {
+    if (!temporal_.admit(a)) return false;
+    return spatial_.admit(a);
+  }
+
+  void reset() override {
+    temporal_.reset();
+    spatial_.reset();
+  }
+
+ private:
+  TemporalFilter temporal_;
+  SpatialFilter spatial_;
+};
+
+}  // namespace wss::filter

@@ -1,0 +1,49 @@
+#include "filter/simultaneous.hpp"
+
+#include <stdexcept>
+
+namespace wss::filter {
+
+SimultaneousFilter::SimultaneousFilter(util::TimeUs threshold_us,
+                                       bool use_clear_optimization)
+    : threshold_(threshold_us), use_clear_(use_clear_optimization) {
+  if (threshold_us <= 0) {
+    throw std::invalid_argument("SimultaneousFilter: threshold must be > 0");
+  }
+}
+
+bool SimultaneousFilter::admit(const Alert& a) {
+  if (use_clear_ && any_seen_ && a.time - last_event_time_ > threshold_) {
+    // clear(X): every entry is older than last_event_time_ <=
+    // a.time - T, so none can satisfy the redundancy test. The epoch
+    // bump invalidates them all in O(1).
+    ++epoch_;
+  }
+  last_event_time_ = a.time;
+  any_seen_ = true;
+
+  if (a.category >= table_.size()) {
+    table_.resize(static_cast<std::size_t>(a.category) + 1);
+  }
+  Entry& e = table_[a.category];
+  const bool redundant =
+      e.epoch == epoch_ && a.time - e.time < threshold_;
+  e.epoch = epoch_;
+  e.time = a.time;
+  return !redundant;
+}
+
+void SimultaneousFilter::reset() {
+  table_.clear();
+  last_event_time_ = 0;
+  any_seen_ = false;
+  epoch_ = 1;
+}
+
+std::size_t SimultaneousFilter::table_size() const {
+  std::size_t live = 0;
+  for (const Entry& e : table_) live += e.epoch == epoch_ ? 1 : 0;
+  return live;
+}
+
+}  // namespace wss::filter

@@ -1,0 +1,39 @@
+#include "filter/spatial.hpp"
+
+#include <stdexcept>
+
+namespace wss::filter {
+
+SpatialFilter::SpatialFilter(util::TimeUs threshold_us)
+    : threshold_(threshold_us) {
+  if (threshold_us <= 0) {
+    throw std::invalid_argument("SpatialFilter: threshold must be > 0");
+  }
+}
+
+bool SpatialFilter::admit(const Alert& a) {
+  State& st = state_[a.category];
+
+  bool redundant = false;
+  if (st.recent.valid && st.recent.source != a.source &&
+      a.time - st.recent.time < threshold_) {
+    redundant = true;
+  } else if (st.recent_other.valid && st.recent_other.source != a.source &&
+             a.time - st.recent_other.time < threshold_) {
+    redundant = true;
+  }
+
+  // Update the two-slot history (every alert refreshes it, kept or
+  // removed -- same sliding semantics as the temporal filter).
+  if (st.recent.valid && st.recent.source == a.source) {
+    st.recent.time = a.time;
+  } else {
+    st.recent_other = st.recent;
+    st.recent = Slot{a.source, a.time, true};
+  }
+  return !redundant;
+}
+
+void SpatialFilter::reset() { state_.clear(); }
+
+}  // namespace wss::filter

@@ -1,0 +1,44 @@
+// Spatial filtering (the second stage of the serial baseline).
+//
+// "A spatial filter removes an alert if some other source had
+// previously reported that alert within T seconds. For example, if k
+// nodes report the same alert in a round-robin fashion, each message
+// within T seconds of the last, then only the first is kept."
+// (Section 3.3.2)
+//
+// Implementation note: to answer "did any *other* source report
+// category c within T" exactly, it suffices to remember, per category,
+// the two most recent reports from distinct sources -- the most recent
+// report overall and the most recent from a different source than it.
+#pragma once
+
+#include <unordered_map>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// Per-category cross-source spatial filter.
+class SpatialFilter final : public StreamFilter {
+ public:
+  explicit SpatialFilter(util::TimeUs threshold_us);
+
+  bool admit(const Alert& a) override;
+  void reset() override;
+
+ private:
+  struct Slot {
+    std::uint32_t source = 0;
+    util::TimeUs time = 0;
+    bool valid = false;
+  };
+  struct State {
+    Slot recent;        ///< most recent report of the category
+    Slot recent_other;  ///< most recent report from a different source
+  };
+
+  util::TimeUs threshold_;
+  std::unordered_map<std::uint16_t, State> state_;
+};
+
+}  // namespace wss::filter

@@ -1,0 +1,25 @@
+#include "filter/temporal.hpp"
+
+#include <stdexcept>
+
+namespace wss::filter {
+
+TemporalFilter::TemporalFilter(util::TimeUs threshold_us)
+    : threshold_(threshold_us) {
+  if (threshold_us <= 0) {
+    throw std::invalid_argument("TemporalFilter: threshold must be > 0");
+  }
+}
+
+bool TemporalFilter::admit(const Alert& a) {
+  const auto k = key(a);
+  const auto it = last_.find(k);
+  const bool redundant =
+      it != last_.end() && a.time - it->second < threshold_;
+  last_[k] = a.time;  // refresh even when removing (sliding window)
+  return !redundant;
+}
+
+void TemporalFilter::reset() { last_.clear(); }
+
+}  // namespace wss::filter

@@ -1,0 +1,38 @@
+// Temporal filtering (the first stage of the serial baseline).
+//
+// "A temporal filter coalesces alerts within T seconds of each other
+// on a given source into a single alert. For example, if a node
+// reports a particular alert every T seconds for a week, the temporal
+// filter keeps only the first." (Section 3.3.2)
+//
+// Note the *sliding* window implied by the example: the state for a
+// (source, category) pair is refreshed by every alert, kept or
+// removed, so a chain of closely spaced alerts collapses to one even
+// when the chain is much longer than T overall.
+#pragma once
+
+#include <unordered_map>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// Per-(source, category) sliding-window temporal filter.
+class TemporalFilter final : public StreamFilter {
+ public:
+  /// `threshold_us`: the paper's T (it uses T = 5 s).
+  explicit TemporalFilter(util::TimeUs threshold_us);
+
+  bool admit(const Alert& a) override;
+  void reset() override;
+
+ private:
+  static std::uint64_t key(const Alert& a) {
+    return (static_cast<std::uint64_t>(a.source) << 16) | a.category;
+  }
+
+  util::TimeUs threshold_;
+  std::unordered_map<std::uint64_t, util::TimeUs> last_;
+};
+
+}  // namespace wss::filter

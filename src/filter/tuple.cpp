@@ -1,0 +1,49 @@
+#include "filter/tuple.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace wss::filter {
+
+std::vector<Tuple> build_tuples(const std::vector<Alert>& alerts,
+                                util::TimeUs gap_us) {
+  if (gap_us <= 0) {
+    throw std::invalid_argument("build_tuples: gap must be > 0");
+  }
+  std::vector<Tuple> out;
+  util::TimeUs prev = 0;
+  for (const Alert& a : alerts) {
+    if (!out.empty() && a.time < prev) {
+      throw std::invalid_argument("build_tuples: stream not time-sorted");
+    }
+    if (out.empty() || a.time - prev >= gap_us) {
+      out.emplace_back();
+      out.back().begin = a.time;
+    }
+    Tuple& t = out.back();
+    t.end = a.time;
+    ++t.alert_count;
+    t.categories.insert(a.category);
+    t.sources.insert(a.source);
+    if (a.failure_id != 0) t.failures.insert(a.failure_id);
+    prev = a.time;
+  }
+  return out;
+}
+
+TupleScore score_tuples(const std::vector<Tuple>& tuples) {
+  TupleScore s;
+  s.tuples = tuples.size();
+  std::map<std::uint64_t, std::size_t> tuples_per_failure;
+  for (const Tuple& t : tuples) {
+    if (t.failures.size() >= 2) ++s.collided_tuples;
+    for (const auto f : t.failures) ++tuples_per_failure[f];
+  }
+  s.failures_total = tuples_per_failure.size();
+  for (const auto& [f, n] : tuples_per_failure) {
+    if (n >= 2) ++s.split_failures;
+  }
+  return s;
+}
+
+}  // namespace wss::filter

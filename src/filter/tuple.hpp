@@ -1,0 +1,57 @@
+// Event tupling (Tsao's tuple concept).
+//
+// The paper's related work traces redundancy handling to Tsao's
+// "tuple concept for data organization and to deal with multiple
+// reports of single events" [26], and cites Buckley & Siewiorek's
+// comparative analysis of tupling schemes [4] as the source of the
+// T=5s threshold. A tuple groups *all* alerts within a gap threshold
+// of each other -- across categories and sources -- into one object,
+// rather than keeping one representative per category the way the
+// paper's filter does. This module implements the tupler so the two
+// philosophies can be compared (bench/ablation_tupling.cpp): tuples
+// under-count concurrent distinct failures (they merge unrelated
+// alerts that coincide), while per-category filtering over-counts
+// multi-category failures (PBS_CHK + PBS_BFD).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "filter/alert.hpp"
+
+namespace wss::filter {
+
+/// One tuple: a maximal run of alerts in which consecutive alerts are
+/// separated by less than the gap threshold.
+struct Tuple {
+  util::TimeUs begin = 0;
+  util::TimeUs end = 0;
+  std::size_t alert_count = 0;
+  std::set<std::uint16_t> categories;
+  std::set<std::uint32_t> sources;
+  std::set<std::uint64_t> failures;  ///< ground-truth ids (0 excluded)
+
+  util::TimeUs duration() const { return end - begin; }
+};
+
+/// Groups a time-sorted alert stream into tuples with the given gap
+/// threshold. Throws std::invalid_argument on an unsorted stream or a
+/// non-positive gap.
+std::vector<Tuple> build_tuples(const std::vector<Alert>& alerts,
+                                util::TimeUs gap_us);
+
+/// Tupling quality versus ground truth, mirroring FilterScore: a tuple
+/// "collides" when it contains more than one distinct failure (those
+/// failures become indistinguishable); a failure is "split" when its
+/// alerts spread over several tuples.
+struct TupleScore {
+  std::size_t tuples = 0;
+  std::size_t failures_total = 0;
+  std::size_t collided_tuples = 0;  ///< tuples holding >= 2 failures
+  std::size_t split_failures = 0;   ///< failures spanning >= 2 tuples
+};
+
+TupleScore score_tuples(const std::vector<Tuple>& tuples);
+
+}  // namespace wss::filter

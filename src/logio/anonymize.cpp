@@ -1,0 +1,116 @@
+#include "logio/anonymize.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::logio {
+
+namespace {
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+bool is_word(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || is_digit(c) ||
+         c == '_';
+}
+bool is_path_char(char c) {
+  return is_word(c) || c == '.' || c == '-' || c == '+';
+}
+
+/// Tries to parse an IPv4 dotted quad at `pos`; returns its length or
+/// 0. Requires a non-digit (or start/end) on both sides.
+std::size_t ip_length(std::string_view s, std::size_t pos) {
+  if (pos > 0 && (is_digit(s[pos - 1]) || s[pos - 1] == '.')) return 0;
+  std::size_t i = pos;
+  for (int octet = 0; octet < 4; ++octet) {
+    std::size_t digits = 0;
+    while (i < s.size() && is_digit(s[i]) && digits < 3) {
+      ++i;
+      ++digits;
+    }
+    if (digits == 0) return 0;
+    if (octet < 3) {
+      if (i >= s.size() || s[i] != '.') return 0;
+      ++i;
+    }
+  }
+  if (i < s.size() && (is_digit(s[i]) || s[i] == '.')) return 0;
+  return i - pos;
+}
+
+}  // namespace
+
+Anonymizer::Anonymizer(std::uint64_t seed, AnonymizeOptions opts)
+    : seed_(seed), opts_(opts) {}
+
+std::string Anonymizer::pseudonym(std::string_view token,
+                                  std::string_view prefix) const {
+  const std::uint64_t h = util::fnv1a(token) ^ seed_;
+  return util::format("%.*s%04x", static_cast<int>(prefix.size()),
+                      prefix.data(), static_cast<unsigned>(h & 0xffff));
+}
+
+std::string Anonymizer::anonymize(std::string_view line) const {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    // IPv4 addresses -> stable fake 10.x.y.z.
+    if (opts_.ip_addresses && is_digit(line[i])) {
+      const std::size_t len = ip_length(line, i);
+      if (len > 0) {
+        const std::uint64_t h = util::fnv1a(line.substr(i, len)) ^ seed_;
+        out += util::format("10.%u.%u.%u",
+                            static_cast<unsigned>((h >> 16) & 0xff),
+                            static_cast<unsigned>((h >> 8) & 0xff),
+                            static_cast<unsigned>(1 + (h & 0x7f)));
+        i += len;
+        continue;
+      }
+    }
+    // Usernames: "user<digits>", "<word>@", "owner = <word>".
+    if (opts_.usernames && is_word(line[i]) &&
+        (i == 0 || !is_word(line[i - 1]))) {
+      std::size_t end = i;
+      while (end < line.size() && is_word(line[end])) ++end;
+      const std::string_view word = line.substr(i, end - i);
+      const bool user_prefix = util::starts_with(word, "user") &&
+                               word.size() > 4 && is_digit(word[4]);
+      const bool at_suffix = end < line.size() && line[end] == '@';
+      const bool after_owner =
+          i >= 8 && line.substr(i - 8, 8) == "owner = ";
+      if (user_prefix || at_suffix || after_owner) {
+        out += pseudonym(word, "u");
+        i = end;
+        continue;
+      }
+    }
+    // Absolute paths: anonymize the directory part, keep the basename
+    // (tagging rules key on basenames like lx_mapper.c).
+    if (opts_.paths && line[i] == '/' && i + 1 < line.size() &&
+        is_path_char(line[i + 1]) && (i == 0 || line[i - 1] == ' ')) {
+      std::size_t end = i;
+      std::size_t last_slash = i;
+      int segments = 0;
+      while (end < line.size() &&
+             (line[end] == '/' || is_path_char(line[end]))) {
+        if (line[end] == '/') {
+          last_slash = end;
+          ++segments;
+        }
+        ++end;
+      }
+      if (segments >= 2) {
+        const std::string_view dir = line.substr(i, last_slash - i);
+        out += "/anon/";
+        out += pseudonym(dir, "p");
+        out += line.substr(last_slash, end - last_slash);
+        i = end;
+        continue;
+      }
+    }
+    out.push_back(line[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace wss::logio

@@ -1,0 +1,51 @@
+#include "logio/reader.hpp"
+
+#include <sstream>
+
+#include "logio/writer.hpp"
+#include "parse/dispatch.hpp"
+#include "util/time.hpp"
+
+namespace wss::logio {
+
+int YearTracker::on_month(int month) {
+  if (month >= 1 && month <= 12) {
+    // A backwards month jump of more than one (Dec -> Jan, or a burst
+    // of out-of-order lines straddling New Year) signals rollover.
+    if (last_month_ != 0 && month < last_month_ - 6) {
+      ++year_;
+      ++rollovers_;
+    }
+    last_month_ = month;
+  }
+  return year_;
+}
+
+ReadStats read_log(const std::filesystem::path& path, parse::SystemId system,
+                   int start_year,
+                   const std::function<void(const parse::LogRecord&)>& fn) {
+  const std::string text = read_log_text(path);
+  ReadStats stats;
+  YearTracker years(start_year);
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++stats.lines;
+    // Peek the month from the stamp to drive year inference. BG/L and
+    // event-router stamps carry the year themselves; parse_month
+    // returns 0 for them and the tracker is inert.
+    int month = 0;
+    if (line.size() >= 3) month = util::parse_month_abbrev(line.substr(0, 3));
+    const int year = month > 0 ? years.on_month(month) : years.year();
+
+    const parse::LogRecord rec = parse::parse_line(system, line, year);
+    if (rec.source_corrupted) ++stats.corrupted_sources;
+    if (!rec.timestamp_valid) ++stats.invalid_timestamps;
+    fn(rec);
+  }
+  stats.year_rollovers = years.rollovers();
+  return stats;
+}
+
+}  // namespace wss::logio

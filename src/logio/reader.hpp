@@ -1,0 +1,51 @@
+// Streaming log reading with year-rollover inference.
+//
+// syslog timestamps carry no year (Section 3.2.1, "Inconsistent
+// Structure"), so a reader of a multi-year log (Spirit spans 558 days)
+// must infer year boundaries: when the month jumps backwards relative
+// to the previous record, a new year has begun. LogReader parses line
+// by line without loading the parsed records into memory.
+#pragma once
+
+#include <filesystem>
+#include <functional>
+
+#include "parse/record.hpp"
+
+namespace wss::logio {
+
+/// Reader statistics.
+struct ReadStats {
+  std::size_t lines = 0;
+  std::size_t corrupted_sources = 0;
+  std::size_t invalid_timestamps = 0;
+  int year_rollovers = 0;
+};
+
+/// Streams parsed records from a log file written by logio::write_log
+/// (plain or .wsc). `start_year` seeds the year inference. The
+/// callback receives each record in file order.
+ReadStats read_log(const std::filesystem::path& path, parse::SystemId system,
+                   int start_year,
+                   const std::function<void(const parse::LogRecord&)>& fn);
+
+/// Year-inference helper, exposed for tests: tracks the last month
+/// seen and bumps the year when the month decreases sharply.
+class YearTracker {
+ public:
+  explicit YearTracker(int start_year) : year_(start_year) {}
+
+  /// Returns the year to use for a record stamped with `month`
+  /// (1..12), updating internal state.
+  int on_month(int month);
+
+  int year() const { return year_; }
+  int rollovers() const { return rollovers_; }
+
+ private:
+  int year_;
+  int last_month_ = 0;
+  int rollovers_ = 0;
+};
+
+}  // namespace wss::logio

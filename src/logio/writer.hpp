@@ -1,0 +1,41 @@
+// Writing simulated logs to disk, the way the collection servers do.
+//
+// Section 3.1: the syslog-ng servers "place them in a directory
+// structure according to the source node"; the study also reports
+// gzip-compressed sizes. LogWriter supports both layouts (single file
+// or per-source directory) and optional compression with the wss
+// codec (.wsc files).
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "sim/generator.hpp"
+
+namespace wss::logio {
+
+/// On-disk layout options.
+struct WriteOptions {
+  bool compressed = false;     ///< write a .wsc (wss codec) file
+  bool per_source_dirs = false;///< syslog-ng style: <dir>/<source>/messages
+};
+
+/// Result of a write.
+struct WriteResult {
+  std::uintmax_t bytes_written = 0;
+  std::size_t lines = 0;
+  std::size_t files = 0;
+};
+
+/// Writes every rendered line of `simulator` under `path` (a file
+/// path, or a directory when per_source_dirs is set). Throws
+/// std::runtime_error on I/O failure.
+WriteResult write_log(const sim::Simulator& simulator,
+                      const std::filesystem::path& path,
+                      const WriteOptions& opts = {});
+
+/// Reads a log file written by write_log (transparently decompressing
+/// .wsc) and returns its full text.
+std::string read_log_text(const std::filesystem::path& path);
+
+}  // namespace wss::logio

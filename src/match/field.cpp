@@ -1,0 +1,42 @@
+#include "match/field.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::match {
+
+void LinePredicate::add_term(int field, std::string_view pattern, bool negated,
+                             ParseOptions opts) {
+  if (field < 0) throw PatternError("field index must be >= 0");
+  Term t;
+  t.field = field;
+  t.negated = negated;
+  t.re = std::make_shared<const Regex>(pattern, opts);
+  terms_.push_back(std::move(t));
+}
+
+bool LinePredicate::matches(std::string_view line) const {
+  if (terms_.empty()) return false;
+  std::vector<std::string_view> fields;
+  bool fields_computed = false;
+  for (const Term& t : terms_) {
+    bool hit;
+    if (t.field == 0) {
+      hit = t.re->search(line);
+    } else {
+      if (!fields_computed) {
+        fields = util::split_fields(line);
+        fields_computed = true;
+      }
+      const auto idx = static_cast<std::size_t>(t.field - 1);
+      // awk: a reference to a field beyond NF yields the empty string.
+      const std::string_view f = idx < fields.size() ? fields[idx]
+                                                     : std::string_view{};
+      hit = t.re->search(f);
+    }
+    if (t.negated) hit = !hit;
+    if (!hit) return false;
+  }
+  return true;
+}
+
+}  // namespace wss::match

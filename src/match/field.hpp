@@ -1,0 +1,49 @@
+// awk-style field predicates.
+//
+// Some of the paper's expert rules are awk conditions, e.g. the BG/L
+// rule  ($5 ~ /KERNEL/ && /kernel panic/): field 5 must match one
+// pattern AND the whole line another. A LinePredicate is a conjunction
+// of such terms; fields are 1-based and split on whitespace runs,
+// exactly as awk does with the default FS.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "match/nfa.hpp"
+
+namespace wss::match {
+
+/// One conjunct: either a whole-line regex ($0) or a field regex.
+struct Term {
+  int field = 0;     ///< 0 = whole line; 1-based otherwise
+  bool negated = false;  ///< true for !~
+  std::shared_ptr<const Regex> re;
+};
+
+/// A conjunction of field/line regex terms, evaluated over one log
+/// line. An empty predicate matches nothing (rules must say something).
+class LinePredicate {
+ public:
+  LinePredicate() = default;
+
+  /// Adds a conjunct: `field` 0 for the whole line, else 1-based awk
+  /// field. `negated` implements awk's !~ operator.
+  void add_term(int field, std::string_view pattern, bool negated = false,
+                ParseOptions opts = {});
+
+  /// Evaluates against a line. Fields are computed lazily (only when
+  /// some term needs them).
+  bool matches(std::string_view line) const;
+
+  /// True if no terms have been added.
+  bool empty() const { return terms_.empty(); }
+
+  const std::vector<Term>& terms() const { return terms_; }
+
+ private:
+  std::vector<Term> terms_;
+};
+
+}  // namespace wss::match

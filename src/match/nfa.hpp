@@ -1,0 +1,81 @@
+// NFA compilation and Pike-VM simulation for the pattern subset in
+// pattern.hpp.
+//
+// The engine is a classic Thompson construction executed by a
+// thread-list (Pike) virtual machine: worst-case O(|text| * |program|)
+// with zero backtracking, so hostile or degenerate log content cannot
+// blow up tagging time. Bounded repetitions are expanded at compile
+// time (bounds are capped at kMaxRepeat).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "match/pattern.hpp"
+
+namespace wss::match {
+
+/// A compiled, immutable regular expression.
+///
+/// Thread-compatibility: `search`/`match` are const and allocate their
+/// scratch per call, so a single Regex may be shared across threads.
+class Regex {
+ public:
+  /// Compiles `pattern`; throws PatternError on invalid syntax.
+  explicit Regex(std::string_view pattern, ParseOptions opts = {});
+
+  /// True if the pattern matches anywhere in `text` (unanchored unless
+  /// the pattern itself uses ^/$). `use_prefilter` = false skips the
+  /// required-literal fast path (exposed for the tagging ablation
+  /// bench; results are identical).
+  bool search(std::string_view text, bool use_prefilter = true) const;
+
+  /// True if the pattern matches the whole of `text`.
+  bool full_match(std::string_view text) const;
+
+  /// The pattern string this Regex was compiled from.
+  const std::string& pattern() const { return pattern_; }
+
+  /// A literal every match must contain ("" if none could be proven).
+  /// Callers use this as a fast pre-filter: if the text does not
+  /// contain the literal, search() cannot succeed.
+  const std::string& prefilter_literal() const { return literal_; }
+
+  /// Number of compiled instructions (for tests and diagnostics).
+  std::size_t program_size() const { return prog_.size(); }
+
+ private:
+  enum class Op : std::uint8_t {
+    kClass,  ///< consume one byte in cls, go to next instruction
+    kSplit,  ///< fork to x and y
+    kJump,   ///< go to x
+    kBegin,  ///< zero-width: succeed only at text start
+    kEnd,    ///< zero-width: succeed only at text end
+    kWordB,  ///< zero-width: word boundary (x = 1 for \B)
+    kMatch,  ///< accept
+  };
+
+  struct Inst {
+    Op op;
+    std::uint32_t x = 0;
+    std::uint32_t y = 0;
+    CharClass cls;
+  };
+
+  /// Core simulation. If `anchored_start`, threads start only at
+  /// position 0; if `require_end`, kMatch is accepted only once the
+  /// whole text is consumed.
+  bool run(std::string_view text, bool anchored_start, bool require_end) const;
+
+  std::uint32_t emit(Inst inst);
+  std::uint32_t compile_node(const Node& n);
+
+  std::string pattern_;
+  std::string literal_;
+  std::vector<Inst> prog_;
+};
+
+}  // namespace wss::match

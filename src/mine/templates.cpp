@@ -1,0 +1,81 @@
+#include "mine/templates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::mine {
+
+TemplateMiner::TemplateMiner(MinerOptions opts) : opts_(opts) {}
+
+void TemplateMiner::learn(std::string_view line) {
+  if (frozen_) throw std::logic_error("TemplateMiner: learn after freeze");
+  const auto tokens = util::split_fields(line);
+  const std::size_t n = std::min(tokens.size(), opts_.max_tokens);
+  for (std::size_t p = opts_.skip_positions; p < n; ++p) {
+    ++counts_[{static_cast<std::uint32_t>(p), std::string(tokens[p])}];
+  }
+}
+
+void TemplateMiner::freeze() {
+  for (const auto& [key, count] : counts_) {
+    if (count >= opts_.min_support) frequent_[key] = true;
+  }
+  counts_.clear();
+  frozen_ = true;
+}
+
+std::string TemplateMiner::template_of(std::string_view line) const {
+  if (!frozen_) throw std::logic_error("TemplateMiner: not frozen");
+  const auto tokens = util::split_fields(line);
+  const std::size_t n = std::min(tokens.size(), opts_.max_tokens);
+  std::string out;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (p > 0) out.push_back(' ');
+    if (p >= opts_.skip_positions &&
+        frequent_.count({static_cast<std::uint32_t>(p),
+                         std::string(tokens[p])})) {
+      out.append(tokens[p]);
+    } else {
+      out.push_back('*');
+    }
+  }
+  return out;
+}
+
+void TemplateMiner::digest(std::string_view line) {
+  ++template_counts_[template_of(line)];
+}
+
+std::vector<LogTemplate> TemplateMiner::templates() const {
+  std::vector<LogTemplate> out;
+  for (const auto& [pattern, count] : template_counts_) {
+    if (count < opts_.min_template_count) continue;
+    LogTemplate t;
+    t.pattern = pattern;
+    t.count = count;
+    for (const auto tok : util::split_fields(pattern)) {
+      ++t.n_tokens;
+      if (tok == "*") ++t.n_wildcards;
+    }
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogTemplate& a, const LogTemplate& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.pattern < b.pattern;
+            });
+  return out;
+}
+
+std::vector<LogTemplate> TemplateMiner::mine(
+    const std::vector<std::string>& lines, MinerOptions opts) {
+  TemplateMiner m(opts);
+  for (const auto& line : lines) m.learn(line);
+  m.freeze();
+  for (const auto& line : lines) m.digest(line);
+  return m.templates();
+}
+
+}  // namespace wss::mine

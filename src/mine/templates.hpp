@@ -1,0 +1,100 @@
+// Unsupervised message-template mining.
+//
+// The paper's related work covers "a breadth-first algorithm for
+// mining frequent patterns from event logs" (Vaarandi [27], the SLCT
+// lineage) and Stearley's "informatic analysis of syslogs" [23]; the
+// alert-identification discussion notes that understanding entries
+// "may require parsing the unstructured message bodies". This module
+// implements the classic frequent-token template miner: tokens that
+// are frequent *at their position* become template constants, the rest
+// become wildcards. Mined templates approximate the message catalog
+// without any expert rules -- the unsupervised starting point an
+// administrator of a new machine actually has.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wss::mine {
+
+/// One mined template, e.g.
+///   "* * * * kernel: GM: LANai is not running. * * * * *"
+struct LogTemplate {
+  std::string pattern;        ///< tokens joined by spaces; '*' = wildcard
+  std::size_t count = 0;      ///< lines matching the template
+  std::size_t n_tokens = 0;
+  std::size_t n_wildcards = 0;
+
+  /// Fraction of positions that are constants (template specificity).
+  double specificity() const {
+    return n_tokens == 0 ? 0.0
+                         : 1.0 - static_cast<double>(n_wildcards) /
+                                     static_cast<double>(n_tokens);
+  }
+};
+
+/// Miner configuration.
+struct MinerOptions {
+  /// A (position, token) pair must occur at least this often to become
+  /// a template constant.
+  std::size_t min_support = 20;
+  /// Templates below this count are dropped from the result.
+  std::size_t min_template_count = 20;
+  /// Lines longer than this many tokens are truncated (defensive).
+  std::size_t max_tokens = 40;
+  /// Leading token positions to treat as always-variable. Log headers
+  /// (timestamp, host) are structured fields the parsers already
+  /// handle; mining is for the unstructured tail. 4 skips a syslog
+  /// "Mon dd HH:MM:SS host" prefix.
+  std::size_t skip_positions = 0;
+};
+
+/// Two-pass frequent-token miner. Usage:
+///   TemplateMiner m(opts);
+///   for (line : log) m.learn(line);    // pass 1: vocabulary
+///   m.freeze();
+///   for (line : log) m.digest(line);   // pass 2: template counts
+///   auto result = m.templates();
+class TemplateMiner {
+ public:
+  explicit TemplateMiner(MinerOptions opts = {});
+
+  /// Pass 1: accumulate (position, token) frequencies.
+  void learn(std::string_view line);
+
+  /// Freezes the vocabulary (drops sub-support pairs). learn() after
+  /// freeze() throws.
+  void freeze();
+
+  /// Pass 2: map the line to its template and count it. Throws if the
+  /// miner is not frozen.
+  void digest(std::string_view line);
+
+  /// Mined templates, most frequent first.
+  std::vector<LogTemplate> templates() const;
+
+  /// The template string a line maps to (usable before/after digest;
+  /// requires freeze()).
+  std::string template_of(std::string_view line) const;
+
+  bool frozen() const { return frozen_; }
+  std::size_t vocabulary_size() const { return frequent_.size(); }
+
+  /// One-shot convenience over an in-memory corpus.
+  static std::vector<LogTemplate> mine(const std::vector<std::string>& lines,
+                                       MinerOptions opts = {});
+
+ private:
+  using PosToken = std::pair<std::uint32_t, std::string>;
+
+  MinerOptions opts_;
+  bool frozen_ = false;
+  std::map<PosToken, std::size_t> counts_;    // pass-1 accumulator
+  std::map<PosToken, bool> frequent_;         // frozen vocabulary
+  std::map<std::string, std::size_t> template_counts_;
+};
+
+}  // namespace wss::mine

@@ -1,0 +1,61 @@
+#include "parse/bgl.hpp"
+
+#include "parse/timestamp.hpp"
+#include "util/strings.hpp"
+
+namespace wss::parse {
+
+bool plausible_bgl_location(std::string_view s) {
+  // Location codes are 'R' + rack digits, then dash-separated
+  // components of uppercase letters and digits, optionally with a
+  // ':'-separated chip part: R02-M1-N0-C:J12-U11.
+  if (s.size() < 3 || s.size() > 40 || s[0] != 'R') return false;
+  for (char c : s) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == ':';
+    if (!ok) return false;
+  }
+  return s.find('-') != std::string_view::npos;
+}
+
+LogRecord parse_bgl_line(std::string_view line) {
+  LogRecord rec;
+  rec.system = SystemId::kBlueGeneL;
+  rec.raw = std::string(line);
+
+  const auto fields = util::split_fields(line);
+  // epoch date loc timestamp loc RAS FACILITY SEVERITY body...
+  if (fields.size() < 9) {
+    rec.source_corrupted = true;
+    rec.body = std::string(util::trim(line));
+    return rec;
+  }
+
+  if (const auto t = parse_bgl_timestamp(fields[3])) {
+    rec.time = *t;
+    rec.timestamp_valid = true;
+  } else if (const auto epoch = util::parse_u64(fields[0])) {
+    // Fall back to the coarse epoch-seconds field.
+    rec.time = static_cast<util::TimeUs>(*epoch) * util::kUsPerSec;
+    rec.timestamp_valid = true;
+  }
+
+  if (plausible_bgl_location(fields[2])) {
+    rec.source = std::string(fields[2]);
+  } else {
+    rec.source_corrupted = true;
+  }
+
+  rec.program = std::string(fields[6]);  // FACILITY (KERNEL, APP, ...)
+  if (const auto sev = parse_severity(fields[7])) {
+    rec.severity = *sev;
+  }
+
+  // Body: everything after the severity token.
+  const char* body_start = fields[7].data() + fields[7].size();
+  const auto offset = static_cast<std::size_t>(body_start - line.data());
+  rec.body = std::string(util::trim(line.substr(offset)));
+  return rec;
+}
+
+}  // namespace wss::parse

@@ -1,0 +1,27 @@
+#include "parse/dispatch.hpp"
+
+#include "parse/bgl.hpp"
+#include "parse/redstorm.hpp"
+#include "parse/syslog.hpp"
+
+namespace wss::parse {
+
+LogRecord parse_line(SystemId system, std::string_view line, int base_year) {
+  switch (system) {
+    case SystemId::kBlueGeneL:
+      return parse_bgl_line(line);
+    case SystemId::kRedStorm:
+      return parse_redstorm_line(line, base_year);
+    case SystemId::kThunderbird:
+    case SystemId::kSpirit:
+    case SystemId::kLiberty:
+      return parse_syslog_line(system, line, base_year);
+  }
+  LogRecord rec;
+  rec.system = system;
+  rec.raw = std::string(line);
+  rec.source_corrupted = true;
+  return rec;
+}
+
+}  // namespace wss::parse

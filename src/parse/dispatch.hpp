@@ -1,0 +1,16 @@
+// Per-system parser dispatch.
+#pragma once
+
+#include <string_view>
+
+#include "parse/record.hpp"
+
+namespace wss::parse {
+
+/// Parses one line with the parser appropriate to `system`.
+/// `base_year` supplies the year for syslog stamps (which lack one);
+/// callers that iterate multi-year logs adjust it at year boundaries.
+/// Never throws on malformed input; quality is in the record's flags.
+LogRecord parse_line(SystemId system, std::string_view line, int base_year);
+
+}  // namespace wss::parse

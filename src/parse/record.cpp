@@ -1,0 +1,94 @@
+#include "parse/record.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::parse {
+
+std::string_view system_name(SystemId id) {
+  switch (id) {
+    case SystemId::kBlueGeneL:
+      return "Blue Gene/L";
+    case SystemId::kThunderbird:
+      return "Thunderbird";
+    case SystemId::kRedStorm:
+      return "Red Storm";
+    case SystemId::kSpirit:
+      return "Spirit (ICC2)";
+    case SystemId::kLiberty:
+      return "Liberty";
+  }
+  return "?";
+}
+
+std::string_view system_short_name(SystemId id) {
+  switch (id) {
+    case SystemId::kBlueGeneL:
+      return "bgl";
+    case SystemId::kThunderbird:
+      return "tbird";
+    case SystemId::kRedStorm:
+      return "rstorm";
+    case SystemId::kSpirit:
+      return "spirit";
+    case SystemId::kLiberty:
+      return "liberty";
+  }
+  return "?";
+}
+
+std::string_view severity_bgl_name(Severity s) {
+  switch (s) {
+    case Severity::kNone:
+      return "-";
+    case Severity::kDebug:
+      return "DEBUG";
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kNotice:
+      return "NOTICE";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kError:
+      return "ERROR";
+    case Severity::kSevere:
+      return "SEVERE";
+    case Severity::kCrit:
+      return "CRIT";
+    case Severity::kAlert:
+      return "ALERT";
+    case Severity::kEmerg:
+      return "EMERG";
+    case Severity::kFailure:
+      return "FAILURE";
+    case Severity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+std::string_view severity_syslog_name(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "ERR";
+    default:
+      return severity_bgl_name(s);
+  }
+}
+
+std::optional<Severity> parse_severity(std::string_view s) {
+  using util::iequals;
+  if (iequals(s, "DEBUG")) return Severity::kDebug;
+  if (iequals(s, "INFO")) return Severity::kInfo;
+  if (iequals(s, "NOTICE")) return Severity::kNotice;
+  if (iequals(s, "WARNING") || iequals(s, "WARN")) return Severity::kWarning;
+  if (iequals(s, "ERROR") || iequals(s, "ERR")) return Severity::kError;
+  if (iequals(s, "SEVERE")) return Severity::kSevere;
+  if (iequals(s, "CRIT") || iequals(s, "CRITICAL")) return Severity::kCrit;
+  if (iequals(s, "ALERT")) return Severity::kAlert;
+  if (iequals(s, "EMERG") || iequals(s, "PANIC")) return Severity::kEmerg;
+  if (iequals(s, "FAILURE")) return Severity::kFailure;
+  if (iequals(s, "FATAL")) return Severity::kFatal;
+  return std::nullopt;
+}
+
+}  // namespace wss::parse

@@ -1,0 +1,82 @@
+// The parsed log record model shared by every parser, the tag engine,
+// and the simulator's renderers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace wss::parse {
+
+/// The five systems of the study (Table 1), in the paper's order.
+enum class SystemId : std::uint8_t {
+  kBlueGeneL = 0,
+  kThunderbird = 1,
+  kRedStorm = 2,
+  kSpirit = 3,
+  kLiberty = 4,
+};
+
+inline constexpr std::size_t kNumSystems = 5;
+
+/// All systems, for iteration.
+inline constexpr std::array<SystemId, kNumSystems> kAllSystems = {
+    SystemId::kBlueGeneL, SystemId::kThunderbird, SystemId::kRedStorm,
+    SystemId::kSpirit, SystemId::kLiberty};
+
+/// Display name ("Blue Gene/L", "Thunderbird", ...).
+std::string_view system_name(SystemId id);
+
+/// Short machine-friendly name ("bgl", "tbird", "rstorm", "spirit",
+/// "liberty").
+std::string_view system_short_name(SystemId id);
+
+/// Message severity. One enum covers both vocabularies in the paper:
+/// the BG/L RAS levels (Table 5: FATAL, FAILURE, SEVERE, ERROR,
+/// WARNING, INFO) and the syslog levels (Table 6: EMERG..DEBUG).
+/// kNone marks records whose log path does not record severity at all
+/// (Thunderbird, Spirit, and Liberty syslogs, per Section 3.2).
+enum class Severity : std::uint8_t {
+  kNone = 0,
+  kDebug,
+  kInfo,
+  kNotice,
+  kWarning,
+  kError,   // printed "ERROR" by BG/L, "ERR" by syslog
+  kSevere,  // BG/L only
+  kCrit,    // syslog only
+  kAlert,   // syslog only
+  kEmerg,   // syslog only
+  kFailure, // BG/L only
+  kFatal,   // BG/L only
+};
+
+/// BG/L RAS spelling ("FATAL", "FAILURE", ..., "INFO"; "-" for kNone).
+std::string_view severity_bgl_name(Severity s);
+
+/// syslog spelling ("EMERG", ..., "DEBUG"; "-" for kNone).
+std::string_view severity_syslog_name(Severity s);
+
+/// Parses either vocabulary, case-insensitively. Returns nullopt for
+/// unknown spellings.
+std::optional<Severity> parse_severity(std::string_view s);
+
+/// One parsed log message.
+struct LogRecord {
+  util::TimeUs time = 0;          ///< event time (0 if unparseable)
+  SystemId system = SystemId::kBlueGeneL;
+  Severity severity = Severity::kNone;
+  std::string source;             ///< attributed node/host ("" if corrupted)
+  std::string program;            ///< syslog tag or BG/L facility
+  std::string body;               ///< free-text message body
+  std::string raw;                ///< the original line, verbatim
+
+  bool timestamp_valid = false;   ///< time could be parsed
+  bool source_corrupted = false;  ///< source field garbled / missing
+};
+
+}  // namespace wss::parse

@@ -1,0 +1,91 @@
+#include "parse/syslog.hpp"
+
+#include "parse/timestamp.hpp"
+#include "util/strings.hpp"
+
+namespace wss::parse {
+
+namespace {
+
+bool is_alnum(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+bool plausible_hostname(std::string_view s) {
+  if (s.empty() || s.size() > 64) return false;
+  if (!is_alnum(s[0])) return false;
+  for (char c : s) {
+    if (!is_alnum(c) && c != '.' && c != '_' && c != '-') return false;
+  }
+  return true;
+}
+
+LogRecord parse_syslog_line(SystemId system, std::string_view line,
+                            int base_year) {
+  LogRecord rec;
+  rec.system = system;
+  rec.raw = std::string(line);
+
+  // Timestamp: fixed-width first 15 bytes.
+  std::string_view rest = line;
+  if (line.size() >= 15) {
+    if (const auto t = parse_syslog_timestamp(line.substr(0, 15), base_year)) {
+      rec.time = *t;
+      rec.timestamp_valid = true;
+    }
+    rest = line.substr(15);
+  } else {
+    rest = {};
+  }
+  if (!rec.timestamp_valid) {
+    // Corrupted stamp: resync on the first space-delimited boundary
+    // after three tokens (Mon, dd, time) so we can still attribute.
+    const auto fields = util::split_fields(line);
+    if (fields.size() >= 4) {
+      const char* after = fields[2].data() + fields[2].size();
+      rest = line.substr(static_cast<std::size_t>(after - line.data()));
+    } else {
+      rest = {};
+    }
+  }
+
+  // Host token.
+  rest = util::trim(rest);
+  const std::size_t host_end = rest.find(' ');
+  const std::string_view host =
+      host_end == std::string_view::npos ? rest : rest.substr(0, host_end);
+  if (plausible_hostname(host)) {
+    rec.source = std::string(host);
+  } else {
+    rec.source_corrupted = true;
+  }
+  rest = host_end == std::string_view::npos ? std::string_view{}
+                                            : rest.substr(host_end + 1);
+
+  // Program tag: "prog:" or "prog[pid]:". If absent, the whole
+  // remainder is the body.
+  const std::size_t colon = rest.find(": ");
+  std::string_view tag;
+  if (colon != std::string_view::npos && colon > 0 &&
+      rest.substr(0, colon).find(' ') == std::string_view::npos) {
+    tag = rest.substr(0, colon);
+    rec.body = std::string(util::trim(rest.substr(colon + 2)));
+  } else if (!rest.empty() && rest.back() == ':' &&
+             rest.find(' ') == std::string_view::npos) {
+    tag = rest.substr(0, rest.size() - 1);
+  } else {
+    rec.body = std::string(util::trim(rest));
+  }
+  if (!tag.empty()) {
+    const std::size_t bracket = tag.find('[');
+    rec.program = std::string(bracket == std::string_view::npos
+                                  ? tag
+                                  : tag.substr(0, bracket));
+  }
+  return rec;
+}
+
+}  // namespace wss::parse

@@ -1,0 +1,29 @@
+// Parser for syslog-ng collected logs (Thunderbird, Spirit, Liberty).
+//
+// Line shape:
+//   "Jun  3 15:42:50 sn373 kernel: cciss: cmd ... CHECK CONDITION ..."
+//   "Jun  3 15:42:50 ln101 pbs_mom[2345]: task_check, cannot tm_reply"
+//
+// The parser never throws on malformed input: the paper documents
+// truncated, partially overwritten, and mis-timestamped messages, and
+// misattributed sources (Figure 2(b)'s corrupted cluster). Quality is
+// reported through LogRecord's flags instead.
+#pragma once
+
+#include <string_view>
+
+#include "parse/record.hpp"
+
+namespace wss::parse {
+
+/// Parses one syslog line. `base_year` supplies the year the stamp
+/// lacks. The returned record always carries `raw` = `line`.
+LogRecord parse_syslog_line(SystemId system, std::string_view line,
+                            int base_year);
+
+/// True if `s` looks like a legitimate hostname: nonempty, starts with
+/// an alphanumeric, and contains only [A-Za-z0-9._-]. The corrupted-
+/// source cluster in Figure 2(b) is exactly the lines failing this.
+bool plausible_hostname(std::string_view s);
+
+}  // namespace wss::parse

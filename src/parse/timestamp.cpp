@@ -1,0 +1,139 @@
+#include "parse/timestamp.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::parse {
+
+namespace {
+
+/// Parses exactly `n` decimal digits starting at `pos`; advances pos.
+std::optional<int> digits(std::string_view s, std::size_t& pos, int n) {
+  if (pos + static_cast<std::size_t>(n) > s.size()) return std::nullopt;
+  int v = 0;
+  for (int i = 0; i < n; ++i) {
+    const char c = s[pos + static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + (c - '0');
+  }
+  pos += static_cast<std::size_t>(n);
+  return v;
+}
+
+bool expect(std::string_view s, std::size_t& pos, char c) {
+  if (pos >= s.size() || s[pos] != c) return false;
+  ++pos;
+  return true;
+}
+
+}  // namespace
+
+bool civil_fields_valid(int year, int month, int day, int hour, int minute,
+                        int second) {
+  if (year < 1 || year > 9999) return false;
+  if (month < 1 || month > 12) return false;
+  if (day < 1 || day > util::days_in_month(year, month)) return false;
+  if (hour < 0 || hour > 23) return false;
+  if (minute < 0 || minute > 59) return false;
+  if (second < 0 || second > 59) return false;
+  return true;
+}
+
+std::optional<util::TimeUs> parse_syslog_timestamp(std::string_view s,
+                                                   int base_year) {
+  // "Mon dd HH:MM:SS" -- dd may be space-padded ("Jun  3").
+  if (s.size() < 15) return std::nullopt;
+  const int month = util::parse_month_abbrev(s.substr(0, 3));
+  if (month == 0) return std::nullopt;
+  std::size_t pos = 3;
+  if (!expect(s, pos, ' ')) return std::nullopt;
+  int day = 0;
+  if (s[pos] == ' ') {
+    ++pos;
+    const auto d = digits(s, pos, 1);
+    if (!d) return std::nullopt;
+    day = *d;
+  } else {
+    const auto d = digits(s, pos, 2);
+    if (!d) return std::nullopt;
+    day = *d;
+  }
+  if (!expect(s, pos, ' ')) return std::nullopt;
+  const auto hour = digits(s, pos, 2);
+  if (!hour || !expect(s, pos, ':')) return std::nullopt;
+  const auto minute = digits(s, pos, 2);
+  if (!minute || !expect(s, pos, ':')) return std::nullopt;
+  const auto second = digits(s, pos, 2);
+  if (!second) return std::nullopt;
+  if (!civil_fields_valid(base_year, month, day, *hour, *minute, *second)) {
+    return std::nullopt;
+  }
+  util::CivilTime ct;
+  ct.year = base_year;
+  ct.month = month;
+  ct.day = day;
+  ct.hour = *hour;
+  ct.minute = *minute;
+  ct.second = *second;
+  return util::to_time_us(ct);
+}
+
+std::optional<util::TimeUs> parse_bgl_timestamp(std::string_view s) {
+  // "YYYY-MM-DD-HH.MM.SS.ffffff"
+  std::size_t pos = 0;
+  const auto year = digits(s, pos, 4);
+  if (!year || !expect(s, pos, '-')) return std::nullopt;
+  const auto month = digits(s, pos, 2);
+  if (!month || !expect(s, pos, '-')) return std::nullopt;
+  const auto day = digits(s, pos, 2);
+  if (!day || !expect(s, pos, '-')) return std::nullopt;
+  const auto hour = digits(s, pos, 2);
+  if (!hour || !expect(s, pos, '.')) return std::nullopt;
+  const auto minute = digits(s, pos, 2);
+  if (!minute || !expect(s, pos, '.')) return std::nullopt;
+  const auto second = digits(s, pos, 2);
+  if (!second || !expect(s, pos, '.')) return std::nullopt;
+  const auto micros = digits(s, pos, 6);
+  if (!micros) return std::nullopt;
+  if (!civil_fields_valid(*year, *month, *day, *hour, *minute, *second)) {
+    return std::nullopt;
+  }
+  util::CivilTime ct;
+  ct.year = *year;
+  ct.month = *month;
+  ct.day = *day;
+  ct.hour = *hour;
+  ct.minute = *minute;
+  ct.second = *second;
+  ct.micros = *micros;
+  return util::to_time_us(ct);
+}
+
+std::optional<util::TimeUs> parse_iso_timestamp(std::string_view s) {
+  // "YYYY-MM-DD HH:MM:SS"
+  std::size_t pos = 0;
+  const auto year = digits(s, pos, 4);
+  if (!year || !expect(s, pos, '-')) return std::nullopt;
+  const auto month = digits(s, pos, 2);
+  if (!month || !expect(s, pos, '-')) return std::nullopt;
+  const auto day = digits(s, pos, 2);
+  if (!day || !expect(s, pos, ' ')) return std::nullopt;
+  const auto hour = digits(s, pos, 2);
+  if (!hour || !expect(s, pos, ':')) return std::nullopt;
+  const auto minute = digits(s, pos, 2);
+  if (!minute || !expect(s, pos, ':')) return std::nullopt;
+  const auto second = digits(s, pos, 2);
+  if (!second) return std::nullopt;
+  if (!civil_fields_valid(*year, *month, *day, *hour, *minute, *second)) {
+    return std::nullopt;
+  }
+  util::CivilTime ct;
+  ct.year = *year;
+  ct.month = *month;
+  ct.day = *day;
+  ct.hour = *hour;
+  ct.minute = *minute;
+  ct.second = *second;
+  return util::to_time_us(ct);
+}
+
+}  // namespace wss::parse

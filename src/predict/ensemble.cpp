@@ -1,0 +1,70 @@
+#include "predict/ensemble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::predict {
+
+EnsemblePredictor::EnsemblePredictor(
+    std::vector<std::unique_ptr<Predictor>> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsemblePredictor: no members");
+  }
+  for (const auto& m : members_) {
+    if (!m) throw std::invalid_argument("EnsemblePredictor: null member");
+  }
+}
+
+std::size_t EnsemblePredictor::fit_routing(
+    const std::vector<filter::Alert>& training, double min_f1) {
+  routing_.clear();
+  const auto incidents = ground_truth_incidents(training);
+
+  // Per member: per-category scores on the training stream.
+  std::vector<std::map<std::uint16_t, PredictionScore>> scores;
+  scores.reserve(members_.size());
+  for (const auto& m : members_) {
+    scores.push_back(
+        score_by_category(run_predictor(*m, training), incidents));
+  }
+
+  // Route each category to the best positive-F1 member.
+  std::map<std::uint16_t, double> best_f1;
+  for (std::size_t mi = 0; mi < members_.size(); ++mi) {
+    for (const auto& [cat, score] : scores[mi]) {
+      const double f1 = score.f1();
+      if (f1 >= min_f1 && (!best_f1.count(cat) || f1 > best_f1[cat])) {
+        best_f1[cat] = f1;
+        routing_[cat] = mi;
+      }
+    }
+  }
+  for (const auto& m : members_) m->reset();
+  return routing_.size();
+}
+
+void EnsemblePredictor::observe(const filter::Alert& a) {
+  for (const auto& m : members_) m->observe(a);
+}
+
+std::vector<Prediction> EnsemblePredictor::drain() {
+  std::vector<Prediction> out;
+  for (std::size_t mi = 0; mi < members_.size(); ++mi) {
+    for (const auto& p : members_[mi]->drain()) {
+      const auto it = routing_.find(p.category);
+      if (it != routing_.end() && it->second == mi) out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Prediction& a, const Prediction& b) {
+              return a.issued_at < b.issued_at;
+            });
+  return out;
+}
+
+void EnsemblePredictor::reset() {
+  for (const auto& m : members_) m->reset();
+}
+
+}  // namespace wss::predict

@@ -1,0 +1,51 @@
+// The ensemble: per-category routing across single-feature predictors.
+//
+// "Just as filtering would benefit from catering to specific classes
+// of failures, predictors should specialize in sets of failures with
+// similar predictive behaviors." (Section 5) fit_routing() evaluates
+// every member per category on a training stream and routes each
+// category to the member with the best F1 (categories nobody predicts
+// well are left unrouted: the ensemble abstains rather than spam).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "predict/evaluate.hpp"
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// Per-category best-member router over a set of predictors.
+class EnsemblePredictor final : public Predictor {
+ public:
+  /// Takes ownership of the members (which must already be fitted, if
+  /// they have a fit step).
+  explicit EnsemblePredictor(std::vector<std::unique_ptr<Predictor>> members);
+
+  /// Chooses, for each category with ground-truth incidents in
+  /// `training`, the member whose predictions score the best F1 of at
+  /// least `min_f1` on it (the floor keeps noise-level skill from
+  /// being routed). Returns the number of routed categories.
+  std::size_t fit_routing(const std::vector<filter::Alert>& training,
+                          double min_f1 = 0.02);
+
+  /// The routing table: category -> member index.
+  const std::map<std::uint16_t, std::size_t>& routing() const {
+    return routing_;
+  }
+
+  std::size_t member_count() const { return members_.size(); }
+  const Predictor& member(std::size_t i) const { return *members_.at(i); }
+
+  void observe(const filter::Alert& a) override;
+  std::vector<Prediction> drain() override;
+  void reset() override;
+  std::string name() const override { return "ensemble"; }
+
+ private:
+  std::vector<std::unique_ptr<Predictor>> members_;
+  std::map<std::uint16_t, std::size_t> routing_;
+};
+
+}  // namespace wss::predict

@@ -1,0 +1,106 @@
+#include "predict/evaluate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.hpp"
+
+namespace wss::predict {
+
+std::vector<Incident> ground_truth_incidents(
+    const std::vector<filter::Alert>& alerts) {
+  std::vector<Incident> out;
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& a : alerts) {
+    if (a.failure_id == 0) continue;
+    if (seen.insert(a.failure_id).second) {
+      out.push_back({a.time, a.category});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Incident& a, const Incident& b) {
+    return a.time < b.time;
+  });
+  return out;
+}
+
+namespace {
+
+/// Per-category sorted incident times.
+std::map<std::uint16_t, std::vector<util::TimeUs>> index_incidents(
+    const std::vector<Incident>& incidents) {
+  std::map<std::uint16_t, std::vector<util::TimeUs>> by_cat;
+  for (const auto& inc : incidents) by_cat[inc.category].push_back(inc.time);
+  for (auto& [cat, times] : by_cat) std::sort(times.begin(), times.end());
+  return by_cat;
+}
+
+bool prediction_correct(
+    const Prediction& p,
+    const std::map<std::uint16_t, std::vector<util::TimeUs>>& by_cat) {
+  const auto it = by_cat.find(p.category);
+  if (it == by_cat.end()) return false;
+  const auto& times = it->second;
+  // First incident at or after max(window_begin, issued_at + 1).
+  const util::TimeUs from = std::max(p.window_begin, p.issued_at + 1);
+  const auto t = std::lower_bound(times.begin(), times.end(), from);
+  return t != times.end() && *t <= p.window_end;
+}
+
+}  // namespace
+
+PredictionScore score_predictions(const std::vector<Prediction>& predictions,
+                                  const std::vector<Incident>& incidents) {
+  const auto by_cat = index_incidents(incidents);
+  PredictionScore s;
+  s.predictions = predictions.size();
+  s.incidents = incidents.size();
+  for (const auto& p : predictions) {
+    if (prediction_correct(p, by_cat)) ++s.correct_predictions;
+  }
+  // Recall: an incident is predicted if some prediction of its
+  // category covers it and was issued before it.
+  for (const auto& inc : incidents) {
+    for (const auto& p : predictions) {
+      if (p.category == inc.category && p.issued_at < inc.time &&
+          p.window_begin <= inc.time && inc.time <= p.window_end) {
+        ++s.incidents_predicted;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::map<std::uint16_t, PredictionScore> score_by_category(
+    const std::vector<Prediction>& predictions,
+    const std::vector<Incident>& incidents) {
+  std::map<std::uint16_t, std::vector<Prediction>> preds;
+  std::map<std::uint16_t, std::vector<Incident>> incs;
+  for (const auto& p : predictions) preds[p.category].push_back(p);
+  for (const auto& i : incidents) incs[i.category].push_back(i);
+
+  std::map<std::uint16_t, PredictionScore> out;
+  for (const auto& [cat, ps] : preds) {
+    out[cat] = score_predictions(ps, incs[cat]);
+  }
+  for (const auto& [cat, is] : incs) {
+    if (!out.count(cat)) out[cat] = score_predictions({}, is);
+  }
+  return out;
+}
+
+std::vector<Prediction> run_predictor(
+    Predictor& p, const std::vector<filter::Alert>& alerts) {
+  p.reset();
+  for (const auto& a : alerts) p.observe(a);
+  return p.drain();
+}
+
+std::string PredictionScore::describe() const {
+  return util::format(
+      "predictions %zu (precision %.2f), incidents %zu (recall %.2f), "
+      "F1 %.2f",
+      predictions, precision(), incidents, recall(), f1());
+}
+
+}  // namespace wss::predict

@@ -1,0 +1,71 @@
+// Scoring predictions against ground-truth failures.
+//
+// A prediction is *correct* if a failure of the predicted category
+// begins inside its window and strictly after it was issued (warning
+// about an incident already underway does not count). Recall is over
+// incidents, precision over predictions -- "limiting false positives
+// to an operationally-acceptable rate tends to be the critical factor"
+// (Section 3.3.2) applies to predictors just as to filters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// A ground-truth failure onset.
+struct Incident {
+  util::TimeUs time = 0;      ///< time of the failure's first alert
+  std::uint16_t category = 0;
+};
+
+/// Derives incidents from a time-sorted alert stream: the first alert
+/// of each distinct failure_id (alerts with failure_id 0 are ignored).
+std::vector<Incident> ground_truth_incidents(
+    const std::vector<filter::Alert>& alerts);
+
+/// Aggregate prediction quality.
+struct PredictionScore {
+  std::size_t predictions = 0;
+  std::size_t correct_predictions = 0;
+  std::size_t incidents = 0;
+  std::size_t incidents_predicted = 0;
+
+  double precision() const {
+    return predictions == 0 ? 0.0
+                            : static_cast<double>(correct_predictions) /
+                                  static_cast<double>(predictions);
+  }
+  double recall() const {
+    return incidents == 0 ? 0.0
+                          : static_cast<double>(incidents_predicted) /
+                                static_cast<double>(incidents);
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  std::string describe() const;
+};
+
+/// Scores predictions against incidents (both may be unsorted).
+PredictionScore score_predictions(const std::vector<Prediction>& predictions,
+                                  const std::vector<Incident>& incidents);
+
+/// Same, broken down by category.
+std::map<std::uint16_t, PredictionScore> score_by_category(
+    const std::vector<Prediction>& predictions,
+    const std::vector<Incident>& incidents);
+
+/// Convenience: reset `p`, stream `alerts` through it, return its
+/// predictions.
+std::vector<Prediction> run_predictor(Predictor& p,
+                                      const std::vector<filter::Alert>& alerts);
+
+}  // namespace wss::predict

@@ -1,0 +1,77 @@
+#include "predict/periodic.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.hpp"
+
+namespace wss::predict {
+
+PeriodicPredictor::PeriodicPredictor(PeriodicOptions opts) : opts_(opts) {}
+
+std::size_t PeriodicPredictor::fit(const std::vector<filter::Alert>& training) {
+  period_.clear();
+  std::map<std::uint16_t, std::vector<util::TimeUs>> starts;
+  std::map<std::uint16_t, util::TimeUs> last;
+  for (const auto& a : training) {
+    const auto it = last.find(a.category);
+    if (it == last.end() || a.time - it->second >= opts_.incident_gap_us) {
+      starts[a.category].push_back(a.time);
+    }
+    last[a.category] = a.time;
+  }
+  for (const auto& [cat, times] : starts) {
+    if (times.size() < opts_.min_incidents) continue;
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(static_cast<double>(times[i] - times[i - 1]));
+    }
+    std::sort(gaps.begin(), gaps.end());
+    const double median = stats::percentile_sorted(gaps, 0.5);
+    const double iqr = stats::percentile_sorted(gaps, 0.75) -
+                       stats::percentile_sorted(gaps, 0.25);
+    if (median > 0.0 && iqr / median <= opts_.max_relative_iqr) {
+      period_[cat] = static_cast<util::TimeUs>(median);
+    }
+  }
+  last_seen_.clear();
+  return period_.size();
+}
+
+util::TimeUs PeriodicPredictor::period_of(std::uint16_t category) const {
+  const auto it = period_.find(category);
+  return it == period_.end() ? 0 : it->second;
+}
+
+void PeriodicPredictor::observe(const filter::Alert& a) {
+  const auto pit = period_.find(a.category);
+  if (pit == period_.end()) return;  // not periodic: abstain
+  const auto lit = last_seen_.find(a.category);
+  const bool incident_start =
+      lit == last_seen_.end() || a.time - lit->second >= opts_.incident_gap_us;
+  last_seen_[a.category] = a.time;
+  if (!incident_start) return;
+
+  const auto period = pit->second;
+  const auto slack = static_cast<util::TimeUs>(
+      opts_.window_fraction * static_cast<double>(period));
+  Prediction p;
+  p.issued_at = a.time;
+  p.category = a.category;
+  p.window_begin = a.time + period - slack;
+  p.window_end = a.time + period + slack;
+  out_.push_back(p);
+}
+
+std::vector<Prediction> PeriodicPredictor::drain() {
+  std::vector<Prediction> out;
+  out.swap(out_);
+  return out;
+}
+
+void PeriodicPredictor::reset() {
+  last_seen_.clear();
+  out_.clear();
+}
+
+}  // namespace wss::predict

@@ -1,0 +1,56 @@
+// Periodicity predictor.
+//
+// Some log phenomena recur on a clock (partially periodic event
+// patterns are the subject of the paper's citation [12], Ma &
+// Hellerstein). This predictor estimates the median incident
+// interarrival per category on a training stream; when the spread of
+// interarrivals is tight enough to call the category periodic, each
+// incident predicts the next one around t + median. On the simulated
+// corpora nothing is truly periodic, so this member mostly abstains --
+// which is itself the point of the ensemble experiment: predictors
+// must be matched to failure categories.
+#pragma once
+
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// Configuration for PeriodicPredictor.
+struct PeriodicOptions {
+  /// Category is periodic if (p75 - p25) / median of interarrivals is
+  /// below this.
+  double max_relative_iqr = 0.3;
+  std::size_t min_incidents = 6;
+  /// Prediction window around the expected next time, as a fraction
+  /// of the period.
+  double window_fraction = 0.35;
+  util::TimeUs incident_gap_us = 30 * util::kUsPerSec;
+};
+
+/// Predicts the next incident of near-periodic categories.
+class PeriodicPredictor final : public Predictor {
+ public:
+  explicit PeriodicPredictor(PeriodicOptions opts = {});
+
+  /// Learns per-category periods; returns the number of categories
+  /// deemed periodic.
+  std::size_t fit(const std::vector<filter::Alert>& training);
+
+  /// Learned period for a category (0 if not periodic).
+  util::TimeUs period_of(std::uint16_t category) const;
+
+  void observe(const filter::Alert& a) override;
+  std::vector<Prediction> drain() override;
+  void reset() override;
+  std::string name() const override { return "periodic"; }
+
+ private:
+  PeriodicOptions opts_;
+  std::unordered_map<std::uint16_t, util::TimeUs> period_;
+  std::unordered_map<std::uint16_t, util::TimeUs> last_seen_;
+  std::vector<Prediction> out_;
+};
+
+}  // namespace wss::predict

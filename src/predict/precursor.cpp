@@ -1,0 +1,79 @@
+#include "predict/precursor.hpp"
+
+#include <algorithm>
+
+namespace wss::predict {
+
+PrecursorPredictor::PrecursorPredictor(PrecursorOptions opts) : opts_(opts) {}
+
+bool PrecursorPredictor::is_incident_start(
+    std::unordered_map<std::uint16_t, util::TimeUs>& last,
+    const filter::Alert& a) const {
+  const auto it = last.find(a.category);
+  const bool fresh =
+      it == last.end() || a.time - it->second >= opts_.incident_gap_us;
+  last[a.category] = a.time;
+  return fresh;
+}
+
+std::size_t PrecursorPredictor::fit(
+    const std::vector<filter::Alert>& training) {
+  pairs_.clear();
+
+  // Incident start times per category.
+  std::map<std::uint16_t, std::vector<util::TimeUs>> starts;
+  {
+    std::unordered_map<std::uint16_t, util::TimeUs> last;
+    for (const auto& a : training) {
+      if (is_incident_start(last, a)) starts[a.category].push_back(a.time);
+    }
+  }
+
+  // For each ordered pair (A, B): fraction of A incidents followed by
+  // a B incident within the window.
+  for (const auto& [a_cat, a_times] : starts) {
+    if (a_times.size() < opts_.min_support) continue;
+    for (const auto& [b_cat, b_times] : starts) {
+      if (a_cat == b_cat) continue;
+      std::size_t hits = 0;
+      for (const auto t : a_times) {
+        const auto it =
+            std::upper_bound(b_times.begin(), b_times.end(), t);
+        if (it != b_times.end() && *it - t <= opts_.window_us) ++hits;
+      }
+      const double confidence = static_cast<double>(hits) /
+                                static_cast<double>(a_times.size());
+      if (confidence >= opts_.min_confidence) {
+        pairs_.emplace(a_cat, b_cat);
+      }
+    }
+  }
+  last_seen_.clear();
+  return pairs_.size();
+}
+
+void PrecursorPredictor::observe(const filter::Alert& a) {
+  if (!is_incident_start(last_seen_, a)) return;
+  const auto [lo, hi] = pairs_.equal_range(a.category);
+  for (auto it = lo; it != hi; ++it) {
+    Prediction p;
+    p.issued_at = a.time;
+    p.category = it->second;
+    p.window_begin = a.time;
+    p.window_end = a.time + opts_.window_us;
+    out_.push_back(p);
+  }
+}
+
+std::vector<Prediction> PrecursorPredictor::drain() {
+  std::vector<Prediction> out;
+  out.swap(out_);
+  return out;
+}
+
+void PrecursorPredictor::reset() {
+  last_seen_.clear();
+  out_.clear();
+}
+
+}  // namespace wss::predict

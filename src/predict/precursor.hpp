@@ -1,0 +1,61 @@
+// Precursor predictor: cross-category signatures.
+//
+// Figure 3's GM_PAR -> GM_LANAI relationship and Figure 4's
+// PBS_CHK -> PBS_BFD pairing are exactly the "predictive signature"
+// the paper says some failure categories have: an alert of category A
+// raises the probability of a failure of category B shortly after.
+// fit() estimates P(B within the window | A incident) on a training
+// stream and keeps pairs above a confidence floor; at run time every
+// A-incident issues a B-prediction.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// Configuration for PrecursorPredictor.
+struct PrecursorOptions {
+  util::TimeUs window_us = 10 * util::kUsPerMin;  ///< B expected within this
+  double min_confidence = 0.4;   ///< keep pair if P(B | A) >= this
+  std::size_t min_support = 4;   ///< and at least this many A incidents
+  /// Incident detection: an alert starts a new incident of its
+  /// category if the previous one is at least this old.
+  util::TimeUs incident_gap_us = 30 * util::kUsPerSec;
+};
+
+/// Learns (A -> B) precursor pairs from a training stream, then
+/// predicts B after each A incident.
+class PrecursorPredictor final : public Predictor {
+ public:
+  explicit PrecursorPredictor(PrecursorOptions opts = {});
+
+  /// Learns precursor pairs from a time-sorted training stream.
+  /// Returns the number of pairs kept.
+  std::size_t fit(const std::vector<filter::Alert>& training);
+
+  /// The learned pairs: precursor category -> predicted category.
+  const std::multimap<std::uint16_t, std::uint16_t>& pairs() const {
+    return pairs_;
+  }
+
+  void observe(const filter::Alert& a) override;
+  std::vector<Prediction> drain() override;
+  void reset() override;
+  std::string name() const override { return "precursor"; }
+
+ private:
+  /// True if `a` begins a new incident of its category (both during
+  /// fit and during streaming).
+  bool is_incident_start(std::unordered_map<std::uint16_t, util::TimeUs>& last,
+                         const filter::Alert& a) const;
+
+  PrecursorOptions opts_;
+  std::multimap<std::uint16_t, std::uint16_t> pairs_;
+  std::unordered_map<std::uint16_t, util::TimeUs> last_seen_;
+  std::vector<Prediction> out_;
+};
+
+}  // namespace wss::predict

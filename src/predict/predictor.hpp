@@ -1,0 +1,55 @@
+// Failure prediction (the paper's Section 5 recommendation).
+//
+// "Whereas the failures in this study have widely varying signatures,
+// previous prediction approaches focused on single features for
+// detecting all failure types ... Future research should consider
+// ensembles of predictors based on multiple features, with failure
+// categories being predicted according to their respective behavior."
+//
+// This module implements exactly that: three single-feature predictors
+// (rate burst, cross-category precursor, periodicity) and an ensemble
+// that routes each category to whichever member predicts it best on a
+// training split. predict/evaluate.hpp scores predictions against the
+// simulator's ground-truth failures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/alert.hpp"
+#include "util/time.hpp"
+
+namespace wss::predict {
+
+/// One issued warning: "a failure of `category` is expected within
+/// [window_begin, window_end]". Issued strictly from data seen up to
+/// `issued_at` (predictors are streaming and cannot look ahead).
+struct Prediction {
+  util::TimeUs issued_at = 0;
+  std::uint16_t category = 0;
+  util::TimeUs window_begin = 0;
+  util::TimeUs window_end = 0;
+};
+
+/// Streaming predictor interface. observe() consumes the raw alert
+/// stream in time order; predictions accumulate and are collected with
+/// drain().
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Consumes one alert (time-ordered).
+  virtual void observe(const filter::Alert& a) = 0;
+
+  /// Returns and clears the predictions issued so far.
+  virtual std::vector<Prediction> drain() = 0;
+
+  /// Restores the initial state (learned parameters are kept; only
+  /// the streaming state is reset).
+  virtual void reset() = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace wss::predict

@@ -1,0 +1,40 @@
+#include "predict/rate_burst.hpp"
+
+namespace wss::predict {
+
+RateBurstPredictor::RateBurstPredictor(RateBurstOptions opts) : opts_(opts) {}
+
+void RateBurstPredictor::observe(const filter::Alert& a) {
+  State& st = state_[a.category];
+  st.recent.push_back(a.time);
+  while (st.recent.size() > opts_.burst_count) st.recent.pop_front();
+
+  const bool bursting =
+      st.recent.size() == opts_.burst_count &&
+      a.time - st.recent.front() <= opts_.burst_window_us;
+  const bool refractory =
+      st.fired_any && a.time - st.last_fired < opts_.refractory_us;
+  if (bursting && !refractory) {
+    Prediction p;
+    p.issued_at = a.time;
+    p.category = a.category;
+    p.window_begin = a.time + opts_.lead_us;
+    p.window_end = p.window_begin + opts_.window_us;
+    out_.push_back(p);
+    st.last_fired = a.time;
+    st.fired_any = true;
+  }
+}
+
+std::vector<Prediction> RateBurstPredictor::drain() {
+  std::vector<Prediction> out;
+  out.swap(out_);
+  return out;
+}
+
+void RateBurstPredictor::reset() {
+  state_.clear();
+  out_.clear();
+}
+
+}  // namespace wss::predict

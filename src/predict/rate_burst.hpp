@@ -1,0 +1,57 @@
+// Rate-burst predictor: the classic single-feature approach.
+//
+// Early work (Nassar & Andrews; Lin & Siewiorek, cited as [13]/[11] in
+// the paper) observed that "failures tend to be preceded by an
+// increased rate of non-fatal errors", and later prediction work used
+// "message bursts" as the feature. This predictor fires when a
+// category produces at least `burst_count` alerts within
+// `burst_window`: it works on burst-shaped categories and abstains on
+// independent (ECC-like) ones -- precisely the heterogeneity that
+// motivates the ensemble.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// Configuration for RateBurstPredictor.
+struct RateBurstOptions {
+  /// Fire when this many alerts of one category arrive...
+  std::size_t burst_count = 8;
+  /// ...within this window.
+  util::TimeUs burst_window_us = 60 * util::kUsPerSec;
+  util::TimeUs lead_us = 0;  ///< window start offset
+  /// Prediction window: failures cluster, so a burst forecasts more
+  /// trouble on a scale of hours (Section 4's interdependence).
+  util::TimeUs window_us = 2 * 60 * util::kUsPerMin;
+  /// Minimum spacing between predictions of one category (suppresses
+  /// machine-gun re-warnings inside one burst).
+  util::TimeUs refractory_us = 30 * util::kUsPerMin;
+};
+
+/// Per-category windowed-count burst detector.
+class RateBurstPredictor final : public Predictor {
+ public:
+  explicit RateBurstPredictor(RateBurstOptions opts = {});
+
+  void observe(const filter::Alert& a) override;
+  std::vector<Prediction> drain() override;
+  void reset() override;
+  std::string name() const override { return "rate-burst"; }
+
+ private:
+  struct State {
+    std::deque<util::TimeUs> recent;  ///< last <= burst_count arrival times
+    util::TimeUs last_fired = 0;
+    bool fired_any = false;
+  };
+
+  RateBurstOptions opts_;
+  std::unordered_map<std::uint16_t, State> state_;
+  std::vector<Prediction> out_;
+};
+
+}  // namespace wss::predict

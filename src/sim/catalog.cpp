@@ -1,0 +1,176 @@
+#include "sim/catalog.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "tag/rulesets.hpp"
+
+namespace wss::sim {
+
+namespace {
+
+using parse::SystemId;
+
+/// True if this category should be generated as independent events
+/// (filtering barely compresses it).
+bool poisson_like(const tag::CategoryInfo& c) {
+  return c.filtered_count * 5 >= c.raw_count * 4;  // ratio >= 0.8
+}
+
+/// Index of a named category within a system's category list.
+int index_of(const std::vector<const tag::CategoryInfo*>& cats,
+             std::string_view name) {
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    if (cats[i]->name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+/// The DDN RAS hosts (Red Storm disk-subsystem log sources).
+std::vector<std::uint32_t> ddn_pool(const SourceNamer& namer) {
+  std::vector<std::uint32_t> pool;
+  for (std::uint32_t r = 4; r < namer.n_admin(); ++r) {
+    pool.push_back(namer.first_admin() + r);
+  }
+  return pool;
+}
+
+}  // namespace
+
+std::vector<CategoryGenPlan> build_plans(parse::SystemId system,
+                                         const SimOptions& opts,
+                                         const SourceNamer& namer) {
+  const auto cats = tag::categories_of(system);
+  std::vector<CategoryGenPlan> plans;
+  plans.reserve(cats.size());
+
+  for (std::size_t i = 0; i < cats.size(); ++i) {
+    const tag::CategoryInfo& c = *cats[i];
+    CategoryGenPlan p;
+    p.info = &c;
+    p.category_id = static_cast<std::uint16_t>(i);
+    p.gen_events = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(c.raw_count, 1), opts.category_cap);
+    p.weight = static_cast<double>(c.raw_count) /
+               static_cast<double>(p.gen_events);
+    p.incidents = std::max<std::uint64_t>(c.filtered_count, 1);
+
+    if (poisson_like(c)) {
+      p.mode = SourceMode::kPoisson;
+      p.engineered_pairs = c.raw_count > c.filtered_count
+                               ? c.raw_count - c.filtered_count
+                               : 0;
+      // Weighted categories cannot engineer exact pairs; cap sanely.
+      p.engineered_pairs = std::min(p.engineered_pairs, p.gen_events / 2);
+    } else {
+      p.mode = SourceMode::kSingleNodeBursts;
+    }
+
+    const std::string_view name = c.name;
+    switch (system) {
+      case SystemId::kBlueGeneL:
+        // Leaky chains give BG/L its bimodal filtered interarrivals
+        // (Figure 6(a)): part of the redundancy survives the filter.
+        if (name == "KERNRTSP") p.leak_frac = 0.40;
+        if (name == "APPSEV") p.leak_frac = 0.25;
+        if (name == "KERNMNTF") p.leak_frac = 0.25;
+        if (name == "KERNTERM") p.leak_frac = 0.20;
+        break;
+
+      case SystemId::kThunderbird:
+        if (name == "VAPI") {
+          // "A single node was responsible for 643,925 of them, of
+          // which filtering removes all but 246." (Section 3.3.1)
+          p.mode = SourceMode::kSingleNodeBursts;
+          p.has_storm = true;
+          p.storm_node = SourceNamer::kThunderbirdVapiNode;
+          p.storm_event_frac = 643925.0 / 3229194.0;
+          p.storm_incident_frac = 246.0 / 276.0;
+        } else if (name == "CPU") {
+          // The SMP clock bug: spatially correlated across the node
+          // set of communication-heavy jobs (Section 4).
+          p.mode = SourceMode::kJobBursts;
+        } else if (name == "ECC") {
+          // 146 raw -> 143 filtered: three coincident independent
+          // failures (Figure 5's "basically independent" alerts).
+          p.mode = SourceMode::kPoisson;
+          p.engineered_pairs = 3;
+        } else if (name == "PBS_CON") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+        }
+        break;
+
+      case SystemId::kRedStorm:
+        if (c.path == tag::LogPath::kRsDdn) {
+          p.source_pool = ddn_pool(namer);
+        }
+        if (name == "HBEAT") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 3;
+        } else if (name == "PTL_EXP") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+        }
+        break;
+
+      case SystemId::kSpirit:
+        if (name == "EXT_CCISS") {
+          // sn373's multi-day storms are the majority of ALL Spirit
+          // messages; sn325's independent failure hides inside one.
+          p.has_storm = true;
+          p.storm_node = SourceNamer::kSpiritStormNode;
+          p.storm_event_frac = 89632571.0 / 103818910.0;
+          p.storm_incident_frac = 20.0 / 29.0;
+          p.shadowed_incident = true;
+          p.shadow_node = SourceNamer::kSpiritShadowedNode;
+        } else if (name == "EXT_FS") {
+          p.has_storm = true;
+          p.storm_node = SourceNamer::kSpiritStormNode;
+          p.storm_event_frac = 0.7;
+          p.storm_incident_frac = 0.5;
+        } else if (name == "PBS_CHK" || name == "PBS_CON") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+        } else if (name == "PBS_BFD") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+          p.cascade_from = index_of(cats, "PBS_CHK");
+          p.cascade_frac = 0.5;
+        } else if (name == "GM_LANAI") {
+          p.cascade_from = index_of(cats, "GM_PAR");
+          p.cascade_frac = 0.6;
+        }
+        break;
+
+      case SystemId::kLiberty:
+        if (name == "PBS_CHK") {
+          // The PBS task_check bug: up to 74 reports per killed job,
+          // concentrated late in the window (Section 3.3.1, Figure 4).
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+          p.concentrate_frac = 0.80;
+          p.concentrate_begin_frac = 0.72;
+          p.concentrate_len_frac = 0.20;
+        } else if (name == "PBS_BFD") {
+          p.mode = SourceMode::kMultiNodeBursts;
+          p.nodes_per_burst = 2;
+          p.concentrate_frac = 0.80;
+          p.concentrate_begin_frac = 0.72;
+          p.concentrate_len_frac = 0.20;
+          p.cascade_from = index_of(cats, "PBS_CHK");
+          p.cascade_frac = 0.7;
+        } else if (name == "GM_LANAI") {
+          // Figure 3: correlated with GM_PAR, but neither always
+          // follows the other.
+          p.cascade_from = index_of(cats, "GM_PAR");
+          p.cascade_frac = 0.7;
+        }
+        break;
+    }
+    plans.push_back(std::move(p));
+  }
+  return plans;
+}
+
+}  // namespace wss::sim

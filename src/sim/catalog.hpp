@@ -1,0 +1,42 @@
+// Per-category generation plans: where the paper's Table 4 rows meet
+// the incident planner.
+//
+// build_plans() derives a CategoryGenPlan for every category of a
+// system from the tag catalog's (raw, filtered) counts, then applies
+// the special structure the paper describes case by case: the
+// Thunderbird VAPI storm node, Spirit's sn373 disk storms with the
+// shadowed sn325 failure, the Liberty PBS bug's time concentration,
+// GM_PAR -> GM_LANAI cascades, the SMP-clock-bug job bursts, the three
+// coincident ECC pairs, and the leaky chains that make BG/L's filtered
+// interarrivals bimodal.
+#pragma once
+
+#include <vector>
+
+#include "sim/process.hpp"
+#include "sim/sources.hpp"
+#include "sim/spec.hpp"
+
+namespace wss::sim {
+
+/// Global knobs of a simulation run.
+struct SimOptions {
+  std::uint64_t seed = 42;
+  /// Max physical events per alert category; categories above this are
+  /// weighted (DESIGN.md "Scaling: weights, not truncation").
+  std::uint64_t category_cap = 100000;
+  /// Approximate physical chatter (non-alert) events per system.
+  std::uint64_t chatter_events = 200000;
+  /// Inject message corruption at render time (Section 3.2.1).
+  bool inject_corruption = true;
+  /// The filtering threshold the burst structure is built around.
+  util::TimeUs threshold_us = 5 * util::kUsPerSec;
+};
+
+/// Builds the generation plan for every category of `system`, in
+/// category-id order (i.e. aligned with tag::categories_of(system)).
+std::vector<CategoryGenPlan> build_plans(parse::SystemId system,
+                                         const SimOptions& opts,
+                                         const SourceNamer& namer);
+
+}  // namespace wss::sim

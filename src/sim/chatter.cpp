@@ -1,0 +1,331 @@
+#include "sim/chatter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace wss::sim {
+
+namespace {
+
+using parse::Severity;
+using parse::SystemId;
+using tag::LogPath;
+
+// -------------------------------------------------------------------
+// Templates. None of these bodies may match any rule pattern of their
+// system (tests/test_sim_chatter.cpp verifies that invariant).
+// -------------------------------------------------------------------
+
+const std::vector<ChatterTemplate>& bgl_templates() {
+  static const std::vector<ChatterTemplate> t = {
+      {"KERNEL", "generating core.{n}", LogPath::kBglRas, Severity::kInfo},
+      {"KERNEL", "CE sym {n}, at 0x{hex}, mask 0x{n}", LogPath::kBglRas,
+       Severity::kInfo},
+      {"KERNEL", "{n} L3 EDRAM error(s) (dcr 0x{hex}) detected and corrected "
+                 "over {n} seconds",
+       LogPath::kBglRas, Severity::kInfo},
+      {"APP", "ciod: Message code {n} is not 3 or 4103", LogPath::kBglRas,
+       Severity::kInfo},
+      {"DISCOVERY", "Node card VPD check: missing serial number",
+       LogPath::kBglRas, Severity::kInfo},
+      {"MMCS", "idoproxydb has been started: $Name: V1R2M1 $",
+       LogPath::kBglRas, Severity::kInfo},
+      {"KERNEL", "ciod: Missing or invalid fields on line {n} of node map "
+                 "file",
+       LogPath::kBglRas, Severity::kWarning},
+      {"MONITOR", "found invalid node ecid in processor card slot {n}",
+       LogPath::kBglRas, Severity::kWarning},
+      {"KERNEL", "ido packet timeout", LogPath::kBglRas, Severity::kError},
+      {"MMCS", "BglIdoChip table has {n} IDOs with the same IP address",
+       LogPath::kBglRas, Severity::kError},
+      {"KERNEL", "Link PGOOD error latched on link card", LogPath::kBglRas,
+       Severity::kSevere},
+      {"MMCS", "PrepareForService shutting down Node card", LogPath::kBglRas,
+       Severity::kSevere},
+      // High-severity NON-alerts: the reason severity-field tagging has
+      // a 59% false-positive rate on BG/L (Table 5).
+      {"KERNEL", "rts tree/torus link training failed: wanted: X+ X- Y+ Y- "
+                 "Z+ Z-",
+       LogPath::kBglRas, Severity::kFatal},
+      {"MMCS", "Error getting detailed hardware info for node card",
+       LogPath::kBglRas, Severity::kFatal},
+      {"KERNEL", "shutdown complete", LogPath::kBglRas, Severity::kFatal},
+      // The operational-context example of Section 3.2.1: FAILURE
+      // severity, innocuous during maintenance.
+      {"MASTER", "BGLMASTER FAILURE ciodb exited normally with exit code 0",
+       LogPath::kBglRas, Severity::kFailure},
+      {"MASTER", "BGLMASTER FAILURE mmcs_server exited normally with exit "
+                 "code 13",
+       LogPath::kBglRas, Severity::kFailure},
+  };
+  return t;
+}
+
+const std::vector<ChatterTemplate>& syslog_templates() {
+  static const std::vector<ChatterTemplate> t = {
+      {"sshd", "session opened for user root by (uid=0)", LogPath::kSyslog,
+       Severity::kNone},
+      {"sshd", "Accepted publickey for root from {ip} port {n} ssh2",
+       LogPath::kSyslog, Severity::kNone},
+      {"crond", "(root) CMD (run-parts /etc/cron.hourly)", LogPath::kSyslog,
+       Severity::kNone},
+      {"ntpd", "synchronized to {ip}, stratum 2", LogPath::kSyslog,
+       Severity::kNone},
+      {"kernel", "e1000: eth0: e1000_watchdog: NIC Link is Up 1000 Mbps",
+       LogPath::kSyslog, Severity::kNone},
+      {"pbs_mom", "scan_for_terminated: job {n} task 1 terminated",
+       LogPath::kSyslog, Severity::kNone},
+      {"pbs_server", "Job Queued at request of root@{node}, owner = user{n}",
+       LogPath::kSyslog, Severity::kNone},
+      {"in.tftpd", "tftp: client does not accept options", LogPath::kSyslog,
+       Severity::kNone},
+      {"xinetd", "START: tftp pid={n} from={ip}", LogPath::kSyslog,
+       Severity::kNone},
+      {"gmond", "Incoming message from {ip}", LogPath::kSyslog,
+       Severity::kNone},
+      {"syslog-ng", "STATS: dropped {n}", LogPath::kSyslog, Severity::kNone},
+      {"kernel", "martian source {ip} from {ip}, on dev eth0",
+       LogPath::kSyslog, Severity::kNone},
+      {"dhcpd", "DHCPREQUEST for {ip} from {hex} via eth1", LogPath::kSyslog,
+       Severity::kNone},
+  };
+  return t;
+}
+
+const std::vector<ChatterTemplate>& redstorm_templates() {
+  static const std::vector<ChatterTemplate> t = {
+      // syslog path (severity recorded; Table 6 strata).
+      {"kernel", "drec {n} debug: qlen {n}", LogPath::kRsSyslog,
+       Severity::kDebug},
+      {"kernel", "Lustre: {n} MDS connections to service mds1",
+       LogPath::kRsSyslog, Severity::kInfo},
+      {"sshd", "session opened for user root by (uid=0)", LogPath::kRsSyslog,
+       Severity::kInfo},
+      {"syslog-ng", "STATS: dropped {n}", LogPath::kRsSyslog,
+       Severity::kInfo},
+      {"crond", "(root) CMD (/usr/local/sbin/hpcstat)", LogPath::kRsSyslog,
+       Severity::kNotice},
+      {"kernel", "end_request: I/O error, dev sdc, sector {n}",
+       LogPath::kRsSyslog, Severity::kWarning},
+      {"kernel", "qla2300 0000:02:05.0: LOOP DOWN detected",
+       LogPath::kRsSyslog, Severity::kError},
+      {"automount", "lookup(program): lookup for user{n} failed",
+       LogPath::kRsSyslog, Severity::kError},
+      {"kernel", "CPU0: Temperature above threshold", LogPath::kRsSyslog,
+       Severity::kCrit},
+      {"kernel", "Out of Memory: Killed process {n} (mpiexec)",
+       LogPath::kRsSyslog, Severity::kAlert},
+      {"syslogd", "system halt requested", LogPath::kRsSyslog,
+       Severity::kEmerg},
+      // RAS event-router path (no severity analog).
+      {"ec_boot_info", "node boot stage {n} complete",
+       LogPath::kRsEventRouter, Severity::kNone},
+      {"ec_link_status", "seastar link {n} status ok",
+       LogPath::kRsEventRouter, Severity::kNone},
+      {"ec_power_status", "cabinet power nominal", LogPath::kRsEventRouter,
+       Severity::kNone},
+      {"ec_console_log", "console output captured to buffer {n}",
+       LogPath::kRsEventRouter, Severity::kNone},
+  };
+  return t;
+}
+
+// -------------------------------------------------------------------
+// Calibrated strata: paper totals minus tagged alert counts.
+// -------------------------------------------------------------------
+
+const std::vector<ChatterClass>& bgl_classes() {
+  // Table 5 message counts minus alert counts (348,398 FATAL alerts,
+  // 62 FAILURE alerts).
+  static const std::vector<ChatterClass> c = {
+      {Severity::kInfo, LogPath::kBglRas, 3735823},
+      {Severity::kError, LogPath::kBglRas, 112355},
+      {Severity::kWarning, LogPath::kBglRas, 23357},
+      {Severity::kSevere, LogPath::kBglRas, 19213},
+      {Severity::kFatal, LogPath::kBglRas, 507103},
+      {Severity::kFailure, LogPath::kBglRas, 1652},
+  };
+  return c;
+}
+
+const std::vector<ChatterClass>& redstorm_classes() {
+  // Table 6 minus our per-category severity attribution (DESIGN.md),
+  // plus the severity-less event-router stratum:
+  // 219,096,168 total - 25,510,188 syslog - 94,970 router alerts.
+  static const std::vector<ChatterClass> c = {
+      {Severity::kDebug, LogPath::kRsSyslog, 291764},
+      {Severity::kInfo, LogPath::kRsSyslog, 15714246},
+      {Severity::kNotice, LogPath::kRsSyslog, 3759620},
+      {Severity::kWarning, LogPath::kRsSyslog, 2154674},
+      {Severity::kError, LogPath::kRsSyslog, 2015814},
+      {Severity::kCrit, LogPath::kRsSyslog, 2693},
+      {Severity::kAlert, LogPath::kRsSyslog, 600},
+      {Severity::kEmerg, LogPath::kRsSyslog, 3},
+      {Severity::kNone, LogPath::kRsEventRouter, 193491010},
+  };
+  return c;
+}
+
+}  // namespace
+
+const std::vector<ChatterTemplate>& chatter_templates(parse::SystemId system) {
+  switch (system) {
+    case SystemId::kBlueGeneL:
+      return bgl_templates();
+    case SystemId::kRedStorm:
+      return redstorm_templates();
+    default:
+      return syslog_templates();
+  }
+}
+
+const std::vector<ChatterClass>& chatter_classes(parse::SystemId system) {
+  // Non-alert totals: Table 2 messages minus Table 4 alert sums.
+  static const std::vector<ChatterClass> tbird = {
+      {Severity::kNone, LogPath::kSyslog, 207963953}};
+  static const std::vector<ChatterClass> spirit = {
+      {Severity::kNone, LogPath::kSyslog, 99482406}};
+  static const std::vector<ChatterClass> liberty = {
+      {Severity::kNone, LogPath::kSyslog, 265566779}};
+  switch (system) {
+    case SystemId::kBlueGeneL:
+      return bgl_classes();
+    case SystemId::kRedStorm:
+      return redstorm_classes();
+    case SystemId::kThunderbird:
+      return tbird;
+    case SystemId::kSpirit:
+      return spirit;
+    case SystemId::kLiberty:
+      return liberty;
+  }
+  throw std::invalid_argument("chatter_classes: bad SystemId");
+}
+
+std::uint64_t chatter_total(parse::SystemId system) {
+  std::uint64_t t = 0;
+  for (const auto& c : chatter_classes(system)) t += c.paper_count;
+  return t;
+}
+
+const std::vector<std::pair<double, double>>& rate_profile(
+    parse::SystemId system) {
+  // Liberty: "the first major shift (end of first quarter, 2005)
+  // corresponded to an upgrade in the operating system"; the causes of
+  // the other shifts "are not well understood" (Figure 2(a)).
+  static const std::vector<std::pair<double, double>> liberty = {
+      {0.00, 0.55}, {0.35, 1.00}, {0.65, 1.45}, {0.82, 0.90}};
+  // Spirit's volume follows its disk storms; chatter itself drifts.
+  static const std::vector<std::pair<double, double>> spirit = {
+      {0.00, 0.90}, {0.50, 1.10}};
+  static const std::vector<std::pair<double, double>> flat = {{0.00, 1.00}};
+  switch (system) {
+    case SystemId::kLiberty:
+      return liberty;
+    case SystemId::kSpirit:
+      return spirit;
+    default:
+      return flat;
+  }
+}
+
+std::vector<SimEvent> generate_chatter(const SystemSpec& spec,
+                                       const SimOptions& opts,
+                                       const SourceNamer& namer,
+                                       util::Rng& rng) {
+  const auto& classes = chatter_classes(spec.id);
+  const auto& templates = chatter_templates(spec.id);
+  const std::uint64_t paper_total = chatter_total(spec.id);
+  if (paper_total == 0 || opts.chatter_events == 0) return {};
+
+  // Per-(path, severity) template index.
+  const auto templates_for = [&](const ChatterClass& cls) {
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < templates.size(); ++i) {
+      if (templates[i].path == cls.path &&
+          templates[i].severity == cls.severity) {
+        out.push_back(i);
+      }
+    }
+    if (out.empty()) {
+      throw std::logic_error("chatter: no template for a stratum");
+    }
+    return out;
+  };
+
+  // Deterministic largest-remainder allocation of generated events to
+  // strata, so weighted severity marginals are exact.
+  const std::uint64_t n = opts.chatter_events;
+  std::vector<std::uint64_t> gen(classes.size(), 0);
+  {
+    std::vector<std::pair<double, std::size_t>> rem(classes.size());
+    std::uint64_t assigned = 0;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      const double exact = static_cast<double>(n) *
+                           static_cast<double>(classes[i].paper_count) /
+                           static_cast<double>(paper_total);
+      gen[i] = static_cast<std::uint64_t>(exact);
+      if (gen[i] == 0 && classes[i].paper_count > 0) gen[i] = 1;
+      rem[i] = {exact - static_cast<double>(gen[i]), i};
+      assigned += gen[i];
+    }
+    std::sort(rem.begin(), rem.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (std::size_t k = 0; assigned < n && k < rem.size(); ++k) {
+      ++gen[rem[k].second];
+      ++assigned;
+    }
+  }
+
+  // Rate-profile segments -> cumulative weights for time sampling.
+  const auto& profile = rate_profile(spec.id);
+  std::vector<double> seg_weight(profile.size());
+  std::vector<double> seg_begin(profile.size());
+  std::vector<double> seg_len(profile.size());
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    seg_begin[i] = profile[i].first;
+    const double end = i + 1 < profile.size() ? profile[i + 1].first : 1.0;
+    seg_len[i] = end - profile[i].first;
+    seg_weight[i] = seg_len[i] * profile[i].second;
+  }
+
+  const util::TimeUs lo = spec.start_time();
+  const auto window = static_cast<double>(spec.end_time() - lo);
+  const util::Zipf admin_zipf(namer.n_admin(), 1.2);
+  const std::uint32_t n_compute = namer.size() - namer.n_admin();
+  const util::Zipf compute_zipf(n_compute, 1.05);
+
+  std::vector<SimEvent> out;
+  out.reserve(n);
+  for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+    const ChatterClass& cls = classes[ci];
+    if (gen[ci] == 0) continue;
+    const double weight = static_cast<double>(cls.paper_count) /
+                          static_cast<double>(gen[ci]);
+    const auto kinds = templates_for(cls);
+    for (std::uint64_t k = 0; k < gen[ci]; ++k) {
+      SimEvent e;
+      const std::size_t seg = rng.weighted_index(seg_weight);
+      const double f = seg_begin[seg] + rng.uniform() * seg_len[seg];
+      e.time = lo + static_cast<util::TimeUs>(f * window);
+      // "The chatty sources tended to be the administrative nodes"
+      // (Figure 2(b)): a large share of chatter comes from few nodes.
+      if (rng.bernoulli(0.45)) {
+        e.source = namer.first_admin() +
+                   static_cast<std::uint32_t>(admin_zipf(rng));
+      } else {
+        e.source = static_cast<std::uint32_t>(compute_zipf(rng));
+      }
+      e.category = -1;
+      e.severity = cls.severity;
+      e.chatter_kind = kinds[rng.uniform_u64(kinds.size())];
+      e.weight = weight;
+      out.push_back(e);
+    }
+  }
+  sort_events(out);
+  return out;
+}
+
+}  // namespace wss::sim

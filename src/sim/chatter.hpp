@@ -1,0 +1,67 @@
+// Non-alert ("chatter") message generation.
+//
+// The overwhelming majority of the billion messages in the study are
+// not alerts: daemons logging sessions, cron jobs, NIC watchdogs, RAS
+// bookkeeping. Chatter matters to the reproduction because
+//   - Table 2's message totals and rates are dominated by it,
+//   - Tables 5 and 6 are about its severity marginals,
+//   - Figure 2(a)'s regime shifts and Figure 2(b)'s per-source
+//     distribution are chatter phenomena,
+//   - the tag engine's precision is only meaningful against it, and
+//   - it includes the deliberately ambiguous high-severity non-alerts
+//     the paper highlights ("BGLMASTER FAILURE ciodb exited normally").
+#pragma once
+
+#include <vector>
+
+#include "sim/catalog.hpp"
+#include "sim/process.hpp"
+#include "sim/sources.hpp"
+#include "sim/spec.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// One chatter message shape.
+struct ChatterTemplate {
+  const char* program;   ///< syslog tag / BG/L facility / event class
+  const char* body;      ///< template with {n}/{ip}/{hex}/... placeholders
+  tag::LogPath path;
+  parse::Severity severity;  ///< kNone for severity-less paths
+};
+
+/// The chatter templates of one system, indexed by
+/// SimEvent::chatter_kind.
+const std::vector<ChatterTemplate>& chatter_templates(parse::SystemId system);
+
+/// A chatter volume class: all generated messages of one (path,
+/// severity) stratum share a weight so severity marginals (Tables 5
+/// and 6) reproduce the paper's counts.
+struct ChatterClass {
+  parse::Severity severity;
+  tag::LogPath path;
+  std::uint64_t paper_count;  ///< non-alert messages in this stratum
+};
+
+/// The calibrated chatter strata for a system (derived in
+/// sim/chatter.cpp from Tables 2, 5, and 6 minus the alert counts).
+const std::vector<ChatterClass>& chatter_classes(parse::SystemId system);
+
+/// Total non-alert messages across strata (paper counts).
+std::uint64_t chatter_total(parse::SystemId system);
+
+/// The piecewise-constant rate profile of a system's chatter over its
+/// collection window, as (start_fraction, rate_multiplier) segments.
+/// Liberty's profile encodes the OS-upgrade jump and the later shifts
+/// of Figure 2(a); other systems are near-flat.
+const std::vector<std::pair<double, double>>& rate_profile(
+    parse::SystemId system);
+
+/// Generates ~opts.chatter_events chatter events for the system,
+/// sorted by time.
+std::vector<SimEvent> generate_chatter(const SystemSpec& spec,
+                                       const SimOptions& opts,
+                                       const SourceNamer& namer,
+                                       util::Rng& rng);
+
+}  // namespace wss::sim

@@ -1,0 +1,74 @@
+// The top-level simulator: one object per system run.
+//
+// Orchestrates sim/catalog (per-category plans), sim/incident (alert
+// bursts with ground truth), sim/jobs (workload context), sim/chatter
+// (non-alert volume), and sim/render (native log lines + corruption)
+// into a single time-sorted event stream with a deterministic
+// event-index -> line mapping.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "filter/alert.hpp"
+#include "sim/catalog.hpp"
+#include "sim/chatter.hpp"
+#include "sim/jobs.hpp"
+#include "sim/opcontext.hpp"
+#include "sim/process.hpp"
+#include "sim/render.hpp"
+#include "sim/sources.hpp"
+#include "sim/spec.hpp"
+
+namespace wss::sim {
+
+/// One simulated system log.
+class Simulator {
+ public:
+  Simulator(parse::SystemId system, SimOptions opts);
+
+  const SystemSpec& spec() const { return *spec_; }
+  const SourceNamer& namer() const { return namer_; }
+  const SimOptions& options() const { return opts_; }
+  const Renderer& renderer() const { return *renderer_; }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const OpContextTimeline& op_context() const { return *op_context_; }
+
+  /// All events, sorted by time. Ground truth included.
+  const std::vector<SimEvent>& events() const { return events_; }
+
+  /// Ground-truth failure count (distinct failure ids).
+  std::uint64_t total_failures() const { return total_failures_; }
+
+  /// Renders event i (deterministic; includes corruption when the
+  /// options enable it).
+  std::string line(std::size_t i) const;
+
+  /// Streams every rendered line through `fn` in time order.
+  void for_each_line(const std::function<void(std::string_view)>& fn) const;
+
+  /// The ground-truth alert stream (sorted), ready for the filters --
+  /// what a perfect tagger would extract.
+  std::vector<filter::Alert> ground_truth_alerts() const;
+
+  /// Weighted raw alert count per category id (should reproduce the
+  /// Table 4 raw column).
+  std::vector<double> weighted_alert_counts() const;
+
+  /// Total weighted messages (should reproduce Table 2's message
+  /// count).
+  double weighted_message_total() const;
+
+ private:
+  const SystemSpec* spec_;
+  SimOptions opts_;
+  SourceNamer namer_;
+  std::vector<Job> jobs_;
+  std::unique_ptr<OpContextTimeline> op_context_;
+  std::unique_ptr<Renderer> renderer_;
+  std::vector<SimEvent> events_;
+  std::uint64_t total_failures_ = 0;
+};
+
+}  // namespace wss::sim

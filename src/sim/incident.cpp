@@ -1,0 +1,422 @@
+#include "sim/incident.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tag/rulesets.hpp"
+
+namespace wss::sim {
+
+namespace {
+
+/// One planned incident, before event emission.
+struct Incident {
+  util::TimeUs start = 0;
+  std::uint64_t size = 1;
+  std::uint32_t source = 0;
+  bool leaky = false;
+  bool storm = false;
+  bool job_burst = false;
+  std::uint32_t job_first_node = 0;
+  std::uint32_t job_n_nodes = 1;
+};
+
+/// Splits `total` events into `n` parts, each >= 1, proportional to
+/// lightly jittered equal shares.
+std::vector<std::uint64_t> split_sizes(std::uint64_t total, std::size_t n,
+                                       util::Rng& rng) {
+  std::vector<std::uint64_t> out(n, 1);
+  if (n == 0) return out;
+  if (total <= n) {
+    out.assign(n, 1);
+    for (std::size_t i = 0; i < n && i < static_cast<std::size_t>(total); ++i) {
+    }
+    return out;  // every incident gets at least one event
+  }
+  std::uint64_t remaining = total - n;
+  // Distribute the surplus with dirichlet-ish jitter (exponential
+  // weights), largest remainder.
+  std::vector<double> w(n);
+  double sum = 0.0;
+  for (auto& x : w) {
+    x = rng.exponential(1.0) + 0.1;
+    sum += x;
+  }
+  std::uint64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto extra =
+        static_cast<std::uint64_t>(static_cast<double>(remaining) * w[i] / sum);
+    out[i] += extra;
+    assigned += extra;
+  }
+  std::size_t i = 0;
+  while (assigned < remaining) {
+    ++out[i % n];
+    ++assigned;
+    ++i;
+  }
+  return out;
+}
+
+std::uint32_t pick_source(const CategoryGenPlan& plan, const SystemSpec& spec,
+                          util::Rng& rng) {
+  if (!plan.source_pool.empty()) {
+    return plan.source_pool[rng.uniform_u64(plan.source_pool.size())];
+  }
+  // Compute sources only (admin nodes are chatty, not alert-prone).
+  const std::uint32_t n_admin =
+      spec.id == parse::SystemId::kBlueGeneL ? 2u : 8u;
+  const std::uint32_t n_compute =
+      spec.n_sources > n_admin ? spec.n_sources - n_admin : spec.n_sources;
+  return static_cast<std::uint32_t>(rng.uniform_u64(n_compute));
+}
+
+}  // namespace
+
+std::vector<SimEvent> generate_category(
+    const CategoryGenPlan& plan, IncidentContext& ctx, util::Rng& rng,
+    const std::vector<util::TimeUs>* anchors,
+    std::vector<util::TimeUs>* incident_starts_out) {
+  if (ctx.spec == nullptr) {
+    throw std::invalid_argument("generate_category: null spec");
+  }
+  const SystemSpec& spec = *ctx.spec;
+  const util::TimeUs T = ctx.threshold_us;
+  const util::TimeUs lo = spec.start_time();
+  const util::TimeUs hi = spec.end_time();
+  const auto window = static_cast<double>(hi - lo);
+
+  std::vector<SimEvent> out;
+  std::vector<util::TimeUs> starts_log;
+
+  const std::uint64_t E = std::max<std::uint64_t>(plan.gen_events, 1);
+  std::uint64_t F = std::max<std::uint64_t>(plan.incidents, 1);
+  if (F > E) F = E;
+
+  // ---- Plan incidents -------------------------------------------------
+  std::vector<Incident> incidents;
+
+  if (plan.mode == SourceMode::kPoisson) {
+    // Independent failures: one event each, plus engineered coincident
+    // pairs (extra failures within T of an existing one).
+    const std::uint64_t pairs = std::min(plan.engineered_pairs, F);
+    const std::uint64_t singles = E - pairs;
+    incidents.reserve(singles);
+    for (std::uint64_t i = 0; i < singles; ++i) {
+      Incident inc;
+      inc.size = 1;
+      inc.source = pick_source(plan, spec, rng);
+      incidents.push_back(inc);
+    }
+    // Start times: Poisson = iid uniform over the window.
+    for (auto& inc : incidents) {
+      inc.start = lo + static_cast<util::TimeUs>(rng.uniform() * window);
+    }
+    std::sort(incidents.begin(), incidents.end(),
+              [](const Incident& a, const Incident& b) {
+                return a.start < b.start;
+              });
+    // Keep independent failures from colliding by accident; only the
+    // engineered pairs may fall within T of each other.
+    for (std::size_t i = 1; i < incidents.size(); ++i) {
+      if (incidents[i].start - incidents[i - 1].start < 3 * T) {
+        incidents[i].start = incidents[i - 1].start + 3 * T +
+                             static_cast<util::TimeUs>(rng.uniform(0, 1e6));
+      }
+    }
+    // Emit singles.
+    for (const Incident& inc : incidents) {
+      SimEvent e;
+      e.time = inc.start;
+      e.source = inc.source;
+      e.category = plan.category_id;
+      e.failure_id = ctx.next_failure_id++;
+      e.severity = plan.info != nullptr ? plan.info->severity
+                                        : parse::Severity::kNone;
+      e.weight = plan.weight;
+      out.push_back(e);
+      starts_log.push_back(inc.start);
+    }
+    // Engineered coincidences: a *distinct* failure on another source
+    // within T of an existing event (these are what filtering merges).
+    for (std::uint64_t p = 0; p < pairs && !out.empty(); ++p) {
+      const SimEvent& host = out[rng.uniform_u64(out.size())];
+      SimEvent e = host;
+      e.time = host.time +
+               static_cast<util::TimeUs>(rng.uniform(0.2, 0.8) *
+                                         static_cast<double>(T));
+      e.source = pick_source(plan, spec, rng);
+      e.failure_id = ctx.next_failure_id++;
+      out.push_back(e);
+      starts_log.push_back(e.time);
+    }
+  } else {
+    // ---- Burst modes --------------------------------------------------
+    // Leak adjustment: leaky chains of exactly s_l events contribute
+    // s_l survivors each; solve for the incident count that keeps the
+    // expected survivor total at F.
+    const std::uint64_t s_l = 5;
+    std::uint64_t n_leaky = 0;
+    std::uint64_t n_incidents = F;
+    if (plan.leak_frac > 0.0 && F >= s_l) {
+      n_leaky = static_cast<std::uint64_t>(
+          plan.leak_frac * static_cast<double>(F) / static_cast<double>(s_l));
+      n_incidents = F - n_leaky * (s_l - 1);
+    }
+    if (n_incidents == 0) n_incidents = 1;
+    if (n_leaky > n_incidents) n_leaky = n_incidents;
+
+    // Storm split.
+    std::uint64_t n_storm = 0;
+    if (plan.has_storm) {
+      n_storm = static_cast<std::uint64_t>(std::llround(
+          plan.storm_incident_frac * static_cast<double>(n_incidents)));
+      n_storm = std::min(n_storm, n_incidents - std::min<std::uint64_t>(
+                                                    1, n_incidents - 1));
+      if (n_storm == 0 && plan.storm_incident_frac > 0.0) n_storm = 1;
+      // Leave room for the leaky incidents already reserved.
+      n_storm = std::min(n_storm, n_incidents - n_leaky);
+    }
+    const std::uint64_t n_normal = n_incidents - n_storm - n_leaky;
+
+    // Event budgets.
+    const std::uint64_t e_leak = n_leaky * s_l;
+    std::uint64_t e_storm = 0;
+    if (n_storm > 0) {
+      e_storm = static_cast<std::uint64_t>(plan.storm_event_frac *
+                                           static_cast<double>(E));
+      e_storm = std::max(e_storm, n_storm);
+      e_storm = std::min(e_storm, E - e_leak - n_normal);
+    }
+    const std::uint64_t e_normal = E - e_leak - e_storm;
+
+    incidents.reserve(n_incidents);
+    if (n_storm > 0) {
+      const auto sizes = split_sizes(e_storm, n_storm, rng);
+      for (std::uint64_t i = 0; i < n_storm; ++i) {
+        Incident inc;
+        inc.size = sizes[i];
+        inc.source = plan.storm_node;
+        inc.storm = true;
+        incidents.push_back(inc);
+      }
+    }
+    for (std::uint64_t i = 0; i < n_leaky; ++i) {
+      Incident inc;
+      inc.size = s_l;
+      inc.leaky = true;
+      inc.source = pick_source(plan, spec, rng);
+      incidents.push_back(inc);
+    }
+    {
+      const auto sizes = split_sizes(e_normal, n_normal, rng);
+      for (std::uint64_t i = 0; i < n_normal; ++i) {
+        Incident inc;
+        inc.size = sizes[i];
+        inc.source = pick_source(plan, spec, rng);
+        incidents.push_back(inc);
+      }
+    }
+
+    // Job anchoring.
+    if (plan.mode == SourceMode::kJobBursts && ctx.jobs != nullptr) {
+      std::vector<const Job*> heavy;
+      for (const Job& j : *ctx.jobs) {
+        if (j.comm_heavy) heavy.push_back(&j);
+      }
+      if (!heavy.empty()) {
+        for (auto& inc : incidents) {
+          const Job& j = *heavy[rng.uniform_u64(heavy.size())];
+          inc.job_burst = true;
+          inc.job_first_node = j.first_node;
+          inc.job_n_nodes = std::max<std::uint32_t>(1, j.n_nodes);
+          const auto span = static_cast<double>(j.end - j.start);
+          inc.start =
+              j.start + static_cast<util::TimeUs>(rng.uniform() * span * 0.8);
+        }
+      }
+    }
+
+    // Start-time placement for non-job incidents.
+    std::size_t n_cascade = 0;
+    if (plan.cascade_from >= 0 && anchors != nullptr && !anchors->empty() &&
+        plan.cascade_frac > 0.0) {
+      n_cascade = static_cast<std::size_t>(
+          plan.cascade_frac * static_cast<double>(incidents.size()));
+      n_cascade = std::min(n_cascade, anchors->size());
+    }
+    std::vector<std::size_t> anchor_order(anchors ? anchors->size() : 0);
+    for (std::size_t i = 0; i < anchor_order.size(); ++i) anchor_order[i] = i;
+    if (!anchor_order.empty()) rng.shuffle(anchor_order);
+
+    // Cluster centers for heavy-tailed placement: failures beget
+    // failures, so incident interarrivals are over-dispersed (CV > 1)
+    // rather than exponential (Section 4).
+    std::vector<util::TimeUs> centers;
+    if (plan.cluster_frac > 0.0) {
+      const std::size_t n_centers = std::max<std::size_t>(
+          1, incidents.size() / 4);
+      for (std::size_t c = 0; c < n_centers; ++c) {
+        centers.push_back(lo + static_cast<util::TimeUs>(rng.uniform() *
+                                                         window));
+      }
+    }
+
+    std::size_t cascade_used = 0;
+    for (auto& inc : incidents) {
+      if (inc.job_burst) continue;
+      const auto est_dur =
+          static_cast<util::TimeUs>(static_cast<double>(inc.size) * 0.9 *
+                                    static_cast<double>(T));
+      const util::TimeUs latest = std::max(lo + 1, hi - est_dur - 1);
+      if (cascade_used < n_cascade) {
+        const util::TimeUs anchor = (*anchors)[anchor_order[cascade_used]];
+        ++cascade_used;
+        inc.start = std::min(latest,
+                             anchor + static_cast<util::TimeUs>(
+                                          rng.uniform(1e6, 60e6)));
+        continue;
+      }
+      if (plan.concentrate_frac > 0.0 &&
+          rng.bernoulli(plan.concentrate_frac)) {
+        const double f = plan.concentrate_begin_frac +
+                         rng.uniform() * plan.concentrate_len_frac;
+        inc.start = lo + static_cast<util::TimeUs>(
+                             f * static_cast<double>(latest - lo));
+        continue;
+      }
+      if (!centers.empty() && rng.bernoulli(plan.cluster_frac)) {
+        // Lognormal offset around a cluster center: median ~1.5 h,
+        // heavy tail, random sign.
+        const util::TimeUs center = centers[rng.uniform_u64(centers.size())];
+        const double offset_s = rng.lognormal(std::log(5400.0), 1.2);
+        const auto offset =
+            static_cast<util::TimeUs>(offset_s * 1e6) *
+            (rng.bernoulli(0.5) ? 1 : -1);
+        inc.start = std::clamp<util::TimeUs>(center + offset, lo + 1, latest);
+        continue;
+      }
+      inc.start = lo + static_cast<util::TimeUs>(
+                           rng.uniform() * static_cast<double>(latest - lo));
+    }
+
+    // Separate same-category incidents so independent failures do not
+    // merge under the filter by accident.
+    std::sort(incidents.begin(), incidents.end(),
+              [](const Incident& a, const Incident& b) {
+                return a.start < b.start;
+              });
+    util::TimeUs prev_end = lo - 1000 * T;
+    for (auto& inc : incidents) {
+      if (inc.start - prev_end < 4 * T) {
+        inc.start = prev_end + 4 * T +
+                    static_cast<util::TimeUs>(rng.uniform(0, 2e6));
+      }
+      // Upper-bound the chain duration (gaps are sampled up to 0.85 T
+      // clean / 2.2 T leaky) so a long chain cannot bleed into the
+      // next incident's window and merge two failures by accident.
+      const auto gap_per_event = inc.leaky ? 2.25 : 0.88;
+      prev_end = inc.start +
+                 static_cast<util::TimeUs>(static_cast<double>(inc.size) *
+                                           gap_per_event *
+                                           static_cast<double>(T));
+    }
+
+    // ---- Emit events --------------------------------------------------
+    for (const Incident& inc : incidents) {
+      const std::uint64_t fid = ctx.next_failure_id++;
+      starts_log.push_back(inc.start);
+      util::TimeUs t = inc.start;
+      // Trailing cross-source reports for the multi-node shape.
+      std::uint64_t trail = 0;
+      if (plan.mode == SourceMode::kMultiNodeBursts && inc.size >= 2 &&
+          !inc.storm) {
+        trail = std::min<std::uint64_t>(plan.nodes_per_burst - 1,
+                                        inc.size - 1);
+      }
+      const std::uint64_t head = inc.size - trail;
+      for (std::uint64_t k = 0; k < inc.size; ++k) {
+        SimEvent e;
+        e.category = plan.category_id;
+        e.failure_id = fid;
+        e.severity = plan.info != nullptr ? plan.info->severity
+                                          : parse::Severity::kNone;
+        e.weight = plan.weight;
+        if (k > 0) {
+          const double g = inc.leaky ? rng.uniform(1.05, 2.2)
+                                     : rng.uniform(0.25, 0.85);
+          t += static_cast<util::TimeUs>(g * static_cast<double>(T));
+        }
+        e.time = t;
+        if (inc.job_burst) {
+          e.source = inc.job_first_node +
+                     static_cast<std::uint32_t>(k % inc.job_n_nodes);
+        } else if (k < head) {
+          e.source = inc.source;
+        } else {
+          // Trailing report from a different source.
+          std::uint32_t s = pick_source(plan, spec, rng);
+          if (s == inc.source) s = (s + 1) % spec.n_sources;
+          e.source = s;
+        }
+        out.push_back(e);
+      }
+    }
+
+    // The shadowed-incident case (sn325 inside sn373's storm).
+    if (plan.shadowed_incident) {
+      const Incident* biggest = nullptr;
+      for (const Incident& inc : incidents) {
+        if (inc.storm && (biggest == nullptr || inc.size > biggest->size)) {
+          biggest = &inc;
+        }
+      }
+      if (biggest != nullptr && biggest->size >= 8) {
+        const std::uint64_t fid = ctx.next_failure_id++;
+        util::TimeUs t = biggest->start +
+                         static_cast<util::TimeUs>(
+                             static_cast<double>(biggest->size) * 0.3 *
+                             static_cast<double>(T));
+        const std::uint64_t shadow_size = 12;
+        for (std::uint64_t k = 0; k < shadow_size; ++k) {
+          SimEvent e;
+          e.category = plan.category_id;
+          e.failure_id = fid;
+          e.severity = plan.info != nullptr ? plan.info->severity
+                                            : parse::Severity::kNone;
+          // The shadowed incident is an addition beyond the calibrated
+          // raw count; unit weight keeps Table 4's weighted sums exact.
+          e.weight = 1.0;
+          if (k > 0) {
+            t += static_cast<util::TimeUs>(rng.uniform(0.3, 0.8) *
+                                           static_cast<double>(T));
+          }
+          e.time = t;
+          e.source = plan.shadow_node;
+          out.push_back(e);
+        }
+        starts_log.push_back(t);
+      }
+    }
+  }
+
+  // Apply the minority severity (e.g. BG/L's 62 FAILURE alerts).
+  if (plan.info != nullptr && plan.info->alt_count > 0 && !out.empty()) {
+    auto alt_gen = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(plan.info->alt_count) / plan.weight));
+    alt_gen = std::min<std::uint64_t>(alt_gen, out.size());
+    for (std::uint64_t i = 0; i < alt_gen; ++i) {
+      out[out.size() - 1 - i].severity = plan.info->alt_severity;
+    }
+  }
+
+  sort_events(out);
+  if (incident_starts_out != nullptr) {
+    std::sort(starts_log.begin(), starts_log.end());
+    *incident_starts_out = std::move(starts_log);
+  }
+  return out;
+}
+
+}  // namespace wss::sim

@@ -1,0 +1,43 @@
+// The incident planner: turns a CategoryGenPlan into concrete alert
+// events with ground-truth failure ids.
+//
+// Terminology: an *incident* is one ground-truth failure; it emits a
+// burst (chain) of alert messages. Chain spacing relative to the
+// filtering threshold T is what the paper's filters key on:
+//   - clean chains space events well under T, so filtering keeps
+//     exactly the first message;
+//   - leaky chains space events just over T, so every message
+//     survives -- the "unfiltered redundancy" mode of Figure 6(a);
+//   - multi-node chains end with reports from other sources, the
+//     shape where serial and simultaneous filtering disagree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/jobs.hpp"
+#include "sim/process.hpp"
+#include "sim/spec.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// Shared state across category generators.
+struct IncidentContext {
+  const SystemSpec* spec = nullptr;
+  const std::vector<Job>* jobs = nullptr;  ///< for kJobBursts (may be null)
+  std::uint64_t next_failure_id = 1;
+  util::TimeUs threshold_us = 5 * util::kUsPerSec;  ///< the paper's T
+};
+
+/// Generates all events of one category. Events are returned sorted by
+/// time. `anchors` supplies the incident start times of the cascade
+/// source category (required when plan.cascade_from >= 0, and must be
+/// generated first); `incident_starts_out`, when non-null, receives
+/// this category's incident start times for downstream cascades.
+std::vector<SimEvent> generate_category(
+    const CategoryGenPlan& plan, IncidentContext& ctx, util::Rng& rng,
+    const std::vector<util::TimeUs>* anchors = nullptr,
+    std::vector<util::TimeUs>* incident_starts_out = nullptr);
+
+}  // namespace wss::sim

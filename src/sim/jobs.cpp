@@ -1,0 +1,38 @@
+#include "sim/jobs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wss::sim {
+
+std::vector<Job> generate_jobs(const SystemSpec& spec, util::Rng& rng,
+                               std::size_t count) {
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  const util::TimeUs lo = spec.start_time();
+  const util::TimeUs hi = spec.end_time();
+  const std::uint32_t n_compute = spec.n_sources > 16 ? spec.n_sources - 16
+                                                      : spec.n_sources;
+  for (std::size_t i = 0; i < count; ++i) {
+    Job j;
+    // Sizes 4..128 nodes, biased toward small allocations.
+    const int size_exp = static_cast<int>(rng.uniform_u64(6));
+    j.n_nodes = std::min<std::uint32_t>(n_compute, 4u << size_exp);
+    j.first_node = static_cast<std::uint32_t>(
+        rng.uniform_u64(n_compute - j.n_nodes + 1));
+    // Durations: lognormal around ~2 h, capped at 2 days.
+    const double dur_s =
+        std::min(2.0 * 86400.0, rng.lognormal(std::log(7200.0), 1.0));
+    j.start = lo + static_cast<util::TimeUs>(rng.uniform() *
+                                             static_cast<double>(hi - lo));
+    j.end = std::min<util::TimeUs>(
+        hi, j.start + static_cast<util::TimeUs>(dur_s * 1e6));
+    j.comm_heavy = rng.bernoulli(0.4);
+    jobs.push_back(j);
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const Job& a, const Job& b) { return a.start < b.start; });
+  return jobs;
+}
+
+}  // namespace wss::sim

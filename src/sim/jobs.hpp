@@ -1,0 +1,34 @@
+// A lightweight parallel-job trace.
+//
+// Section 4's SMP-clock-bug discussion hinges on workload context:
+// "whenever a set of nodes was running a communication-intensive job,
+// they would collectively be more prone to encountering this bug."
+// The simulator anchors Thunderbird CPU alerts to the node blocks of
+// communication-heavy jobs from this trace, so the spatial correlation
+// the authors noticed is reproducible (bench/ablation_cpu_spatial).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/spec.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// One batch job: a contiguous node block held for an interval.
+struct Job {
+  util::TimeUs start = 0;
+  util::TimeUs end = 0;
+  std::uint32_t first_node = 0;
+  std::uint32_t n_nodes = 1;
+  bool comm_heavy = false;  ///< communication-intensive workload
+};
+
+/// Generates `count` jobs over the system's collection window. Job
+/// sizes are power-of-two-ish blocks (typical MPI allocations),
+/// durations are lognormal (hours-scale), and ~40% are comm-heavy.
+std::vector<Job> generate_jobs(const SystemSpec& spec, util::Rng& rng,
+                               std::size_t count);
+
+}  // namespace wss::sim

@@ -1,0 +1,139 @@
+#include "sim/opcontext.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::sim {
+
+std::string_view op_state_name(OpState s) {
+  switch (s) {
+    case OpState::kProduction:
+      return "production";
+    case OpState::kScheduledDowntime:
+      return "scheduled downtime";
+    case OpState::kUnscheduledDowntime:
+      return "unscheduled downtime";
+    case OpState::kEngineering:
+      return "engineering";
+  }
+  return "?";
+}
+
+OpContextTimeline::OpContextTimeline(util::TimeUs start, util::TimeUs end,
+                                     OpState initial)
+    : start_(start), end_(end), initial_(initial) {
+  if (end <= start) {
+    throw std::invalid_argument("OpContextTimeline: empty window");
+  }
+}
+
+void OpContextTimeline::append(OpTransition t) {
+  if (!transitions_.empty() && t.time < transitions_.back().time) {
+    throw std::invalid_argument("OpContextTimeline: out-of-order transition");
+  }
+  transitions_.push_back(std::move(t));
+}
+
+OpState OpContextTimeline::state_at(util::TimeUs t) const {
+  OpState s = initial_;
+  for (const auto& tr : transitions_) {
+    if (tr.time > t) break;
+    s = tr.to;
+  }
+  return s;
+}
+
+RasMetrics OpContextTimeline::metrics() const {
+  std::array<double, 4> time_in{};
+  OpState cur = initial_;
+  util::TimeUs cur_since = start_;
+  std::size_t outages = 0;
+  for (const auto& tr : transitions_) {
+    const util::TimeUs t = std::clamp(tr.time, start_, end_);
+    time_in[static_cast<std::size_t>(cur)] +=
+        static_cast<double>(t - cur_since);
+    cur = tr.to;
+    cur_since = t;
+    if (tr.to == OpState::kUnscheduledDowntime) ++outages;
+  }
+  time_in[static_cast<std::size_t>(cur)] +=
+      static_cast<double>(end_ - cur_since);
+
+  const double total = static_cast<double>(end_ - start_);
+  RasMetrics m;
+  m.production_fraction = time_in[0] / total;
+  m.scheduled_fraction = time_in[1] / total;
+  m.unscheduled_fraction = time_in[2] / total;
+  m.engineering_fraction = time_in[3] / total;
+  const double denom = time_in[0] + time_in[2];
+  m.availability = denom > 0.0 ? time_in[0] / denom : 0.0;
+  m.unscheduled_outages = outages;
+  if (outages > 0) {
+    m.mtbf_hours = time_in[0] / static_cast<double>(outages) / 3.6e9;
+  }
+  return m;
+}
+
+OpContextTimeline OpContextTimeline::generate(const SystemSpec& spec,
+                                              util::Rng& rng,
+                                              double unscheduled_per_month) {
+  OpContextTimeline tl(spec.start_time(), spec.end_time());
+  const util::TimeUs week = 7 * util::kUsPerDay;
+
+  struct Block {
+    util::TimeUs begin;
+    util::TimeUs dur;
+    OpState state;
+    const char* cause;
+  };
+  std::vector<Block> blocks;
+
+  // Weekly 4-hour preventive-maintenance window.
+  for (util::TimeUs t = tl.start() + 3 * util::kUsPerDay; t < tl.end();
+       t += week) {
+    blocks.push_back({t, 4 * util::kUsPerHour, OpState::kScheduledDowntime,
+                      "weekly PM"});
+  }
+  // ~Monthly engineering blocks (dedicated system test).
+  for (util::TimeUs t = tl.start() + 12 * util::kUsPerDay; t < tl.end();
+       t += 30 * util::kUsPerDay) {
+    blocks.push_back({t + static_cast<util::TimeUs>(rng.uniform(0, 5.0) *
+                                                    util::kUsPerDay),
+                      8 * util::kUsPerHour, OpState::kEngineering,
+                      "dedicated system test"});
+  }
+  // Unscheduled outages: Poisson at the given monthly rate, lognormal
+  // repair times around ~3 h.
+  const double months =
+      static_cast<double>(tl.end() - tl.start()) / (30.0 * 86400.0 * 1e6);
+  const auto n_outages = rng.poisson(unscheduled_per_month * months);
+  for (std::uint64_t i = 0; i < n_outages; ++i) {
+    const auto at = tl.start() + static_cast<util::TimeUs>(
+                                     rng.uniform() *
+                                     static_cast<double>(tl.end() - tl.start()));
+    const auto dur = static_cast<util::TimeUs>(
+        std::min(48.0 * 3600.0, rng.lognormal(std::log(3.0 * 3600.0), 0.8)) *
+        1e6);
+    blocks.push_back({at, dur, OpState::kUnscheduledDowntime, "failure"});
+  }
+
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Block& a, const Block& b) { return a.begin < b.begin; });
+
+  // Flatten overlapping blocks: later blocks start after earlier ones
+  // finish (real operations serialize downtime too).
+  util::TimeUs cursor = tl.start();
+  for (const Block& b : blocks) {
+    const util::TimeUs begin = std::max(b.begin, cursor + 1);
+    const util::TimeUs finish = std::min(begin + b.dur, tl.end());
+    if (begin >= tl.end() || finish <= begin) continue;
+    tl.append({begin, b.state, b.cause});
+    tl.append({finish, OpState::kProduction, "return to production"});
+    cursor = finish;
+  }
+  return tl;
+}
+
+}  // namespace wss::sim

@@ -1,0 +1,89 @@
+// Operational context (Section 3.2.1, Figure 1).
+//
+// The paper's single biggest recommendation: log the system's expected
+// state, because "event significance can be disambiguated if the
+// expected state of components is known". Figure 1 is the Red Storm
+// RAS-metrics state diagram being standardized by LANL/LLNL/SNL; this
+// module implements that state machine, generates a plausible timeline
+// for a system (mostly production, weekly scheduled maintenance,
+// occasional unscheduled downtime and engineering blocks), and
+// computes the RAS metrics the diagram underpins. "It may be
+// sufficient to record only a few bytes of data: the time and cause of
+// system state changes" -- OpTransition is exactly those bytes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/spec.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace wss::sim {
+
+/// System operational states (Figure 1).
+enum class OpState : std::uint8_t {
+  kProduction,            ///< production uptime: users running jobs
+  kScheduledDowntime,     ///< planned maintenance (PM windows, upgrades)
+  kUnscheduledDowntime,   ///< failure-induced outage
+  kEngineering,           ///< dedicated system testing / diagnostics
+};
+
+/// Display name ("production", "scheduled downtime", ...).
+std::string_view op_state_name(OpState s);
+
+/// One state change: the "few bytes" the paper asks operators to log.
+struct OpTransition {
+  util::TimeUs time = 0;
+  OpState to = OpState::kProduction;
+  std::string cause;  ///< e.g. "weekly PM", "OS upgrade", "failure"
+};
+
+/// RAS metrics over a timeline (the quantities Figure 1 standardizes).
+struct RasMetrics {
+  double production_fraction = 0.0;
+  double scheduled_fraction = 0.0;
+  double unscheduled_fraction = 0.0;
+  double engineering_fraction = 0.0;
+  /// Classical availability: production / (production + unscheduled).
+  double availability = 0.0;
+  /// Mean time between unscheduled outages, in hours (0 if none).
+  double mtbf_hours = 0.0;
+  std::size_t unscheduled_outages = 0;
+};
+
+/// A system's operational-state timeline over its collection window.
+class OpContextTimeline {
+ public:
+  /// Starts in `initial` at `start`; transitions must be appended in
+  /// increasing time order (append throws otherwise).
+  OpContextTimeline(util::TimeUs start, util::TimeUs end,
+                    OpState initial = OpState::kProduction);
+
+  void append(OpTransition t);
+
+  /// The state in effect at time `t` (clamped to the window).
+  OpState state_at(util::TimeUs t) const;
+
+  const std::vector<OpTransition>& transitions() const { return transitions_; }
+  util::TimeUs start() const { return start_; }
+  util::TimeUs end() const { return end_; }
+
+  /// Time-weighted state fractions and derived RAS metrics.
+  RasMetrics metrics() const;
+
+  /// Generates a plausible timeline: weekly 4 h scheduled-maintenance
+  /// windows, ~monthly engineering blocks, and unscheduled outages at
+  /// the given monthly rate.
+  static OpContextTimeline generate(const SystemSpec& spec, util::Rng& rng,
+                                    double unscheduled_per_month = 1.5);
+
+ private:
+  util::TimeUs start_;
+  util::TimeUs end_;
+  OpState initial_;
+  std::vector<OpTransition> transitions_;
+};
+
+}  // namespace wss::sim

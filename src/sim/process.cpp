@@ -1,0 +1,40 @@
+#include "sim/process.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace wss::sim {
+
+void sort_events(std::vector<SimEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const SimEvent& a, const SimEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.source < b.source;
+            });
+}
+
+std::vector<SimEvent> merge_streams(
+    std::vector<std::vector<SimEvent>> streams) {
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  std::vector<SimEvent> out;
+  out.reserve(total);
+
+  // (time, stream index, element index) min-heap.
+  using Head = std::tuple<util::TimeUs, std::size_t, std::size_t>;
+  std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    if (!streams[i].empty()) heap.emplace(streams[i][0].time, i, 0);
+  }
+  while (!heap.empty()) {
+    const auto [t, si, ei] = heap.top();
+    heap.pop();
+    out.push_back(streams[si][ei]);
+    if (ei + 1 < streams[si].size()) {
+      heap.emplace(streams[si][ei + 1].time, si, ei + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace wss::sim

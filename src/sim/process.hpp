@@ -1,0 +1,124 @@
+// Event model and generation plans for the log simulator.
+//
+// The simulator reproduces the paper's corpus *structurally*: every
+// alert category is generated as a set of ground-truth failures
+// ("incidents"), each of which emits a burst of alert messages whose
+// spacing relative to the filtering threshold T determines what the
+// filters see. Physical event counts are capped (Section 2 of
+// DESIGN.md); each event carries a weight so that weighted sums
+// reproduce the paper's raw counts exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parse/record.hpp"
+#include "tag/rulesets.hpp"
+#include "util/time.hpp"
+
+namespace wss::sim {
+
+/// One message to be logged (pre-rendering).
+struct SimEvent {
+  util::TimeUs time = 0;
+  std::uint32_t source = 0;
+  /// Alert category id (index into tag::categories_of(system)), or -1
+  /// for a non-alert chatter message.
+  std::int32_t category = -1;
+  /// Ground-truth failure this alert reports (0 for chatter).
+  std::uint64_t failure_id = 0;
+  /// Severity recorded by the log path (kNone where the path records
+  /// none -- Thunderbird/Spirit/Liberty syslogs, Red Storm ec_*).
+  parse::Severity severity = parse::Severity::kNone;
+  /// Chatter template index (valid when category == -1).
+  std::uint32_t chatter_kind = 0;
+  /// Scale-up weight: (paper count) / (generated count) for this
+  /// event's stream.
+  double weight = 1.0;
+
+  bool is_alert() const { return category >= 0; }
+};
+
+/// How an alert category distributes its incidents across sources.
+enum class SourceMode : std::uint8_t {
+  /// Independent events on random sources (ECC-like physics).
+  kPoisson,
+  /// Each incident is a chain on one randomly chosen source.
+  kSingleNodeBursts,
+  /// A chain on a primary source with trailing reports from other
+  /// sources (the PBS shared-resource shape where serial and
+  /// simultaneous filtering diverge, Section 3.3.2).
+  kMultiNodeBursts,
+  /// Incidents anchored to communication-heavy jobs; events round-
+  /// robin over the job's node block (the SMP clock bug, Section 4).
+  kJobBursts,
+};
+
+/// Generation plan for one alert category (built by sim/catalog.cpp).
+struct CategoryGenPlan {
+  const tag::CategoryInfo* info = nullptr;
+  std::uint16_t category_id = 0;   ///< rule index within the system
+  std::uint64_t gen_events = 0;    ///< physical events to generate
+  double weight = 1.0;             ///< raw_count / gen_events
+  std::uint64_t incidents = 0;     ///< ground-truth failures (~filtered)
+  SourceMode mode = SourceMode::kSingleNodeBursts;
+
+  /// Storm node: `storm_incident_frac` of incidents (carrying
+  /// `storm_event_frac` of events) land on `storm_node`.
+  bool has_storm = false;
+  std::uint32_t storm_node = 0;
+  double storm_event_frac = 0.0;
+  double storm_incident_frac = 0.0;
+
+  /// Adds one extra incident on `shadow_node` *inside* a storm chain:
+  /// the sn325 case whose alert the simultaneous filter removes but
+  /// the serial baseline keeps (Section 3.3.2).
+  bool shadowed_incident = false;
+  std::uint32_t shadow_node = 0;
+
+  /// Time concentration: this fraction of incidents falls in the
+  /// window [begin_frac, begin_frac + len_frac] of the collection
+  /// window (Figure 4's PBS-bug clusters).
+  double concentrate_frac = 0.0;
+  double concentrate_begin_frac = 0.0;
+  double concentrate_len_frac = 0.0;
+
+  /// Fraction of incidents that are "leaky" chains: gaps slightly
+  /// above T, so every event survives filtering. These produce the
+  /// short-interarrival mode of Figure 6(a).
+  double leak_frac = 0.0;
+
+  /// Fraction of incidents placed in temporal clusters (Neyman-Scott
+  /// style: a few cluster centers, lognormal offsets) instead of
+  /// uniformly. Failures beget failures -- Section 4's observation
+  /// that most categories are correlated and heavy-tailed, not
+  /// Poisson. Ignored by kPoisson mode (ECC stays memoryless).
+  double cluster_frac = 0.7;
+
+  /// kMultiNodeBursts: how many distinct sources an incident touches.
+  std::uint32_t nodes_per_burst = 2;
+
+  /// kPoisson: this many extra events form coincident pairs with an
+  /// existing incident (distinct failures within T -- the three ECC
+  /// coincidences that make Table 4 read 146 raw / 143 filtered).
+  std::uint64_t engineered_pairs = 0;
+
+  /// If nonempty, burst sources are drawn from this pool instead of
+  /// all compute sources (e.g. Red Storm DDN categories log only from
+  /// the DDN RAS hosts).
+  std::vector<std::uint32_t> source_pool;
+
+  /// Cascade: anchor this fraction of incidents shortly after the
+  /// incident start times of another category (GM_PAR -> GM_LANAI,
+  /// Figure 3; PBS_CHK -> PBS_BFD, Figure 4).
+  int cascade_from = -1;  ///< category id, -1 = none
+  double cascade_frac = 0.0;
+};
+
+/// Sorts by (time, source) -- the canonical stream order.
+void sort_events(std::vector<SimEvent>& events);
+
+/// Merges pre-sorted streams into one sorted stream.
+std::vector<SimEvent> merge_streams(std::vector<std::vector<SimEvent>> streams);
+
+}  // namespace wss::sim

@@ -1,0 +1,203 @@
+#include "sim/render.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::sim {
+
+namespace {
+
+constexpr std::string_view kPaths[] = {
+    "/usr/src/gm/libgm", "/var/spool/pbs/mom_priv", "/etc/sysconfig",
+    "/bgl/ciod/maps",    "/scratch/run42",
+};
+
+/// Lowercase severity token for the syslog priority field.
+std::string_view priority_name(parse::Severity s) {
+  switch (s) {
+    case parse::Severity::kDebug:
+      return "debug";
+    case parse::Severity::kInfo:
+      return "info";
+    case parse::Severity::kNotice:
+      return "notice";
+    case parse::Severity::kWarning:
+      return "warning";
+    case parse::Severity::kError:
+      return "err";
+    case parse::Severity::kCrit:
+      return "crit";
+    case parse::Severity::kAlert:
+      return "alert";
+    case parse::Severity::kEmerg:
+      return "emerg";
+    default:
+      return "info";
+  }
+}
+
+}  // namespace
+
+Renderer::Renderer(const SystemSpec& spec, const SourceNamer& namer,
+                   CorruptionConfig corruption, std::uint64_t seed)
+    : spec_(&spec),
+      namer_(&namer),
+      categories_(tag::categories_of(spec.id)),
+      injector_(corruption, seed ^ 0xc0ffee),
+      seed_(seed) {}
+
+tag::LogPath Renderer::path_of(const SimEvent& e) const {
+  if (e.is_alert()) {
+    return categories_.at(static_cast<std::size_t>(e.category))->path;
+  }
+  return chatter_templates(spec_->id).at(e.chatter_kind).path;
+}
+
+std::string Renderer::expand(std::string_view tmpl, const SimEvent& e,
+                             util::Rng& rng) const {
+  std::string out;
+  out.reserve(tmpl.size() + 16);
+  for (std::size_t i = 0; i < tmpl.size();) {
+    if (tmpl[i] != '{') {
+      out.push_back(tmpl[i]);
+      ++i;
+      continue;
+    }
+    const std::size_t close = tmpl.find('}', i);
+    if (close == std::string_view::npos) {
+      out.append(tmpl.substr(i));
+      break;
+    }
+    const std::string_view key = tmpl.substr(i + 1, close - i - 1);
+    if (key == "n") {
+      out.append(std::to_string(rng.uniform_i64(1, 9999)));
+    } else if (key == "ip") {
+      out.append(util::format("10.%d.%d.%d",
+                              static_cast<int>(rng.uniform_i64(0, 3)),
+                              static_cast<int>(rng.uniform_i64(0, 255)),
+                              static_cast<int>(rng.uniform_i64(1, 254))));
+    } else if (key == "hex") {
+      out.append(util::format("%016llx",
+                              static_cast<unsigned long long>(rng())));
+    } else if (key == "path") {
+      out.append(kPaths[rng.uniform_u64(std::size(kPaths))]);
+    } else if (key == "node") {
+      out.append(namer_->name(e.source));
+    } else if (key == "time") {
+      out.append(util::format_iso(e.time));
+    } else {
+      out.append(tmpl.substr(i, close - i + 1));  // unknown: literal
+    }
+    i = close + 1;
+  }
+  return out;
+}
+
+std::string Renderer::base_line(const SimEvent& e,
+                                std::uint64_t event_index) const {
+  util::Rng rng(seed_ ^ (event_index * 0x2545f4914f6cdd1dull));
+
+  std::string_view program;
+  std::string_view body_tmpl;
+  tag::LogPath path;
+  if (e.is_alert()) {
+    const tag::CategoryInfo& c =
+        *categories_.at(static_cast<std::size_t>(e.category));
+    program = c.program;
+    body_tmpl = c.body_template;
+    path = c.path;
+  } else {
+    const ChatterTemplate& t = chatter_templates(spec_->id).at(e.chatter_kind);
+    program = t.program;
+    body_tmpl = t.body;
+    path = t.path;
+  }
+  const std::string body = expand(body_tmpl, e, rng);
+  const std::string host = namer_->name(e.source);
+
+  switch (path) {
+    case tag::LogPath::kSyslog: {
+      std::string line = util::format_syslog(e.time);
+      line.push_back(' ');
+      line.append(host);
+      line.push_back(' ');
+      if (!program.empty()) {
+        line.append(program);
+        // Daemons log with a pid; the kernel does not.
+        if (program != "kernel" && program != "check-disks") {
+          line.append(util::format("[%d]",
+                                   static_cast<int>(rng.uniform_i64(200,
+                                                                    32000))));
+        }
+        line.append(": ");
+      }
+      line.append(body);
+      return line;
+    }
+    case tag::LogPath::kBglRas: {
+      const auto epoch = e.time / util::kUsPerSec;
+      const util::CivilTime ct = util::to_civil(e.time);
+      std::string line = util::format(
+          "%lld %04d.%02d.%02d ", static_cast<long long>(epoch), ct.year,
+          ct.month, ct.day);
+      line.append(host);
+      line.push_back(' ');
+      line.append(util::format_bgl(e.time));
+      line.push_back(' ');
+      line.append(host);
+      line.append(" RAS ");
+      line.append(program.empty() ? "KERNEL" : program);
+      line.push_back(' ');
+      line.append(parse::severity_bgl_name(e.severity));
+      line.push_back(' ');
+      line.append(body);
+      return line;
+    }
+    case tag::LogPath::kRsSyslog:
+    case tag::LogPath::kRsDdn: {
+      std::string line = util::format_syslog(e.time);
+      line.push_back(' ');
+      line.append(host);
+      line.push_back(' ');
+      const bool kern = program == "kernel";
+      line.append(path == tag::LogPath::kRsDdn ? "local0"
+                                               : (kern ? "kern" : "daemon"));
+      line.push_back('.');
+      line.append(priority_name(e.severity));
+      line.push_back(' ');
+      if (!program.empty()) {
+        line.append(program);
+        line.append(": ");
+      }
+      line.append(body);
+      return line;
+    }
+    case tag::LogPath::kRsEventRouter: {
+      std::string line = util::format_iso(e.time);
+      line.push_back(' ');
+      line.append(program.empty() ? "ec_event" : program);
+      line.append(" src:::");
+      line.append(host);
+      line.append(" svc:::");
+      line.append(host);
+      line.push_back(' ');
+      line.append(body);
+      return line;
+    }
+  }
+  throw std::logic_error("Renderer: unknown log path");
+}
+
+std::string Renderer::render(const SimEvent& e,
+                             std::uint64_t event_index) const {
+  return injector_.apply(base_line(e, event_index), event_index, path_of(e),
+                         e.is_alert());
+}
+
+std::string Renderer::render_clean(const SimEvent& e,
+                                   std::uint64_t event_index) const {
+  return base_line(e, event_index);
+}
+
+}  // namespace wss::sim

@@ -1,0 +1,45 @@
+#include "sim/spec.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace wss::sim {
+
+namespace {
+
+using parse::SystemId;
+
+constexpr std::array<SystemSpec, parse::kNumSystems> kSpecs = {{
+    // Blue Gene/L: #1 on the June 2006 Top500; logs from the MMCS RAS
+    // database at LLNL.
+    {SystemId::kBlueGeneL, "LLNL", "IBM", 1, 131072, 32768, "Custom",
+     {2005, 6, 3, 0, 0, 0, 0}, 215, 1.207, 0.118, 64.976, 4747963, 348460,
+     41, 544},
+    // Thunderbird: Dell Infiniband cluster at SNL.
+    {SystemId::kThunderbird, "SNL", "Dell", 6, 9024, 27072, "Infiniband",
+     {2005, 11, 9, 0, 0, 0, 0}, 244, 27.367, 5.721, 1298.146, 211212192,
+     3248239, 10, 1024},
+    // Red Storm: Cray XT3 at SNL; several logging paths (Section 3.1).
+    {SystemId::kRedStorm, "SNL", "Cray", 9, 10880, 32640, "Custom",
+     {2006, 3, 19, 0, 0, 0, 0}, 104, 29.990, 1.215, 3337.562, 219096168,
+     1665744, 12, 640},
+    // Spirit (ICC2): HP GigEthernet cluster; the largest log despite
+    // being the second-smallest machine (disk-alert storms).
+    {SystemId::kSpirit, "SNL", "HP", 202, 1028, 1024, "GigEthernet",
+     {2005, 1, 1, 0, 0, 0, 0}, 558, 30.289, 1.678, 628.257, 272298969,
+     172816564, 8, 520},
+    // Liberty: HP Myrinet cluster, the smallest system in the study.
+    {SystemId::kLiberty, "SNL", "HP", 445, 512, 944, "Myrinet",
+     {2004, 12, 12, 0, 0, 0, 0}, 315, 22.820, 0.622, 835.824, 265569231,
+     2452, 6, 264},
+}};
+
+}  // namespace
+
+const SystemSpec& system_spec(parse::SystemId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= kSpecs.size()) throw std::invalid_argument("bad SystemId");
+  return kSpecs[idx];
+}
+
+}  // namespace wss::sim

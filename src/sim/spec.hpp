@@ -1,0 +1,49 @@
+// Static descriptions of the five supercomputers (Tables 1 and 2).
+//
+// These are the calibration constants for the simulator: the machine
+// characteristics the paper lists, the log-collection window, and the
+// paper's total message/alert counts that the weighted generation
+// reproduces.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "parse/record.hpp"
+#include "util/time.hpp"
+
+namespace wss::sim {
+
+/// One system's characteristics (Table 1) and log totals (Table 2).
+struct SystemSpec {
+  parse::SystemId id;
+  std::string_view owner;         ///< LLNL or SNL
+  std::string_view vendor;        ///< IBM, Dell, Cray, HP
+  int top500_rank;                ///< June 2006 list
+  std::uint64_t procs;
+  std::uint64_t memory_gb;
+  std::string_view interconnect;
+
+  util::CivilTime start_date;     ///< log collection start (Table 2)
+  int days;                       ///< collection window length
+  double size_gb;                 ///< raw log size reported by the paper
+  double compressed_gb;           ///< gzip size reported by the paper
+  double rate_bytes_per_sec;      ///< paper's average logging rate
+  std::uint64_t messages;         ///< total messages (Table 2)
+  std::uint64_t alerts;           ///< total alerts (Table 2)
+  int categories;                 ///< observed alert categories
+
+  /// Number of distinct log sources we simulate (scaled-down but
+  /// structurally faithful: compute nodes + admin/service nodes).
+  std::uint32_t n_sources;
+
+  util::TimeUs start_time() const { return util::to_time_us(start_date); }
+  util::TimeUs end_time() const {
+    return start_time() + static_cast<util::TimeUs>(days) * util::kUsPerDay;
+  }
+};
+
+/// Spec for one system. Data quoted from Tables 1 and 2.
+const SystemSpec& system_spec(parse::SystemId id);
+
+}  // namespace wss::sim

@@ -1,0 +1,65 @@
+#include "sim/transport.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace wss::sim {
+
+std::vector<SimEvent> apply_udp_loss(const std::vector<SimEvent>& sorted,
+                                     const UdpConfig& cfg, util::Rng& rng,
+                                     TransportStats* stats) {
+  std::vector<SimEvent> out;
+  out.reserve(sorted.size());
+  TransportStats st;
+  std::deque<util::TimeUs> window;  // offered-message times in the window
+  for (const SimEvent& e : sorted) {
+    ++st.offered;
+    while (!window.empty() && e.time - window.front() > cfg.rate_window_us) {
+      window.pop_front();
+    }
+    window.push_back(e.time);
+    const double contention =
+        cfg.contention_loss_per_k * static_cast<double>(window.size()) / 1000.0;
+    const double p = std::min(0.9, cfg.base_loss + contention);
+    if (rng.bernoulli(p)) {
+      ++st.dropped;
+    } else {
+      ++st.delivered;
+      out.push_back(e);
+    }
+  }
+  if (stats != nullptr) *stats = st;
+  return out;
+}
+
+std::vector<SimEvent> apply_tcp(const std::vector<SimEvent>& sorted,
+                                TransportStats* stats) {
+  if (stats != nullptr) {
+    stats->offered = stats->delivered = sorted.size();
+    stats->dropped = 0;
+  }
+  return sorted;
+}
+
+std::vector<SimEvent> apply_jtag_polling(const std::vector<SimEvent>& sorted,
+                                         util::TimeUs poll_interval_us,
+                                         TransportStats* stats) {
+  std::vector<SimEvent> out;
+  out.reserve(sorted.size());
+  // Stable bucketing by poll tick; events already time-sorted, so the
+  // grouping is a no-op reorder unless events straddle tick edges with
+  // equal times -- we preserve input order within a tick.
+  for (const SimEvent& e : sorted) out.push_back(e);
+  std::stable_sort(out.begin(), out.end(),
+                   [poll_interval_us](const SimEvent& a, const SimEvent& b) {
+                     return a.time / poll_interval_us <
+                            b.time / poll_interval_us;
+                   });
+  if (stats != nullptr) {
+    stats->offered = stats->delivered = sorted.size();
+    stats->dropped = 0;
+  }
+  return out;
+}
+
+}  // namespace wss::sim

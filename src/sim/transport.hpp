@@ -1,0 +1,65 @@
+// Log-collection transport models (Section 3.1).
+//
+// Thunderbird/Spirit/Liberty forward syslog over UDP: "As is standard
+// syslog practice, the UDP protocol is used for transmission,
+// resulting in some messages being lost during network contention."
+// Red Storm's RAS network uses reliable TCP; BG/L compute chips are
+// polled over JTAG roughly every millisecond. The default calibration
+// targets are post-collection counts, so the main pipeline runs
+// loss-free; these models feed the transport/corruption ablation
+// bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/process.hpp"
+#include "util/rng.hpp"
+
+namespace wss::sim {
+
+/// UDP loss model: a base loss probability plus a contention term
+/// proportional to the instantaneous message rate.
+struct UdpConfig {
+  double base_loss = 0.001;
+  /// Additional drop probability per 1000 msgs observed in the
+  /// trailing rate window (caps at 0.9 total).
+  double contention_loss_per_k = 0.05;
+  util::TimeUs rate_window_us = util::kUsPerSec;
+};
+
+/// Delivery statistics.
+struct TransportStats {
+  std::uint64_t offered = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+
+  double loss_rate() const {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(dropped) /
+                              static_cast<double>(offered);
+  }
+};
+
+/// Applies UDP loss to a time-sorted stream; returns the survivors.
+/// Loss is bursty by construction: the contention term makes drops
+/// cluster exactly where the log is densest (alert storms).
+std::vector<SimEvent> apply_udp_loss(const std::vector<SimEvent>& sorted,
+                                     const UdpConfig& cfg, util::Rng& rng,
+                                     TransportStats* stats = nullptr);
+
+/// Reliable TCP path: identity delivery (kept for symmetry and the
+/// ablation bench's comparison table).
+std::vector<SimEvent> apply_tcp(const std::vector<SimEvent>& sorted,
+                                TransportStats* stats = nullptr);
+
+/// JTAG-mailbox polling (BG/L): events are *collected* at the next
+/// poll tick, which batches arrivals; their logged timestamps remain
+/// the event times (the RAS database stores event time at microsecond
+/// granularity). Returns the collection order, i.e. events grouped by
+/// poll tick; within a tick, original order is preserved.
+std::vector<SimEvent> apply_jtag_polling(const std::vector<SimEvent>& sorted,
+                                         util::TimeUs poll_interval_us,
+                                         TransportStats* stats = nullptr);
+
+}  // namespace wss::sim

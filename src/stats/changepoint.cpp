@@ -1,0 +1,88 @@
+#include "stats/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wss::stats {
+
+namespace {
+
+struct Split {
+  bool found = false;
+  std::size_t index = 0;
+  double score = 0.0;
+};
+
+double segment_mean(const std::vector<double>& s, std::size_t b,
+                    std::size_t e) {
+  double sum = 0.0;
+  for (std::size_t i = b; i < e; ++i) sum += s[i];
+  return e > b ? sum / static_cast<double>(e - b) : 0.0;
+}
+
+/// Best CUSUM split of s[b, e).
+Split best_split(const std::vector<double>& s, std::size_t b, std::size_t e,
+                 const ChangePointOptions& opts) {
+  Split out;
+  const std::size_t n = e - b;
+  if (n < 2 * opts.min_segment) return out;
+  const double m = segment_mean(s, b, e);
+  double var = 0.0;
+  for (std::size_t i = b; i < e; ++i) var += (s[i] - m) * (s[i] - m);
+  var /= static_cast<double>(n);
+  const double sigma = std::sqrt(std::max(var, 1e-12));
+
+  double cusum = 0.0;
+  double best = 0.0;
+  std::size_t best_k = 0;
+  for (std::size_t i = b; i + 1 < e; ++i) {
+    cusum += s[i] - m;
+    const std::size_t left = i - b + 1;
+    const std::size_t right = e - i - 1;
+    if (left < opts.min_segment || right < opts.min_segment) continue;
+    const double score =
+        std::fabs(cusum) / (sigma * std::sqrt(static_cast<double>(n)));
+    if (score > best) {
+      best = score;
+      best_k = i + 1;
+    }
+  }
+  if (best >= opts.min_score) {
+    out.found = true;
+    out.index = best_k;
+    out.score = best;
+  }
+  return out;
+}
+
+void segment(const std::vector<double>& s, std::size_t b, std::size_t e,
+             const ChangePointOptions& opts, std::vector<ChangePoint>& out) {
+  if (out.size() >= opts.max_changes) return;
+  const Split sp = best_split(s, b, e, opts);
+  if (!sp.found) return;
+  ChangePoint cp;
+  cp.index = sp.index;
+  cp.score = sp.score;
+  cp.mean_before = segment_mean(s, b, sp.index);
+  cp.mean_after = segment_mean(s, sp.index, e);
+  out.push_back(cp);
+  segment(s, b, sp.index, opts, out);
+  segment(s, sp.index, e, opts, out);
+}
+
+}  // namespace
+
+std::vector<ChangePoint> detect_changepoints(const std::vector<double>& series,
+                                             const ChangePointOptions& opts) {
+  std::vector<ChangePoint> out;
+  if (series.size() >= 2 * opts.min_segment) {
+    segment(series, 0, series.size(), opts, out);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ChangePoint& a, const ChangePoint& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace wss::stats

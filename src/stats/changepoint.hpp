@@ -1,0 +1,42 @@
+// Change-point (phase-shift) detection.
+//
+// Section 3.2.1 ("System Evolution") observes that upgrades and
+// configuration changes shift log behavior wholesale -- Figure 2(a)
+// shows Liberty's message rate jumping after an OS upgrade -- and that
+// "the ability to detect phase shifts in behavior would be a valuable
+// tool". We implement the standard tool for that: binary-segmentation
+// mean-shift detection with a CUSUM statistic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wss::stats {
+
+/// A detected mean shift.
+struct ChangePoint {
+  std::size_t index = 0;     ///< first bucket of the new regime
+  double mean_before = 0.0;  ///< segment mean to the left
+  double mean_after = 0.0;   ///< segment mean to the right
+  double score = 0.0;        ///< normalized CUSUM statistic at the split
+};
+
+/// Options for detect_changepoints.
+struct ChangePointOptions {
+  /// Minimum normalized CUSUM score to accept a split. The score is
+  /// |S_k| / (sigma * sqrt(n)) where S_k is the centered cumulative
+  /// sum; under the no-change null it concentrates below ~1.36 (the
+  /// 95% Kolmogorov bound), so the default rejects noise.
+  double min_score = 1.5;
+  /// Minimum segment length on either side of a split.
+  std::size_t min_segment = 8;
+  /// Maximum number of change points to return.
+  std::size_t max_changes = 8;
+};
+
+/// Detects mean shifts in `series` by recursive binary segmentation.
+/// Returned points are sorted by index.
+std::vector<ChangePoint> detect_changepoints(
+    const std::vector<double>& series, const ChangePointOptions& opts = {});
+
+}  // namespace wss::stats

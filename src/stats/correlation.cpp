@@ -1,0 +1,148 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace wss::stats {
+
+double pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const auto n = static_cast<double>(a.size());
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double sab = 0.0;
+  double saa = 0.0;
+  double sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+std::vector<double> cross_correlation(const std::vector<util::TimeUs>& a,
+                                      const std::vector<util::TimeUs>& b,
+                                      util::TimeUs bin_us,
+                                      std::size_t max_lag) {
+  if (bin_us <= 0) throw std::invalid_argument("cross_correlation: bad bin");
+  std::vector<double> out(2 * max_lag + 1, 0.0);
+  if (a.empty() || b.empty()) return out;
+
+  util::TimeUs lo = std::min(*std::min_element(a.begin(), a.end()),
+                             *std::min_element(b.begin(), b.end()));
+  util::TimeUs hi = std::max(*std::max_element(a.begin(), a.end()),
+                             *std::max_element(b.begin(), b.end()));
+  const auto n_bins = static_cast<std::size_t>((hi - lo) / bin_us + 1);
+  std::vector<double> sa(n_bins, 0.0);
+  std::vector<double> sb(n_bins, 0.0);
+  for (const auto t : a) sa[static_cast<std::size_t>((t - lo) / bin_us)] += 1.0;
+  for (const auto t : b) sb[static_cast<std::size_t>((t - lo) / bin_us)] += 1.0;
+
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const auto lag = static_cast<std::int64_t>(k) -
+                     static_cast<std::int64_t>(max_lag);
+    // Correlate sa[i] with sb[i + lag] over the overlapping range.
+    std::vector<double> xa;
+    std::vector<double> xb;
+    for (std::size_t i = 0; i < n_bins; ++i) {
+      const std::int64_t j = static_cast<std::int64_t>(i) + lag;
+      if (j < 0 || j >= static_cast<std::int64_t>(n_bins)) continue;
+      xa.push_back(sa[i]);
+      xb.push_back(sb[static_cast<std::size_t>(j)]);
+    }
+    out[k] = pearson(xa, xb);
+  }
+  return out;
+}
+
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag) {
+  std::vector<double> out;
+  out.reserve(max_lag + 1);
+  const std::size_t n = series.size();
+  if (n < 2) {
+    out.assign(max_lag + 1, 0.0);
+    if (!out.empty()) out[0] = 1.0;
+    return out;
+  }
+  double m = 0.0;
+  for (const double x : series) m += x;
+  m /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double x : series) var += (x - m) * (x - m);
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    if (lag >= n || var <= 0.0) {
+      out.push_back(lag == 0 ? 1.0 : 0.0);
+      continue;
+    }
+    double cov = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      cov += (series[i] - m) * (series[i + lag] - m);
+    }
+    out.push_back(cov / var);
+  }
+  return out;
+}
+
+double cooccurrence_fraction(std::vector<util::TimeUs> a,
+                             std::vector<util::TimeUs> b,
+                             util::TimeUs window_us) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::size_t hits = 0;
+  for (const auto t : a) {
+    const auto it = std::lower_bound(b.begin(), b.end(), t - window_us);
+    if (it != b.end() && *it <= t + window_us) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(a.size());
+}
+
+double spatial_spread(const std::vector<util::TimeUs>& times,
+                      const std::vector<std::uint32_t>& sources,
+                      util::TimeUs window_us) {
+  if (times.size() != sources.size() || times.empty() || window_us <= 0) {
+    return 0.0;
+  }
+  // Sort events by time (indices).
+  std::vector<std::size_t> order(times.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return times[x] < times[y]; });
+
+  double score_sum = 0.0;
+  std::size_t n_windows = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const util::TimeUs window_end = times[order[i]] + window_us;
+    std::unordered_set<std::uint32_t> distinct;
+    std::size_t count = 0;
+    std::size_t j = i;
+    while (j < order.size() && times[order[j]] < window_end) {
+      distinct.insert(sources[order[j]]);
+      ++count;
+      ++j;
+    }
+    if (count >= 2) {
+      score_sum += static_cast<double>(distinct.size() - 1) /
+                   static_cast<double>(count - 1);
+    }
+    ++n_windows;  // singleton windows contribute 0
+    i = j;
+  }
+  return n_windows == 0 ? 0.0 : score_sum / static_cast<double>(n_windows);
+}
+
+}  // namespace wss::stats

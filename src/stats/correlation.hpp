@@ -1,0 +1,55 @@
+// Correlation measures for alert streams.
+//
+// Figure 3 shows GM_PAR and GM_LANAI alerts on Liberty are clearly
+// correlated although neither always follows the other; Section 4
+// describes CPU clock alerts that are *spatially* correlated across
+// the node set of a communication-heavy job. These functions quantify
+// both effects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wss::stats {
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or lengths mismatch.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Cross-correlation of two event-time streams: the two streams are
+/// binned at `bin_us`, and the Pearson correlation of the binned
+/// series is computed at integer bin lags in [-max_lag, +max_lag].
+/// Returns the correlations indexed by lag + max_lag.
+std::vector<double> cross_correlation(const std::vector<util::TimeUs>& a,
+                                      const std::vector<util::TimeUs>& b,
+                                      util::TimeUs bin_us, std::size_t max_lag);
+
+/// Co-occurrence score for two event streams: fraction of events in
+/// `a` that have at least one event of `b` within `window_us`.
+/// This is the paper-style evidence that two tags "travel together".
+double cooccurrence_fraction(std::vector<util::TimeUs> a,
+                             std::vector<util::TimeUs> b,
+                             util::TimeUs window_us);
+
+/// Autocorrelation of a series at integer lags 0..max_lag (lag 0 is
+/// 1 by definition). Bursty/correlated alert streams show slowly
+/// decaying autocorrelation in their binned counts; independent
+/// streams drop to ~0 immediately -- the Section 4 distinction
+/// between ECC and everything else.
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+/// Spatial correlation score over (time, source) events: the mean,
+/// over all `window_us` windows (greedily segmented from the first
+/// event), of (distinct sources - 1) / (events - 1); windows with a
+/// single event contribute 0 (no spatial structure at all). Near 1
+/// means bursts span many nodes (spatially correlated, e.g. the SMP
+/// clock bug); near 0 means events are isolated or stay on one node
+/// (independent ECC faults, a dying disk).
+double spatial_spread(const std::vector<util::TimeUs>& times,
+                      const std::vector<std::uint32_t>& sources,
+                      util::TimeUs window_us);
+
+}  // namespace wss::stats

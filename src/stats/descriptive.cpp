@@ -1,0 +1,67 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wss::stats {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double idx = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double coefficient_of_variation(const std::vector<double>& xs) {
+  const double m = mean(xs);
+  if (m == 0.0) return 0.0;
+  return std::sqrt(variance(xs)) / m;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs);
+  std::sort(sorted.begin(), sorted.end());
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.stddev = std::sqrt(variance(xs));
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p05 = percentile_sorted(sorted, 0.05);
+  s.p95 = percentile_sorted(sorted, 0.95);
+  return s;
+}
+
+std::vector<double> interarrival_seconds(std::vector<std::int64_t> times_us) {
+  std::sort(times_us.begin(), times_us.end());
+  std::vector<double> gaps;
+  if (times_us.size() < 2) return gaps;
+  gaps.reserve(times_us.size() - 1);
+  for (std::size_t i = 1; i < times_us.size(); ++i) {
+    gaps.push_back(static_cast<double>(times_us[i] - times_us[i - 1]) / 1e6);
+  }
+  return gaps;
+}
+
+}  // namespace wss::stats

@@ -1,0 +1,43 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wss::stats {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p05 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes summary statistics. Returns a zeroed Summary when `xs` is
+/// empty. Does not modify the input.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile of a *sorted* sample; q in [0, 1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Arithmetic mean (0 for an empty sample).
+double mean(const std::vector<double>& xs);
+
+/// Sample variance with n-1 denominator (0 when count < 2).
+double variance(const std::vector<double>& xs);
+
+/// Coefficient of variation: stddev / mean. The paper's heavy-tail /
+/// burstiness discussions hinge on CV >> 1 (an exponential has CV = 1).
+double coefficient_of_variation(const std::vector<double>& xs);
+
+/// Converts interarrival gaps from event timestamps (sorted or not;
+/// they are sorted internally). Result has size() - 1 entries, in
+/// seconds given timestamps in microseconds.
+std::vector<double> interarrival_seconds(std::vector<std::int64_t> times_us);
+
+}  // namespace wss::stats

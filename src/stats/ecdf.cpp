@@ -1,0 +1,48 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+
+namespace wss::stats {
+
+Ecdf::Ecdf(std::vector<double> xs) : sorted_(std::move(xs)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::operator()(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (sorted_.empty()) return 0.0;
+  if (q <= 0.0) return sorted_.front();
+  if (q >= 1.0) return sorted_.back();
+  const auto idx = static_cast<std::size_t>(
+      std::max(0.0, q * static_cast<double>(sorted_.size()) - 1.0));
+  // Smallest value whose F >= q.
+  for (std::size_t i = idx; i < sorted_.size(); ++i) {
+    if ((*this)(sorted_[i]) >= q) return sorted_[i];
+  }
+  return sorted_.back();
+}
+
+std::vector<std::pair<double, double>> Ecdf::steps() const {
+  std::vector<std::pair<double, double>> out;
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  return out;
+}
+
+double ks_two_sample_statistic(const Ecdf& a, const Ecdf& b) {
+  double d = 0.0;
+  for (const double x : a.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
+  for (const double x : b.sorted()) d = std::max(d, std::abs(a(x) - b(x)));
+  return d;
+}
+
+}  // namespace wss::stats

@@ -1,0 +1,41 @@
+// Empirical cumulative distribution function.
+//
+// Backs the figure benches' CSV series and the KS test's visual
+// counterpart: the paper reads distribution shape off CDF/histogram
+// plots before (and instead of) trusting best-fit parameters.
+#pragma once
+
+#include <vector>
+
+namespace wss::stats {
+
+/// Immutable ECDF over a sample. Construction sorts a copy; evaluation
+/// is O(log n).
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> xs);
+
+  /// F(x) = fraction of samples <= x. 0 for an empty sample.
+  double operator()(double x) const;
+
+  /// Inverse: smallest sample value with F(x) >= q, for q in (0, 1].
+  /// Returns the minimum for q <= 0 and the maximum for q >= 1.
+  double quantile(double q) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// (x, F(x)) pairs at each distinct sample point -- a plottable
+  /// staircase series.
+  std::vector<std::pair<double, double>> steps() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Largest absolute difference between two ECDFs (the two-sample KS
+/// statistic), used to compare a category's behaviour across epochs
+/// (the "system evolution" phase-shift check).
+double ks_two_sample_statistic(const Ecdf& a, const Ecdf& b);
+
+}  // namespace wss::stats

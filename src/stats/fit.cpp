@@ -1,0 +1,153 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::stats {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<double> positive_only(const std::vector<double>& xs) {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (x > 0.0) out.push_back(x);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("distribution fit: no positive samples");
+  }
+  return out;
+}
+
+}  // namespace
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double aic(double log_likelihood, int n_params) {
+  return 2.0 * n_params - 2.0 * log_likelihood;
+}
+
+double ExponentialFit::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  return rate * std::exp(-rate * x);
+}
+
+double ExponentialFit::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return 1.0 - std::exp(-rate * x);
+}
+
+double LognormalFit::pdf(double x) const {
+  if (x <= 0.0 || sigma <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu) / sigma;
+  return std::exp(-0.5 * z * z) / (x * sigma * std::sqrt(2.0 * kPi));
+}
+
+double LognormalFit::cdf(double x) const {
+  if (x <= 0.0 || sigma <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu) / sigma);
+}
+
+double WeibullFit::pdf(double x) const {
+  if (x <= 0.0 || shape <= 0.0 || scale <= 0.0) return 0.0;
+  const double t = x / scale;
+  return (shape / scale) * std::pow(t, shape - 1.0) *
+         std::exp(-std::pow(t, shape));
+}
+
+double WeibullFit::cdf(double x) const {
+  if (x <= 0.0 || shape <= 0.0 || scale <= 0.0) return 0.0;
+  return 1.0 - std::exp(-std::pow(x / scale, shape));
+}
+
+ExponentialFit fit_exponential(const std::vector<double>& xs) {
+  const auto pos = positive_only(xs);
+  double sum = 0.0;
+  for (double x : pos) sum += x;
+  ExponentialFit fit;
+  fit.rate = static_cast<double>(pos.size()) / sum;
+  double ll = 0.0;
+  for (double x : pos) ll += std::log(fit.rate) - fit.rate * x;
+  fit.log_likelihood = ll;
+  return fit;
+}
+
+LognormalFit fit_lognormal(const std::vector<double>& xs) {
+  const auto pos = positive_only(xs);
+  const auto n = static_cast<double>(pos.size());
+  double sum = 0.0;
+  for (double x : pos) sum += std::log(x);
+  const double mu = sum / n;
+  double ss = 0.0;
+  for (double x : pos) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  LognormalFit fit;
+  fit.mu = mu;
+  fit.sigma = std::sqrt(ss / n);  // MLE uses the n denominator
+  if (fit.sigma <= 0.0) fit.sigma = 1e-12;
+  double ll = 0.0;
+  for (double x : pos) ll += std::log(fit.pdf(x));
+  fit.log_likelihood = ll;
+  return fit;
+}
+
+WeibullFit fit_weibull(const std::vector<double>& xs) {
+  const auto pos = positive_only(xs);
+  const auto n = static_cast<double>(pos.size());
+  std::vector<double> logs(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) logs[i] = std::log(pos[i]);
+  double mean_log = 0.0;
+  for (double l : logs) mean_log += l;
+  mean_log /= n;
+
+  // Profile likelihood equation for the shape k:
+  //   g(k) = sum(x^k log x)/sum(x^k) - 1/k - mean(log x) = 0
+  const auto g = [&](double k) {
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      const double xk = std::pow(pos[i], k);
+      num += xk * logs[i];
+      den += xk;
+    }
+    return num / den - 1.0 / k - mean_log;
+  };
+
+  WeibullFit fit;
+  // Bracket the root; g is increasing in k for positive samples.
+  double lo = 1e-3;
+  double hi = 1.0;
+  while (g(hi) < 0.0 && hi < 1e3) hi *= 2.0;
+  if (g(hi) < 0.0 || g(lo) > 0.0) {
+    fit.converged = false;
+    fit.shape = 1.0;
+  } else {
+    for (int iter = 0; iter < 200; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (g(mid) < 0.0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    fit.shape = 0.5 * (lo + hi);
+    fit.converged = true;
+  }
+  double sk = 0.0;
+  for (double x : pos) sk += std::pow(x, fit.shape);
+  fit.scale = std::pow(sk / n, 1.0 / fit.shape);
+  double ll = 0.0;
+  for (double x : pos) {
+    const double p = fit.pdf(x);
+    ll += std::log(std::max(p, 1e-300));
+  }
+  fit.log_likelihood = ll;
+  return fit;
+}
+
+}  // namespace wss::stats

@@ -1,0 +1,63 @@
+// Maximum-likelihood distribution fits.
+//
+// Section 4 of the paper fits interarrival distributions: ECC alerts
+// look exponential / roughly lognormal, most other categories fit
+// nothing well ("heavy tails result in very poor statistical
+// goodness-of-fit metrics"). We implement the three families the
+// failure-modeling literature uses: exponential, lognormal, Weibull.
+#pragma once
+
+#include <vector>
+
+namespace wss::stats {
+
+/// Fitted exponential distribution: pdf(x) = rate * exp(-rate x).
+struct ExponentialFit {
+  double rate = 0.0;
+  double log_likelihood = 0.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+};
+
+/// Fitted lognormal distribution: log(X) ~ Normal(mu, sigma).
+struct LognormalFit {
+  double mu = 0.0;
+  double sigma = 0.0;
+  double log_likelihood = 0.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+};
+
+/// Fitted Weibull distribution with shape k and scale lambda.
+struct WeibullFit {
+  double shape = 0.0;
+  double scale = 0.0;
+  double log_likelihood = 0.0;
+  bool converged = false;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+};
+
+/// MLE for the exponential family. Samples must be positive; zeros and
+/// negatives are dropped. Throws std::invalid_argument if nothing
+/// positive remains.
+ExponentialFit fit_exponential(const std::vector<double>& xs);
+
+/// MLE for the lognormal family (mu, sigma from log-samples).
+LognormalFit fit_lognormal(const std::vector<double>& xs);
+
+/// MLE for the Weibull family; the shape equation is solved by Newton
+/// iteration with bisection fallback.
+WeibullFit fit_weibull(const std::vector<double>& xs);
+
+/// Standard normal CDF (via erfc).
+double normal_cdf(double z);
+
+/// Akaike information criterion given a fit's log-likelihood and its
+/// parameter count. Lower is better; used to rank candidate families.
+double aic(double log_likelihood, int n_params);
+
+}  // namespace wss::stats

@@ -1,0 +1,138 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::stats {
+
+namespace {
+
+/// Inverts a monotone CDF by bisection over an expanding bracket.
+double invert_cdf(const std::function<double(double)>& cdf, double p) {
+  double lo = 0.0;
+  double hi = 1.0;
+  while (cdf(hi) < p && hi < 1e30) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double kolmogorov_q(double t) {
+  if (t <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += (k % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double regularized_gamma_q(double a, double x) {
+  if (x < 0.0 || a <= 0.0) {
+    throw std::invalid_argument("regularized_gamma_q: bad arguments");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) {
+    // Series for P(a, x); Q = 1 - P.
+    double sum = 1.0 / a;
+    double term = sum;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return std::clamp(1.0 - p, 0.0, 1.0);
+  }
+  // Continued fraction for Q(a, x) (Lentz's algorithm).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double chi_squared_sf(double x, double df) {
+  if (x <= 0.0) return 1.0;
+  return regularized_gamma_q(df / 2.0, x / 2.0);
+}
+
+GofResult ks_test(std::vector<double> xs,
+                  const std::function<double(double)>& cdf) {
+  GofResult r;
+  r.n = xs.size();
+  if (xs.empty()) return r;
+  std::sort(xs.begin(), xs.end());
+  const auto n = static_cast<double>(xs.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double f = cdf(xs[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::fabs(f - lo), std::fabs(hi - f)});
+  }
+  r.statistic = d;
+  // Asymptotic with the Stephens small-sample correction.
+  const double t = d * (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n));
+  r.p_value = kolmogorov_q(t);
+  return r;
+}
+
+GofResult chi_squared_test(const std::vector<double>& xs,
+                           const std::function<double(double)>& cdf,
+                           std::size_t n_bins, int n_fitted_params) {
+  GofResult r;
+  r.n = xs.size();
+  if (xs.empty() || n_bins < 2) return r;
+  // Equal-probability bin edges from the model.
+  std::vector<double> edges;
+  edges.reserve(n_bins - 1);
+  for (std::size_t i = 1; i < n_bins; ++i) {
+    edges.push_back(
+        invert_cdf(cdf, static_cast<double>(i) / static_cast<double>(n_bins)));
+  }
+  std::vector<double> observed(n_bins, 0.0);
+  for (double x : xs) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    observed[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+  }
+  const double expected =
+      static_cast<double>(xs.size()) / static_cast<double>(n_bins);
+  double x2 = 0.0;
+  for (double o : observed) {
+    x2 += (o - expected) * (o - expected) / expected;
+  }
+  r.statistic = x2;
+  const double df =
+      static_cast<double>(n_bins) - 1.0 - static_cast<double>(n_fitted_params);
+  r.p_value = df > 0.0 ? chi_squared_sf(x2, df) : 0.0;
+  return r;
+}
+
+}  // namespace wss::stats

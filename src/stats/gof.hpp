@@ -1,0 +1,47 @@
+// Goodness-of-fit statistics.
+//
+// The paper's central modeling observation is that even visually good
+// fits have "very poor statistical goodness-of-fit metrics" on these
+// data. We implement the two tests used in the failure-modeling
+// literature: Kolmogorov-Smirnov against a fitted CDF, and Pearson's
+// chi-squared over equal-probability bins.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace wss::stats {
+
+/// Result of a goodness-of-fit test.
+struct GofResult {
+  double statistic = 0.0;  ///< D for KS; X^2 for chi-squared
+  double p_value = 0.0;    ///< asymptotic; approximate for small n
+  std::size_t n = 0;       ///< sample count used
+};
+
+/// One-sample KS test of `xs` against the model CDF. The p-value uses
+/// the asymptotic Kolmogorov distribution Q(d sqrt(n)); note that when
+/// the model parameters were themselves fitted from `xs` the true
+/// p-value is smaller (we match the paper, which makes the same
+/// simplification and still finds fits rejected).
+GofResult ks_test(std::vector<double> xs,
+                  const std::function<double(double)>& cdf);
+
+/// Chi-squared test over `n_bins` equal-probability bins of the model.
+/// Degrees of freedom are n_bins - 1 - n_fitted_params.
+GofResult chi_squared_test(const std::vector<double>& xs,
+                           const std::function<double(double)>& cdf,
+                           std::size_t n_bins, int n_fitted_params);
+
+/// Survival function of the Kolmogorov distribution,
+/// Q(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2).
+double kolmogorov_q(double t);
+
+/// Upper regularized incomplete gamma Q(a, x) = Gamma(a,x)/Gamma(a);
+/// the chi-squared survival function is Q(df/2, x/2).
+double regularized_gamma_q(double a, double x);
+
+/// Chi-squared survival function with `df` degrees of freedom.
+double chi_squared_sf(double x, double df);
+
+}  // namespace wss::stats

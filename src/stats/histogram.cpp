@@ -1,0 +1,128 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t n_bins)
+    : lo_(lo), hi_(hi), bins_(n_bins, 0.0) {
+  if (!(hi > lo) || n_bins == 0) {
+    throw std::invalid_argument("LinearHistogram: bad range or bin count");
+  }
+}
+
+void LinearHistogram::add(double x, double weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<std::size_t>(frac * static_cast<double>(bins_.size()));
+  i = std::min(i, bins_.size() - 1);
+  bins_[i] += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(bins_.size());
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double LinearHistogram::total() const {
+  double t = underflow_ + overflow_;
+  for (double b : bins_) t += b;
+  return t;
+}
+
+LogHistogram::LogHistogram(double lo_exp, double hi_exp,
+                           std::size_t bins_per_decade)
+    : lo_exp_(lo_exp), hi_exp_(hi_exp), per_decade_(bins_per_decade) {
+  if (!(hi_exp > lo_exp) || bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: bad range or bin count");
+  }
+  const auto n = static_cast<std::size_t>(
+      std::ceil((hi_exp - lo_exp) * static_cast<double>(bins_per_decade)));
+  bins_.assign(std::max<std::size_t>(n, 1), 0.0);
+}
+
+void LogHistogram::add(double x, double weight) {
+  if (!(x > 0.0)) {
+    underflow_ += weight;
+    return;
+  }
+  const double e = std::log10(x);
+  if (e < lo_exp_) {
+    underflow_ += weight;
+    return;
+  }
+  if (e >= hi_exp_) {
+    overflow_ += weight;
+    return;
+  }
+  auto i = static_cast<std::size_t>((e - lo_exp_) *
+                                    static_cast<double>(per_decade_));
+  i = std::min(i, bins_.size() - 1);
+  bins_[i] += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::pow(10.0, lo_exp_ + static_cast<double>(i) /
+                                      static_cast<double>(per_decade_));
+}
+
+double LogHistogram::bin_center(std::size_t i) const {
+  const double e = lo_exp_ + (static_cast<double>(i) + 0.5) /
+                                 static_cast<double>(per_decade_);
+  return std::pow(10.0, e);
+}
+
+std::string LogHistogram::bin_label(std::size_t i) const {
+  return util::format("%.0e", bin_lo(i));
+}
+
+double LogHistogram::total() const {
+  double t = underflow_ + overflow_;
+  for (double b : bins_) t += b;
+  return t;
+}
+
+std::vector<std::size_t> LogHistogram::modes(double min_fraction,
+                                             std::size_t merge_distance) const {
+  std::vector<std::size_t> out;
+  if (bins_.empty()) return out;
+  const double tallest = *std::max_element(bins_.begin(), bins_.end());
+  if (tallest <= 0.0) return out;
+  const double floor = tallest * min_fraction;
+
+  // A bin is a candidate mode if it is >= both neighbours and above the
+  // height floor.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double left = i > 0 ? bins_[i - 1] : 0.0;
+    const double right = i + 1 < bins_.size() ? bins_[i + 1] : 0.0;
+    if (bins_[i] >= floor && bins_[i] >= left && bins_[i] >= right &&
+        bins_[i] > 0.0) {
+      candidates.push_back(i);
+    }
+  }
+  // Merge candidates closer than merge_distance, keeping the taller.
+  for (const std::size_t c : candidates) {
+    if (!out.empty() && c - out.back() <= merge_distance) {
+      if (bins_[c] > bins_[out.back()]) out.back() = c;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace wss::stats

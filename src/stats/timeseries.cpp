@@ -1,0 +1,57 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::stats {
+
+TimeSeries::TimeSeries(util::TimeUs start, util::TimeUs width_us,
+                       std::size_t n_buckets)
+    : start_(start), width_(width_us), buckets_(n_buckets, 0.0) {
+  if (width_us <= 0 || n_buckets == 0) {
+    throw std::invalid_argument("TimeSeries: bad width or bucket count");
+  }
+}
+
+TimeSeries TimeSeries::covering(util::TimeUs start, util::TimeUs end,
+                                util::TimeUs width_us) {
+  if (end <= start || width_us <= 0) {
+    throw std::invalid_argument("TimeSeries::covering: bad range");
+  }
+  const auto n = static_cast<std::size_t>((end - start + width_us - 1) /
+                                          width_us);
+  return TimeSeries(start, width_us, n);
+}
+
+void TimeSeries::add(util::TimeUs t, double weight) {
+  if (t < start_) {
+    ++dropped_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((t - start_) / width_);
+  if (i >= buckets_.size()) {
+    ++dropped_;
+    return;
+  }
+  buckets_[i] += weight;
+}
+
+util::TimeUs TimeSeries::bucket_mid(std::size_t i) const {
+  return start_ + static_cast<util::TimeUs>(i) * width_ + width_ / 2;
+}
+
+double TimeSeries::mean_over(std::size_t from, std::size_t to) const {
+  to = std::min(to, buckets_.size());
+  if (from >= to) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = from; i < to; ++i) s += buckets_[i];
+  return s / static_cast<double>(to - from);
+}
+
+double TimeSeries::total() const {
+  double s = 0.0;
+  for (double b : buckets_) s += b;
+  return s;
+}
+
+}  // namespace wss::stats

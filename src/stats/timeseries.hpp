@@ -1,0 +1,45 @@
+// Time-bucketed event series (Figure 2(a), Figure 4's x axis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace wss::stats {
+
+/// Event counts bucketed by fixed-width time windows.
+class TimeSeries {
+ public:
+  /// Buckets cover [start, start + n_buckets * width_us).
+  TimeSeries(util::TimeUs start, util::TimeUs width_us, std::size_t n_buckets);
+
+  /// Convenience: covers [start, end) with the given bucket width.
+  static TimeSeries covering(util::TimeUs start, util::TimeUs end,
+                             util::TimeUs width_us);
+
+  /// Adds an event; out-of-range events are silently dropped (they are
+  /// counted in dropped()).
+  void add(util::TimeUs t, double weight = 1.0);
+
+  const std::vector<double>& buckets() const { return buckets_; }
+  util::TimeUs start() const { return start_; }
+  util::TimeUs width() const { return width_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// Midpoint time of bucket i.
+  util::TimeUs bucket_mid(std::size_t i) const;
+
+  /// Mean bucket value over [from, to) bucket indices.
+  double mean_over(std::size_t from, std::size_t to) const;
+
+  double total() const;
+
+ private:
+  util::TimeUs start_;
+  util::TimeUs width_;
+  std::vector<double> buckets_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace wss::stats

@@ -1,0 +1,19 @@
+#include "tag/engine.hpp"
+
+namespace wss::tag {
+
+std::optional<TagResult> TagEngine::tag_line(std::string_view raw_line) const {
+  const auto& rules = rules_.rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].predicate.matches(raw_line)) {
+      return TagResult{static_cast<std::uint16_t>(i), rules[i].type};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<TagResult> TagEngine::tag(const parse::LogRecord& rec) const {
+  return tag_line(rec.raw);
+}
+
+}  // namespace wss::tag

@@ -1,0 +1,47 @@
+// The tagging engine: runs a RuleSet over log records.
+//
+// This is the automated stand-in for the paper's "combination of
+// regular expression matching and manual intervention". Each rule's
+// compiled regex carries a required-literal pre-filter (see
+// match::Regex::prefilter_literal), so the common case -- a chatter
+// line matching no rule -- costs a handful of substring probes rather
+// than full NFA runs. bench/perf_tagging.cpp measures that choice.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <string_view>
+
+#include "parse/record.hpp"
+#include "tag/rule.hpp"
+
+namespace wss::tag {
+
+/// Result of tagging one record.
+struct TagResult {
+  std::uint16_t category = 0;  ///< rule index within the RuleSet
+  filter::AlertType type = filter::AlertType::kIndeterminate;
+};
+
+/// Immutable matcher over one system's RuleSet. Owns its rules (so a
+/// temporary RuleSet may be passed safely); thread-compatible: tag()
+/// is const and carries no mutable state.
+class TagEngine {
+ public:
+  explicit TagEngine(RuleSet rules) : rules_(std::move(rules)) {}
+
+  /// Tags a raw line; nullopt when no rule matches (a non-alert).
+  /// First matching rule wins, matching the paper's "two alerts are in
+  /// the same category if they were tagged by the same expert rule".
+  std::optional<TagResult> tag_line(std::string_view raw_line) const;
+
+  /// Convenience overload on a parsed record (matches on record.raw).
+  std::optional<TagResult> tag(const parse::LogRecord& rec) const;
+
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  RuleSet rules_;
+};
+
+}  // namespace wss::tag

@@ -1,0 +1,52 @@
+#include "tag/evaluate.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::tag {
+
+void TaggerEvaluation::add(bool predicted_alert, bool actual_alert,
+                           std::uint64_t n) {
+  if (predicted_alert && actual_alert) {
+    true_positives += n;
+  } else if (predicted_alert && !actual_alert) {
+    false_positives += n;
+  } else if (!predicted_alert && actual_alert) {
+    false_negatives += n;
+  } else {
+    true_negatives += n;
+  }
+}
+
+double TaggerEvaluation::false_positive_rate() const {
+  const std::uint64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_positives) /
+                          static_cast<double>(denom);
+}
+
+double TaggerEvaluation::false_negative_rate() const {
+  const std::uint64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(false_negatives) /
+                          static_cast<double>(denom);
+}
+
+double TaggerEvaluation::precision() const {
+  return 1.0 - false_positive_rate();
+}
+
+double TaggerEvaluation::recall() const {
+  return 1.0 - false_negative_rate();
+}
+
+std::string TaggerEvaluation::describe() const {
+  return util::format(
+      "TP=%llu FP=%llu TN=%llu FN=%llu (FP rate %.2f%%, FN rate %.2f%%)",
+      static_cast<unsigned long long>(true_positives),
+      static_cast<unsigned long long>(false_positives),
+      static_cast<unsigned long long>(true_negatives),
+      static_cast<unsigned long long>(false_negatives),
+      100.0 * false_positive_rate(), 100.0 * false_negative_rate());
+}
+
+}  // namespace wss::tag

@@ -1,0 +1,37 @@
+// Tagger evaluation against ground truth.
+//
+// "If we had used the severity field instead of the expert rules to
+// tag alerts on BG/L ... we would have a false negative rate of 0% but
+// a false positive rate of 59.34%." (Section 3.2) This header computes
+// those rates for any predicted/actual alert labeling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wss::tag {
+
+/// Confusion counts for a binary alert/non-alert labeling.
+struct TaggerEvaluation {
+  std::uint64_t true_positives = 0;   ///< predicted alert, is alert
+  std::uint64_t false_positives = 0;  ///< predicted alert, not alert
+  std::uint64_t true_negatives = 0;
+  std::uint64_t false_negatives = 0;  ///< missed alert
+
+  void add(bool predicted_alert, bool actual_alert, std::uint64_t n = 1);
+
+  /// FP / (TP + FP): fraction of predicted alerts that are wrong.
+  /// This is the convention behind the paper's "59% false positive
+  /// rate" for FATAL/FAILURE tagging on BG/L.
+  double false_positive_rate() const;
+
+  /// FN / (TP + FN): fraction of actual alerts missed.
+  double false_negative_rate() const;
+
+  double precision() const;
+  double recall() const;
+
+  std::string describe() const;
+};
+
+}  // namespace wss::tag

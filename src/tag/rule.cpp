@@ -1,0 +1,25 @@
+#include "tag/rule.hpp"
+
+#include <stdexcept>
+
+namespace wss::tag {
+
+RuleSet::RuleSet(parse::SystemId system, std::vector<Rule> rules)
+    : system_(system), rules_(std::move(rules)) {
+  if (rules_.size() > 0xffff) {
+    throw std::invalid_argument("RuleSet: too many rules for uint16 category");
+  }
+}
+
+const std::string& RuleSet::category_name(std::uint16_t index) const {
+  return rules_.at(index).category;
+}
+
+std::size_t RuleSet::index_of(std::string_view category) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].category == category) return i;
+  }
+  return npos;
+}
+
+}  // namespace wss::tag

@@ -1,0 +1,52 @@
+// Alert-identification rules (the paper's expert heuristics).
+//
+// "The heuristics provided by the administrators were often in the
+// form of regular expressions amenable for consumption by the
+// logsurfer utility. We performed the tagging through a combination of
+// regular expression matching and manual intervention." (Section 3.2)
+// A Rule couples one such heuristic with the category name and the
+// H/S/I type the administrators assigned.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/alert.hpp"
+#include "match/field.hpp"
+#include "parse/record.hpp"
+
+namespace wss::tag {
+
+/// One expert tagging rule. Two alerts are in the same category iff
+/// they were tagged by the same rule (Section 3.3).
+struct Rule {
+  std::string category;             ///< e.g. "KERNDTLB", "VAPI"
+  filter::AlertType type = filter::AlertType::kIndeterminate;
+  match::LinePredicate predicate;   ///< evaluated on the raw line
+};
+
+/// The ordered rule list for one system; first match wins.
+class RuleSet {
+ public:
+  RuleSet(parse::SystemId system, std::vector<Rule> rules);
+
+  parse::SystemId system() const { return system_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+
+  /// Category name for a rule index (the index doubles as the numeric
+  /// alert category used by the filters).
+  const std::string& category_name(std::uint16_t index) const;
+
+  /// Index of the rule with the given category name, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t index_of(std::string_view category) const;
+
+ private:
+  parse::SystemId system_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace wss::tag

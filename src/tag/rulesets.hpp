@@ -1,0 +1,73 @@
+// The expert-rule catalog for all five systems -- Table 4 of the paper
+// turned into data.
+//
+// Every alert category the paper reports is described here once:
+// its tagging rule (regex / awk field predicate), its H/S/I type, the
+// message body shape (used by the simulator's renderers), the log path
+// it arrives on, the severity that path records for it, and the
+// paper's raw and filtered counts (the calibration targets).
+//
+// Rule <-> renderer consistency is by construction: the simulator
+// renders bodies from `body_template`, and `pattern` matches every
+// expansion of that template (placeholders only stand for text the
+// pattern does not constrain). tests/test_tag_roundtrip.cpp verifies
+// this property for every category.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parse/record.hpp"
+#include "tag/rule.hpp"
+
+namespace wss::tag {
+
+/// Which collection path (Section 3.1) carries a message.
+enum class LogPath : std::uint8_t {
+  kSyslog,          ///< syslog-ng UDP path (Thunderbird, Spirit, Liberty)
+  kBglRas,          ///< BG/L MMCS -> DB2 RAS database
+  kRsSyslog,        ///< Red Storm Linux-node syslog (stores severity)
+  kRsDdn,           ///< Red Storm DDN disk subsystem (via syslog-ng)
+  kRsEventRouter,   ///< Red Storm RAS network -> SMW over TCP (no severity)
+};
+
+/// One alert category: tagging rule + rendering shape + paper counts.
+struct CategoryInfo {
+  parse::SystemId system;
+  std::string name;                ///< Table 4 category, e.g. "KERNDTLB"
+  filter::AlertType type;          ///< H / S / I
+  std::string pattern;             ///< regex on the raw line
+  int field = 0;                   ///< if nonzero: awk-style extra term
+  std::string field_pattern;       ///< pattern for that field
+  std::string program;             ///< syslog tag / BG/L facility / event class
+  std::string body_template;       ///< renderer template ({n},{ip},{hex},...)
+  LogPath path = LogPath::kSyslog;
+  parse::Severity severity = parse::Severity::kNone;
+  std::uint64_t raw_count = 0;     ///< Table 4 "Raw"
+  std::uint64_t filtered_count = 0;///< Table 4 "Filtered"
+  /// Minority severity: `alt_count` of the raw events carry
+  /// `alt_severity` instead (BG/L's 62 FAILURE alerts, Table 5).
+  parse::Severity alt_severity = parse::Severity::kNone;
+  std::uint64_t alt_count = 0;
+};
+
+/// The full catalog, all systems, in Table 4 order. Built once.
+const std::vector<CategoryInfo>& category_table();
+
+/// The categories of one system, in rule order (= alert category ids).
+std::vector<const CategoryInfo*> categories_of(parse::SystemId system);
+
+/// Finds a category by name within a system; nullptr if absent.
+const CategoryInfo* find_category(parse::SystemId system,
+                                  std::string_view name);
+
+/// Builds the RuleSet for a system from the catalog. Rule index i
+/// corresponds to categories_of(system)[i].
+RuleSet build_ruleset(parse::SystemId system);
+
+/// Splits `total` across weights 1/(i+2) by largest remainder; sums
+/// exactly to `total`, every share >= 1 where total >= weights.size().
+/// Used to apportion the paper's "31 Others" BG/L aggregate.
+std::vector<std::uint64_t> apportion(std::uint64_t total, std::size_t n);
+
+}  // namespace wss::tag

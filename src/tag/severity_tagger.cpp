@@ -1,0 +1,4 @@
+#include "tag/severity_tagger.hpp"
+
+// SeverityTagger is header-only; this translation unit anchors it in
+// the wss_tag library.

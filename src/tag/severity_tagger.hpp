@@ -1,0 +1,39 @@
+// The severity-field baseline tagger that the paper refutes.
+//
+// Earlier BG/L studies [Liang et al.] "identified alerts according to
+// the severity field of messages". Table 5 shows why that is unsound:
+// tagging FATAL/FAILURE messages as alerts on BG/L yields a 59.34%
+// false positive rate (0% false negatives); Table 6 shows syslog
+// severity on Red Storm is no better. This tagger implements the
+// baseline so benches/tests can reproduce those exact numbers.
+#pragma once
+
+#include <vector>
+
+#include "parse/record.hpp"
+
+namespace wss::tag {
+
+/// Tags a record as an alert iff its severity is in the given set.
+class SeverityTagger {
+ public:
+  explicit SeverityTagger(std::vector<parse::Severity> alert_severities)
+      : severities_(std::move(alert_severities)) {}
+
+  /// The BG/L baseline from Section 3.2: FATAL or FAILURE.
+  static SeverityTagger bgl_fatal_failure() {
+    return SeverityTagger({parse::Severity::kFatal, parse::Severity::kFailure});
+  }
+
+  bool is_alert(const parse::LogRecord& rec) const {
+    for (const auto s : severities_) {
+      if (rec.severity == s) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<parse::Severity> severities_;
+};
+
+}  // namespace wss::tag

@@ -1,0 +1,159 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace wss::util {
+
+namespace {
+
+struct Bounds {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Bounds find_bounds(const std::vector<double>& v) {
+  Bounds b;
+  if (v.empty()) return b;
+  b.lo = *std::min_element(v.begin(), v.end());
+  b.hi = *std::max_element(v.begin(), v.end());
+  if (b.hi <= b.lo) b.hi = b.lo + 1.0;
+  return b;
+}
+
+}  // namespace
+
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values, std::size_t width) {
+  std::string out;
+  if (values.empty()) return out;
+  const double maxv =
+      std::max(1e-300, *std::max_element(values.begin(), values.end()));
+  std::size_t label_w = 0;
+  for (const auto& l : labels) label_w = std::max(label_w, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::string label = i < labels.size() ? labels[i] : std::string();
+    out.append(label);
+    out.append(label_w - label.size(), ' ');
+    out.append(" |");
+    const double frac = std::max(0.0, values[i]) / maxv;
+    const auto n = static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(width)));
+    out.append(n, '#');
+    out.push_back(' ');
+    out.append(format("%.6g", values[i]));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string column_chart(const std::vector<double>& values, std::size_t height,
+                         const std::vector<std::string>& bin_labels) {
+  std::string out;
+  if (values.empty() || height == 0) return out;
+  const double maxv =
+      std::max(1e-300, *std::max_element(values.begin(), values.end()));
+  for (std::size_t row = 0; row < height; ++row) {
+    const double threshold =
+        maxv * static_cast<double>(height - row) / static_cast<double>(height);
+    // y-axis label on the first and middle rows for scale.
+    if (row == 0) {
+      out.append(format("%10.4g |", maxv));
+    } else {
+      out.append("           |");
+    }
+    for (double v : values) {
+      out.push_back(v >= threshold - 1e-12 ? '#' : ' ');
+    }
+    out.push_back('\n');
+  }
+  out.append("           +");
+  out.append(values.size(), '-');
+  out.push_back('\n');
+  if (!bin_labels.empty()) {
+    out.append("            ");
+    // Print every k-th label so they do not overlap.
+    const std::size_t k = std::max<std::size_t>(
+        1, bin_labels.size() / std::max<std::size_t>(1, values.size() / 10));
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < bin_labels.size(); i += k) {
+      const std::size_t target = i;
+      if (target < col) continue;
+      out.append(target - col, ' ');
+      out.append(bin_labels[i]);
+      col = target + bin_labels[i].size();
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string scatter(const std::vector<double>& xs, const std::vector<double>& ys,
+                    std::size_t width, std::size_t height, char mark) {
+  std::string out;
+  if (xs.empty() || xs.size() != ys.size() || width < 2 || height < 2) {
+    return out;
+  }
+  const Bounds bx = find_bounds(xs);
+  const Bounds by = find_bounds(ys);
+  std::vector<std::string> raster(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double fx = (xs[i] - bx.lo) / (bx.hi - bx.lo);
+    const double fy = (ys[i] - by.lo) / (by.hi - by.lo);
+    if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) continue;
+    const auto cx = std::min(width - 1, static_cast<std::size_t>(
+                                            fx * static_cast<double>(width)));
+    const auto cy = std::min(height - 1, static_cast<std::size_t>(
+                                             fy * static_cast<double>(height)));
+    raster[height - 1 - cy][cx] = mark;
+  }
+  out.append(format("y: [%.4g, %.4g]\n", by.lo, by.hi));
+  for (const auto& row : raster) {
+    out.append("|");
+    out.append(row);
+    out.append("\n");
+  }
+  out.append("+");
+  out.append(width, '-');
+  out.push_back('\n');
+  out.append(format("x: [%.4g, %.4g]\n", bx.lo, bx.hi));
+  return out;
+}
+
+std::string strip_plot(const std::vector<double>& times,
+                       const std::vector<std::size_t>& rows,
+                       const std::vector<std::string>& row_labels,
+                       std::size_t width) {
+  std::string out;
+  if (times.empty() || times.size() != rows.size() || row_labels.empty()) {
+    return out;
+  }
+  const Bounds bx = find_bounds(times);
+  std::size_t label_w = 0;
+  for (const auto& l : row_labels) label_w = std::max(label_w, l.size());
+  std::vector<std::string> raster(row_labels.size(), std::string(width, '.'));
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (rows[i] >= raster.size()) continue;
+    const double fx = (times[i] - bx.lo) / (bx.hi - bx.lo);
+    const auto cx = std::min(width - 1, static_cast<std::size_t>(
+                                            fx * static_cast<double>(width)));
+    raster[rows[i]][cx] = '*';
+  }
+  for (std::size_t r = 0; r < raster.size(); ++r) {
+    out.append(row_labels[r]);
+    out.append(label_w - row_labels[r].size(), ' ');
+    out.append(" |");
+    out.append(raster[r]);
+    out.push_back('\n');
+  }
+  out.append(label_w, ' ');
+  out.append(" +");
+  out.append(width, '-');
+  out.push_back('\n');
+  out.append(format("time: [%.6g, %.6g]\n", bx.lo, bx.hi));
+  return out;
+}
+
+}  // namespace wss::util

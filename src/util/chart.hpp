@@ -1,0 +1,40 @@
+// ASCII chart rendering for the figure-reproduction benches.
+//
+// The paper's figures are scatter plots, histograms, and time series.
+// The bench binaries print both a CSV block (machine-readable series)
+// and one of these ASCII renderings (human-readable shape check).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wss::util {
+
+/// A horizontal bar chart: one labeled bar per value.
+/// Bars are scaled so the maximum value spans `width` characters.
+std::string bar_chart(const std::vector<std::string>& labels,
+                      const std::vector<double>& values, std::size_t width = 60);
+
+/// A column histogram over the given bin counts, `height` rows tall.
+/// `bin_labels` annotates the x axis below the plot (may be empty).
+std::string column_chart(const std::vector<double>& values,
+                         std::size_t height = 12,
+                         const std::vector<std::string>& bin_labels = {});
+
+/// An x/y scatter plot on a character raster, with linear axes.
+/// Points outside the data bounding box are clipped.
+std::string scatter(const std::vector<double>& xs, const std::vector<double>& ys,
+                    std::size_t width = 72, std::size_t height = 20,
+                    char mark = '*');
+
+/// A categorical strip / event timeline, as in the paper's Figures 3
+/// and 4: one row per category, marks placed at event times.
+/// `times[i]` and `rows[i]` give each event's x position and row index;
+/// `row_labels` names the rows.
+std::string strip_plot(const std::vector<double>& times,
+                       const std::vector<std::size_t>& rows,
+                       const std::vector<std::string>& row_labels,
+                       std::size_t width = 72);
+
+}  // namespace wss::util

@@ -1,0 +1,38 @@
+#include "util/csv.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << csv_escape(fields[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << format("%.9g", values[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace wss::util

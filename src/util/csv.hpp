@@ -1,0 +1,31 @@
+// Minimal CSV emission, used by the bench harness to dump every
+// reproduced series in machine-readable form alongside the ASCII view.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wss::util {
+
+/// Escapes a single CSV field per RFC 4180 (quotes fields containing
+/// commas, quotes, or newlines; doubles embedded quotes).
+std::string csv_escape(std::string_view field);
+
+/// Writes rows of fields as CSV lines to `os`.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; fields are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a row of doubles with %.9g formatting.
+  void row_numeric(const std::vector<double>& values);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace wss::util

@@ -1,0 +1,166 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x);
+  // All-zero state is the one invalid state for xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_u64: n must be > 0");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -n % n;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_i64: lo > hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  if (rate <= 0.0) throw std::invalid_argument("exponential: rate must be > 0");
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // bulk-count use cases in the simulator.
+  const double x = normal(mean, std::sqrt(mean));
+  return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_index: no positive weight");
+  }
+  double x = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = std::max(weights[i], 0.0);
+    if (x < w) return i;
+    x -= w;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last bin
+}
+
+Rng Rng::fork() { return Rng((*this)() ^ 0xa02bdbf7bb3c0a7ull); }
+
+Zipf::Zipf(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+std::size_t Zipf::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace wss::util

@@ -1,0 +1,108 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything the simulator does must be reproducible from a single seed,
+// so we use our own engine (xoshiro256++, public-domain by Blackman &
+// Vigna) rather than std::mt19937, whose distributions are not
+// specified bit-for-bit across standard library implementations. All
+// distributions here are implemented from first principles and are
+// stable across platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wss::util {
+
+/// xoshiro256++ pseudo-random engine with splitmix64 seeding.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be used with
+/// standard distributions in tests (not in the simulator, where
+/// reproducibility matters).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via splitmix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Next raw 64 random bits.
+  std::uint64_t operator()();
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma);
+
+  /// Poisson-distributed count with the given mean. Uses Knuth's method
+  /// for small means and a normal approximation above 64.
+  std::uint64_t poisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero or negative weights are treated as zero. Requires at least one
+  /// positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_u64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent child stream; deterministic given this
+  /// stream's state. Used to give each simulator process its own stream
+  /// so adding a process does not perturb the others.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf (power-law) sampler over ranks {0, .., n-1} with exponent s.
+/// Used for per-source message volume, which is heavy-tailed on all
+/// five systems (Figure 2(b)). Precomputes the CDF; O(log n) sampling.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s);
+
+  /// Samples a rank; rank 0 is the most probable.
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of `rank`.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wss::util

@@ -1,0 +1,71 @@
+// Small string utilities used throughout the library.
+//
+// Log parsing is byte-oriented and allocation-sensitive, so most of
+// these operate on std::string_view and never allocate unless the
+// return type requires it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wss::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+/// This is awk's default field splitting, used by the rule engine's
+/// field predicates ($1, $2, ...).
+std::vector<std::string_view> split_fields(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if `needle` occurs anywhere in `haystack`.
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// ASCII lower-casing (copies).
+std::string to_lower(std::string_view s);
+
+/// ASCII upper-casing (copies).
+std::string to_upper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parses a non-negative decimal integer; rejects trailing junk.
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+
+/// Parses a signed decimal integer; rejects trailing junk.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+
+/// Parses a double; rejects trailing junk.
+std::optional<double> parse_double(std::string_view s);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+/// This is how the paper prints every count, so tables use it too.
+std::string with_commas(std::int64_t v);
+
+/// FNV-1a 64-bit hash; stable across platforms (used for dedup keys).
+std::uint64_t fnv1a(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace wss::util

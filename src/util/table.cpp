@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void Table::set_align(std::size_t col, Align a) {
+  if (col >= align_.size()) throw std::out_of_range("Table: bad column");
+  align_[col] = a;
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(Row{false, std::move(row)});
+  ++n_data_rows_;
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+
+  const auto emit_cell = [&](std::string& out, const std::string& cell,
+                             std::size_t c) {
+    const std::size_t pad = width[c] - cell.size();
+    if (align_[c] == Align::kRight) out.append(pad, ' ');
+    out.append(cell);
+    if (align_[c] == Align::kLeft) out.append(pad, ' ');
+  };
+
+  const auto emit_rule = [&](std::string& out) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c > 0) out.append("-+-");
+      out.append(width[c], '-');
+    }
+    out.push_back('\n');
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out.append(title_);
+    out.push_back('\n');
+  }
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out.append(" | ");
+    emit_cell(out, header_[c], c);
+  }
+  out.push_back('\n');
+  emit_rule(out);
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      emit_rule(out);
+      continue;
+    }
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      if (c > 0) out.append(" | ");
+      emit_cell(out, r.cells[c], c);
+    }
+    // Trim trailing spaces left-aligned final columns may produce.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace wss::util

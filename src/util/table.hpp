@@ -1,0 +1,60 @@
+// Aligned plain-text table rendering.
+//
+// Every reproduced table in the benchmark harness is printed through
+// this class so that paper-vs-measured comparisons line up visually.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wss::util {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders a fixed-column ASCII table.
+///
+/// Usage:
+///   Table t({"System", "Messages"});
+///   t.add_row({"Liberty", "265,569,231"});
+///   std::cout << t.render();
+class Table {
+ public:
+  /// Creates a table with the given header row. Column count is fixed
+  /// by the header; rows with a different arity throw.
+  explicit Table(std::vector<std::string> header);
+
+  /// Sets the alignment of column `col` (default: left for the first
+  /// column, right for the rest — the convention used by the paper's
+  /// count-heavy tables).
+  void set_align(std::size_t col, Align a);
+
+  /// Appends a data row. Throws std::invalid_argument on arity mismatch.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator at the current position.
+  void add_separator();
+
+  /// Optional table title printed above the header.
+  void set_title(std::string title);
+
+  /// Renders the table with a header separator and aligned columns.
+  std::string render() const;
+
+  /// Number of data rows added so far (separators excluded).
+  std::size_t row_count() const { return n_data_rows_; }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  std::size_t n_data_rows_ = 0;
+};
+
+}  // namespace wss::util

@@ -1,0 +1,138 @@
+#include "util/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace wss::util {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+char lower(char c) { return (c >= 'A' && c <= 'Z') ? char(c - 'A' + 'a') : c; }
+
+}  // namespace
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  year = static_cast<int>(y + (m <= 2));
+  month = static_cast<int>(m);
+  day = static_cast<int>(d);
+}
+
+TimeUs to_time_us(const CivilTime& ct) {
+  const std::int64_t days = days_from_civil(ct.year, ct.month, ct.day);
+  return days * kUsPerDay + ct.hour * kUsPerHour + ct.minute * kUsPerMin +
+         ct.second * kUsPerSec + ct.micros;
+}
+
+CivilTime to_civil(TimeUs t) {
+  std::int64_t days = t / kUsPerDay;
+  std::int64_t rem = t % kUsPerDay;
+  if (rem < 0) {
+    rem += kUsPerDay;
+    days -= 1;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(rem / kUsPerHour);
+  rem %= kUsPerHour;
+  ct.minute = static_cast<int>(rem / kUsPerMin);
+  rem %= kUsPerMin;
+  ct.second = static_cast<int>(rem / kUsPerSec);
+  ct.micros = static_cast<int>(rem % kUsPerSec);
+  return ct;
+}
+
+std::string_view month_abbrev(int month) {
+  if (month < 1 || month > 12) return "???";
+  return kMonths[static_cast<std::size_t>(month - 1)];
+}
+
+int parse_month_abbrev(std::string_view s) {
+  if (s.size() < 3) return 0;
+  for (int m = 1; m <= 12; ++m) {
+    const std::string_view ref = kMonths[static_cast<std::size_t>(m - 1)];
+    if (lower(s[0]) == lower(ref[0]) && lower(s[1]) == lower(ref[1]) &&
+        lower(s[2]) == lower(ref[2])) {
+      return m;
+    }
+  }
+  return 0;
+}
+
+std::string format_syslog(TimeUs t) {
+  const CivilTime ct = to_civil(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3s %2d %02d:%02d:%02d",
+                month_abbrev(ct.month).data(), ct.day, ct.hour, ct.minute,
+                ct.second);
+  return buf;
+}
+
+std::string format_bgl(TimeUs t) {
+  const CivilTime ct = to_civil(t);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d-%02d.%02d.%02d.%06d",
+                ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second,
+                ct.micros);
+  return buf;
+}
+
+std::string format_iso(TimeUs t) {
+  const CivilTime ct = to_civil(t);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::string format_duration(TimeUs us) {
+  char buf[32];
+  const double s = static_cast<double>(us) / static_cast<double>(kUsPerSec);
+  if (us < kUsPerSec) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  } else if (us < kUsPerMin) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  } else if (us < kUsPerHour) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", s / 60.0);
+  } else if (us < kUsPerDay) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fd", s / 86400.0);
+  }
+  return buf;
+}
+
+bool is_leap_year(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+}  // namespace wss::util

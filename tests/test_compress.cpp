@@ -1,0 +1,177 @@
+// Codec tests: LZSS, Huffman, combined round-trips, and the
+// compressibility ordering that Table 2 relies on.
+#include <gtest/gtest.h>
+
+#include "compress/codec.hpp"
+#include "compress/huffman.hpp"
+#include "compress/lzss.hpp"
+#include "util/rng.hpp"
+
+namespace wss::compress {
+namespace {
+
+std::string roundtrip_lzss(std::string_view s) {
+  return lzss_decompress(lzss_compress(s));
+}
+
+TEST(Lzss, RoundTripBasics) {
+  EXPECT_EQ(roundtrip_lzss(""), "");
+  EXPECT_EQ(roundtrip_lzss("a"), "a");
+  EXPECT_EQ(roundtrip_lzss("abcabcabcabcabc"), "abcabcabcabcabc");
+  EXPECT_EQ(roundtrip_lzss(std::string(10000, 'x')), std::string(10000, 'x'));
+}
+
+TEST(Lzss, CompressesRepetition) {
+  std::string log;
+  for (int i = 0; i < 500; ++i) {
+    log += "kernel: cciss: cmd 42 has CHECK CONDITION, sense key = 0x3\n";
+  }
+  const std::string packed = lzss_compress(log);
+  EXPECT_LT(packed.size(), log.size() / 5);
+  EXPECT_EQ(lzss_decompress(packed), log);
+}
+
+TEST(Lzss, OverlappingMatches) {
+  // "aaaa..." forces overlapping copies (dist 1, long len).
+  const std::string s(1000, 'a');
+  EXPECT_EQ(roundtrip_lzss(s), s);
+  // Period-3 overlap.
+  std::string p;
+  for (int i = 0; i < 999; ++i) p.push_back("xyz"[i % 3]);
+  EXPECT_EQ(roundtrip_lzss(p), p);
+}
+
+TEST(Lzss, MalformedStreamThrows) {
+  // A match token pointing before the start of output.
+  std::string bad;
+  bad.push_back('\x01');  // flags: first item is a match
+  bad.push_back('\x10');  // dist lo
+  bad.push_back('\x00');  // dist hi
+  bad.push_back('\x00');  // len
+  EXPECT_THROW(lzss_decompress(bad), std::runtime_error);
+  // Truncated match token.
+  std::string trunc;
+  trunc.push_back('\x01');
+  trunc.push_back('\x01');
+  EXPECT_THROW(lzss_decompress(trunc), std::runtime_error);
+}
+
+TEST(Lzss, MatchAtExactWindowDistanceRegression) {
+  // A match candidate at distance exactly 65536 must be rejected: the
+  // token encodes distances in 16 bits, so 65536 would wrap to 0.
+  util::Rng rng(77);
+  const std::string block = "UNIQUE-MARKER-BLOCK-0123456789";
+  std::string s = block;
+  while (s.size() < kWindowSize) {
+    s.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+  }
+  s.resize(kWindowSize);
+  s += block;  // second copy at distance exactly kWindowSize
+  EXPECT_EQ(roundtrip_lzss(s), s);
+}
+
+TEST(Lzss, MultiWindowCorpusRoundTrip) {
+  // > 3 windows of semi-repetitive log-like text exercises hash-chain
+  // aliasing across window wraps.
+  util::Rng rng(78);
+  std::string s;
+  while (s.size() < 3 * kWindowSize + 12345) {
+    s += "Feb 28 01:02:03 sn";
+    s += std::to_string(rng.uniform_u64(520));
+    s += " kernel: cciss: cmd ";
+    s += std::to_string(rng());
+    s += " has CHECK CONDITION, sense key = 0x3\n";
+  }
+  EXPECT_EQ(roundtrip_lzss(s), s);
+}
+
+TEST(Huffman, RoundTripBasics) {
+  const std::string cases[] = {
+      "", "a", "aaaaaaaa", "abracadabra",
+      std::string("\x00\x01\x02\xff\xfe", 5),
+  };
+  for (const auto& s : cases) {
+    EXPECT_EQ(huffman_decode(huffman_encode(s)), s) << s.size();
+  }
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  util::Rng rng(1);
+  std::string s;
+  for (int i = 0; i < 20000; ++i) {
+    s.push_back(rng.bernoulli(0.95) ? 'e' : static_cast<char>(
+                                                'a' + rng.uniform_u64(26)));
+  }
+  const std::string enc = huffman_encode(s);
+  EXPECT_LT(enc.size(), s.size() / 2);
+  EXPECT_EQ(huffman_decode(enc), s);
+}
+
+TEST(Huffman, IncompressibleFallsBackToRaw) {
+  util::Rng rng(2);
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s.push_back(static_cast<char>(rng()));
+  const std::string enc = huffman_encode(s);
+  EXPECT_LE(enc.size(), s.size() + 1);  // raw marker only
+  EXPECT_EQ(huffman_decode(enc), s);
+}
+
+TEST(Huffman, MalformedThrows) {
+  EXPECT_THROW(huffman_decode(""), std::runtime_error);
+  EXPECT_THROW(huffman_decode("\x07junk"), std::runtime_error);
+  std::string short_header;
+  short_header.push_back('\x01');
+  short_header.append(100, '\x00');
+  EXPECT_THROW(huffman_decode(short_header), std::runtime_error);
+}
+
+TEST(Codec, RoundTripRandomCorpora) {
+  util::Rng rng(3);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::string s;
+    const auto n = rng.uniform_u64(5000);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // Mixture of random and repeated content.
+      if (rng.bernoulli(0.3)) {
+        s.append("repeated phrase ");
+      } else {
+        s.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+      }
+    }
+    EXPECT_EQ(decompress(compress(s)), s);
+  }
+}
+
+TEST(Codec, MalformedContainerThrows) {
+  EXPECT_THROW(decompress("nope"), std::runtime_error);
+  EXPECT_THROW(decompress("WSC1\x05\x00\x00\x00\x00\x00\x00\x00"),
+               std::runtime_error);
+}
+
+TEST(Codec, StormLogsCompressBetterThanDiverseLogs) {
+  // The Table 2 phenomenon: Spirit/Liberty (storm-repetitive) compress
+  // far better than Thunderbird (diverse).
+  util::Rng rng(4);
+  std::string storm;
+  for (int i = 0; i < 2000; ++i) {
+    storm += "Feb 28 01:02:03 sn373 kernel: cciss: cmd 77 has CHECK "
+             "CONDITION, sense key = 0x3\n";
+  }
+  std::string diverse;
+  for (int i = 0; i < 2000; ++i) {
+    diverse += "Nov 10 0";
+    for (int k = 0; k < 60; ++k) {
+      diverse.push_back(static_cast<char>('!' + rng.uniform_u64(90)));
+    }
+    diverse.push_back('\n');
+  }
+  EXPECT_LT(compression_fraction(storm), compression_fraction(diverse) / 4);
+}
+
+TEST(Codec, EmptyInput) {
+  EXPECT_EQ(decompress(compress("")), "");
+  EXPECT_DOUBLE_EQ(compression_fraction(""), 1.0);
+}
+
+}  // namespace
+}  // namespace wss::compress

@@ -1,0 +1,70 @@
+#include "core/evolution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::core {
+namespace {
+
+TEST(Evolution, LibertySegmentsAtTheKnownShifts) {
+  Study study(StudyOptions::small());
+  const auto a = analyze_evolution(study, parse::SystemId::kLiberty);
+  // The simulated Liberty profile has three rate shifts -> 4 epochs
+  // (changepoint detection may merge the weakest; require >= 3).
+  EXPECT_GE(a.epochs.size(), 3u);
+  EXPECT_EQ(a.drifts.size(), a.epochs.size() - 1);
+
+  // The OS-upgrade epoch boundary raises the message rate.
+  EXPECT_GT(a.drifts.front().rate_ratio, 1.2);
+  // Epochs tile the window.
+  const auto& spec = sim::system_spec(parse::SystemId::kLiberty);
+  EXPECT_EQ(a.epochs.front().begin, spec.start_time());
+  EXPECT_EQ(a.epochs.back().end, spec.end_time());
+  for (std::size_t i = 1; i < a.epochs.size(); ++i) {
+    EXPECT_EQ(a.epochs[i].begin, a.epochs[i - 1].end);
+  }
+}
+
+TEST(Evolution, FingerprintsAreShares) {
+  Study study(StudyOptions::small());
+  const auto a = analyze_evolution(study, parse::SystemId::kLiberty);
+  for (const auto& ep : a.epochs) {
+    double sum = 0.0;
+    for (const double f : ep.fingerprint) {
+      EXPECT_GE(f, 0.0);
+      sum += f;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(ep.alert_fraction, 0.0);
+    EXPECT_LE(ep.alert_fraction, 1.0);
+  }
+}
+
+TEST(Evolution, StationarySystemDriftsLess) {
+  // Thunderbird's chatter profile is flat; Liberty's is not. The
+  // maximum rate jump across epochs should be larger on Liberty.
+  Study study(StudyOptions::small());
+  const auto lib = analyze_evolution(study, parse::SystemId::kLiberty);
+  const auto tbird = analyze_evolution(study, parse::SystemId::kThunderbird);
+  const auto max_rate_jump = [](const EvolutionAnalysis& a) {
+    double m = 1.0;
+    for (const auto& d : a.drifts) {
+      m = std::max(m, std::max(d.rate_ratio, d.rate_ratio > 0.0
+                                                 ? 1.0 / d.rate_ratio
+                                                 : 1.0));
+    }
+    return m;
+  };
+  EXPECT_GT(max_rate_jump(lib), max_rate_jump(tbird));
+}
+
+TEST(Evolution, RenderContainsEpochsAndDrift) {
+  Study study(StudyOptions::small());
+  const auto a = analyze_evolution(study, parse::SystemId::kLiberty);
+  const std::string text = render_evolution(a);
+  EXPECT_NE(text.find("Behavioural epochs"), std::string::npos);
+  EXPECT_NE(text.find("drift 0->1"), std::string::npos);
+  EXPECT_GT(a.max_drift(), 0.0);
+}
+
+}  // namespace
+}  // namespace wss::core

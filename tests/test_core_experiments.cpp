@@ -1,0 +1,208 @@
+// Experiment drivers: each table/figure function must reproduce the
+// paper's numbers (exactly where calibrated, in shape elsewhere).
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+
+namespace wss::core {
+namespace {
+
+using parse::SystemId;
+
+StudyOptions small() { return StudyOptions::small(); }
+
+TEST(Table2, CalibratedColumnsMatch) {
+  Study study(small());
+  for (const auto id : parse::kAllSystems) {
+    const auto row = table2_row(study, id);
+    const auto& spec = sim::system_spec(id);
+    EXPECT_EQ(row.days, spec.days);
+    EXPECT_NEAR(row.messages / static_cast<double>(spec.messages), 1.0, 1e-6)
+        << parse::system_name(id);
+    EXPECT_NEAR(row.alerts / static_cast<double>(spec.alerts), 1.0, 0.01)
+        << parse::system_name(id);
+    EXPECT_EQ(row.categories, spec.categories);
+    // Compression: logs compress by at least 2x, as all of Table 2's
+    // systems do.
+    EXPECT_LT(row.compressed_fraction, 0.5);
+    EXPECT_GT(row.compressed_fraction, 0.0);
+    // Rate consistent with size and window.
+    EXPECT_NEAR(row.rate_bytes_per_sec,
+                row.measured_gb * 1e9 / (spec.days * 86400.0),
+                row.rate_bytes_per_sec * 1e-6);
+  }
+}
+
+TEST(Table3, TypeDistributionShape) {
+  Study study(small());
+  const auto d = table3(study);
+  const double raw_total = d.raw[0] + d.raw[1] + d.raw[2];
+  // Hardware dominates raw (98.04% in the paper).
+  EXPECT_NEAR(d.raw[0] / raw_total, 0.9804, 0.005);
+  // Software dominates filtered (64.01% in the paper).
+  const double filt_total = static_cast<double>(d.filtered[0] + d.filtered[1] +
+                                                d.filtered[2]);
+  EXPECT_NEAR(static_cast<double>(d.filtered[1]) / filt_total, 0.6401, 0.03);
+}
+
+TEST(Table4, RawExactFilteredClose) {
+  Study study(small());
+  for (const auto id : parse::kAllSystems) {
+    for (const auto& row : table4_rows(study, id)) {
+      // 1e-6 admits Spirit's 12 unit-weight shadowed-incident events.
+      EXPECT_NEAR(row.raw_weighted / static_cast<double>(row.paper_raw), 1.0,
+                  1e-6)
+          << row.category;
+      // Filtered counts: within 5% or +/-2 of the paper's value.
+      const double tolerance =
+          std::max(2.0, 0.05 * static_cast<double>(row.paper_filtered));
+      EXPECT_NEAR(static_cast<double>(row.filtered_measured),
+                  static_cast<double>(row.paper_filtered), tolerance)
+          << parse::system_name(id) << "/" << row.category;
+    }
+  }
+}
+
+TEST(Table5, SeverityDistributionAndTaggerRates) {
+  Study study(small());
+  const auto rows = severity_distribution(study, SystemId::kBlueGeneL);
+  double msg_total = 0;
+  double fatal_msgs = 0;
+  double info_msgs = 0;
+  double fatal_alerts = 0;
+  for (const auto& r : rows) {
+    msg_total += r.messages;
+    if (r.severity == parse::Severity::kFatal) {
+      fatal_msgs = r.messages;
+      fatal_alerts = r.alerts;
+    }
+    if (r.severity == parse::Severity::kInfo) info_msgs = r.messages;
+  }
+  EXPECT_NEAR(fatal_msgs / msg_total, 0.1802, 0.002);   // Table 5: 18.02%
+  EXPECT_NEAR(info_msgs / msg_total, 0.7868, 0.002);    // Table 5: 78.68%
+  EXPECT_NEAR(fatal_alerts, 348398.0, 350.0);
+  const auto rates = bgl_severity_tagging(study);
+  EXPECT_NEAR(rates.false_positive_rate, 0.5934, 0.004);  // the 59.34%
+  EXPECT_NEAR(rates.false_negative_rate, 0.0, 1e-9);
+}
+
+TEST(Table6, RedStormSeverity) {
+  Study study(small());
+  const auto rows = severity_distribution(study, SystemId::kRedStorm);
+  double msg_total = 0;
+  double crit_msgs = 0;
+  double crit_alerts = 0;
+  double info_msgs = 0;
+  for (const auto& r : rows) {
+    msg_total += r.messages;
+    if (r.severity == parse::Severity::kCrit) {
+      crit_msgs = r.messages;
+      crit_alerts = r.alerts;
+    }
+    if (r.severity == parse::Severity::kInfo) info_msgs = r.messages;
+  }
+  // Table 6: CRIT is 6.09% of messages but 98.69% of alerts.
+  EXPECT_NEAR(crit_msgs / msg_total, 0.0609, 0.002);
+  EXPECT_NEAR(info_msgs / msg_total, 0.6163, 0.005);
+  EXPECT_NEAR(crit_alerts, 1550217.0, 1600.0);
+}
+
+TEST(Fig2a, RegimeShiftsDetected) {
+  Study study(small());
+  const auto d = fig2a(study);
+  EXPECT_GT(d.series.total(), 0.0);
+  ASSERT_GE(d.changepoints.size(), 2u);
+  // The OS-upgrade shift lands near 35% of the window.
+  const double frac = static_cast<double>(d.changepoints.front()) /
+                      static_cast<double>(d.series.buckets().size());
+  EXPECT_NEAR(frac, 0.35, 0.06);
+}
+
+TEST(Fig2b, HeavyTailAndCorruptedCluster) {
+  Study study(small());
+  const auto d = fig2b(study);
+  ASSERT_GT(d.sources.size(), 50u);
+  // Sorted descending; the top source is far above the median.
+  EXPECT_GE(d.sources.front().second,
+            d.sources[d.sources.size() / 2].second * 10);
+  for (std::size_t i = 1; i < d.sources.size(); ++i) {
+    EXPECT_GE(d.sources[i - 1].second, d.sources[i].second);
+  }
+  EXPECT_GT(d.corrupted_weight, 0.0);
+  // The corrupted cluster sits at the bottom of the distribution.
+  EXPECT_LT(d.corrupted_weight, d.sources.front().second);
+}
+
+TEST(Fig3, GmCorrelationClearButImperfect) {
+  Study study(small());
+  const auto d = fig3(study);
+  EXPECT_EQ(d.gm_par.size(), 44u);
+  EXPECT_EQ(d.gm_lanai.size(), 13u);
+  // "the correlation is clear" -- most LANAI events sit near a PAR
+  // event...
+  EXPECT_GT(d.cooccur_lanai_to_par, 0.5);
+  // ...but "GM_LANAI messages do not always follow GM_PAR messages,
+  // nor vice versa".
+  EXPECT_LT(d.cooccur_par_to_lanai, 0.95);
+}
+
+TEST(Fig4, FilteredLibertyTimelineHasLatePbsClusters) {
+  Study study(small());
+  const auto points = fig4(study);
+  EXPECT_NEAR(static_cast<double>(points.size()), 1050.0, 40.0);
+  // PBS_CHK (category 0) concentrates late in the window (the bug).
+  const auto& spec = sim::system_spec(SystemId::kLiberty);
+  const auto window = spec.end_time() - spec.start_time();
+  std::size_t late = 0;
+  std::size_t total = 0;
+  for (const auto& p : points) {
+    if (p.category != 0) continue;
+    ++total;
+    const double f = static_cast<double>(p.time - spec.start_time()) /
+                     static_cast<double>(window);
+    if (f > 0.7) ++late;
+  }
+  ASSERT_GT(total, 100u);
+  EXPECT_GT(static_cast<double>(late) / static_cast<double>(total), 0.6);
+}
+
+TEST(Fig5, EccLooksExponentialAndRoughlyLognormal) {
+  Study study(small());
+  const auto d = fig5(study);
+  ASSERT_GE(d.gaps_seconds.size(), 100u);  // 143 filtered - 1
+  // Exponential is a decent fit for these "basically independent"
+  // low-level failures.
+  EXPECT_GT(d.ks_exponential.p_value, 0.01);
+  // Lognormal sigma is O(1) ("roughly log normal with a heavy left
+  // tail").
+  EXPECT_GT(d.lognormal.sigma, 0.5);
+  EXPECT_LT(d.lognormal.sigma, 3.0);
+}
+
+TEST(Fig6, BimodalBglUnimodalSpirit) {
+  Study study(small());
+  const auto bgl = fig6(study, SystemId::kBlueGeneL);
+  const auto spirit = fig6(study, SystemId::kSpirit);
+  EXPECT_EQ(bgl.modes.size(), 2u);
+  EXPECT_EQ(spirit.modes.size(), 1u);
+  EXPECT_GT(bgl.hist.total(), 0.0);
+  EXPECT_GT(spirit.hist.total(), 0.0);
+}
+
+TEST(Reports, RenderWithoutThrowing) {
+  Study study(small());
+  EXPECT_FALSE(render_table1().empty());
+  EXPECT_FALSE(render_table2(study).empty());
+  EXPECT_FALSE(render_table3(study).empty());
+  for (const auto id : parse::kAllSystems) {
+    EXPECT_FALSE(render_table4(study, id).empty());
+  }
+  const std::string t5 = render_table5(study);
+  EXPECT_NE(t5.find("59.34"), std::string::npos);  // paper reference shown
+  EXPECT_FALSE(render_table6(study).empty());
+}
+
+}  // namespace
+}  // namespace wss::core

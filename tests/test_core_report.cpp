@@ -1,0 +1,73 @@
+// Rendered-report content checks: the tables must carry the paper's
+// numbers verbatim where calibrated.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::core {
+namespace {
+
+StudyOptions small() { return StudyOptions::small(); }
+
+TEST(ReportTable1, CarriesPaperValues) {
+  const std::string t = render_table1();
+  EXPECT_NE(t.find("Blue Gene/L"), std::string::npos);
+  EXPECT_NE(t.find("131,072"), std::string::npos);  // BG/L procs
+  EXPECT_NE(t.find("Infiniband"), std::string::npos);
+  EXPECT_NE(t.find("445"), std::string::npos);      // Liberty rank
+  EXPECT_NE(t.find("GigEthernet"), std::string::npos);
+}
+
+TEST(ReportTable2, CarriesCalibratedCounts) {
+  Study study(small());
+  const std::string t = render_table2(study);
+  EXPECT_NE(t.find("4,747,963"), std::string::npos);    // BG/L messages
+  EXPECT_NE(t.find("265,569,231"), std::string::npos);  // Liberty messages
+  EXPECT_NE(t.find("348,460"), std::string::npos);      // BG/L alerts
+}
+
+TEST(ReportTable3, CarriesTypeRows) {
+  Study study(small());
+  const std::string t = render_table3(study);
+  EXPECT_NE(t.find("Hardware"), std::string::npos);
+  EXPECT_NE(t.find("Software"), std::string::npos);
+  EXPECT_NE(t.find("Indeterminate"), std::string::npos);
+  EXPECT_NE(t.find("98.04"), std::string::npos);
+  EXPECT_NE(t.find("174,586,516"), std::string::npos);  // paper H raw
+}
+
+TEST(ReportTable4, CarriesCategoryRows) {
+  Study study(small());
+  const std::string bgl =
+      render_table4(study, parse::SystemId::kBlueGeneL);
+  EXPECT_NE(bgl.find("H / KERNDTLB"), std::string::npos);
+  EXPECT_NE(bgl.find("152,734"), std::string::npos);
+  const std::string spirit = render_table4(study, parse::SystemId::kSpirit);
+  EXPECT_NE(spirit.find("103,818,910"), std::string::npos);
+  EXPECT_NE(spirit.find("4,119"), std::string::npos);  // PBS_CHK filtered
+}
+
+TEST(ReportTable5, CarriesSeverityRowsAndHeadline) {
+  Study study(small());
+  const std::string t = render_table5(study);
+  EXPECT_NE(t.find("FATAL"), std::string::npos);
+  EXPECT_NE(t.find("18.02"), std::string::npos);   // FATAL msg %
+  EXPECT_NE(t.find("78.68"), std::string::npos);   // INFO msg %
+  EXPECT_NE(t.find("99.98"), std::string::npos);   // FATAL alert %
+  EXPECT_NE(t.find("59.34"), std::string::npos);   // paper FP reference
+}
+
+TEST(ReportTable6, UsesSyslogSpellings) {
+  Study study(small());
+  const std::string t = render_table6(study);
+  EXPECT_NE(t.find("EMERG"), std::string::npos);
+  EXPECT_NE(t.find("ERR"), std::string::npos);
+  EXPECT_NE(t.find("DEBUG"), std::string::npos);
+  // BG/L-only levels must not appear.
+  EXPECT_EQ(t.find("FATAL"), std::string::npos);
+  EXPECT_EQ(t.find("SEVERE"), std::string::npos);
+  EXPECT_NE(t.find("98.69"), std::string::npos);  // CRIT alert share
+}
+
+}  // namespace
+}  // namespace wss::core

@@ -1,0 +1,144 @@
+// Per-category adaptive thresholds and correlation-aware filtering
+// (the paper's future-work recommendations, Section 4 / Section 5).
+#include <gtest/gtest.h>
+
+#include "filter/adaptive.hpp"
+#include "filter/correlation_aware.hpp"
+#include "util/rng.hpp"
+
+namespace wss::filter {
+namespace {
+
+using util::kUsPerSec;
+constexpr util::TimeUs T = 5 * kUsPerSec;
+
+Alert at(double sec, std::uint32_t source, std::uint16_t cat = 0) {
+  Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.source = source;
+  a.category = cat;
+  return a;
+}
+
+TEST(Adaptive, UsesPerCategoryThreshold) {
+  // Category 0: T=2s. Category 1: default 5s.
+  AdaptiveFilter f({{0, 2 * kUsPerSec}}, T);
+  EXPECT_EQ(f.threshold_for(0), 2 * kUsPerSec);
+  EXPECT_EQ(f.threshold_for(1), T);
+  const auto out = apply_filter(
+      f, {at(0, 1, 0), at(3, 1, 0), at(10, 1, 1), at(13, 1, 1)});
+  // Category 0 gap 3s > 2s threshold: both kept. Category 1 gap 3s <
+  // 5s: second removed.
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Adaptive, RejectsBadThresholds) {
+  EXPECT_THROW(AdaptiveFilter({}, 0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveFilter({{0, 0}}, T), std::invalid_argument);
+}
+
+TEST(Adaptive, SuggestFindsTwoScaleStructure) {
+  // Category 0: bursts with ~1s internal gaps, incidents hours apart.
+  util::Rng rng(7);
+  std::vector<Alert> alerts;
+  double t = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    t += 3600.0 + rng.uniform(0, 600.0);
+    double bt = t;
+    for (int k = 0; k < 10; ++k) {
+      alerts.push_back(at(bt, 1, 0));
+      bt += rng.uniform(0.5, 1.5);
+    }
+  }
+  const auto suggested = suggest_thresholds(alerts);
+  ASSERT_TRUE(suggested.count(0));
+  // The split should land between ~1.5s and ~1h.
+  EXPECT_GT(suggested.at(0), 2 * kUsPerSec);
+  EXPECT_LT(suggested.at(0), 3600 * kUsPerSec);
+}
+
+TEST(Adaptive, SuggestSkipsOneScaleCategories) {
+  // Poisson-ish category: no clear valley, keep the default.
+  util::Rng rng(8);
+  std::vector<Alert> alerts;
+  double t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(1.0 / 100.0);
+    alerts.push_back(at(t, 1, 3));
+  }
+  const auto suggested = suggest_thresholds(alerts);
+  EXPECT_FALSE(suggested.count(3));
+}
+
+TEST(Adaptive, SuggestSkipsSparseCategories) {
+  const auto suggested =
+      suggest_thresholds({at(0, 1, 2), at(100, 1, 2), at(200, 1, 2)});
+  EXPECT_TRUE(suggested.empty());
+}
+
+TEST(Adaptive, SuggestClampsToBounds) {
+  ThresholdSuggestOptions opts;
+  opts.max_threshold_us = 10 * kUsPerSec;
+  std::vector<Alert> alerts;
+  double t = 0;
+  util::Rng rng(9);
+  for (int burst = 0; burst < 30; ++burst) {
+    t += 100000.0;
+    for (int k = 0; k < 5; ++k) {
+      alerts.push_back(at(t + k * 60.0, 1, 0));  // 1-minute internal gaps
+    }
+  }
+  (void)rng;
+  const auto suggested = suggest_thresholds(alerts, opts);
+  if (suggested.count(0)) {
+    EXPECT_LE(suggested.at(0), opts.max_threshold_us);
+  }
+}
+
+TEST(CorrelationAware, GroupedCategoriesShareWindow) {
+  // PBS_CHK (0) and PBS_BFD (1) in one group: a BFD right after a CHK
+  // is redundant.
+  CorrelationAwareFilter f({{0, 1}, {1, 1}}, T);
+  const auto out = apply_filter(f, {at(0, 1, 0), at(2, 2, 1)});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(CorrelationAware, UngroupedCategoriesIndependent) {
+  CorrelationAwareFilter f({{0, 1}, {1, 1}}, T);
+  const auto out = apply_filter(f, {at(0, 1, 0), at(2, 2, 5)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(CorrelationAware, ReducesVersusPerCategory) {
+  // The Figure 4 situation: two tags fire for the same failures.
+  std::vector<Alert> in;
+  for (int i = 0; i < 50; ++i) {
+    in.push_back(at(i * 100.0, 1, 0));
+    in.push_back(at(i * 100.0 + 2.0, 2, 1));
+  }
+  CorrelationAwareFilter grouped({{0, 9}, {1, 9}}, T);
+  CorrelationAwareFilter ungrouped({}, T);
+  EXPECT_EQ(apply_filter(grouped, in).size(), 50u);
+  EXPECT_EQ(apply_filter(ungrouped, in).size(), 100u);
+}
+
+TEST(CorrelationAware, LearnsGroupsFromCooccurrence) {
+  std::vector<Alert> in;
+  for (int i = 0; i < 60; ++i) {
+    in.push_back(at(i * 500.0, 1, 0));
+    in.push_back(at(i * 500.0 + 3.0, 2, 1));      // always follows cat 0
+    in.push_back(at(i * 500.0 + 250.0, 3, 2));    // unrelated
+  }
+  const auto groups = learn_correlation_groups(in, 10 * kUsPerSec, 0.5);
+  ASSERT_TRUE(groups.count(0));
+  ASSERT_TRUE(groups.count(1));
+  EXPECT_EQ(groups.at(0), groups.at(1));
+  EXPECT_FALSE(groups.count(2));
+}
+
+TEST(CorrelationAware, RejectsBadThreshold) {
+  EXPECT_THROW(CorrelationAwareFilter({}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wss::filter

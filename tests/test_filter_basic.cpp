@@ -1,0 +1,139 @@
+// Temporal and spatial filter semantics (Section 3.3.2 definitions).
+#include <gtest/gtest.h>
+
+#include "filter/spatial.hpp"
+#include "filter/temporal.hpp"
+
+namespace wss::filter {
+namespace {
+
+using util::kUsPerSec;
+constexpr util::TimeUs T = 5 * kUsPerSec;
+
+Alert at(double sec, std::uint32_t source, std::uint16_t cat = 0) {
+  Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.source = source;
+  a.category = cat;
+  return a;
+}
+
+TEST(Temporal, KeepsFirstOfChain) {
+  // "if a node reports a particular alert every T seconds for a week,
+  // the temporal filter keeps only the first."
+  TemporalFilter f(T);
+  std::vector<Alert> in;
+  for (int i = 0; i < 100; ++i) in.push_back(at(i * 4.9, 1));
+  const auto out = apply_filter(f, in);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, in[0].time);
+}
+
+TEST(Temporal, SlidingWindowNotFixed) {
+  // Gaps of 4s each: total span 12s > T, still one survivor (sliding).
+  TemporalFilter f(T);
+  const auto out =
+      apply_filter(f, {at(0, 1), at(4, 1), at(8, 1), at(12, 1)});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Temporal, SeparateSourcesIndependent) {
+  TemporalFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1), at(1, 2), at(2, 3)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Temporal, SeparateCategoriesIndependent) {
+  TemporalFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1, 0), at(1, 1, 1), at(2, 1, 2)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Temporal, GapAboveThresholdKept) {
+  TemporalFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1), at(5.1, 1)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Temporal, ExactThresholdBoundary) {
+  // Redundant iff strictly within T ("< T" in Algorithm 3.1).
+  TemporalFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1), at(5.0, 1)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Temporal, RejectsUnsortedInput) {
+  TemporalFilter f(T);
+  EXPECT_THROW(apply_filter(f, {at(5, 1), at(0, 1)}), std::invalid_argument);
+  EXPECT_THROW(TemporalFilter(0), std::invalid_argument);
+}
+
+TEST(Temporal, ResetClearsState) {
+  TemporalFilter f(T);
+  EXPECT_TRUE(f.admit(at(0, 1)));
+  EXPECT_FALSE(f.admit(at(1, 1)));
+  f.reset();
+  EXPECT_TRUE(f.admit(at(2, 1)));
+}
+
+TEST(Spatial, RoundRobinCollapses) {
+  // "if k nodes report the same alert in a round-robin fashion, each
+  // message within T seconds of the last, then only the first is
+  // kept."
+  SpatialFilter f(T);
+  std::vector<Alert> in;
+  for (int i = 0; i < 30; ++i) in.push_back(at(i * 3.0, 1 + i % 3));
+  const auto out = apply_filter(f, in);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Spatial, SameSourceRepeatsSurvive) {
+  // Spatial alone only removes *cross-source* duplicates.
+  SpatialFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1), at(1, 1), at(2, 1)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Spatial, OtherSourceWithinTFiltered) {
+  SpatialFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1), at(3, 2)});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Spatial, TwoSlotHistoryCatchesOlderOtherSource) {
+  // B@0, A@3, A@4: A@4 must still be removed because of B@0 even
+  // though the most recent report is A's own.
+  SpatialFilter f(T);
+  std::vector<Alert> in = {at(0, 2), at(3, 1), at(4, 1)};
+  f.reset();
+  EXPECT_TRUE(f.admit(in[0]));
+  EXPECT_FALSE(f.admit(in[1]));  // other source B within T
+  EXPECT_FALSE(f.admit(in[2]));  // B@0 still within T
+}
+
+TEST(Spatial, CategoriesIndependent) {
+  SpatialFilter f(T);
+  const auto out = apply_filter(f, {at(0, 1, 0), at(1, 2, 1)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Spatial, RejectsBadThreshold) {
+  EXPECT_THROW(SpatialFilter(-1), std::invalid_argument);
+}
+
+TEST(AlertHelpers, TypeNames) {
+  EXPECT_EQ(alert_type_name(AlertType::kHardware), "Hardware");
+  EXPECT_EQ(alert_type_letter(AlertType::kSoftware), 'S');
+  EXPECT_EQ(alert_type_letter(AlertType::kIndeterminate), 'I');
+}
+
+TEST(AlertHelpers, SortAlerts) {
+  std::vector<Alert> v = {at(5, 1), at(0, 2), at(0, 1)};
+  sort_alerts(v);
+  EXPECT_EQ(v[0].source, 1u);
+  EXPECT_EQ(v[1].source, 2u);
+  EXPECT_EQ(v[2].time, static_cast<util::TimeUs>(5e6));
+}
+
+}  // namespace
+}  // namespace wss::filter

@@ -1,0 +1,150 @@
+// Cross-checks the streaming filters against reference
+// implementations transcribed literally from the paper's definitions,
+// over randomized streams.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "filter/serial.hpp"
+#include "filter/simultaneous.hpp"
+#include "util/rng.hpp"
+
+namespace wss::filter {
+namespace {
+
+using util::kUsPerSec;
+constexpr util::TimeUs T = 5 * kUsPerSec;
+
+/// Algorithm 3.1, verbatim from the paper's pseudocode:
+///
+///   l <- 0
+///   for i <- 1 to N:
+///     if t_i - l > T then clear(X)
+///     l <- t_i
+///     if c_i in X and t_i - X[c_i] < T: X[c_i] <- t_i
+///     else: X[c_i] <- t_i; output(a_i)
+std::vector<Alert> reference_logfilter(const std::vector<Alert>& a) {
+  std::vector<Alert> out;
+  util::TimeUs l = 0;
+  std::map<std::uint16_t, util::TimeUs> x;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i > 0 && a[i].time - l > T) x.clear();
+    l = a[i].time;
+    const auto it = x.find(a[i].category);
+    if (it != x.end() && a[i].time - it->second < T) {
+      it->second = a[i].time;
+    } else {
+      x[a[i].category] = a[i].time;
+      out.push_back(a[i]);
+    }
+  }
+  return out;
+}
+
+/// Reference temporal filter: per (source, category) sliding window,
+/// straight from the Section 3.3.2 definition.
+std::vector<Alert> reference_temporal(const std::vector<Alert>& a) {
+  std::vector<Alert> out;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, util::TimeUs> last;
+  for (const Alert& al : a) {
+    const auto key = std::make_pair(al.source, al.category);
+    const auto it = last.find(key);
+    const bool redundant = it != last.end() && al.time - it->second < T;
+    last[key] = al.time;
+    if (!redundant) out.push_back(al);
+  }
+  return out;
+}
+
+/// Reference spatial filter: "removes an alert if some other source
+/// had previously reported that alert within T seconds" -- checked
+/// against the complete per-source history (O(n * sources), exact).
+std::vector<Alert> reference_spatial(const std::vector<Alert>& a) {
+  std::vector<Alert> out;
+  std::map<std::uint16_t, std::map<std::uint32_t, util::TimeUs>> last;
+  for (const Alert& al : a) {
+    bool redundant = false;
+    for (const auto& [src, t] : last[al.category]) {
+      if (src != al.source && al.time - t < T) {
+        redundant = true;
+        break;
+      }
+    }
+    last[al.category][al.source] = al.time;
+    if (!redundant) out.push_back(al);
+  }
+  return out;
+}
+
+std::vector<Alert> random_stream(util::Rng& rng, std::size_t n,
+                                 double mean_gap_s, std::uint32_t sources,
+                                 std::uint16_t categories) {
+  std::vector<Alert> out;
+  double t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(1.0 / mean_gap_s);
+    Alert a;
+    a.time = static_cast<util::TimeUs>(t * 1e6);
+    a.source = static_cast<std::uint32_t>(rng.uniform_u64(sources));
+    a.category = static_cast<std::uint16_t>(rng.uniform_u64(categories));
+    out.push_back(a);
+  }
+  return out;
+}
+
+void expect_same(const std::vector<Alert>& a, const std::vector<Alert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << i;
+    EXPECT_EQ(a[i].source, b[i].source) << i;
+    EXPECT_EQ(a[i].category, b[i].category) << i;
+  }
+}
+
+/// Parameterized over mean gaps spanning dense storms (0.5 s) to
+/// sparse trickles (60 s) -- both sides of the T=5s threshold.
+class FilterReferenceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilterReferenceSweep, SimultaneousMatchesPaperPseudocode) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto stream = random_stream(rng, 800, GetParam(), 6, 4);
+    SimultaneousFilter f(T);
+    expect_same(apply_filter(f, stream), reference_logfilter(stream));
+  }
+}
+
+TEST_P(FilterReferenceSweep, TemporalMatchesDefinition) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000) + 1);
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto stream = random_stream(rng, 800, GetParam(), 6, 4);
+    TemporalFilter f(T);
+    expect_same(apply_filter(f, stream), reference_temporal(stream));
+  }
+}
+
+TEST_P(FilterReferenceSweep, SpatialTwoSlotMatchesFullHistory) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000) + 2);
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto stream = random_stream(rng, 800, GetParam(), 6, 4);
+    SpatialFilter f(T);
+    expect_same(apply_filter(f, stream), reference_spatial(stream));
+  }
+}
+
+TEST_P(FilterReferenceSweep, SerialIsComposition) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam() * 1000) + 3);
+  for (int iter = 0; iter < 12; ++iter) {
+    const auto stream = random_stream(rng, 800, GetParam(), 6, 4);
+    SerialFilter f(T);
+    expect_same(apply_filter(f, stream),
+                reference_spatial(reference_temporal(stream)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GapScales, FilterReferenceSweep,
+                         ::testing::Values(0.5, 2.0, 5.0, 12.0, 60.0));
+
+}  // namespace
+}  // namespace wss::filter

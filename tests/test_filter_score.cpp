@@ -1,0 +1,88 @@
+#include "filter/score.hpp"
+
+#include <gtest/gtest.h>
+
+#include "filter/simultaneous.hpp"
+
+namespace wss::filter {
+namespace {
+
+using util::kUsPerSec;
+constexpr util::TimeUs T = 5 * kUsPerSec;
+
+Alert ev(double sec, std::uint32_t src, std::uint64_t failure,
+         std::uint16_t cat = 0) {
+  Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.source = src;
+  a.category = cat;
+  a.failure_id = failure;
+  return a;
+}
+
+TEST(Score, PerfectFilterOnCleanStream) {
+  // Three well-separated failures, three alerts each.
+  std::vector<Alert> in;
+  for (int f = 1; f <= 3; ++f) {
+    for (int k = 0; k < 3; ++k) {
+      in.push_back(ev(f * 1000.0 + k * 2.0, 1, static_cast<std::uint64_t>(f)));
+    }
+  }
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, in);
+  EXPECT_EQ(s.input_alerts, 9u);
+  EXPECT_EQ(s.kept_alerts, 3u);
+  EXPECT_EQ(s.failures_total, 3u);
+  EXPECT_EQ(s.failures_represented, 3u);
+  EXPECT_EQ(s.true_positives_lost, 0u);
+  EXPECT_EQ(s.false_positives_kept, 0u);
+  EXPECT_DOUBLE_EQ(s.compression, 3.0);
+}
+
+TEST(Score, DetectsLostFailure) {
+  // Failure 2 hides entirely within failure 1's window.
+  std::vector<Alert> in = {ev(0, 1, 1), ev(2, 1, 1), ev(3, 2, 2),
+                           ev(4.5, 1, 1)};
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, in);
+  EXPECT_EQ(s.failures_total, 2u);
+  EXPECT_EQ(s.failures_represented, 1u);
+  EXPECT_EQ(s.true_positives_lost, 1u);
+}
+
+TEST(Score, CountsDuplicateSurvivorsAsFalsePositives) {
+  // Same failure resurfacing after a quiet gap: the second survivor is
+  // redundant with respect to ground truth.
+  std::vector<Alert> in = {ev(0, 1, 7), ev(100, 1, 7)};
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, in);
+  EXPECT_EQ(s.kept_alerts, 2u);
+  EXPECT_EQ(s.false_positives_kept, 1u);
+  EXPECT_EQ(s.true_positives_lost, 0u);
+}
+
+TEST(Score, UnknownFailureIdsAreNoise) {
+  std::vector<Alert> in = {ev(0, 1, 0), ev(100, 1, 0)};
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, in);
+  EXPECT_EQ(s.failures_total, 0u);
+  EXPECT_EQ(s.false_positives_kept, 2u);
+}
+
+TEST(Score, EmptyInput) {
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, {});
+  EXPECT_EQ(s.kept_alerts, 0u);
+  EXPECT_DOUBLE_EQ(s.compression, 0.0);
+}
+
+TEST(Score, DescribeMentionsKeyNumbers) {
+  SimultaneousFilter filter(T);
+  const auto s = score_filter(filter, {ev(0, 1, 1)});
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("kept 1/1"), std::string::npos);
+  EXPECT_NE(d.find("TP lost 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wss::filter

@@ -1,0 +1,89 @@
+#include "filter/tuple.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::filter {
+namespace {
+
+using util::kUsPerSec;
+constexpr util::TimeUs G = 5 * kUsPerSec;
+
+Alert ev(double sec, std::uint32_t src, std::uint16_t cat,
+         std::uint64_t failure = 0) {
+  Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.source = src;
+  a.category = cat;
+  a.failure_id = failure;
+  return a;
+}
+
+TEST(Tuple, GroupsByGap) {
+  const auto tuples = build_tuples(
+      {ev(0, 1, 0), ev(2, 2, 1), ev(4, 1, 0), ev(100, 3, 2)}, G);
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0].alert_count, 3u);
+  EXPECT_EQ(tuples[0].categories.size(), 2u);
+  EXPECT_EQ(tuples[0].sources.size(), 2u);
+  EXPECT_EQ(tuples[1].alert_count, 1u);
+  EXPECT_EQ(tuples[0].duration(), static_cast<util::TimeUs>(4e6));
+}
+
+TEST(Tuple, GapBoundaryIsExclusive) {
+  // Exactly G apart starts a new tuple (consistent with the filter's
+  // "< T" redundancy test).
+  const auto tuples = build_tuples({ev(0, 1, 0), ev(5.0, 1, 0)}, G);
+  EXPECT_EQ(tuples.size(), 2u);
+  const auto chained = build_tuples({ev(0, 1, 0), ev(4.999, 1, 0)}, G);
+  EXPECT_EQ(chained.size(), 1u);
+}
+
+TEST(Tuple, ChainSemantics) {
+  // Like the sliding-window filter, a long chain of sub-gap steps is
+  // one tuple even when it spans far more than the gap overall.
+  std::vector<Alert> chain;
+  for (int i = 0; i < 100; ++i) chain.push_back(ev(i * 3.0, 1, 0));
+  EXPECT_EQ(build_tuples(chain, G).size(), 1u);
+}
+
+TEST(Tuple, EmptyAndErrors) {
+  EXPECT_TRUE(build_tuples({}, G).empty());
+  EXPECT_THROW(build_tuples({}, 0), std::invalid_argument);
+  EXPECT_THROW(build_tuples({ev(5, 1, 0), ev(0, 1, 0)}, G),
+               std::invalid_argument);
+}
+
+TEST(Tuple, ScoreDetectsCollisionsAndSplits) {
+  // Failure 1 in two tuples (split); tuple 0 holds failures 1 and 2
+  // (collision).
+  const auto tuples = build_tuples(
+      {ev(0, 1, 0, 1), ev(2, 2, 1, 2), ev(100, 1, 0, 1)}, G);
+  ASSERT_EQ(tuples.size(), 2u);
+  const auto s = score_tuples(tuples);
+  EXPECT_EQ(s.tuples, 2u);
+  EXPECT_EQ(s.failures_total, 2u);
+  EXPECT_EQ(s.collided_tuples, 1u);
+  EXPECT_EQ(s.split_failures, 1u);
+}
+
+TEST(Tuple, PerfectTupling) {
+  const auto tuples = build_tuples(
+      {ev(0, 1, 0, 1), ev(1, 1, 0, 1), ev(50, 2, 1, 2)}, G);
+  const auto s = score_tuples(tuples);
+  EXPECT_EQ(s.tuples, 2u);
+  EXPECT_EQ(s.collided_tuples, 0u);
+  EXPECT_EQ(s.split_failures, 0u);
+}
+
+TEST(Tuple, MergesUnrelatedConcurrentFailures) {
+  // The tupling weakness the paper's per-category filter avoids:
+  // two different-category failures coinciding in time fuse into one
+  // tuple.
+  const auto tuples =
+      build_tuples({ev(0, 1, 0, 1), ev(2, 5, 3, 2)}, G);
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(score_tuples(tuples).collided_tuples, 1u);
+}
+
+}  // namespace
+}  // namespace wss::filter

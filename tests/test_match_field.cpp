@@ -1,0 +1,68 @@
+// awk-style field predicate tests (the BG/L kernel-panic rule shape).
+#include "match/field.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::match {
+namespace {
+
+TEST(LinePredicate, EmptyMatchesNothing) {
+  LinePredicate p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.matches("anything"));
+}
+
+TEST(LinePredicate, WholeLineTerm) {
+  LinePredicate p;
+  p.add_term(0, "kernel panic");
+  EXPECT_TRUE(p.matches("RAS KERNEL FATAL kernel panic"));
+  EXPECT_FALSE(p.matches("RAS KERNEL FATAL all fine"));
+}
+
+TEST(LinePredicate, FieldTerm) {
+  // The paper's rule: ($5 ~ /KERNEL/ && /kernel panic/).
+  LinePredicate p;
+  p.add_term(5, "KERNEL");
+  p.add_term(0, "kernel panic");
+  EXPECT_TRUE(p.matches("a b c d KERNEL x kernel panic"));
+  EXPECT_FALSE(p.matches("a b c d APP x kernel panic"));
+  EXPECT_FALSE(p.matches("a b c d KERNEL x all quiet"));
+}
+
+TEST(LinePredicate, FieldBeyondNfIsEmpty) {
+  LinePredicate p;
+  p.add_term(9, "^$");  // awk: $9 of a short line is the empty string
+  EXPECT_TRUE(p.matches("one two"));
+}
+
+TEST(LinePredicate, NegatedTerm) {
+  LinePredicate p;
+  p.add_term(0, "error");
+  p.add_term(0, "harmless", /*negated=*/true);
+  EXPECT_TRUE(p.matches("an error occurred"));
+  EXPECT_FALSE(p.matches("a harmless error"));
+}
+
+TEST(LinePredicate, FieldsSplitLikeAwk) {
+  LinePredicate p;
+  p.add_term(2, "^two$");
+  EXPECT_TRUE(p.matches("  one   two  three"));
+  EXPECT_FALSE(p.matches("one twox three"));
+}
+
+TEST(LinePredicate, RejectsNegativeField) {
+  LinePredicate p;
+  EXPECT_THROW(p.add_term(-1, "x"), PatternError);
+}
+
+TEST(LinePredicate, ConjunctionShortCircuits) {
+  LinePredicate p;
+  p.add_term(0, "alpha");
+  p.add_term(0, "beta");
+  EXPECT_TRUE(p.matches("alpha beta"));
+  EXPECT_FALSE(p.matches("alpha only"));
+  EXPECT_FALSE(p.matches("beta only"));
+}
+
+}  // namespace
+}  // namespace wss::match

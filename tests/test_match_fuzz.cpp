@@ -1,0 +1,132 @@
+// Regex engine fuzzing: random pattern strings must either compile or
+// throw PatternError (never crash or hang), and compiled patterns must
+// search arbitrary text -- including binary garbage -- in bounded
+// time. The tag engine runs over hundreds of millions of partially
+// corrupted lines, so this robustness is load-bearing.
+#include <gtest/gtest.h>
+
+#include "match/nfa.hpp"
+#include "util/rng.hpp"
+
+namespace wss::match {
+namespace {
+
+std::string random_pattern(util::Rng& rng, std::size_t max_len) {
+  static constexpr char kChars[] =
+      "ab01.*+?()[]{}|^$\\-, dDwWsS";
+  const std::size_t n = 1 + rng.uniform_u64(max_len);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kChars[rng.uniform_u64(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string random_text(util::Rng& rng, std::size_t max_len) {
+  const std::size_t n = rng.uniform_u64(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(rng()));  // full byte range
+  }
+  return out;
+}
+
+TEST(RegexFuzz, CompileEitherSucceedsOrThrowsPatternError) {
+  util::Rng rng(2025);
+  int compiled = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 5000; ++iter) {
+    const std::string pattern = random_pattern(rng, 12);
+    try {
+      const Regex re(pattern);
+      ++compiled;
+      // Whatever compiled must search without incident.
+      (void)re.search("Jun  3 15:42:50 sn373 kernel: test line");
+      (void)re.search("");
+    } catch (const PatternError&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes occur in a healthy fuzz corpus.
+  EXPECT_GT(compiled, 500);
+  EXPECT_GT(rejected, 500);
+}
+
+TEST(RegexFuzz, SearchBinaryGarbage) {
+  util::Rng rng(2026);
+  const Regex patterns[] = {
+      Regex("kernel: EXT3-fs error"),
+      Regex("[A-Z]+_[0-9]{2,4}"),
+      Regex("(ab|cd)+ef?"),
+      Regex("^\\d+ .* RAS [A-Z]+"),
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string text = random_text(rng, 200);
+    for (const auto& re : patterns) {
+      EXPECT_NO_THROW({ (void)re.search(text); });
+    }
+  }
+}
+
+TEST(RegexFuzz, PrefilterNeverChangesResults) {
+  util::Rng rng(2027);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const std::string pattern = random_pattern(rng, 10);
+    std::unique_ptr<Regex> re;
+    try {
+      re = std::make_unique<Regex>(pattern);
+    } catch (const PatternError&) {
+      continue;
+    }
+    for (int t = 0; t < 4; ++t) {
+      // Texts over the pattern alphabet so matches actually happen.
+      std::string text;
+      const std::size_t n = rng.uniform_u64(24);
+      for (std::size_t i = 0; i < n; ++i) {
+        text.push_back("ab01 ,x"[rng.uniform_u64(7)]);
+      }
+      EXPECT_EQ(re->search(text, true), re->search(text, false))
+          << "pattern=" << pattern << " text=" << text;
+    }
+  }
+}
+
+TEST(RegexFuzz, FullMatchImpliesSearch) {
+  util::Rng rng(2028);
+  for (int iter = 0; iter < 1500; ++iter) {
+    const std::string pattern = random_pattern(rng, 8);
+    std::unique_ptr<Regex> re;
+    try {
+      re = std::make_unique<Regex>(pattern);
+    } catch (const PatternError&) {
+      continue;
+    }
+    std::string text;
+    const std::size_t n = rng.uniform_u64(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      text.push_back("ab01"[rng.uniform_u64(4)]);
+    }
+    if (re->full_match(text)) {
+      EXPECT_TRUE(re->search(text)) << "pattern=" << pattern
+                                    << " text=" << text;
+    }
+  }
+}
+
+TEST(RegexFuzz, LongInputsLinearish) {
+  // A worst-case-ish pattern over a 1 MB text must finish promptly
+  // (the Pike VM guarantee); this is a smoke bound, not a benchmark.
+  const Regex re("(a|b)*c[0-9]+d");
+  util::Rng rng(2029);
+  std::string text;
+  text.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); ++i) {
+    text.push_back("ab"[rng.uniform_u64(2)]);
+  }
+  EXPECT_FALSE(re.search(text));
+  text += "c123d";
+  EXPECT_TRUE(re.search(text));
+}
+
+}  // namespace
+}  // namespace wss::match

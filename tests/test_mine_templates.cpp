@@ -1,0 +1,125 @@
+#include "mine/templates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/generator.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace wss::mine {
+namespace {
+
+MinerOptions tiny_opts() {
+  MinerOptions o;
+  o.min_support = 5;
+  o.min_template_count = 5;
+  return o;
+}
+
+std::vector<std::string> synthetic_corpus() {
+  util::Rng rng(1);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 200; ++i) {
+    lines.push_back(util::format(
+        "kernel: GM: LANai is not running. port=%d",
+        static_cast<int>(rng.uniform_i64(0, 9999))));
+  }
+  for (int i = 0; i < 100; ++i) {
+    lines.push_back(util::format(
+        "pbs_mom: task_check, cannot tm_reply to %d task 1",
+        static_cast<int>(rng.uniform_i64(1, 99999))));
+  }
+  return lines;
+}
+
+TEST(Miner, RecoversConstantsAndWildcards) {
+  const auto templates = TemplateMiner::mine(synthetic_corpus(), tiny_opts());
+  ASSERT_EQ(templates.size(), 2u);
+  EXPECT_EQ(templates[0].count, 200u);
+  EXPECT_NE(templates[0].pattern.find("LANai is not running."),
+            std::string::npos);
+  // The variable port token became a wildcard.
+  EXPECT_NE(templates[0].pattern.find('*'), std::string::npos);
+  EXPECT_EQ(templates[0].n_wildcards, 1u);
+  EXPECT_EQ(templates[1].count, 100u);
+  EXPECT_NE(templates[1].pattern.find("task_check,"), std::string::npos);
+}
+
+TEST(Miner, SpecificityMetric) {
+  LogTemplate t;
+  t.n_tokens = 10;
+  t.n_wildcards = 3;
+  EXPECT_DOUBLE_EQ(t.specificity(), 0.7);
+  LogTemplate empty;
+  EXPECT_DOUBLE_EQ(empty.specificity(), 0.0);
+}
+
+TEST(Miner, MinSupportControlsVocabulary) {
+  // Each line unique: with min_support > 1 everything is wildcards.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 50; ++i) {
+    lines.push_back(util::format("token%d only%d once%d", i, i, i));
+  }
+  MinerOptions opts = tiny_opts();
+  const auto templates = TemplateMiner::mine(lines, opts);
+  ASSERT_EQ(templates.size(), 1u);
+  EXPECT_EQ(templates[0].pattern, "* * *");
+  EXPECT_EQ(templates[0].count, 50u);
+}
+
+TEST(Miner, TwoPassApiEnforced) {
+  TemplateMiner m(tiny_opts());
+  m.learn("a b c");
+  EXPECT_THROW(m.digest("a b c"), std::logic_error);
+  m.freeze();
+  EXPECT_THROW(m.learn("a b c"), std::logic_error);
+  EXPECT_NO_THROW(m.digest("a b c"));
+}
+
+TEST(Miner, TemplateOfIsStable) {
+  TemplateMiner m(tiny_opts());
+  for (int i = 0; i < 10; ++i) m.learn("alpha beta gamma");
+  m.freeze();
+  EXPECT_EQ(m.template_of("alpha beta gamma"), "alpha beta gamma");
+  EXPECT_EQ(m.template_of("alpha beta delta"), "alpha beta *");
+  EXPECT_EQ(m.template_of(""), "");
+}
+
+TEST(Miner, MaxTokensTruncates) {
+  MinerOptions opts = tiny_opts();
+  opts.max_tokens = 2;
+  TemplateMiner m(opts);
+  for (int i = 0; i < 10; ++i) m.learn("a b c d e");
+  m.freeze();
+  EXPECT_EQ(m.template_of("a b c d e"), "a b");
+}
+
+TEST(Miner, ApproximatesTheMessageCatalogOnSimulatedLogs) {
+  // Mining a simulated Liberty log should recover roughly the known
+  // message shapes (6 alert categories + 13 chatter templates), not
+  // orders of magnitude more or fewer.
+  sim::SimOptions sopts;
+  sopts.category_cap = 1500;
+  sopts.chatter_events = 8000;
+  sopts.inject_corruption = false;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, sopts);
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    lines.push_back(simulator.line(i));
+  }
+  MinerOptions opts;
+  opts.min_support = 40;
+  opts.min_template_count = 40;
+  opts.skip_positions = 4;  // "Mon dd HH:MM:SS host" header
+  const auto templates = TemplateMiner::mine(lines, opts);
+  EXPECT_GE(templates.size(), 10u);
+  EXPECT_LE(templates.size(), 60u);
+  // Coverage: the mined templates account for nearly all lines.
+  std::size_t covered = 0;
+  for (const auto& t : templates) covered += t.count;
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(lines.size()),
+            0.9);
+}
+
+}  // namespace
+}  // namespace wss::mine

@@ -1,0 +1,103 @@
+#include "parse/redstorm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parse/dispatch.hpp"
+
+namespace wss::parse {
+namespace {
+
+TEST(RedStormParse, EventRouterLine) {
+  const auto r = parse_redstorm_line(
+      "2006-03-19 10:00:00 ec_heartbeat_stop src:::c1-0c0s3n0 "
+      "svc:::c1-0c0s3n0 warn node heartbeat_fault 7",
+      2006);
+  EXPECT_TRUE(r.timestamp_valid);
+  EXPECT_EQ(r.program, "ec_heartbeat_stop");
+  EXPECT_EQ(r.source, "c1-0c0s3n0");
+  EXPECT_EQ(r.severity, Severity::kNone);  // "no severity analog"
+  EXPECT_NE(r.body.find("heartbeat_fault"), std::string::npos);
+}
+
+TEST(RedStormParse, SyslogWithPriority) {
+  const auto r = parse_redstorm_line(
+      "Mar 19 10:00:00 login1 kern.crit kernel: LustreError: timeout", 2006);
+  EXPECT_TRUE(r.timestamp_valid);
+  EXPECT_EQ(r.source, "login1");
+  EXPECT_EQ(r.severity, Severity::kCrit);
+  EXPECT_EQ(r.program, "kernel");
+  EXPECT_EQ(r.body, "LustreError: timeout");
+}
+
+TEST(RedStormParse, DdnLineNoProgram) {
+  const auto r = parse_redstorm_line(
+      "Mar 19 10:00:01 ddn1 local0.alert DMT_DINT Failing Disk 2A", 2006);
+  EXPECT_EQ(r.source, "ddn1");
+  EXPECT_EQ(r.severity, Severity::kAlert);
+  EXPECT_EQ(r.body, "DMT_DINT Failing Disk 2A");
+  EXPECT_TRUE(r.program.empty());
+}
+
+TEST(RedStormParse, PlainSyslogWithoutPriority) {
+  const auto r = parse_redstorm_line(
+      "Mar 19 10:00:00 smw kernel: ordinary message", 2006);
+  EXPECT_EQ(r.severity, Severity::kNone);
+  EXPECT_EQ(r.program, "kernel");
+  EXPECT_EQ(r.body, "ordinary message");
+}
+
+TEST(RedStormParse, EventRouterCorruptSource) {
+  const auto r = parse_redstorm_line(
+      "2006-03-19 10:00:00 ec_console_log src:::#@! svc:::x PANIC", 2006);
+  EXPECT_TRUE(r.source_corrupted);
+}
+
+TEST(RedStormParse, NodePlausibility) {
+  EXPECT_TRUE(plausible_redstorm_node("c1-0c0s3n0"));
+  EXPECT_TRUE(plausible_redstorm_node("login1"));
+  EXPECT_TRUE(plausible_redstorm_node("smw"));
+  EXPECT_FALSE(plausible_redstorm_node("UPPER"));
+  EXPECT_FALSE(plausible_redstorm_node(""));
+  EXPECT_FALSE(plausible_redstorm_node("1leading-digit-ok?"));
+}
+
+TEST(RedStormParse, NeverThrows) {
+  EXPECT_NO_THROW({ (void)parse_redstorm_line("", 2006); });
+  EXPECT_NO_THROW({ (void)parse_redstorm_line("2006-03-19 10:00:00", 2006); });
+  EXPECT_NO_THROW({ (void)parse_redstorm_line("\xff\xfe binary", 2006); });
+}
+
+TEST(Dispatch, RoutesBySystem) {
+  const auto bgl = parse_line(
+      SystemId::kBlueGeneL,
+      "1 2005.06.03 R00-M0-N0 2005-06-03-00.00.00.000000 R00-M0-N0 RAS "
+      "KERNEL FATAL data TLB error interrupt",
+      2005);
+  EXPECT_EQ(bgl.system, SystemId::kBlueGeneL);
+  EXPECT_EQ(bgl.severity, Severity::kFatal);
+
+  const auto rs = parse_line(SystemId::kRedStorm,
+                             "Mar 19 10:00:00 login1 kern.err kernel: x",
+                             2006);
+  EXPECT_EQ(rs.severity, Severity::kError);
+
+  const auto lib = parse_line(SystemId::kLiberty,
+                              "Jun  3 10:00:00 ln1 kernel: x", 2005);
+  EXPECT_EQ(lib.system, SystemId::kLiberty);
+  EXPECT_EQ(lib.severity, Severity::kNone);
+}
+
+TEST(SeverityNames, BothVocabularies) {
+  EXPECT_EQ(severity_bgl_name(Severity::kError), "ERROR");
+  EXPECT_EQ(severity_syslog_name(Severity::kError), "ERR");
+  EXPECT_EQ(severity_bgl_name(Severity::kFatal), "FATAL");
+  EXPECT_EQ(severity_syslog_name(Severity::kEmerg), "EMERG");
+  EXPECT_EQ(severity_bgl_name(Severity::kNone), "-");
+  EXPECT_EQ(parse_severity("ERR"), Severity::kError);
+  EXPECT_EQ(parse_severity("error"), Severity::kError);
+  EXPECT_EQ(parse_severity("FATAL"), Severity::kFatal);
+  EXPECT_EQ(parse_severity("nonsense"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace wss::parse

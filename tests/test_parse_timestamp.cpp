@@ -1,0 +1,72 @@
+#include "parse/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::parse {
+namespace {
+
+TEST(SyslogTimestamp, ParsesStandardStamp) {
+  const auto t = parse_syslog_timestamp("Jun  3 15:42:50", 2005);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(util::to_civil(*t), (util::CivilTime{2005, 6, 3, 15, 42, 50, 0}));
+}
+
+TEST(SyslogTimestamp, ParsesTwoDigitDay) {
+  const auto t = parse_syslog_timestamp("Nov 19 01:02:03", 2005);
+  ASSERT_TRUE(t);
+  EXPECT_EQ(util::to_civil(*t).day, 19);
+}
+
+TEST(SyslogTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_syslog_timestamp("Xyz  3 15:42:50", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Jun  3 25:42:50", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Jun  3 15:60:50", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Jun 32 15:42:50", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Jun  3 15:42", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Jun  3 15-42-50", 2005));
+  EXPECT_FALSE(parse_syslog_timestamp("Feb 29 00:00:00", 2005));  // not leap
+}
+
+TEST(SyslogTimestamp, LeapDayValidByYear) {
+  EXPECT_TRUE(parse_syslog_timestamp("Feb 29 00:00:00", 2004));
+}
+
+TEST(BglTimestamp, ParsesMicroseconds) {
+  const auto t = parse_bgl_timestamp("2005-06-03-15.42.50.363779");
+  ASSERT_TRUE(t);
+  const auto ct = util::to_civil(*t);
+  EXPECT_EQ(ct.micros, 363779);
+  EXPECT_EQ(ct.hour, 15);
+}
+
+TEST(BglTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_bgl_timestamp("2005-06-03 15.42.50.363779"));
+  EXPECT_FALSE(parse_bgl_timestamp("2005-13-03-15.42.50.363779"));
+  EXPECT_FALSE(parse_bgl_timestamp("2005-06-03-15.42.50.36377"));
+  EXPECT_FALSE(parse_bgl_timestamp("garbage"));
+}
+
+TEST(IsoTimestamp, Parses) {
+  const auto t = parse_iso_timestamp("2006-03-19 10:00:00");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(util::to_civil(*t), (util::CivilTime{2006, 3, 19, 10, 0, 0, 0}));
+}
+
+TEST(IsoTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_iso_timestamp("2006/03/19 10:00:00"));
+  EXPECT_FALSE(parse_iso_timestamp("2006-03-19T10:00:00"));
+  EXPECT_FALSE(parse_iso_timestamp("2006-03-32 10:00:00"));
+}
+
+TEST(CivilValidation, Ranges) {
+  EXPECT_TRUE(civil_fields_valid(2005, 6, 3, 0, 0, 0));
+  EXPECT_FALSE(civil_fields_valid(0, 6, 3, 0, 0, 0));
+  EXPECT_FALSE(civil_fields_valid(2005, 0, 3, 0, 0, 0));
+  EXPECT_FALSE(civil_fields_valid(2005, 6, 31, 0, 0, 0));
+  EXPECT_FALSE(civil_fields_valid(2005, 6, 3, 24, 0, 0));
+  EXPECT_FALSE(civil_fields_valid(2005, 6, 3, 0, 0, 60));
+}
+
+}  // namespace
+}  // namespace wss::parse

@@ -1,0 +1,174 @@
+// Ensemble routing and the evaluation harness.
+#include <gtest/gtest.h>
+
+#include "predict/ensemble.hpp"
+#include "predict/periodic.hpp"
+#include "predict/precursor.hpp"
+#include "predict/rate_burst.hpp"
+#include "util/rng.hpp"
+
+namespace wss::predict {
+namespace {
+
+filter::Alert ev(double sec, std::uint16_t cat, std::uint64_t failure = 0) {
+  filter::Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.category = cat;
+  a.failure_id = failure;
+  return a;
+}
+
+/// A stream with three behaviours: category 0 triggers category 1
+/// (precursor-predictable), category 5 is periodic, category 2 is
+/// independent noise (unpredictable).
+std::vector<filter::Alert> mixed_stream(int n, std::uint64_t seed,
+                                        double t0 = 0.0) {
+  util::Rng rng(seed);
+  std::vector<filter::Alert> out;
+  std::uint64_t failure = seed * 100000 + 1;
+  double t = t0 + 500.0;
+  double t_noise = t0 + 200.0;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(ev(t, 0, failure++));
+    if (rng.bernoulli(0.85)) out.push_back(ev(t + 40.0, 1, failure++));
+    t += 2500.0;
+    // Genuinely memoryless noise: exponential interarrivals.
+    t_noise += rng.exponential(1.0 / 2500.0);
+    out.push_back(ev(t_noise, 2, failure++));
+  }
+  for (int i = 0; i < n; ++i) {
+    out.push_back(ev(t0 + 777.0 + i * 1800.0, 5, failure++));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const filter::Alert& a, const filter::Alert& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+TEST(GroundTruthIncidents, FirstAlertPerFailure) {
+  const std::vector<filter::Alert> alerts = {
+      ev(0, 1, 10), ev(2, 1, 10), ev(5, 2, 11), ev(6, 2, 0)};
+  const auto incidents = ground_truth_incidents(alerts);
+  ASSERT_EQ(incidents.size(), 2u);
+  EXPECT_EQ(incidents[0].category, 1);
+  EXPECT_EQ(incidents[1].category, 2);
+}
+
+TEST(Scoring, CorrectPredictionRequiresFutureIncident) {
+  std::vector<Prediction> preds(1);
+  preds[0].issued_at = static_cast<util::TimeUs>(10e6);
+  preds[0].category = 1;
+  preds[0].window_begin = static_cast<util::TimeUs>(10e6);
+  preds[0].window_end = static_cast<util::TimeUs>(100e6);
+
+  // Incident before issue: not counted.
+  {
+    const auto s = score_predictions(preds, {{static_cast<util::TimeUs>(5e6), 1}});
+    EXPECT_EQ(s.correct_predictions, 0u);
+    EXPECT_EQ(s.incidents_predicted, 0u);
+  }
+  // Incident inside the window, after issue: counted both ways.
+  {
+    const auto s =
+        score_predictions(preds, {{static_cast<util::TimeUs>(50e6), 1}});
+    EXPECT_EQ(s.correct_predictions, 1u);
+    EXPECT_EQ(s.incidents_predicted, 1u);
+    EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+    EXPECT_DOUBLE_EQ(s.recall(), 1.0);
+    EXPECT_DOUBLE_EQ(s.f1(), 1.0);
+  }
+  // Wrong category: not counted.
+  {
+    const auto s =
+        score_predictions(preds, {{static_cast<util::TimeUs>(50e6), 2}});
+    EXPECT_EQ(s.correct_predictions, 0u);
+  }
+}
+
+TEST(Scoring, EmptyInputs) {
+  const auto s = score_predictions({}, {});
+  EXPECT_DOUBLE_EQ(s.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(s.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(s.f1(), 0.0);
+  EXPECT_FALSE(s.describe().empty());
+}
+
+TEST(Ensemble, RejectsEmptyOrNullMembers) {
+  EXPECT_THROW(EnsemblePredictor({}), std::invalid_argument);
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(nullptr);
+  EXPECT_THROW(EnsemblePredictor(std::move(members)), std::invalid_argument);
+}
+
+TEST(Ensemble, RoutesCategoriesToTheRightMembers) {
+  const auto train = mixed_stream(50, 1);
+  auto precursor = std::make_unique<PrecursorPredictor>();
+  precursor->fit(train);
+  auto periodic = std::make_unique<PeriodicPredictor>();
+  periodic->fit(train);
+  auto rate = std::make_unique<RateBurstPredictor>();
+
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(std::move(rate));       // member 0
+  members.push_back(std::move(precursor));  // member 1
+  members.push_back(std::move(periodic));   // member 2
+  EnsemblePredictor ensemble(std::move(members));
+  const std::size_t routed = ensemble.fit_routing(train);
+  EXPECT_GE(routed, 2u);
+  ASSERT_TRUE(ensemble.routing().count(1));
+  EXPECT_EQ(ensemble.routing().at(1), 1u);  // cascades -> precursor
+  ASSERT_TRUE(ensemble.routing().count(5));
+  EXPECT_EQ(ensemble.routing().at(5), 2u);  // heartbeat -> periodic
+  EXPECT_FALSE(ensemble.routing().count(2));  // noise -> abstain
+}
+
+TEST(Ensemble, BeatsEverySingleMemberOnMixedStream) {
+  const auto train = mixed_stream(60, 2);
+  const auto test = mixed_stream(40, 3, /*t0=*/1e6);
+  const auto incidents = ground_truth_incidents(test);
+
+  auto precursor = std::make_unique<PrecursorPredictor>();
+  precursor->fit(train);
+  auto periodic = std::make_unique<PeriodicPredictor>();
+  periodic->fit(train);
+  auto rate = std::make_unique<RateBurstPredictor>();
+
+  // Score each member alone.
+  const double f1_rate =
+      score_predictions(run_predictor(*rate, test), incidents).f1();
+  const double f1_precursor =
+      score_predictions(run_predictor(*precursor, test), incidents).f1();
+  const double f1_periodic =
+      score_predictions(run_predictor(*periodic, test), incidents).f1();
+
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(std::move(rate));
+  members.push_back(std::move(precursor));
+  members.push_back(std::move(periodic));
+  EnsemblePredictor ensemble(std::move(members));
+  ensemble.fit_routing(train);
+  const double f1_ensemble =
+      score_predictions(run_predictor(ensemble, test), incidents).f1();
+
+  EXPECT_GE(f1_ensemble, f1_rate);
+  EXPECT_GE(f1_ensemble, f1_precursor);
+  EXPECT_GE(f1_ensemble, f1_periodic);
+  EXPECT_GT(f1_ensemble, 0.1);
+}
+
+TEST(Ensemble, DrainFiltersUnroutedCategories) {
+  const auto train = mixed_stream(50, 4);
+  auto rate = std::make_unique<RateBurstPredictor>();
+  std::vector<std::unique_ptr<Predictor>> members;
+  members.push_back(std::move(rate));
+  EnsemblePredictor ensemble(std::move(members));
+  ensemble.fit_routing(train);
+  for (const auto& a : train) ensemble.observe(a);
+  for (const auto& p : ensemble.drain()) {
+    EXPECT_TRUE(ensemble.routing().count(p.category));
+  }
+}
+
+}  // namespace
+}  // namespace wss::predict

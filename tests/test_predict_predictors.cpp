@@ -1,0 +1,155 @@
+// Unit tests for the single-feature predictors.
+#include <gtest/gtest.h>
+
+#include "predict/periodic.hpp"
+#include "predict/precursor.hpp"
+#include "predict/rate_burst.hpp"
+#include "util/rng.hpp"
+
+namespace wss::predict {
+namespace {
+
+using util::kUsPerMin;
+using util::kUsPerSec;
+
+filter::Alert ev(double sec, std::uint16_t cat, std::uint64_t failure = 0) {
+  filter::Alert a;
+  a.time = static_cast<util::TimeUs>(sec * 1e6);
+  a.category = cat;
+  a.failure_id = failure;
+  return a;
+}
+
+TEST(RateBurst, FiresOnBurstNotOnTrickle) {
+  RateBurstOptions opts;
+  RateBurstPredictor p(opts);
+  // Trickle: one alert every 10 minutes.
+  for (int i = 0; i < 30; ++i) p.observe(ev(i * 600.0, 1));
+  EXPECT_TRUE(p.drain().empty());
+  // Burst: 30 alerts two seconds apart.
+  for (int i = 0; i < 30; ++i) p.observe(ev(20000.0 + i * 2.0, 1));
+  const auto preds = p.drain();
+  ASSERT_FALSE(preds.empty());
+  EXPECT_EQ(preds[0].category, 1);
+  EXPECT_GT(preds[0].window_end, preds[0].window_begin);
+}
+
+TEST(RateBurst, RefractoryLimitsSpam) {
+  RateBurstOptions opts;
+  opts.refractory_us = 60 * kUsPerMin;
+  RateBurstPredictor p(opts);
+  for (int i = 0; i < 500; ++i) p.observe(ev(i * 1.0, 2));
+  // 500 seconds of continuous burst, one-hour refractory: one warning.
+  EXPECT_EQ(p.drain().size(), 1u);
+}
+
+TEST(RateBurst, CategoriesIndependent) {
+  RateBurstPredictor p;
+  for (int i = 0; i < 30; ++i) p.observe(ev(i * 2.0, 3));
+  for (const auto& pred : p.drain()) EXPECT_EQ(pred.category, 3);
+}
+
+TEST(RateBurst, ResetClearsStreamingState) {
+  RateBurstPredictor p;
+  for (int i = 0; i < 30; ++i) p.observe(ev(i * 2.0, 1));
+  p.reset();
+  EXPECT_TRUE(p.drain().empty());
+  p.observe(ev(100000.0, 1));
+  EXPECT_TRUE(p.drain().empty());  // single alert is not a burst
+}
+
+std::vector<filter::Alert> cascade_stream(int n, double follow_prob,
+                                          std::uint64_t seed) {
+  // Category 0 incidents every ~2000 s; category 1 follows 30 s later
+  // with probability follow_prob; category 2 is independent noise.
+  util::Rng rng(seed);
+  std::vector<filter::Alert> out;
+  double t = 1000.0;
+  std::uint64_t failure = 1;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(ev(t, 0, failure++));
+    if (rng.bernoulli(follow_prob)) {
+      out.push_back(ev(t + 30.0, 1, failure++));
+    }
+    out.push_back(ev(t + 700.0 + rng.uniform(0, 500.0), 2, failure++));
+    t += 2000.0 + rng.uniform(0, 300.0);
+  }
+  return out;
+}
+
+TEST(Precursor, LearnsTruePairOnly) {
+  const auto train = cascade_stream(60, 0.8, 1);
+  PrecursorPredictor p;
+  const std::size_t n_pairs = p.fit(train);
+  ASSERT_GE(n_pairs, 1u);
+  bool has_0_to_1 = false;
+  for (const auto& [a, b] : p.pairs()) {
+    if (a == 0 && b == 1) has_0_to_1 = true;
+    EXPECT_NE(b, 2) << "independent category must not be predicted";
+  }
+  EXPECT_TRUE(has_0_to_1);
+}
+
+TEST(Precursor, PredictsFollowerInWindow) {
+  const auto train = cascade_stream(60, 0.9, 2);
+  const auto test = cascade_stream(30, 0.9, 3);
+  PrecursorPredictor p;
+  p.fit(train);
+  for (const auto& a : test) p.observe(a);
+  const auto preds = p.drain();
+  ASSERT_FALSE(preds.empty());
+  for (const auto& pred : preds) {
+    EXPECT_EQ(pred.category, 1);
+    EXPECT_GE(pred.window_end - pred.window_begin, 0);
+  }
+}
+
+TEST(Precursor, NoPairsWithoutSupport) {
+  // Too few incidents to meet min_support.
+  PrecursorPredictor p;
+  EXPECT_EQ(p.fit({ev(0, 0, 1), ev(30, 1, 2)}), 0u);
+}
+
+TEST(Periodic, DetectsPeriodicCategory) {
+  std::vector<filter::Alert> train;
+  std::uint64_t failure = 1;
+  for (int i = 0; i < 20; ++i) {
+    train.push_back(ev(i * 3600.0, 5, failure++));  // hourly heartbeat loss
+  }
+  PeriodicPredictor p;
+  EXPECT_EQ(p.fit(train), 1u);
+  EXPECT_NEAR(static_cast<double>(p.period_of(5)), 3600e6, 1e3);
+  EXPECT_EQ(p.period_of(6), 0);
+}
+
+TEST(Periodic, AbstainsOnIrregularCategory) {
+  util::Rng rng(4);
+  std::vector<filter::Alert> train;
+  double t = 0;
+  std::uint64_t failure = 1;
+  for (int i = 0; i < 40; ++i) {
+    t += rng.exponential(1.0 / 2000.0);
+    train.push_back(ev(t, 7, failure++));
+  }
+  PeriodicPredictor p;
+  EXPECT_EQ(p.fit(train), 0u);
+  p.observe(ev(t + 100.0, 7));
+  EXPECT_TRUE(p.drain().empty());
+}
+
+TEST(Periodic, PredictsNextOccurrence) {
+  std::vector<filter::Alert> train;
+  std::uint64_t failure = 1;
+  for (int i = 0; i < 12; ++i) train.push_back(ev(i * 100.0, 3, failure++));
+  PeriodicPredictor p;
+  ASSERT_EQ(p.fit(train), 1u);
+  p.observe(ev(5000.0, 3));
+  const auto preds = p.drain();
+  ASSERT_EQ(preds.size(), 1u);
+  // Window centered near t + 100 s.
+  EXPECT_LE(preds[0].window_begin, static_cast<util::TimeUs>(5100e6));
+  EXPECT_GE(preds[0].window_end, static_cast<util::TimeUs>(5100e6));
+}
+
+}  // namespace
+}  // namespace wss::predict

@@ -1,0 +1,192 @@
+// Guards on the generation-plan derivation: the paper's special cases
+// must be wired to the right categories with the right parameters.
+#include "sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tag/rulesets.hpp"
+
+namespace wss::sim {
+namespace {
+
+using parse::SystemId;
+
+std::vector<CategoryGenPlan> plans_for(SystemId id,
+                                       std::uint64_t cap = 100000) {
+  SimOptions opts;
+  opts.category_cap = cap;
+  const SourceNamer namer(id, system_spec(id).n_sources);
+  return build_plans(id, opts, namer);
+}
+
+const CategoryGenPlan* find_plan(const std::vector<CategoryGenPlan>& plans,
+                                 std::string_view name) {
+  for (const auto& p : plans) {
+    if (p.info != nullptr && p.info->name == name) return &p;
+  }
+  return nullptr;
+}
+
+TEST(Catalog, PlansAlignWithCategories) {
+  for (const auto id : parse::kAllSystems) {
+    const auto plans = plans_for(id);
+    const auto cats = tag::categories_of(id);
+    ASSERT_EQ(plans.size(), cats.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      EXPECT_EQ(plans[i].category_id, i);
+      EXPECT_EQ(plans[i].info, cats[i]);
+      EXPECT_GE(plans[i].incidents, 1u);
+      EXPECT_GE(plans[i].gen_events, 1u);
+    }
+  }
+}
+
+TEST(Catalog, WeightsReconstructRawCounts) {
+  for (const auto id : parse::kAllSystems) {
+    for (const auto& p : plans_for(id, 50000)) {
+      EXPECT_LE(p.gen_events, 50000u);
+      EXPECT_NEAR(p.weight * static_cast<double>(p.gen_events),
+                  static_cast<double>(p.info->raw_count),
+                  1e-6 * static_cast<double>(p.info->raw_count) + 0.5)
+          << p.info->name;
+    }
+  }
+}
+
+TEST(Catalog, ThunderbirdSpecialCases) {
+  const auto plans = plans_for(SystemId::kThunderbird);
+  const auto* vapi = find_plan(plans, "VAPI");
+  ASSERT_NE(vapi, nullptr);
+  EXPECT_TRUE(vapi->has_storm);
+  EXPECT_EQ(vapi->storm_node, SourceNamer::kThunderbirdVapiNode);
+  // "A single node was responsible for 643,925 of them" -> ~20%.
+  EXPECT_NEAR(vapi->storm_event_frac, 643925.0 / 3229194.0, 1e-9);
+  EXPECT_NEAR(vapi->storm_incident_frac, 246.0 / 276.0, 1e-9);
+
+  const auto* ecc = find_plan(plans, "ECC");
+  ASSERT_NE(ecc, nullptr);
+  EXPECT_EQ(ecc->mode, SourceMode::kPoisson);
+  EXPECT_EQ(ecc->engineered_pairs, 3u);  // 146 raw -> 143 filtered
+
+  const auto* cpu = find_plan(plans, "CPU");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->mode, SourceMode::kJobBursts);  // the SMP clock bug
+}
+
+TEST(Catalog, SpiritStormAndShadow) {
+  const auto plans = plans_for(SystemId::kSpirit);
+  const auto* cciss = find_plan(plans, "EXT_CCISS");
+  ASSERT_NE(cciss, nullptr);
+  EXPECT_TRUE(cciss->has_storm);
+  EXPECT_EQ(cciss->storm_node, SourceNamer::kSpiritStormNode);
+  EXPECT_TRUE(cciss->shadowed_incident);
+  EXPECT_EQ(cciss->shadow_node, SourceNamer::kSpiritShadowedNode);
+  // "node sn373 logged 89,632,571 such messages".
+  EXPECT_NEAR(cciss->storm_event_frac, 89632571.0 / 103818910.0, 1e-9);
+
+  const auto* bfd = find_plan(plans, "PBS_BFD");
+  ASSERT_NE(bfd, nullptr);
+  ASSERT_GE(bfd->cascade_from, 0);
+  EXPECT_EQ(plans[static_cast<std::size_t>(bfd->cascade_from)].info->name,
+            "PBS_CHK");
+}
+
+TEST(Catalog, LibertyPbsBugAndGmCascade) {
+  const auto plans = plans_for(SystemId::kLiberty);
+  const auto* chk = find_plan(plans, "PBS_CHK");
+  ASSERT_NE(chk, nullptr);
+  EXPECT_EQ(chk->mode, SourceMode::kMultiNodeBursts);
+  EXPECT_GT(chk->concentrate_frac, 0.5);  // the Figure 4 clusters
+  EXPECT_GT(chk->concentrate_begin_frac, 0.5);
+
+  const auto* lanai = find_plan(plans, "GM_LANAI");
+  ASSERT_NE(lanai, nullptr);
+  ASSERT_GE(lanai->cascade_from, 0);
+  EXPECT_EQ(plans[static_cast<std::size_t>(lanai->cascade_from)].info->name,
+            "GM_PAR");
+  EXPECT_GT(lanai->cascade_frac, 0.0);
+  EXPECT_LT(lanai->cascade_frac, 1.0);  // "do not always follow"
+}
+
+TEST(Catalog, RedStormDdnCategoriesUseDdnHosts) {
+  const auto& spec = system_spec(SystemId::kRedStorm);
+  const SourceNamer namer(SystemId::kRedStorm, spec.n_sources);
+  const auto plans = plans_for(SystemId::kRedStorm);
+  for (const auto& p : plans) {
+    if (p.info->path == tag::LogPath::kRsDdn) {
+      ASSERT_FALSE(p.source_pool.empty()) << p.info->name;
+      for (const auto src : p.source_pool) {
+        EXPECT_TRUE(namer.is_admin(src));
+        EXPECT_EQ(namer.name(src).rfind("ddn", 0), 0u) << namer.name(src);
+      }
+    } else {
+      EXPECT_TRUE(p.source_pool.empty()) << p.info->name;
+    }
+  }
+}
+
+TEST(Catalog, PoissonRuleAppliesToNearUnfilteredCategories) {
+  // Categories whose filtered count is >= 80% of raw are generated as
+  // independent events (DSK_FAIL 54/54, PBS_BFD 28/28, ...).
+  for (const auto id : parse::kAllSystems) {
+    for (const auto& p : plans_for(id)) {
+      const auto& c = *p.info;
+      const bool near_unfiltered = c.filtered_count * 5 >= c.raw_count * 4;
+      if (near_unfiltered && p.mode != SourceMode::kPoisson) {
+        // Only the explicitly overridden special cases may differ
+        // (job-driven CPU, the VAPI storm, and the PBS cascade pair).
+        EXPECT_TRUE(c.name == "CPU" || c.name == "VAPI" ||
+                    c.name == "PBS_BFD")
+            << c.name;
+      }
+    }
+  }
+}
+
+TEST(Catalog, BglLeakyCategoriesConfigured) {
+  // The Figure 6(a) bimodality comes from leaky chains on BG/L.
+  const auto plans = plans_for(SystemId::kBlueGeneL);
+  double total_leak = 0.0;
+  for (const auto& p : plans) total_leak += p.leak_frac;
+  EXPECT_GT(total_leak, 0.5);
+  // ...and from nowhere else.
+  for (const auto id : {SystemId::kSpirit, SystemId::kLiberty}) {
+    for (const auto& p : plans_for(id)) {
+      EXPECT_EQ(p.leak_frac, 0.0) << p.info->name;
+    }
+  }
+}
+
+TEST(Catalog, SeverityAttributionReconstructsTable6) {
+  // DESIGN.md's Red Storm severity reconstruction: the sums of alert
+  // raw counts per attributed severity must reproduce the Table 6
+  // alert column (exactly for ERR and WARNING).
+  std::map<parse::Severity, std::uint64_t> by_sev;
+  for (const auto* c : tag::categories_of(SystemId::kRedStorm)) {
+    by_sev[c->severity] += c->raw_count;
+  }
+  EXPECT_EQ(by_sev[parse::Severity::kCrit], 1550217u);   // Table 6: CRIT
+  EXPECT_EQ(by_sev[parse::Severity::kError], 11784u);    // Table 6: ERR
+  EXPECT_EQ(by_sev[parse::Severity::kWarning], 270u);    // Table 6: WARNING
+  // The ec_* event-router categories carry no severity.
+  EXPECT_EQ(by_sev[parse::Severity::kNone], 94784u + 186u);
+}
+
+TEST(Catalog, BglAlertSeveritiesMatchTable5) {
+  // All BG/L alerts are FATAL except APPSEV's 62 FAILURE minority.
+  std::uint64_t fatal = 0;
+  std::uint64_t alt_failure = 0;
+  for (const auto* c : tag::categories_of(SystemId::kBlueGeneL)) {
+    EXPECT_EQ(c->severity, parse::Severity::kFatal) << c->name;
+    if (c->alt_count > 0) {
+      EXPECT_EQ(c->alt_severity, parse::Severity::kFailure);
+      alt_failure += c->alt_count;
+    }
+    fatal += c->raw_count;
+  }
+  EXPECT_EQ(alt_failure, 62u);
+  EXPECT_EQ(fatal - alt_failure, 348398u);  // Table 5 FATAL alerts
+}
+
+}  // namespace
+}  // namespace wss::sim

@@ -1,0 +1,154 @@
+#include "sim/chatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wss::sim {
+namespace {
+
+using parse::Severity;
+using parse::SystemId;
+
+TEST(Chatter, ClassTotalsAreCalibrated) {
+  // Non-alert totals = Table 2 messages - Table 4 alert sums.
+  EXPECT_EQ(chatter_total(SystemId::kBlueGeneL), 4747963u - 348460u);
+  EXPECT_EQ(chatter_total(SystemId::kThunderbird), 211212192u - 3248239u);
+  EXPECT_EQ(chatter_total(SystemId::kLiberty), 265569231u - 2452u);
+  EXPECT_EQ(chatter_total(SystemId::kSpirit), 272298969u - 172816563u);
+  EXPECT_EQ(chatter_total(SystemId::kRedStorm), 219096168u - 1665744u);
+}
+
+TEST(Chatter, BglStrataMatchTable5Residuals) {
+  std::map<Severity, std::uint64_t> by_sev;
+  for (const auto& c : chatter_classes(SystemId::kBlueGeneL)) {
+    by_sev[c.severity] += c.paper_count;
+  }
+  // Table 5 messages minus alert severities.
+  EXPECT_EQ(by_sev[Severity::kFatal], 855501u - 348398u);
+  EXPECT_EQ(by_sev[Severity::kFailure], 1714u - 62u);
+  EXPECT_EQ(by_sev[Severity::kInfo], 3735823u);
+  EXPECT_EQ(by_sev[Severity::kSevere], 19213u);
+}
+
+TEST(Chatter, RedStormSyslogStrataMatchTable6Residuals) {
+  std::map<Severity, std::uint64_t> by_sev;
+  for (const auto& c : chatter_classes(SystemId::kRedStorm)) {
+    if (c.path == tag::LogPath::kRsSyslog) by_sev[c.severity] += c.paper_count;
+  }
+  EXPECT_EQ(by_sev[Severity::kCrit], 1552910u - 1550217u);
+  EXPECT_EQ(by_sev[Severity::kError], 2027598u - 11784u);
+  EXPECT_EQ(by_sev[Severity::kWarning], 2154944u - 270u);
+  EXPECT_EQ(by_sev[Severity::kEmerg], 3u);
+}
+
+TEST(Chatter, GenerationRespectsVolumeAndWindow) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  SimOptions opts;
+  opts.chatter_events = 5000;
+  const SourceNamer namer(spec.id, spec.n_sources);
+  util::Rng rng(1);
+  const auto events = generate_chatter(spec, opts, namer, rng);
+  EXPECT_EQ(events.size(), 5000u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, spec.start_time());
+    EXPECT_LT(e.time, spec.end_time());
+    EXPECT_EQ(e.category, -1);
+    EXPECT_LT(e.chatter_kind, chatter_templates(spec.id).size());
+  }
+}
+
+TEST(Chatter, WeightedTotalReproducesPaperCount) {
+  const auto& spec = system_spec(SystemId::kThunderbird);
+  SimOptions opts;
+  opts.chatter_events = 20000;
+  const SourceNamer namer(spec.id, spec.n_sources);
+  util::Rng rng(2);
+  const auto events = generate_chatter(spec, opts, namer, rng);
+  double weighted = 0.0;
+  for (const auto& e : events) weighted += e.weight;
+  EXPECT_NEAR(weighted / static_cast<double>(chatter_total(spec.id)), 1.0,
+              1e-6);
+}
+
+TEST(Chatter, BglSeverityMarginalsExactByWeight) {
+  const auto& spec = system_spec(SystemId::kBlueGeneL);
+  SimOptions opts;
+  opts.chatter_events = 30000;
+  const SourceNamer namer(spec.id, spec.n_sources);
+  util::Rng rng(3);
+  const auto events = generate_chatter(spec, opts, namer, rng);
+  std::map<Severity, double> weighted;
+  for (const auto& e : events) weighted[e.severity] += e.weight;
+  // Deterministic apportionment: weighted counts land within one
+  // weight quantum of the calibrated stratum totals.
+  for (const auto& cls : chatter_classes(spec.id)) {
+    EXPECT_NEAR(weighted[cls.severity] /
+                    static_cast<double>(cls.paper_count),
+                1.0, 0.01)
+        << static_cast<int>(cls.severity);
+  }
+}
+
+TEST(Chatter, AdminNodesAreChattiest) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  SimOptions opts;
+  opts.chatter_events = 30000;
+  const SourceNamer namer(spec.id, spec.n_sources);
+  util::Rng rng(4);
+  const auto events = generate_chatter(spec, opts, namer, rng);
+  std::map<std::uint32_t, std::size_t> by_source;
+  for (const auto& e : events) ++by_source[e.source];
+  // The single chattiest source is an admin node.
+  std::uint32_t top = 0;
+  std::size_t top_count = 0;
+  for (const auto& [src, count] : by_source) {
+    if (count > top_count) {
+      top = src;
+      top_count = count;
+    }
+  }
+  EXPECT_TRUE(namer.is_admin(top));
+}
+
+TEST(Chatter, LibertyRateProfileShifts) {
+  // The OS-upgrade segment boundary at 35% of the window must show a
+  // clear rate increase (Figure 2(a)).
+  const auto& spec = system_spec(SystemId::kLiberty);
+  SimOptions opts;
+  opts.chatter_events = 60000;
+  const SourceNamer namer(spec.id, spec.n_sources);
+  util::Rng rng(5);
+  const auto events = generate_chatter(spec, opts, namer, rng);
+  const auto window = spec.end_time() - spec.start_time();
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const auto& e : events) {
+    const double f = static_cast<double>(e.time - spec.start_time()) /
+                     static_cast<double>(window);
+    if (f < 0.35) ++before;
+    if (f >= 0.35 && f < 0.65) ++after;
+  }
+  const double rate_before = static_cast<double>(before) / 0.35;
+  const double rate_after = static_cast<double>(after) / 0.30;
+  EXPECT_GT(rate_after, rate_before * 1.4);
+}
+
+TEST(Chatter, RateProfilesWellFormed) {
+  for (const auto id : parse::kAllSystems) {
+    const auto& profile = rate_profile(id);
+    ASSERT_FALSE(profile.empty());
+    EXPECT_DOUBLE_EQ(profile.front().first, 0.0);
+    for (std::size_t i = 1; i < profile.size(); ++i) {
+      EXPECT_GT(profile[i].first, profile[i - 1].first);
+      EXPECT_LT(profile[i].first, 1.0);
+    }
+    for (const auto& [start, mult] : profile) EXPECT_GT(mult, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wss::sim

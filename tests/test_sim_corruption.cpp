@@ -1,0 +1,106 @@
+#include "sim/corruption.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parse/dispatch.hpp"
+
+namespace wss::sim {
+namespace {
+
+const std::string kSyslogLine =
+    "Jun  3 15:42:50 sn373 kernel: cciss: cmd 42 has CHECK CONDITION";
+
+TEST(Corruption, NoneConfigIsIdentity) {
+  const CorruptionInjector inj(CorruptionConfig::none(), 1);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(inj.apply(kSyslogLine, i, tag::LogPath::kSyslog, false),
+              kSyslogLine);
+  }
+}
+
+TEST(Corruption, Deterministic) {
+  CorruptionConfig cfg;
+  cfg.p_truncate = 0.5;
+  const CorruptionInjector a(cfg, 7);
+  const CorruptionInjector b(cfg, 7);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.apply(kSyslogLine, i, tag::LogPath::kSyslog, false),
+              b.apply(kSyslogLine, i, tag::LogPath::kSyslog, false));
+  }
+}
+
+TEST(Corruption, AlertsExemptByDefault) {
+  CorruptionConfig cfg;
+  cfg.p_truncate = 1.0;
+  cfg.p_bad_source = 1.0;
+  const CorruptionInjector inj(cfg, 3);
+  EXPECT_EQ(inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, true),
+            kSyslogLine);
+  EXPECT_NE(inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, false),
+            kSyslogLine);
+}
+
+TEST(Corruption, TruncationShortensButKeepsHead) {
+  CorruptionConfig cfg = CorruptionConfig::none();
+  cfg.p_truncate = 1.0;
+  cfg.alerts_exempt = false;
+  const CorruptionInjector inj(cfg, 5);
+  const auto out = inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, true);
+  EXPECT_LT(out.size(), kSyslogLine.size());
+  EXPECT_EQ(kSyslogLine.rfind(out, 0), 0u);  // a strict prefix
+}
+
+TEST(Corruption, BadSourceDefeatsAttribution) {
+  CorruptionConfig cfg = CorruptionConfig::none();
+  cfg.p_bad_source = 1.0;
+  const CorruptionInjector inj(cfg, 9);
+  const auto out = inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, false);
+  const auto rec = parse::parse_line(parse::SystemId::kSpirit, out, 2005);
+  EXPECT_TRUE(rec.source_corrupted);
+  EXPECT_TRUE(rec.timestamp_valid);  // only the host field is garbled
+}
+
+TEST(Corruption, BadTimestampDefeatsParsing) {
+  CorruptionConfig cfg = CorruptionConfig::none();
+  cfg.p_bad_timestamp = 1.0;
+  const CorruptionInjector inj(cfg, 11);
+  const auto out = inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, false);
+  const auto rec = parse::parse_line(parse::SystemId::kSpirit, out, 2005);
+  EXPECT_FALSE(rec.timestamp_valid);
+}
+
+TEST(Corruption, OverwriteAppendsForeignTail) {
+  CorruptionConfig cfg = CorruptionConfig::none();
+  cfg.p_overwrite = 1.0;
+  const CorruptionInjector inj(cfg, 13);
+  const auto out = inj.apply(kSyslogLine, 0, tag::LogPath::kSyslog, false);
+  EXPECT_NE(out, kSyslogLine);
+  // Still parseable without crashing.
+  EXPECT_NO_THROW({
+    (void)parse::parse_line(parse::SystemId::kSpirit, out, 2005);
+  });
+}
+
+TEST(Corruption, EventRouterSourceSpan) {
+  CorruptionConfig cfg = CorruptionConfig::none();
+  cfg.p_bad_source = 1.0;
+  const CorruptionInjector inj(cfg, 17);
+  const std::string line =
+      "2006-03-19 10:00:00 ec_heartbeat_stop src:::c1-0c0s3n0 "
+      "svc:::c1-0c0s3n0 warn node heartbeat_fault 1";
+  const auto out = inj.apply(line, 0, tag::LogPath::kRsEventRouter, false);
+  const auto rec =
+      parse::parse_line(parse::SystemId::kRedStorm, out, 2006);
+  EXPECT_TRUE(rec.source_corrupted);
+}
+
+TEST(Corruption, EmptyLineSafe) {
+  CorruptionConfig cfg;
+  cfg.p_truncate = 1.0;
+  cfg.alerts_exempt = false;
+  const CorruptionInjector inj(cfg, 19);
+  EXPECT_EQ(inj.apply("", 0, tag::LogPath::kSyslog, false), "");
+}
+
+}  // namespace
+}  // namespace wss::sim

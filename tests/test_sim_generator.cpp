@@ -1,0 +1,133 @@
+// Top-level simulator invariants: determinism, stream well-formedness,
+// ground-truth consistency, weighted-count calibration.
+#include "sim/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "tag/rulesets.hpp"
+
+namespace wss::sim {
+namespace {
+
+using parse::SystemId;
+
+SimOptions tiny(std::uint64_t seed = 42) {
+  SimOptions o;
+  o.seed = seed;
+  o.category_cap = 500;
+  o.chatter_events = 3000;
+  return o;
+}
+
+TEST(Generator, DeterministicFromSeed) {
+  const Simulator a(SystemId::kLiberty, tiny(7));
+  const Simulator b(SystemId::kLiberty, tiny(7));
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].source, b.events()[i].source);
+    EXPECT_EQ(a.events()[i].category, b.events()[i].category);
+    EXPECT_EQ(a.line(i), b.line(i));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const Simulator a(SystemId::kLiberty, tiny(1));
+  const Simulator b(SystemId::kLiberty, tiny(2));
+  std::size_t same = 0;
+  const std::size_t n = std::min(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.events()[i].time == b.events()[i].time) ++same;
+  }
+  EXPECT_LT(same, n / 10);
+}
+
+class GeneratorPerSystem : public ::testing::TestWithParam<SystemId> {};
+
+TEST_P(GeneratorPerSystem, StreamWellFormed) {
+  const Simulator sim(GetParam(), tiny());
+  const auto& spec = sim.spec();
+  ASSERT_FALSE(sim.events().empty());
+  util::TimeUs prev = 0;
+  for (const SimEvent& e : sim.events()) {
+    EXPECT_GE(e.time, prev);
+    prev = e.time;
+    EXPECT_GE(e.time, spec.start_time());
+    EXPECT_LE(e.time, spec.end_time());
+    EXPECT_LT(e.source, spec.n_sources);
+    EXPECT_GT(e.weight, 0.0);
+  }
+}
+
+TEST_P(GeneratorPerSystem, GroundTruthConsistent) {
+  const Simulator sim(GetParam(), tiny());
+  const auto cats = tag::categories_of(GetParam());
+  // Every failure id maps to exactly one category; chatter has none.
+  std::unordered_map<std::uint64_t, std::int32_t> failure_cat;
+  for (const SimEvent& e : sim.events()) {
+    if (!e.is_alert()) {
+      EXPECT_EQ(e.failure_id, 0u);
+      continue;
+    }
+    ASSERT_LT(static_cast<std::size_t>(e.category), cats.size());
+    ASSERT_NE(e.failure_id, 0u);
+    const auto it = failure_cat.find(e.failure_id);
+    if (it == failure_cat.end()) {
+      failure_cat[e.failure_id] = e.category;
+    } else {
+      EXPECT_EQ(it->second, e.category) << e.failure_id;
+    }
+  }
+  EXPECT_EQ(failure_cat.size(), sim.total_failures());
+}
+
+TEST_P(GeneratorPerSystem, WeightedTotalsCalibrated) {
+  const Simulator sim(GetParam(), tiny());
+  EXPECT_NEAR(sim.weighted_message_total() /
+                  static_cast<double>(sim.spec().messages),
+              1.0, 1e-4);
+  const auto counts = sim.weighted_alert_counts();
+  const auto cats = tag::categories_of(GetParam());
+  ASSERT_EQ(counts.size(), cats.size());
+  double total = 0;
+  for (const double c : counts) total += c;
+  double paper = 0;
+  for (const auto* c : cats) paper += static_cast<double>(c->raw_count);
+  EXPECT_NEAR(total / paper, 1.0, 1e-4);
+}
+
+TEST_P(GeneratorPerSystem, AlertStreamMatchesEvents) {
+  const Simulator sim(GetParam(), tiny());
+  std::size_t alert_events = 0;
+  for (const SimEvent& e : sim.events()) alert_events += e.is_alert() ? 1 : 0;
+  EXPECT_EQ(sim.ground_truth_alerts().size(), alert_events);
+}
+
+TEST_P(GeneratorPerSystem, ForEachLineCoversStream) {
+  const Simulator sim(GetParam(), tiny());
+  std::size_t n = 0;
+  sim.for_each_line([&](std::string_view line) {
+    EXPECT_FALSE(line.empty());
+    ++n;
+  });
+  EXPECT_EQ(n, sim.events().size());
+}
+
+TEST_P(GeneratorPerSystem, ContextObjectsAvailable) {
+  const Simulator sim(GetParam(), tiny());
+  EXPECT_FALSE(sim.jobs().empty());
+  EXPECT_FALSE(sim.op_context().transitions().empty());
+  EXPECT_GT(sim.op_context().metrics().production_fraction, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, GeneratorPerSystem, ::testing::ValuesIn(parse::kAllSystems),
+    [](const ::testing::TestParamInfo<SystemId>& info) {
+      return std::string(parse::system_short_name(info.param));
+    });
+
+}  // namespace
+}  // namespace wss::sim

@@ -1,0 +1,279 @@
+// Incident planner: calibration properties of each generation mode.
+#include "sim/incident.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "filter/simultaneous.hpp"
+#include "sim/catalog.hpp"
+
+namespace wss::sim {
+namespace {
+
+using parse::SystemId;
+
+constexpr util::TimeUs T = 5 * util::kUsPerSec;
+
+IncidentContext make_ctx(const SystemSpec& spec) {
+  IncidentContext ctx;
+  ctx.spec = &spec;
+  ctx.threshold_us = T;
+  return ctx;
+}
+
+/// Filters events of one category with Algorithm 3.1 and counts
+/// survivors.
+std::size_t survivors(const std::vector<SimEvent>& events) {
+  filter::SimultaneousFilter f(T);
+  std::size_t kept = 0;
+  for (const SimEvent& e : events) {
+    filter::Alert a;
+    a.time = e.time;
+    a.source = e.source;
+    a.category = static_cast<std::uint16_t>(e.category);
+    if (f.admit(a)) ++kept;
+  }
+  return kept;
+}
+
+CategoryGenPlan base_plan(std::uint64_t events, std::uint64_t incidents) {
+  CategoryGenPlan p;
+  p.category_id = 0;
+  p.gen_events = events;
+  p.incidents = incidents;
+  p.weight = 1.0;
+  return p;
+}
+
+TEST(Incident, PoissonModeCountsExact) {
+  const auto& spec = system_spec(SystemId::kThunderbird);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(1);
+  auto p = base_plan(146, 143);
+  p.mode = SourceMode::kPoisson;
+  p.engineered_pairs = 3;
+  const auto events = generate_category(p, ctx, rng);
+  EXPECT_EQ(events.size(), 146u);
+  // Distinct ground-truth failures: 146 (pairs are separate failures).
+  std::unordered_set<std::uint64_t> failures;
+  for (const auto& e : events) failures.insert(e.failure_id);
+  EXPECT_EQ(failures.size(), 146u);
+  // Filtering merges exactly the engineered pairs.
+  EXPECT_EQ(survivors(events), 143u);
+}
+
+TEST(Incident, SingleNodeBurstsHitFilteredTarget) {
+  const auto& spec = system_spec(SystemId::kSpirit);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(2);
+  auto p = base_plan(5000, 37);
+  p.mode = SourceMode::kSingleNodeBursts;
+  const auto events = generate_category(p, ctx, rng);
+  EXPECT_EQ(events.size(), 5000u);
+  EXPECT_EQ(survivors(events), 37u);
+  std::unordered_set<std::uint64_t> failures;
+  for (const auto& e : events) failures.insert(e.failure_id);
+  EXPECT_EQ(failures.size(), 37u);
+}
+
+TEST(Incident, EventsAreSortedAndInWindow) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(3);
+  auto p = base_plan(2231, 920);
+  p.mode = SourceMode::kMultiNodeBursts;
+  const auto events = generate_category(p, ctx, rng);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time, events[i].time);
+  }
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, spec.start_time());
+    EXPECT_LE(e.time, spec.end_time());
+  }
+}
+
+TEST(Incident, LeakyChainsRaiseSurvivorsToTarget) {
+  const auto& spec = system_spec(SystemId::kBlueGeneL);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(4);
+  auto p = base_plan(3983, 260);
+  p.mode = SourceMode::kSingleNodeBursts;
+  p.leak_frac = 0.4;
+  const auto events = generate_category(p, ctx, rng);
+  // Leak math: survivors should still land on the target.
+  EXPECT_EQ(survivors(events), 260u);
+  // ...but with strictly fewer ground-truth failures than survivors
+  // (leaky chains contribute several survivors per failure).
+  std::unordered_set<std::uint64_t> failures;
+  for (const auto& e : events) failures.insert(e.failure_id);
+  EXPECT_LT(failures.size(), 260u);
+}
+
+TEST(Incident, StormNodeConcentration) {
+  const auto& spec = system_spec(SystemId::kSpirit);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(5);
+  auto p = base_plan(50000, 29);
+  p.mode = SourceMode::kSingleNodeBursts;
+  p.has_storm = true;
+  p.storm_node = SourceNamer::kSpiritStormNode;
+  p.storm_event_frac = 0.86;
+  p.storm_incident_frac = 20.0 / 29.0;
+  const auto events = generate_category(p, ctx, rng);
+  std::uint64_t on_storm = 0;
+  for (const auto& e : events) {
+    if (e.source == SourceNamer::kSpiritStormNode) ++on_storm;
+  }
+  EXPECT_NEAR(static_cast<double>(on_storm) / 50000.0, 0.86, 0.03);
+}
+
+TEST(Incident, ShadowedIncidentIsFilteredButReal) {
+  const auto& spec = system_spec(SystemId::kSpirit);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(6);
+  auto p = base_plan(50000, 29);
+  p.mode = SourceMode::kSingleNodeBursts;
+  p.has_storm = true;
+  p.storm_node = SourceNamer::kSpiritStormNode;
+  p.storm_event_frac = 0.86;
+  p.storm_incident_frac = 20.0 / 29.0;
+  p.shadowed_incident = true;
+  p.shadow_node = SourceNamer::kSpiritShadowedNode;
+  const auto events = generate_category(p, ctx, rng);
+  // The shadow node emitted, but the simultaneous filter's survivor
+  // count is still the target (its incident is swallowed).
+  bool shadow_seen = false;
+  for (const auto& e : events) {
+    if (e.source == SourceNamer::kSpiritShadowedNode) shadow_seen = true;
+  }
+  EXPECT_TRUE(shadow_seen);
+  EXPECT_EQ(survivors(events), 29u);
+  // Ground truth has one more failure than survivors.
+  std::unordered_set<std::uint64_t> failures;
+  for (const auto& e : events) failures.insert(e.failure_id);
+  EXPECT_EQ(failures.size(), 30u);
+}
+
+TEST(Incident, MultiNodeBurstsTouchMultipleSources) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(7);
+  auto p = base_plan(3000, 500);
+  p.mode = SourceMode::kMultiNodeBursts;
+  p.nodes_per_burst = 3;
+  const auto events = generate_category(p, ctx, rng);
+  std::map<std::uint64_t, std::set<std::uint32_t>> sources_per_failure;
+  for (const auto& e : events) sources_per_failure[e.failure_id].insert(e.source);
+  std::size_t multi = 0;
+  for (const auto& [fid, srcs] : sources_per_failure) {
+    if (srcs.size() > 1) ++multi;
+  }
+  EXPECT_GT(multi, sources_per_failure.size() / 2);
+}
+
+TEST(Incident, CascadeAnchorsNearSourceCategory) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(8);
+  auto anchor_plan = base_plan(44, 19);
+  anchor_plan.mode = SourceMode::kSingleNodeBursts;
+  std::vector<util::TimeUs> anchors;
+  (void)generate_category(anchor_plan, ctx, rng, nullptr, &anchors);
+  ASSERT_EQ(anchors.size(), 19u);
+
+  auto dep = base_plan(13, 10);
+  dep.category_id = 1;
+  dep.mode = SourceMode::kSingleNodeBursts;
+  dep.cascade_from = 0;
+  dep.cascade_frac = 0.7;
+  const auto events = generate_category(dep, ctx, rng, &anchors);
+  // At least some dependent incidents start within 2 minutes of an
+  // anchor.
+  std::size_t near = 0;
+  for (const auto& e : events) {
+    for (const auto a : anchors) {
+      if (e.time >= a && e.time - a < 2 * 60 * util::kUsPerSec) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(near, 5u);
+}
+
+TEST(Incident, ConcentrationWindow) {
+  const auto& spec = system_spec(SystemId::kLiberty);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(9);
+  auto p = base_plan(2231, 920);
+  p.mode = SourceMode::kMultiNodeBursts;
+  p.concentrate_frac = 0.8;
+  p.concentrate_begin_frac = 0.72;
+  p.concentrate_len_frac = 0.20;
+  const auto events = generate_category(p, ctx, rng);
+  const auto window = spec.end_time() - spec.start_time();
+  std::size_t late = 0;
+  for (const auto& e : events) {
+    const double f = static_cast<double>(e.time - spec.start_time()) /
+                     static_cast<double>(window);
+    if (f >= 0.70) ++late;
+  }
+  EXPECT_GT(static_cast<double>(late) / static_cast<double>(events.size()),
+            0.6);
+}
+
+TEST(Incident, JobBurstsUseJobNodes) {
+  const auto& spec = system_spec(SystemId::kThunderbird);
+  auto ctx = make_ctx(spec);
+  util::Rng jrng(10);
+  const auto jobs = generate_jobs(spec, jrng, 100);
+  ctx.jobs = &jobs;
+  util::Rng rng(11);
+  auto p = base_plan(2741, 367);
+  p.mode = SourceMode::kJobBursts;
+  const auto events = generate_category(p, ctx, rng);
+  // Each failure's sources span a small contiguous block.
+  std::map<std::uint64_t, std::set<std::uint32_t>> per_failure;
+  for (const auto& e : events) per_failure[e.failure_id].insert(e.source);
+  for (const auto& [fid, srcs] : per_failure) {
+    EXPECT_LE(*srcs.rbegin() - *srcs.begin(), 128u);
+  }
+}
+
+TEST(Incident, WeightsApplied) {
+  const auto& spec = system_spec(SystemId::kSpirit);
+  auto ctx = make_ctx(spec);
+  util::Rng rng(12);
+  auto p = base_plan(1000, 29);
+  p.mode = SourceMode::kSingleNodeBursts;
+  p.weight = 103818.910;
+  const auto events = generate_category(p, ctx, rng);
+  for (const auto& e : events) EXPECT_DOUBLE_EQ(e.weight, 103818.910);
+}
+
+TEST(Incident, NullSpecThrows) {
+  IncidentContext ctx;
+  util::Rng rng(13);
+  auto p = base_plan(10, 5);
+  EXPECT_THROW((void)generate_category(p, ctx, rng), std::invalid_argument);
+}
+
+TEST(Incident, MergeStreamsSortsGlobally) {
+  std::vector<SimEvent> a(3);
+  a[0].time = 1;
+  a[1].time = 5;
+  a[2].time = 9;
+  std::vector<SimEvent> b(2);
+  b[0].time = 2;
+  b[1].time = 7;
+  const auto merged = merge_streams({a, b});
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].time, merged[i].time);
+  }
+}
+
+}  // namespace
+}  // namespace wss::sim

@@ -1,0 +1,96 @@
+#include "sim/opcontext.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::sim {
+namespace {
+
+using util::kUsPerDay;
+using util::kUsPerHour;
+
+TEST(OpContext, StateAtFollowsTransitions) {
+  OpContextTimeline tl(0, 100 * kUsPerDay);
+  EXPECT_EQ(tl.state_at(0), OpState::kProduction);
+  tl.append({10 * kUsPerDay, OpState::kScheduledDowntime, "weekly PM"});
+  tl.append({10 * kUsPerDay + 4 * kUsPerHour, OpState::kProduction, "done"});
+  EXPECT_EQ(tl.state_at(5 * kUsPerDay), OpState::kProduction);
+  EXPECT_EQ(tl.state_at(10 * kUsPerDay + kUsPerHour),
+            OpState::kScheduledDowntime);
+  EXPECT_EQ(tl.state_at(11 * kUsPerDay), OpState::kProduction);
+}
+
+TEST(OpContext, RejectsOutOfOrder) {
+  OpContextTimeline tl(0, kUsPerDay);
+  tl.append({kUsPerHour, OpState::kEngineering, "test"});
+  EXPECT_THROW(tl.append({0, OpState::kProduction, "bad"}),
+               std::invalid_argument);
+  EXPECT_THROW(OpContextTimeline(10, 10), std::invalid_argument);
+}
+
+TEST(OpContext, MetricsFractionsSumToOne) {
+  OpContextTimeline tl(0, 10 * kUsPerDay);
+  tl.append({2 * kUsPerDay, OpState::kUnscheduledDowntime, "failure"});
+  tl.append({2 * kUsPerDay + 12 * kUsPerHour, OpState::kProduction, "fixed"});
+  tl.append({5 * kUsPerDay, OpState::kEngineering, "test"});
+  tl.append({5 * kUsPerDay + 6 * kUsPerHour, OpState::kProduction, "done"});
+  const RasMetrics m = tl.metrics();
+  EXPECT_NEAR(m.production_fraction + m.scheduled_fraction +
+                  m.unscheduled_fraction + m.engineering_fraction,
+              1.0, 1e-12);
+  EXPECT_NEAR(m.unscheduled_fraction, 0.05, 1e-9);
+  EXPECT_EQ(m.unscheduled_outages, 1u);
+  EXPECT_GT(m.availability, 0.9);
+  EXPECT_GT(m.mtbf_hours, 0.0);
+}
+
+TEST(OpContext, AvailabilityIgnoresScheduledTime) {
+  // Availability = production / (production + unscheduled); scheduled
+  // downtime does not count against it.
+  OpContextTimeline tl(0, 10 * kUsPerDay);
+  tl.append({1 * kUsPerDay, OpState::kScheduledDowntime, "PM"});
+  tl.append({2 * kUsPerDay, OpState::kProduction, "done"});
+  const RasMetrics m = tl.metrics();
+  EXPECT_DOUBLE_EQ(m.availability, 1.0);
+}
+
+TEST(OpContext, GeneratedTimelineIsSane) {
+  const auto& spec = system_spec(parse::SystemId::kRedStorm);
+  util::Rng rng(1);
+  const auto tl = OpContextTimeline::generate(spec, rng);
+  const RasMetrics m = tl.metrics();
+  // Mostly production, weekly PM visible, availability high.
+  EXPECT_GT(m.production_fraction, 0.8);
+  EXPECT_GT(m.scheduled_fraction, 0.0);
+  EXPECT_GT(m.availability, 0.9);
+  // Transitions are ordered and inside the window.
+  const auto& trs = tl.transitions();
+  ASSERT_FALSE(trs.empty());
+  for (std::size_t i = 1; i < trs.size(); ++i) {
+    EXPECT_LE(trs[i - 1].time, trs[i].time);
+  }
+  EXPECT_GE(trs.front().time, tl.start());
+  EXPECT_LE(trs.back().time, tl.end());
+}
+
+TEST(OpContext, DisambiguationExample) {
+  // The Section 3.2.1 example: the same message is innocuous during
+  // scheduled downtime, a job-killer in production.
+  OpContextTimeline tl(0, 2 * kUsPerDay);
+  tl.append({kUsPerDay, OpState::kScheduledDowntime, "OS upgrade"});
+  tl.append({kUsPerDay + 4 * kUsPerHour, OpState::kProduction, "done"});
+  const util::TimeUs during_maintenance = kUsPerDay + kUsPerHour;
+  const util::TimeUs during_production = kUsPerHour;
+  EXPECT_EQ(tl.state_at(during_maintenance), OpState::kScheduledDowntime);
+  EXPECT_EQ(tl.state_at(during_production), OpState::kProduction);
+}
+
+TEST(OpContext, StateNames) {
+  EXPECT_EQ(op_state_name(OpState::kProduction), "production");
+  EXPECT_EQ(op_state_name(OpState::kScheduledDowntime), "scheduled downtime");
+  EXPECT_EQ(op_state_name(OpState::kUnscheduledDowntime),
+            "unscheduled downtime");
+  EXPECT_EQ(op_state_name(OpState::kEngineering), "engineering");
+}
+
+}  // namespace
+}  // namespace wss::sim

@@ -1,0 +1,95 @@
+#include "sim/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sources.hpp"
+
+#include <set>
+
+namespace wss::sim {
+namespace {
+
+using parse::SystemId;
+
+TEST(Spec, Table1Values) {
+  const auto& bgl = system_spec(SystemId::kBlueGeneL);
+  EXPECT_EQ(bgl.procs, 131072u);
+  EXPECT_EQ(bgl.top500_rank, 1);
+  EXPECT_EQ(bgl.owner, "LLNL");
+  const auto& lib = system_spec(SystemId::kLiberty);
+  EXPECT_EQ(lib.procs, 512u);
+  EXPECT_EQ(lib.interconnect, "Myrinet");
+  EXPECT_EQ(lib.top500_rank, 445);
+}
+
+TEST(Spec, Table2Values) {
+  const auto& spirit = system_spec(SystemId::kSpirit);
+  EXPECT_EQ(spirit.days, 558);
+  EXPECT_EQ(spirit.messages, 272298969u);
+  EXPECT_EQ(spirit.alerts, 172816564u);
+  EXPECT_EQ(spirit.categories, 8);
+  // Spirit's log is the largest despite the second-smallest machine.
+  const auto& tbird = system_spec(SystemId::kThunderbird);
+  EXPECT_GT(spirit.size_gb, tbird.size_gb);
+  EXPECT_LT(spirit.procs, tbird.procs);
+}
+
+TEST(Spec, WindowArithmetic) {
+  const auto& rs = system_spec(SystemId::kRedStorm);
+  EXPECT_EQ(rs.end_time() - rs.start_time(),
+            104LL * util::kUsPerDay);
+  EXPECT_EQ(util::to_civil(rs.start_time()).month, 3);
+  EXPECT_EQ(util::to_civil(rs.start_time()).year, 2006);
+}
+
+TEST(Spec, TotalAlertsAcrossSystems) {
+  std::uint64_t total = 0;
+  for (const auto id : parse::kAllSystems) total += system_spec(id).alerts;
+  EXPECT_EQ(total, 178081459u);  // the abstract's count
+}
+
+TEST(Sources, SpecialNodesKeepTheirNames) {
+  const SourceNamer spirit(SystemId::kSpirit, 520);
+  EXPECT_EQ(spirit.name(SourceNamer::kSpiritStormNode), "sn373");
+  EXPECT_EQ(spirit.name(SourceNamer::kSpiritShadowedNode), "sn325");
+}
+
+TEST(Sources, AdminNamesPerSystem) {
+  const SourceNamer tbird(SystemId::kThunderbird, 1024);
+  EXPECT_EQ(tbird.name(tbird.first_admin()), "tbird-admin1");
+  EXPECT_EQ(tbird.name(tbird.first_admin() + 1), "tbird-sm1");
+  EXPECT_TRUE(tbird.is_admin(tbird.first_admin()));
+  EXPECT_FALSE(tbird.is_admin(0));
+
+  const SourceNamer rs(SystemId::kRedStorm, 640);
+  EXPECT_EQ(rs.name(rs.first_admin()), "smw");
+  EXPECT_EQ(rs.name(rs.first_admin() + 4), "ddn1");
+
+  const SourceNamer lib(SystemId::kLiberty, 264);
+  EXPECT_EQ(lib.name(lib.first_admin()), "ladmin1");
+}
+
+TEST(Sources, BglLocationCodes) {
+  const SourceNamer bgl(SystemId::kBlueGeneL, 544);
+  const std::string loc = bgl.name(37);
+  EXPECT_EQ(loc.rfind("R01-", 0), 0u) << loc;
+  EXPECT_NE(loc.find("C:J"), std::string::npos);
+  EXPECT_EQ(bgl.n_admin(), 2u);
+}
+
+TEST(Sources, NamesAreUnique) {
+  const SourceNamer namer(SystemId::kRedStorm, 640);
+  std::set<std::string> names;
+  for (std::uint32_t i = 0; i < namer.size(); ++i) {
+    EXPECT_TRUE(names.insert(namer.name(i)).second) << i;
+  }
+}
+
+TEST(Sources, OutOfRangeThrows) {
+  const SourceNamer namer(SystemId::kLiberty, 264);
+  EXPECT_THROW((void)namer.name(264), std::out_of_range);
+  EXPECT_THROW(SourceNamer(SystemId::kLiberty, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wss::sim

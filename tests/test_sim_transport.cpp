@@ -1,0 +1,82 @@
+#include "sim/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::sim {
+namespace {
+
+std::vector<SimEvent> uniform_stream(std::size_t n, util::TimeUs gap) {
+  std::vector<SimEvent> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].time = static_cast<util::TimeUs>(i) * gap;
+    out[i].source = static_cast<std::uint32_t>(i % 7);
+  }
+  return out;
+}
+
+TEST(Transport, TcpIsLossless) {
+  const auto in = uniform_stream(1000, util::kUsPerSec);
+  TransportStats st;
+  const auto out = apply_tcp(in, &st);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_EQ(st.dropped, 0u);
+  EXPECT_DOUBLE_EQ(st.loss_rate(), 0.0);
+}
+
+TEST(Transport, UdpBaseLossApproximatesConfig) {
+  const auto in = uniform_stream(50000, 10 * util::kUsPerSec);  // low rate
+  UdpConfig cfg;
+  cfg.base_loss = 0.02;
+  cfg.contention_loss_per_k = 0.0;
+  util::Rng rng(1);
+  TransportStats st;
+  const auto out = apply_udp_loss(in, cfg, rng, &st);
+  EXPECT_NEAR(st.loss_rate(), 0.02, 0.004);
+  EXPECT_EQ(st.offered, in.size());
+  EXPECT_EQ(st.delivered, out.size());
+}
+
+TEST(Transport, ContentionLossRisesWithRate) {
+  UdpConfig cfg;
+  cfg.base_loss = 0.0;
+  cfg.contention_loss_per_k = 0.5;
+  util::Rng rng(2);
+
+  // Dense burst: 1000 messages within one second.
+  const auto dense = uniform_stream(5000, util::kUsPerSec / 1000);
+  TransportStats dense_stats;
+  (void)apply_udp_loss(dense, cfg, rng, &dense_stats);
+
+  // Sparse: one message per 10 s.
+  const auto sparse = uniform_stream(5000, 10 * util::kUsPerSec);
+  TransportStats sparse_stats;
+  (void)apply_udp_loss(sparse, cfg, rng, &sparse_stats);
+
+  EXPECT_GT(dense_stats.loss_rate(), sparse_stats.loss_rate() + 0.1);
+}
+
+TEST(Transport, UdpLossCapsBelowTotal) {
+  UdpConfig cfg;
+  cfg.base_loss = 0.5;
+  cfg.contention_loss_per_k = 100.0;  // would exceed 1.0 uncapped
+  util::Rng rng(3);
+  const auto in = uniform_stream(2000, 1);
+  TransportStats st;
+  const auto out = apply_udp_loss(in, cfg, rng, &st);
+  EXPECT_GT(out.size(), 0u);  // capped at 0.9 drop probability
+}
+
+TEST(Transport, JtagPollingPreservesEvents) {
+  const auto in = uniform_stream(1000, 300);  // 0.3 ms apart
+  TransportStats st;
+  const auto out = apply_jtag_polling(in, util::kUsPerSec / 1000, &st);
+  EXPECT_EQ(out.size(), in.size());
+  EXPECT_EQ(st.dropped, 0u);
+  // Poll-tick order is non-decreasing.
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].time / 1000, out[i].time / 1000);
+  }
+}
+
+}  // namespace
+}  // namespace wss::sim

@@ -1,0 +1,74 @@
+#include "stats/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wss::stats {
+namespace {
+
+std::vector<double> noisy_segments(const std::vector<std::pair<int, double>>&
+                                       segments,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> out;
+  for (const auto& [len, mean] : segments) {
+    for (int i = 0; i < len; ++i) out.push_back(mean + rng.normal(0.0, 1.0));
+  }
+  return out;
+}
+
+TEST(ChangePoint, DetectsSingleShift) {
+  const auto series = noisy_segments({{100, 10.0}, {100, 20.0}}, 1);
+  const auto cps = detect_changepoints(series);
+  ASSERT_GE(cps.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(cps[0].index), 100.0, 5.0);
+  EXPECT_LT(cps[0].mean_before, cps[0].mean_after);
+}
+
+TEST(ChangePoint, DetectsMultipleShifts) {
+  // The Liberty profile: up at the OS upgrade, up again, then down.
+  const auto series = noisy_segments(
+      {{80, 10.0}, {80, 18.0}, {60, 26.0}, {60, 16.0}}, 2);
+  const auto cps = detect_changepoints(series);
+  ASSERT_GE(cps.size(), 3u);
+  EXPECT_NEAR(static_cast<double>(cps[0].index), 80.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(cps[1].index), 160.0, 8.0);
+  EXPECT_NEAR(static_cast<double>(cps[2].index), 220.0, 8.0);
+  // Sorted by index.
+  for (std::size_t i = 1; i < cps.size(); ++i) {
+    EXPECT_LT(cps[i - 1].index, cps[i].index);
+  }
+}
+
+TEST(ChangePoint, QuietOnStationarySeries) {
+  const auto series = noisy_segments({{300, 10.0}}, 3);
+  EXPECT_TRUE(detect_changepoints(series).empty());
+}
+
+TEST(ChangePoint, RespectsMinSegment) {
+  ChangePointOptions opts;
+  opts.min_segment = 50;
+  // Shift too close to the edge to honour min_segment.
+  const auto series = noisy_segments({{20, 0.0}, {200, 8.0}}, 4);
+  for (const auto& cp : detect_changepoints(series, opts)) {
+    EXPECT_GE(cp.index, opts.min_segment);
+    EXPECT_LE(cp.index, series.size() - opts.min_segment);
+  }
+}
+
+TEST(ChangePoint, MaxChangesCap) {
+  ChangePointOptions opts;
+  opts.max_changes = 1;
+  const auto series =
+      noisy_segments({{60, 0.0}, {60, 10.0}, {60, 0.0}, {60, 10.0}}, 5);
+  EXPECT_LE(detect_changepoints(series, opts).size(), 1u);
+}
+
+TEST(ChangePoint, TooShortSeries) {
+  EXPECT_TRUE(detect_changepoints({1.0, 2.0, 3.0}).empty());
+  EXPECT_TRUE(detect_changepoints({}).empty());
+}
+
+}  // namespace
+}  // namespace wss::stats

@@ -1,0 +1,102 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wss::stats {
+namespace {
+
+using util::kUsPerSec;
+
+TEST(Pearson, PerfectCorrelation) {
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  EXPECT_EQ(pearson({1, 2}, {1}), 0.0);        // length mismatch
+  EXPECT_EQ(pearson({1}, {1}), 0.0);           // too short
+  EXPECT_EQ(pearson({3, 3, 3}, {1, 2, 3}), 0.0);  // constant series
+}
+
+TEST(CrossCorrelation, PeaksAtTrueLag) {
+  // Stream b = stream a shifted by +3 bins.
+  std::vector<util::TimeUs> a;
+  std::vector<util::TimeUs> b;
+  util::Rng rng(5);
+  util::TimeUs t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<util::TimeUs>(rng.exponential(0.1) * 1e6);
+    a.push_back(t);
+    b.push_back(t + 3 * kUsPerSec);
+  }
+  const auto xc = cross_correlation(a, b, kUsPerSec, 5);
+  ASSERT_EQ(xc.size(), 11u);
+  // Peak at lag +3 (index 5 + 3).
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xc.size(); ++i) {
+    if (xc[i] > xc[best]) best = i;
+  }
+  EXPECT_EQ(best, 8u);
+  EXPECT_GT(xc[8], 0.8);
+}
+
+TEST(CrossCorrelation, EmptyStreams) {
+  const auto xc = cross_correlation({}, {1}, kUsPerSec, 3);
+  EXPECT_EQ(xc.size(), 7u);
+  for (double v : xc) EXPECT_EQ(v, 0.0);
+  EXPECT_THROW(cross_correlation({1}, {1}, 0, 3), std::invalid_argument);
+}
+
+TEST(Cooccurrence, FullWhenAligned) {
+  const std::vector<util::TimeUs> a = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(cooccurrence_fraction(a, a, 1), 1.0);
+}
+
+TEST(Cooccurrence, PartialOverlap) {
+  const std::vector<util::TimeUs> a = {0, 100, 200, 300};
+  const std::vector<util::TimeUs> b = {102, 301};
+  EXPECT_DOUBLE_EQ(cooccurrence_fraction(a, b, 5), 0.5);
+  EXPECT_DOUBLE_EQ(cooccurrence_fraction(b, a, 5), 1.0);
+}
+
+TEST(Cooccurrence, Empty) {
+  EXPECT_EQ(cooccurrence_fraction({}, {1}, 5), 0.0);
+  EXPECT_EQ(cooccurrence_fraction({1}, {}, 5), 0.0);
+}
+
+TEST(SpatialSpread, SingleNodeBurstsScoreLow) {
+  // All events in each window from one source (a dying disk).
+  std::vector<util::TimeUs> times;
+  std::vector<std::uint32_t> sources;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int k = 0; k < 8; ++k) {
+      times.push_back(burst * 1000 * kUsPerSec + k * kUsPerSec);
+      sources.push_back(7);
+    }
+  }
+  EXPECT_NEAR(spatial_spread(times, sources, 30 * kUsPerSec), 0.0, 1e-12);
+}
+
+TEST(SpatialSpread, JobBurstsScoreHigh) {
+  // Each window touches 8 distinct sources (the SMP clock bug shape).
+  std::vector<util::TimeUs> times;
+  std::vector<std::uint32_t> sources;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      times.push_back(burst * 1000 * kUsPerSec + k * kUsPerSec);
+      sources.push_back(100 + k);
+    }
+  }
+  EXPECT_NEAR(spatial_spread(times, sources, 30 * kUsPerSec), 1.0, 1e-12);
+}
+
+TEST(SpatialSpread, DegenerateInputs) {
+  EXPECT_EQ(spatial_spread({}, {}, 10), 0.0);
+  EXPECT_EQ(spatial_spread({1}, {1, 2}, 10), 0.0);  // mismatched
+  EXPECT_EQ(spatial_spread({1}, {1}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace wss::stats

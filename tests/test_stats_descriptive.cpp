@@ -1,0 +1,57 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wss::stats {
+namespace {
+
+TEST(Descriptive, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(mean({}), 0.0);
+  EXPECT_EQ(variance({}), 0.0);
+}
+
+TEST(Descriptive, BasicMoments) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> sorted = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0.0);
+}
+
+TEST(Descriptive, CoefficientOfVariation) {
+  // CV of a constant sample is 0.
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({3.0, 3.0, 3.0}), 0.0);
+  // Exponential-like samples have CV near 1; a crude check.
+  const std::vector<double> exp_like = {0.1, 0.3, 0.5, 1.0, 1.2, 2.5, 4.0};
+  const double cv = coefficient_of_variation(exp_like);
+  EXPECT_GT(cv, 0.5);
+  EXPECT_LT(cv, 2.0);
+}
+
+TEST(Descriptive, InterarrivalSortsAndDiffs) {
+  const auto gaps = interarrival_seconds({3'000'000, 1'000'000, 6'000'000});
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 2.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 3.0);
+  EXPECT_TRUE(interarrival_seconds({42}).empty());
+  EXPECT_TRUE(interarrival_seconds({}).empty());
+}
+
+}  // namespace
+}  // namespace wss::stats

@@ -1,0 +1,99 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.hpp"
+#include "util/rng.hpp"
+
+namespace wss::stats {
+namespace {
+
+TEST(Ecdf, StepFunction) {
+  const Ecdf f({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(99.0), 1.0);
+}
+
+TEST(Ecdf, Empty) {
+  const Ecdf f({});
+  EXPECT_DOUBLE_EQ(f(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 0.0);
+  EXPECT_TRUE(f.steps().empty());
+}
+
+TEST(Ecdf, Quantiles) {
+  const Ecdf f({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.quantile(2.0), 4.0);
+}
+
+TEST(Ecdf, StepsCollapseDuplicates) {
+  const Ecdf f({1.0, 1.0, 2.0});
+  const auto steps = f.steps();
+  ASSERT_EQ(steps.size(), 2u);
+  EXPECT_DOUBLE_EQ(steps[0].first, 1.0);
+  EXPECT_NEAR(steps[0].second, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(steps[1].second, 1.0);
+}
+
+TEST(Ecdf, TwoSampleKs) {
+  util::Rng rng(1);
+  std::vector<double> a(3000);
+  std::vector<double> b(3000);
+  std::vector<double> c(3000);
+  for (auto& x : a) x = rng.exponential(1.0);
+  for (auto& x : b) x = rng.exponential(1.0);
+  for (auto& x : c) x = rng.exponential(0.2);  // shifted regime
+  const Ecdf fa(a);
+  const Ecdf fb(b);
+  const Ecdf fc(c);
+  EXPECT_LT(ks_two_sample_statistic(fa, fb), 0.05);  // same distribution
+  EXPECT_GT(ks_two_sample_statistic(fa, fc), 0.4);   // regime shift
+  EXPECT_DOUBLE_EQ(ks_two_sample_statistic(fa, fa), 0.0);
+}
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const auto ac = autocorrelation({1, 2, 3, 4, 3, 2, 1, 2, 3, 4}, 3);
+  ASSERT_EQ(ac.size(), 4u);
+  EXPECT_DOUBLE_EQ(ac[0], 1.0);
+}
+
+TEST(Autocorrelation, WhiteNoiseDecaysImmediately) {
+  util::Rng rng(2);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.normal();
+  const auto ac = autocorrelation(xs, 5);
+  for (std::size_t lag = 1; lag <= 5; ++lag) {
+    EXPECT_LT(std::abs(ac[lag]), 0.05) << lag;
+  }
+}
+
+TEST(Autocorrelation, BurstySeriesDecaysSlowly) {
+  // Blocks of activity: strong correlation at small lags.
+  std::vector<double> xs;
+  for (int block = 0; block < 50; ++block) {
+    const double level = block % 2 == 0 ? 10.0 : 0.0;
+    for (int i = 0; i < 20; ++i) xs.push_back(level);
+  }
+  const auto ac = autocorrelation(xs, 5);
+  EXPECT_GT(ac[1], 0.8);
+  EXPECT_GT(ac[5], 0.4);
+}
+
+TEST(Autocorrelation, DegenerateInputs) {
+  const auto short_series = autocorrelation({1.0}, 3);
+  EXPECT_DOUBLE_EQ(short_series[0], 1.0);
+  EXPECT_DOUBLE_EQ(short_series[1], 0.0);
+  const auto constant = autocorrelation({2.0, 2.0, 2.0}, 2);
+  EXPECT_DOUBLE_EQ(constant[1], 0.0);  // zero variance
+}
+
+}  // namespace
+}  // namespace wss::stats

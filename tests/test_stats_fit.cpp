@@ -1,0 +1,121 @@
+// Distribution fit tests, including parameterized parameter-recovery
+// property tests.
+#include "stats/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace wss::stats {
+namespace {
+
+TEST(ExponentialFit, RecoversRate) {
+  util::Rng rng(1);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.exponential(0.25);
+  const auto fit = fit_exponential(xs);
+  EXPECT_NEAR(fit.rate, 0.25, 0.01);
+  EXPECT_LT(fit.log_likelihood, 0.0);
+}
+
+TEST(ExponentialFit, PdfCdf) {
+  ExponentialFit f;
+  f.rate = 2.0;
+  EXPECT_DOUBLE_EQ(f.pdf(0.0), 2.0);
+  EXPECT_NEAR(f.cdf(std::log(2.0) / 2.0), 0.5, 1e-12);
+  EXPECT_EQ(f.cdf(-1.0), 0.0);
+  EXPECT_EQ(f.pdf(-1.0), 0.0);
+}
+
+TEST(ExponentialFit, DropsNonPositive) {
+  const auto fit = fit_exponential({-1.0, 0.0, 2.0, 2.0});
+  EXPECT_NEAR(fit.rate, 0.5, 1e-12);
+  EXPECT_THROW(fit_exponential({-1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(LognormalFit, RecoversParams) {
+  util::Rng rng(2);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.lognormal(1.5, 0.7);
+  const auto fit = fit_lognormal(xs);
+  EXPECT_NEAR(fit.mu, 1.5, 0.02);
+  EXPECT_NEAR(fit.sigma, 0.7, 0.02);
+}
+
+TEST(LognormalFit, PdfIntegratesToHalfAtMedian) {
+  LognormalFit f;
+  f.mu = 2.0;
+  f.sigma = 0.5;
+  EXPECT_NEAR(f.cdf(std::exp(2.0)), 0.5, 1e-9);
+  EXPECT_EQ(f.pdf(0.0), 0.0);
+}
+
+TEST(WeibullFit, RecoversShapeScale) {
+  util::Rng rng(3);
+  // Sample Weibull(k=1.7, lambda=3) via inverse transform.
+  std::vector<double> xs(20000);
+  for (auto& x : xs) {
+    const double u = rng.uniform();
+    x = 3.0 * std::pow(-std::log(1.0 - u), 1.0 / 1.7);
+  }
+  const auto fit = fit_weibull(xs);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.shape, 1.7, 0.05);
+  EXPECT_NEAR(fit.scale, 3.0, 0.05);
+}
+
+TEST(WeibullFit, ShapeOneIsExponential) {
+  util::Rng rng(4);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.exponential(1.0);
+  const auto fit = fit_weibull(xs);
+  EXPECT_NEAR(fit.shape, 1.0, 0.05);
+}
+
+TEST(Fits, AicOrdersModelsCorrectly) {
+  util::Rng rng(5);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.lognormal(2.0, 1.0);
+  const auto ln = fit_lognormal(xs);
+  const auto ex = fit_exponential(xs);
+  EXPECT_LT(aic(ln.log_likelihood, 2), aic(ex.log_likelihood, 1));
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+// Parameterized sweep: exponential fit recovers a range of rates.
+class ExpRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExpRateSweep, Recovers) {
+  const double rate = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(rate * 1000) + 11);
+  std::vector<double> xs(8000);
+  for (auto& x : xs) x = rng.exponential(rate);
+  EXPECT_NEAR(fit_exponential(xs).rate / rate, 1.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExpRateSweep,
+                         ::testing::Values(0.001, 0.1, 1.0, 10.0, 500.0));
+
+// Parameterized sweep: lognormal sigma recovery across scales.
+class LognormalSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LognormalSigmaSweep, Recovers) {
+  const double sigma = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(sigma * 100) + 17);
+  std::vector<double> xs(8000);
+  for (auto& x : xs) x = rng.lognormal(0.5, sigma);
+  EXPECT_NEAR(fit_lognormal(xs).sigma / sigma, 1.0, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, LognormalSigmaSweep,
+                         ::testing::Values(0.2, 0.5, 1.0, 2.0));
+
+}  // namespace
+}  // namespace wss::stats

@@ -1,0 +1,100 @@
+#include "stats/gof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/fit.hpp"
+#include "util/rng.hpp"
+
+namespace wss::stats {
+namespace {
+
+TEST(Kolmogorov, SurvivalFunctionEdges) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.05, 0.005);  // classic 95% point
+  EXPECT_LT(kolmogorov_q(3.0), 1e-6);
+}
+
+TEST(RegularizedGamma, KnownValues) {
+  // Q(1, x) = exp(-x).
+  EXPECT_NEAR(regularized_gamma_q(1.0, 2.0), std::exp(-2.0), 1e-10);
+  // Q(0.5, x) = erfc(sqrt(x)).
+  EXPECT_NEAR(regularized_gamma_q(0.5, 1.0), std::erfc(1.0), 1e-10);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(2.0, 0.0), 1.0);
+  EXPECT_THROW(regularized_gamma_q(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(ChiSquaredSf, MatchesGamma) {
+  // chi^2 with 2 dof: SF(x) = exp(-x/2).
+  EXPECT_NEAR(chi_squared_sf(3.0, 2.0), std::exp(-1.5), 1e-10);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 5.0), 1.0);
+}
+
+TEST(KsTest, AcceptsCorrectModel) {
+  util::Rng rng(21);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.exponential(1.0);
+  const auto r = ks_test(xs, [](double x) {
+    return x <= 0.0 ? 0.0 : 1.0 - std::exp(-x);
+  });
+  EXPECT_GT(r.p_value, 0.01);
+  EXPECT_LT(r.statistic, 0.05);
+}
+
+TEST(KsTest, RejectsWrongModel) {
+  util::Rng rng(22);
+  std::vector<double> xs(2000);
+  for (auto& x : xs) x = rng.lognormal(0.0, 1.5);
+  const auto fit = fit_exponential(xs);
+  const auto r = ks_test(xs, [&](double x) { return fit.cdf(x); });
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(KsTest, EmptySample) {
+  const auto r = ks_test({}, [](double) { return 0.5; });
+  EXPECT_EQ(r.n, 0u);
+  EXPECT_EQ(r.p_value, 0.0);
+}
+
+TEST(ChiSquaredTest, AcceptsCorrectModel) {
+  util::Rng rng(23);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.exponential(2.0);
+  const auto fit = fit_exponential(xs);
+  const auto r = chi_squared_test(xs, [&](double x) { return fit.cdf(x); },
+                                  20, 1);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(ChiSquaredTest, RejectsWrongModel) {
+  util::Rng rng(24);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = rng.lognormal(0.0, 2.0);
+  const auto fit = fit_exponential(xs);
+  const auto r = chi_squared_test(xs, [&](double x) { return fit.cdf(x); },
+                                  20, 1);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(ChiSquaredTest, DegenerateInputs) {
+  const auto fit = [](double x) { return x <= 0 ? 0.0 : 1 - std::exp(-x); };
+  EXPECT_EQ(chi_squared_test({}, fit, 10, 1).n, 0u);
+  EXPECT_EQ(chi_squared_test({1.0, 2.0}, fit, 1, 0).p_value, 0.0);
+}
+
+/// The paper's observation: heavy-tailed data makes even the best
+/// visual fit fail GOF ("such modeling of this data is misguided").
+TEST(KsTest, HeavyTailMixtureFailsBothModels) {
+  util::Rng rng(25);
+  std::vector<double> xs;
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.exponential(1.0));
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.exponential(0.001));
+  const auto ex = fit_exponential(xs);
+  const auto ln = fit_lognormal(xs);
+  EXPECT_LT(ks_test(xs, [&](double x) { return ex.cdf(x); }).p_value, 1e-6);
+  EXPECT_LT(ks_test(xs, [&](double x) { return ln.cdf(x); }).p_value, 1e-3);
+}
+
+}  // namespace
+}  // namespace wss::stats

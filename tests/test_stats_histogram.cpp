@@ -1,0 +1,97 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wss::stats {
+namespace {
+
+TEST(LinearHistogram, BinsAndOverflow) {
+  LinearHistogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(5.0);
+  h.add(9.999);
+  h.add(-1.0);
+  h.add(10.0);
+  EXPECT_DOUBLE_EQ(h.bins()[0], 2.0);
+  EXPECT_DOUBLE_EQ(h.bins()[2], 1.0);
+  EXPECT_DOUBLE_EQ(h.bins()[4], 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 6.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(LinearHistogram, Weights) {
+  LinearHistogram h(0.0, 1.0, 1);
+  h.add(0.5, 2.5);
+  EXPECT_DOUBLE_EQ(h.bins()[0], 2.5);
+}
+
+TEST(LinearHistogram, RejectsBadArgs) {
+  EXPECT_THROW(LinearHistogram(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(LinearHistogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(LogHistogram, DecadePlacement) {
+  LogHistogram h(0.0, 4.0, 1);  // bins: [1,10), [10,100), [100,1e3), [1e3,1e4)
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  h.add(5000.0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(h.bins()[static_cast<std::size_t>(i)], 1.0) << i;
+  }
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  h.add(1e5);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  h.add(0.0);
+  h.add(-3.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 3.0);
+}
+
+TEST(LogHistogram, BinGeometry) {
+  LogHistogram h(0.0, 2.0, 2);
+  EXPECT_NEAR(h.bin_lo(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.bin_lo(2), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_center(0), std::pow(10.0, 0.25), 1e-9);
+  EXPECT_FALSE(h.bin_label(0).empty());
+}
+
+TEST(LogHistogram, UnimodalDetection) {
+  LogHistogram h(0.0, 6.0, 4);
+  // One hump around 10^3.
+  for (int i = 0; i < 100; ++i) h.add(1000.0);
+  for (int i = 0; i < 60; ++i) h.add(600.0);
+  for (int i = 0; i < 60; ++i) h.add(1800.0);
+  EXPECT_EQ(h.modes().size(), 1u);
+}
+
+TEST(LogHistogram, BimodalDetection) {
+  LogHistogram h(0.0, 6.0, 4);
+  // Humps at ~10 s and ~10^4 s: the Figure 6(a) shape.
+  for (int i = 0; i < 80; ++i) h.add(10.0);
+  for (int i = 0; i < 40; ++i) h.add(18.0);
+  for (int i = 0; i < 100; ++i) h.add(1e4);
+  for (int i = 0; i < 50; ++i) h.add(2.2e4);
+  EXPECT_EQ(h.modes().size(), 2u);
+}
+
+TEST(LogHistogram, ModesIgnoreShortPeaks) {
+  LogHistogram h(0.0, 6.0, 4);
+  for (int i = 0; i < 100; ++i) h.add(1e4);
+  h.add(10.0);  // a single stray event is not a mode
+  EXPECT_EQ(h.modes().size(), 1u);
+}
+
+TEST(LogHistogram, RejectsBadArgs) {
+  EXPECT_THROW(LogHistogram(2.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(0.0, 2.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wss::stats

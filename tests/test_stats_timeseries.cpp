@@ -1,0 +1,60 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wss::stats {
+namespace {
+
+using util::kUsPerHour;
+
+TEST(TimeSeries, BucketsEvents) {
+  TimeSeries ts(0, kUsPerHour, 3);
+  ts.add(0);
+  ts.add(kUsPerHour - 1);
+  ts.add(kUsPerHour);
+  ts.add(2 * kUsPerHour + 5);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[1], 1.0);
+  EXPECT_DOUBLE_EQ(ts.buckets()[2], 1.0);
+  EXPECT_DOUBLE_EQ(ts.total(), 4.0);
+}
+
+TEST(TimeSeries, DropsOutOfRange) {
+  TimeSeries ts(100, 10, 2);
+  ts.add(99);
+  ts.add(120);
+  EXPECT_EQ(ts.dropped(), 2u);
+  EXPECT_DOUBLE_EQ(ts.total(), 0.0);
+}
+
+TEST(TimeSeries, Weighted) {
+  TimeSeries ts(0, 10, 1);
+  ts.add(5, 2.5);
+  EXPECT_DOUBLE_EQ(ts.buckets()[0], 2.5);
+}
+
+TEST(TimeSeries, CoveringComputesBucketCount) {
+  const auto ts = TimeSeries::covering(0, 25, 10);
+  EXPECT_EQ(ts.buckets().size(), 3u);
+  EXPECT_THROW(TimeSeries::covering(10, 10, 5), std::invalid_argument);
+}
+
+TEST(TimeSeries, BucketMidAndMean) {
+  TimeSeries ts(0, 10, 4);
+  EXPECT_EQ(ts.bucket_mid(0), 5);
+  EXPECT_EQ(ts.bucket_mid(3), 35);
+  ts.add(1);
+  ts.add(11);
+  ts.add(12);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 2), 1.5);
+  EXPECT_DOUBLE_EQ(ts.mean_over(2, 99), 0.0);  // clamped, empty tail
+  EXPECT_DOUBLE_EQ(ts.mean_over(3, 3), 0.0);
+}
+
+TEST(TimeSeries, RejectsBadArgs) {
+  EXPECT_THROW(TimeSeries(0, 0, 5), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wss::stats

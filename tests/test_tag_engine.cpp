@@ -1,0 +1,99 @@
+#include "tag/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tag/evaluate.hpp"
+#include "tag/rulesets.hpp"
+#include "tag/severity_tagger.hpp"
+
+namespace wss::tag {
+namespace {
+
+using parse::SystemId;
+
+TEST(TagEngine, FirstMatchWins) {
+  // Build a tiny rule set with overlapping patterns.
+  std::vector<Rule> rules(2);
+  rules[0].category = "SPECIFIC";
+  rules[0].predicate.add_term(0, "disk error on sda");
+  rules[1].category = "GENERIC";
+  rules[1].predicate.add_term(0, "disk error");
+  const RuleSet rs(SystemId::kLiberty, std::move(rules));
+  const TagEngine engine(rs);
+  const auto hit = engine.tag_line("kernel: disk error on sda5");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->category, 0);
+  const auto generic = engine.tag_line("kernel: disk error on hdb");
+  ASSERT_TRUE(generic);
+  EXPECT_EQ(generic->category, 1);
+}
+
+TEST(TagEngine, NoMatchReturnsNullopt) {
+  const TagEngine engine(build_ruleset(SystemId::kLiberty));
+  EXPECT_FALSE(engine.tag_line("Jun  3 10:00:00 ln1 sshd[1]: session opened"));
+  EXPECT_FALSE(engine.tag_line(""));
+}
+
+TEST(TagEngine, TagsParsedRecordViaRaw) {
+  const TagEngine engine(build_ruleset(SystemId::kLiberty));
+  parse::LogRecord rec;
+  rec.raw = "Jun  3 10:00:00 ln1 pbs_mom[9]: task_check, cannot tm_reply to "
+            "1.ladmin1 task 1";
+  const auto hit = engine.tag(rec);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->type, filter::AlertType::kSoftware);
+}
+
+TEST(TagEngine, CorruptedTailStillTagsWhenPatternIntact) {
+  // Truncation after the matched substring (the common real case).
+  const TagEngine engine(build_ruleset(SystemId::kThunderbird));
+  EXPECT_TRUE(engine.tag_line(
+      "kernel: [KERNEL_IB][ib_sm_sweep.c:1455]Fatal error (Local "
+      "Catastrophic Error"));
+  // Truncation inside the pattern loses the alert -- a documented
+  // failure mode of automated tagging (Section 3.2.1).
+  EXPECT_FALSE(engine.tag_line("kernel: [KERNEL_IB][ib_sm_sweep.c:1455]Fat"));
+}
+
+TEST(SeverityTagger, BglBaseline) {
+  const auto tagger = SeverityTagger::bgl_fatal_failure();
+  parse::LogRecord rec;
+  rec.severity = parse::Severity::kFatal;
+  EXPECT_TRUE(tagger.is_alert(rec));
+  rec.severity = parse::Severity::kFailure;
+  EXPECT_TRUE(tagger.is_alert(rec));
+  rec.severity = parse::Severity::kInfo;
+  EXPECT_FALSE(tagger.is_alert(rec));
+  rec.severity = parse::Severity::kSevere;
+  EXPECT_FALSE(tagger.is_alert(rec));
+}
+
+TEST(TaggerEvaluation, RatesFromPaperNumbers) {
+  // Table 5's arithmetic: tagging FATAL/FAILURE as alerts yields
+  // TP = 348,460, FP = 855,501 + 1,714 - 348,460 = 508,755.
+  TaggerEvaluation e;
+  e.add(true, true, 348460);
+  e.add(true, false, 508755);
+  e.add(false, false, 3890748);
+  EXPECT_NEAR(e.false_positive_rate(), 0.5934, 0.0005);
+  EXPECT_DOUBLE_EQ(e.false_negative_rate(), 0.0);
+  EXPECT_NEAR(e.precision(), 1.0 - 0.5934, 0.0005);
+  EXPECT_DOUBLE_EQ(e.recall(), 1.0);
+}
+
+TEST(TaggerEvaluation, EmptyIsZero) {
+  TaggerEvaluation e;
+  EXPECT_EQ(e.false_positive_rate(), 0.0);
+  EXPECT_EQ(e.false_negative_rate(), 0.0);
+}
+
+TEST(TaggerEvaluation, DescribeIncludesRates) {
+  TaggerEvaluation e;
+  e.add(true, true);
+  e.add(true, false);
+  const std::string d = e.describe();
+  EXPECT_NE(d.find("FP rate 50.00%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wss::tag

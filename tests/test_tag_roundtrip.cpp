@@ -1,0 +1,83 @@
+// Rule <-> renderer consistency: every category's rendered alert line
+// is tagged back to exactly that category, and no chatter template
+// matches any rule. This is the invariant that makes the simulator's
+// ground truth and the tag engine's output agree.
+#include <gtest/gtest.h>
+
+#include "sim/chatter.hpp"
+#include "sim/generator.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss {
+namespace {
+
+using parse::SystemId;
+
+sim::SimOptions tiny_options() {
+  sim::SimOptions o;
+  o.category_cap = 300;
+  o.chatter_events = 2000;
+  o.inject_corruption = false;
+  return o;
+}
+
+class TagRoundTrip : public ::testing::TestWithParam<SystemId> {};
+
+TEST_P(TagRoundTrip, EveryAlertLineTagsToItsCategory) {
+  const SystemId id = GetParam();
+  const sim::Simulator simulator(id, tiny_options());
+  const tag::RuleSet rules = tag::build_ruleset(id);
+  const tag::TagEngine engine(rules);
+
+  std::vector<bool> category_seen(rules.size(), false);
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    const sim::SimEvent& e = simulator.events()[i];
+    if (!e.is_alert()) continue;
+    const std::string line = simulator.renderer().render_clean(e, i);
+    const auto tagged = engine.tag_line(line);
+    ASSERT_TRUE(tagged.has_value()) << line;
+    EXPECT_EQ(tagged->category, static_cast<std::uint16_t>(e.category))
+        << line;
+    category_seen[static_cast<std::size_t>(e.category)] = true;
+  }
+  // Every category was exercised (tiny caps still generate >= 1 event
+  // per category).
+  for (std::size_t c = 0; c < category_seen.size(); ++c) {
+    EXPECT_TRUE(category_seen[c]) << rules.category_name(
+        static_cast<std::uint16_t>(c));
+  }
+}
+
+TEST_P(TagRoundTrip, NoChatterLineMatchesAnyRule) {
+  const SystemId id = GetParam();
+  const sim::Simulator simulator(id, tiny_options());
+  const tag::TagEngine engine(tag::build_ruleset(id));
+
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    const sim::SimEvent& e = simulator.events()[i];
+    if (e.is_alert()) continue;
+    const std::string line = simulator.renderer().render_clean(e, i);
+    EXPECT_FALSE(engine.tag_line(line).has_value()) << line;
+  }
+}
+
+TEST_P(TagRoundTrip, ChatterTemplatesCoverEveryStratum) {
+  const SystemId id = GetParam();
+  for (const auto& cls : sim::chatter_classes(id)) {
+    bool found = false;
+    for (const auto& t : sim::chatter_templates(id)) {
+      if (t.path == cls.path && t.severity == cls.severity) found = true;
+    }
+    EXPECT_TRUE(found) << static_cast<int>(cls.severity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, TagRoundTrip, ::testing::ValuesIn(parse::kAllSystems),
+    [](const ::testing::TestParamInfo<SystemId>& info) {
+      return std::string(parse::system_short_name(info.param));
+    });
+
+}  // namespace
+}  // namespace wss

@@ -1,0 +1,186 @@
+// The expert-rule catalog: structure, counts against Table 4, and
+// rule <-> renderer consistency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss::tag {
+namespace {
+
+using parse::SystemId;
+
+TEST(Rulesets, CategoryCountsMatchPaper) {
+  // Table 2 "Categories": 41 + 10 + 12 + 8 + 6 = 77 total.
+  EXPECT_EQ(categories_of(SystemId::kBlueGeneL).size(), 41u);
+  EXPECT_EQ(categories_of(SystemId::kThunderbird).size(), 10u);
+  EXPECT_EQ(categories_of(SystemId::kRedStorm).size(), 12u);
+  EXPECT_EQ(categories_of(SystemId::kSpirit).size(), 8u);
+  EXPECT_EQ(categories_of(SystemId::kLiberty).size(), 6u);
+  EXPECT_EQ(category_table().size(), 77u);
+}
+
+TEST(Rulesets, RawCountsSumToTable2Totals) {
+  const std::uint64_t expected[] = {348460, 3248239, 1665744,
+                                    172816563,  // Table 4 sum; see DESIGN.md
+                                    2452};
+  for (const auto id : parse::kAllSystems) {
+    std::uint64_t raw = 0;
+    for (const auto* c : categories_of(id)) raw += c->raw_count;
+    EXPECT_EQ(raw, expected[static_cast<std::size_t>(id)])
+        << parse::system_name(id);
+  }
+}
+
+TEST(Rulesets, FilteredCountsSumToTable4Totals) {
+  const std::uint64_t expected[] = {1202, 2088, 1430, 4875, 1050};
+  for (const auto id : parse::kAllSystems) {
+    std::uint64_t filtered = 0;
+    for (const auto* c : categories_of(id)) filtered += c->filtered_count;
+    EXPECT_EQ(filtered, expected[static_cast<std::size_t>(id)])
+        << parse::system_name(id);
+  }
+}
+
+TEST(Rulesets, GrandTotalsMatchAbstract) {
+  // "178,081,459 alert messages in 77 categories" (+/- the paper's
+  // internal off-by-one in Spirit, documented in DESIGN.md).
+  std::uint64_t raw = 0;
+  for (const auto& c : category_table()) raw += c.raw_count;
+  EXPECT_EQ(raw, 178081458u);
+}
+
+TEST(Rulesets, Table3TypeTotalsMatch) {
+  double raw[3] = {0, 0, 0};
+  std::uint64_t filtered[3] = {0, 0, 0};
+  for (const auto& c : category_table()) {
+    raw[static_cast<std::size_t>(c.type)] += static_cast<double>(c.raw_count);
+    filtered[static_cast<std::size_t>(c.type)] += c.filtered_count;
+  }
+  EXPECT_DOUBLE_EQ(raw[0], 174586516.0);  // Hardware: exact
+  EXPECT_DOUBLE_EQ(raw[1], 144899.0);     // Software: exact
+  EXPECT_DOUBLE_EQ(raw[2], 3350043.0);    // Indeterminate: paper says ...44
+  EXPECT_EQ(filtered[0], 1999u);
+  EXPECT_EQ(filtered[1], 6814u);
+  EXPECT_EQ(filtered[2], 1832u);
+}
+
+TEST(Rulesets, FilteredNeverExceedsRaw) {
+  for (const auto& c : category_table()) {
+    EXPECT_LE(c.filtered_count, c.raw_count) << c.name;
+    EXPECT_GE(c.raw_count, 1u) << c.name;
+  }
+}
+
+TEST(Rulesets, NamesUniquePerSystem) {
+  for (const auto id : parse::kAllSystems) {
+    std::set<std::string> names;
+    for (const auto* c : categories_of(id)) {
+      EXPECT_TRUE(names.insert(c->name).second) << c->name;
+    }
+  }
+}
+
+TEST(Rulesets, FindCategory) {
+  const auto* c = find_category(SystemId::kSpirit, "EXT_CCISS");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->raw_count, 103818910u);
+  EXPECT_EQ(find_category(SystemId::kSpirit, "VAPI"), nullptr);
+}
+
+TEST(Rulesets, BuildRulesetAlignsWithCatalog) {
+  for (const auto id : parse::kAllSystems) {
+    const RuleSet rs = build_ruleset(id);
+    const auto cats = categories_of(id);
+    ASSERT_EQ(rs.size(), cats.size());
+    for (std::size_t i = 0; i < cats.size(); ++i) {
+      EXPECT_EQ(rs.category_name(static_cast<std::uint16_t>(i)),
+                cats[i]->name);
+      EXPECT_EQ(rs.rules()[i].type, cats[i]->type);
+    }
+    EXPECT_EQ(rs.index_of("definitely-not-a-category"), RuleSet::npos);
+  }
+}
+
+TEST(Rulesets, PaperExampleBodiesMatchTheirRules) {
+  // Spot-check the example bodies printed in Table 4 against our
+  // rules (anonymized brackets replaced with plausible text).
+  const struct {
+    SystemId system;
+    const char* category;
+    const char* line;
+  } cases[] = {
+      {SystemId::kBlueGeneL, "KERNDTLB", "RAS KERNEL FATAL data TLB error interrupt"},
+      {SystemId::kBlueGeneL, "KERNRTSP", "RAS KERNEL FATAL rts panic! - stopping execution"},
+      {SystemId::kThunderbird, "VAPI",
+       "kernel: [KERNEL_IB][ib_sm_sweep.c:1455]Fatal error (Local Catastrophic Error)"},
+      {SystemId::kThunderbird, "NMI",
+       "kernel: Uhhuh. NMI received. Dazed and confused, but trying to continue"},
+      {SystemId::kRedStorm, "TOAST",
+       "ec_console_log src:::c0-0c0s0n0 svc:::c0-0c0s0n0 PANIC_SP WE ARE TOASTED!"},
+      {SystemId::kRedStorm, "BUS_PAR",
+       "DMT_HINT Warning: Verify Host 2 bus parity error: 0200 Tier:5 LUN:4"},
+      {SystemId::kSpirit, "EXT_CCISS",
+       "kernel: cciss: cmd 0000010000a60000 has CHECK CONDITION, sense key = 0x3"},
+      {SystemId::kLiberty, "PBS_CHK",
+       "pbs_mom: task_check, cannot tm_reply to 1336.ladmin1 task 1"},
+  };
+  for (const auto& c : cases) {
+    const RuleSet rs = build_ruleset(c.system);
+    const TagEngine engine(rs);
+    const auto tagged = engine.tag_line(c.line);
+    ASSERT_TRUE(tagged.has_value()) << c.line;
+    EXPECT_EQ(rs.category_name(tagged->category), c.category) << c.line;
+  }
+}
+
+TEST(Rulesets, ApportionExactAndPositive) {
+  const auto parts = apportion(7186, 31);
+  ASSERT_EQ(parts.size(), 31u);
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_GE(parts[i], 1u);
+    if (i > 0) {
+      EXPECT_LE(parts[i], parts[i - 1]);  // decreasing
+    }
+    sum += parts[i];
+  }
+  EXPECT_EQ(sum, 7186u);
+  EXPECT_TRUE(apportion(10, 0).empty());
+  // total < n still sums reasonably (all ones).
+  const auto tight = apportion(3, 5);
+  std::uint64_t tsum = 0;
+  for (auto v : tight) tsum += v;
+  EXPECT_GE(tsum, 3u);
+}
+
+TEST(Rulesets, OperationalContextExampleIsNotTagged) {
+  // "BGLMASTER FAILURE ciodb exited normally with exit code 0" must
+  // NOT be tagged (only with operational context could the paper call
+  // it innocuous -- but the experts did not tag it as an alert).
+  const TagEngine engine(build_ruleset(SystemId::kBlueGeneL));
+  EXPECT_FALSE(engine.tag_line(
+      "1117838570 2005.06.03 R63-M0-NF 2005-06-03-15.42.50.363779 R63-M0-NF "
+      "RAS MASTER FAILURE BGLMASTER FAILURE ciodb exited normally with exit "
+      "code 0"));
+}
+
+TEST(Rulesets, KernelPanicFieldRule) {
+  // The awk rule ($7 ~ /KERNEL/ && /kernel panic/) in our field layout.
+  const RuleSet rs = build_ruleset(SystemId::kBlueGeneL);
+  const TagEngine engine(rs);
+  const auto hit = engine.tag_line(
+      "1 2005.06.03 R00-M0-N0 2005-06-03-00.00.00.000000 R00-M0-N0 RAS "
+      "KERNEL FATAL kernel panic");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(rs.category_name(hit->category), "KPANIC");
+  // Same body under the APP facility must not match the field term.
+  EXPECT_FALSE(engine.tag_line(
+      "1 2005.06.03 R00-M0-N0 2005-06-03-00.00.00.000000 R00-M0-N0 RAS "
+      "APP FATAL kernel panic"));
+}
+
+}  // namespace
+}  // namespace wss::tag

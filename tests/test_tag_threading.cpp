@@ -1,0 +1,79 @@
+// Thread-compatibility of the shared read paths: a single TagEngine /
+// Regex / Renderer is documented as safely shareable across threads
+// (const calls, no mutable state). Tagging a billion-message corpus is
+// embarrassingly parallel, so this property is load-bearing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "sim/generator.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss {
+namespace {
+
+TEST(Threading, SharedTagEngineAcrossThreads) {
+  sim::SimOptions opts;
+  opts.category_cap = 500;
+  opts.chatter_events = 4000;
+  opts.inject_corruption = false;
+  const sim::Simulator simulator(parse::SystemId::kSpirit, opts);
+  const tag::TagEngine engine(tag::build_ruleset(parse::SystemId::kSpirit));
+
+  // Pre-render the corpus (the renderer is also const-shared below).
+  std::vector<std::string> lines;
+  std::vector<bool> expected;
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    lines.push_back(simulator.line(i));
+    expected.push_back(simulator.events()[i].is_alert());
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      // Each worker scans a strided slice; all share `engine`.
+      for (std::size_t i = static_cast<std::size_t>(w); i < lines.size();
+           i += kThreads) {
+        const bool tagged = engine.tag_line(lines[i]).has_value();
+        if (tagged != expected[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST(Threading, SharedRendererAcrossThreads) {
+  sim::SimOptions opts;
+  opts.category_cap = 300;
+  opts.chatter_events = 2000;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, opts);
+
+  // Reference rendering, single-threaded.
+  std::vector<std::string> reference;
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    reference.push_back(simulator.line(i));
+  }
+
+  constexpr int kThreads = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (std::size_t i = static_cast<std::size_t>(w);
+           i < reference.size(); i += kThreads) {
+        if (simulator.line(i) != reference[i]) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+}  // namespace wss

@@ -1,0 +1,192 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace wss::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformU64InRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+  EXPECT_THROW(rng.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformI64Bounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_THROW(rng.uniform_i64(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(1.0, 0.5);
+  std::sort(xs.begin(), xs.end());
+  // Median of lognormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[xs.size() / 2], std::exp(1.0), 0.15);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(31);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApprox) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, WeightedIndex) {
+  Rng rng(41);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+  std::vector<double> bad = {0.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(bad), std::invalid_argument);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(47);
+  Rng child = a.fork();
+  // The fork must not replay the parent's stream.
+  Rng b(47);
+  (void)b();  // align with the fork's consumption
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Zipf, RankZeroMostProbable) {
+  Zipf z(100, 1.1);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(50));
+  double total = 0.0;
+  for (std::size_t i = 0; i < 100; ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(z.pmf(100), 0.0);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  Zipf z(10, 1.0);
+  Rng rng(53);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z(rng)];
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[r]) / n, z.pmf(r), 0.01);
+  }
+}
+
+TEST(Zipf, RejectsEmpty) { EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument); }
+
+}  // namespace
+}  // namespace wss::util

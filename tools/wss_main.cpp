@@ -1,0 +1,16 @@
+// The `wss` command-line tool. All logic lives in src/cli (testable);
+// this is only the process shell.
+#include <exception>
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const auto args = wss::cli::Args::parse(argc, argv);
+    return wss::cli::run(args, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "wss: " << e.what() << "\n";
+    return 2;
+  }
+}
