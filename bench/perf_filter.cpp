@@ -11,6 +11,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/study.hpp"
 #include "filter/serial.hpp"
 #include "filter/simultaneous.hpp"
@@ -106,5 +107,6 @@ int main(int argc, char** argv) {
       "\nBest-of-7 wall clock: serial %.3f ms, simultaneous %.3f ms -> "
       "simultaneous is %.1f%% faster (paper: 16%% on the Spirit logs).\n",
       t_serial * 1e3, t_simul * 1e3, speedup);
+  wss::bench::emit_pipeline_threads_sweep("perf_filter");
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "parse/dispatch.hpp"
 #include "sim/generator.hpp"
 
@@ -67,5 +68,6 @@ int main(int argc, char** argv) {
   std::cout << "==== Perf: parser throughput per log format ====\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  wss::bench::emit_pipeline_threads_sweep("perf_parse");
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
 #include "tag/rulesets.hpp"
@@ -84,5 +85,6 @@ int main(int argc, char** argv) {
             << corpus().lines.size() << " lines) ====\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  wss::bench::emit_pipeline_threads_sweep("perf_tagging");
   return 0;
 }

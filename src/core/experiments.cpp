@@ -20,8 +20,11 @@ constexpr std::size_t kCompressionSampleLines = 20000;
 }  // namespace
 
 std::vector<filter::Alert> filtered_alerts(Study& study, parse::SystemId id) {
-  filter::SimultaneousFilter f(study.threshold());
-  return filter::apply_filter(f, study.simulator(id).ground_truth_alerts());
+  // Per-segment parallel Algorithm 3.1: bit-identical to the serial
+  // filter at every thread count (see filter/simultaneous.hpp).
+  return filter::apply_simultaneous_parallel(
+      study.simulator(id).ground_truth_alerts(), study.threshold(),
+      study.options().pipeline.num_threads);
 }
 
 Table2Row table2_row(Study& study, parse::SystemId id) {
@@ -169,8 +172,13 @@ Fig2bData fig2b(Study& study) {
   d.corrupted_weight = res.corrupted_source_weight;
   d.sources.assign(res.messages_by_source.begin(),
                    res.messages_by_source.end());
+  // Tie-break on name so the ordering (and the golden file built from
+  // it) is fully determined.
   std::sort(d.sources.begin(), d.sources.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
   return d;
 }
 

@@ -1,0 +1,40 @@
+// Canonical text serializations of the paper artifacts, for the
+// golden-file regression suite.
+//
+// Each artifact (Tables 1-6, the Figure 2/5/6 data series) has one
+// producer that renders it to a canonical CSV/text form with
+// round-trip double formatting (%.17g), so *any* drift in a weighted
+// count, severity cross-tab, or fit parameter changes the bytes and
+// fails tests/test_golden_tables.cpp. tools/update_goldens.cpp writes
+// the same bytes into tests/golden/ to rebless intentional changes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace wss::core {
+
+/// One golden artifact: a file name under tests/golden/ plus the
+/// producer that renders its canonical text from a Study.
+struct GoldenArtifact {
+  std::string file;  ///< e.g. "table2.csv"
+  std::string what;  ///< one-line description for test failure output
+  std::function<std::string(Study&)> produce;
+};
+
+/// The fixed study configuration the goldens are generated with. Any
+/// change here changes every golden file (rebless required).
+StudyOptions golden_study_options();
+
+/// All artifacts, in stable order: Tables 1-6 (Table 4 per system),
+/// then the Figure 2(a)/2(b)/5/6 data series.
+const std::vector<GoldenArtifact>& golden_artifacts();
+
+/// Renders every artifact and writes it to `dir` (created if needed).
+/// Returns the number of files written; throws on I/O failure.
+std::size_t write_goldens(const std::string& dir);
+
+}  // namespace wss::core

@@ -1,0 +1,84 @@
+// A bounded multi-producer multi-consumer work queue.
+//
+// The parallel pipeline's work-distribution channel: producers block
+// when the queue is full (backpressure), consumers block when it is
+// empty, and close() lets consumers drain remaining items and then
+// observe end-of-stream. Synchronization is one mutex + two condition
+// variables around a ring buffer; this is *not* on the per-event hot
+// path -- one pop covers a whole chunk of PipelineOptions::chunk_events
+// events, so the lock is taken a few hundred times per run, total.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace wss::core {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// `capacity` must be >= 1; pushes beyond it block until a pop.
+  explicit MpmcQueue(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {
+    ring_.resize(capacity_);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Blocks while full. Returns false (and drops the item) if the
+  /// queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+    if (closed_) return false;
+    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ++size_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once the queue is closed AND
+  /// drained -- items pushed before close() are always delivered.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream: blocked producers give up, consumers drain what
+  /// remains and then see end-of-stream.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  std::vector<T> ring_;
+  std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace wss::core

@@ -1,0 +1,90 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/mpmc_queue.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss::core {
+
+ParallelPipeline::ParallelPipeline(PipelineOptions options)
+    : options_(options) {}
+
+int ParallelPipeline::resolved_threads() const {
+  if (options_.num_threads > 0) return options_.num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
+  const auto shards = simulator.event_shards(options_.chunk_events);
+  const int workers = std::min<int>(
+      resolved_threads(), static_cast<int>(std::max<std::size_t>(
+                              shards.size(), 1)));
+  if (workers <= 1) {
+    // Serial fallback shares the exact code path (and therefore the
+    // exact FP accumulation order) with the threaded run below.
+    return run_pipeline(simulator, options_);
+  }
+
+  const parse::SystemId system = simulator.spec().id;
+  const tag::RuleSet rules = tag::build_ruleset(system);
+  const tag::TagEngine engine(rules);
+
+  detail::ChunkContext ctx;
+  ctx.simulator = &simulator;
+  ctx.engine = &engine;
+  ctx.num_categories = tag::categories_of(system).size();
+  ctx.collect_source_tallies = options_.collect_source_tallies;
+
+  // Each worker writes only partials[i] for the chunk ids it pops, so
+  // the result array needs no lock; the queue provides the necessary
+  // happens-before edges between producer, workers, and the join.
+  std::vector<PipelineResult> partials(shards.size());
+  MpmcQueue<std::size_t> queue(static_cast<std::size_t>(workers) * 4);
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (auto chunk = queue.pop()) {
+          if (failed.load(std::memory_order_relaxed)) continue;
+          try {
+            partials[*chunk] = detail::process_chunk(
+                ctx, shards[*chunk].begin, shards[*chunk].end);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!failed.exchange(true)) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    // Producer side: enqueue chunk ids with backpressure (the bounded
+    // queue caps how far ahead of the workers we run).
+    for (std::size_t i = 0; i < shards.size(); ++i) queue.push(i);
+    queue.close();
+  }  // jthreads join here
+
+  if (failed.load()) std::rethrow_exception(first_error);
+
+  PipelineResult r;
+  r.system = system;
+  r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
+  r.physical_alert_counts.assign(ctx.num_categories, 0);
+  for (auto& part : partials) {
+    detail::merge_partial(r, std::move(part));
+  }
+  detail::finalize_result(r);
+  return r;
+}
+
+}  // namespace wss::core

@@ -1,25 +1,26 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+
 #include "parse/dispatch.hpp"
 #include "tag/rulesets.hpp"
 
 namespace wss::core {
 
-PipelineResult run_pipeline(const sim::Simulator& simulator,
-                            bool collect_source_tallies) {
+namespace detail {
+
+PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
+                             std::size_t end) {
+  const sim::Simulator& simulator = *ctx.simulator;
   const parse::SystemId system = simulator.spec().id;
-  const tag::RuleSet rules = tag::build_ruleset(system);
-  const tag::TagEngine engine(rules);
-  const auto cats = tag::categories_of(system);
 
   PipelineResult r;
   r.system = system;
-  r.weighted_alert_counts.assign(cats.size(), 0.0);
-  std::vector<std::uint64_t> physical_counts(cats.size(), 0);
+  r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
+  r.physical_alert_counts.assign(ctx.num_categories, 0);
 
   const auto& events = simulator.events();
-  const int base_year = simulator.spec().start_date.year;
-  for (std::size_t i = 0; i < events.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const sim::SimEvent& e = events[i];
     const std::string line = simulator.renderer().render(e, i);
 
@@ -32,12 +33,11 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
     // would advance it at log rollover boundaries.
     const parse::LogRecord rec =
         parse::parse_line(system, line, util::to_civil(e.time).year);
-    (void)base_year;
     if (rec.source_corrupted) ++r.corrupted_source_lines;
     if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
 
     // Tag.
-    const auto tagged = engine.tag(rec);
+    const auto tagged = ctx.engine->tag(rec);
     r.tagging.add(tagged.has_value(), e.is_alert());
     if (tagged) {
       filter::Alert a;
@@ -52,10 +52,10 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
       a.weight = e.weight;
       r.tagged_alerts.push_back(a);
       r.weighted_alert_counts[tagged->category] += e.weight;
-      ++physical_counts[tagged->category];
+      ++r.physical_alert_counts[tagged->category];
     }
 
-    if (collect_source_tallies) {
+    if (ctx.collect_source_tallies) {
       if (rec.source_corrupted) {
         r.corrupted_source_weight += e.weight;
       } else {
@@ -63,14 +63,89 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
       }
     }
   }
+  return r;
+}
 
-  for (const auto c : physical_counts) {
+void merge_partial(PipelineResult& acc, PipelineResult&& part) {
+  if (acc.weighted_alert_counts.empty()) {
+    acc.system = part.system;
+    acc.weighted_alert_counts.assign(part.weighted_alert_counts.size(), 0.0);
+    acc.physical_alert_counts.assign(part.physical_alert_counts.size(), 0);
+  }
+
+  acc.physical_messages += part.physical_messages;
+  acc.weighted_messages += part.weighted_messages;
+  acc.physical_bytes += part.physical_bytes;
+  acc.weighted_bytes += part.weighted_bytes;
+  acc.corrupted_source_lines += part.corrupted_source_lines;
+  acc.invalid_timestamp_lines += part.invalid_timestamp_lines;
+
+  acc.tagged_alerts.insert(acc.tagged_alerts.end(),
+                           std::make_move_iterator(part.tagged_alerts.begin()),
+                           std::make_move_iterator(part.tagged_alerts.end()));
+  for (std::size_t c = 0; c < part.weighted_alert_counts.size(); ++c) {
+    acc.weighted_alert_counts[c] += part.weighted_alert_counts[c];
+    acc.physical_alert_counts[c] += part.physical_alert_counts[c];
+  }
+
+  acc.tagging.add(true, true, part.tagging.true_positives);
+  acc.tagging.add(true, false, part.tagging.false_positives);
+  acc.tagging.add(false, false, part.tagging.true_negatives);
+  acc.tagging.add(false, true, part.tagging.false_negatives);
+
+  // std::map iterates keys in sorted order, so for any one source the
+  // per-chunk partials are added in chunk order -- the same FP
+  // accumulation order at every thread count.
+  for (auto& [source, weight] : part.messages_by_source) {
+    acc.messages_by_source[source] += weight;
+  }
+  acc.corrupted_source_weight += part.corrupted_source_weight;
+}
+
+void finalize_result(PipelineResult& r) {
+  r.categories_observed = 0;
+  for (const auto c : r.physical_alert_counts) {
     if (c > 0) ++r.categories_observed;
   }
   // syslog stamps have 1 s granularity, so parsed times can tie or
   // regress within a second relative to event order; restore order.
   filter::sort_alerts(r.tagged_alerts);
+}
+
+}  // namespace detail
+
+PipelineResult run_pipeline(const sim::Simulator& simulator,
+                            const PipelineOptions& options) {
+  const parse::SystemId system = simulator.spec().id;
+  const tag::RuleSet rules = tag::build_ruleset(system);
+  const tag::TagEngine engine(rules);
+
+  detail::ChunkContext ctx;
+  ctx.simulator = &simulator;
+  ctx.engine = &engine;
+  ctx.num_categories = tag::categories_of(system).size();
+  ctx.collect_source_tallies = options.collect_source_tallies;
+
+  const std::size_t n = simulator.events().size();
+  const std::size_t chunk = std::max<std::size_t>(options.chunk_events, 1);
+
+  PipelineResult r;
+  r.system = system;
+  r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
+  r.physical_alert_counts.assign(ctx.num_categories, 0);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    detail::merge_partial(
+        r, detail::process_chunk(ctx, begin, std::min(begin + chunk, n)));
+  }
+  detail::finalize_result(r);
   return r;
+}
+
+PipelineResult run_pipeline(const sim::Simulator& simulator,
+                            bool collect_source_tallies) {
+  PipelineOptions options;
+  options.collect_source_tallies = collect_source_tallies;
+  return run_pipeline(simulator, options);
 }
 
 }  // namespace wss::core

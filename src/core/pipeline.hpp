@@ -4,6 +4,17 @@
 // from rendered text lines the way a real analysis would, not from the
 // simulator's ground truth. Ground truth is used only to score the
 // tagger (the paper had to do this scoring by hand).
+//
+// Determinism contract: the pipeline's canonical semantics are
+// *chunked*. The event stream is cut into fixed-size chunks of
+// `PipelineOptions::chunk_events` events, each chunk is reduced to a
+// partial PipelineResult, and partials are merged in chunk-index
+// order. Chunk boundaries depend only on chunk_events -- never on
+// thread count or scheduling -- so the serial run_pipeline and
+// core::ParallelPipeline at any thread count produce bit-identical
+// results (floating-point sums included). Changing chunk_events
+// changes FP rounding at the 1e-15 level; it is a constant for a
+// reason.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +29,20 @@
 #include "tag/rule.hpp"
 
 namespace wss::core {
+
+/// Knobs for one parse+tag pass (serial or parallel).
+struct PipelineOptions {
+  /// Worker threads. 1 = serial; 0 = std::thread::hardware_concurrency.
+  int num_threads = 1;
+
+  /// Events per work-queue chunk. Part of the determinism contract
+  /// (see file comment); identical results require identical values.
+  std::size_t chunk_events = 8192;
+
+  /// Enables the Figure 2(b) per-source map (the only
+  /// expensive-by-memory part).
+  bool collect_source_tallies = true;
+};
 
 /// Everything a single parse+tag pass produces.
 struct PipelineResult {
@@ -39,6 +64,8 @@ struct PipelineResult {
   std::vector<filter::Alert> tagged_alerts;
   /// Weighted raw alert count per category (Table 4 "Raw").
   std::vector<double> weighted_alert_counts;
+  /// Physical (unweighted) alert count per category.
+  std::vector<std::uint64_t> physical_alert_counts;
   /// Engine-vs-ground-truth confusion counts.
   tag::TaggerEvaluation tagging;
   /// Categories with at least one physical alert (Table 2
@@ -57,5 +84,35 @@ struct PipelineResult {
 /// only expensive-by-memory part).
 PipelineResult run_pipeline(const sim::Simulator& simulator,
                             bool collect_source_tallies = true);
+
+/// Same, with explicit options. num_threads is ignored here (this is
+/// the serial reference); use ParallelPipeline for threaded runs.
+PipelineResult run_pipeline(const sim::Simulator& simulator,
+                            const PipelineOptions& options);
+
+namespace detail {
+
+/// Read-only state shared by every chunk of one pass.
+struct ChunkContext {
+  const sim::Simulator* simulator = nullptr;
+  const tag::TagEngine* engine = nullptr;  ///< const-shareable across threads
+  std::size_t num_categories = 0;
+  bool collect_source_tallies = true;
+};
+
+/// Reduces events [begin, end) to a partial result. Pure function of
+/// its arguments; safe to call concurrently for disjoint ranges.
+PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
+                             std::size_t end);
+
+/// Folds `part` into `acc`. MUST be called in chunk-index order --
+/// the merge order is what the determinism guarantee hangs on.
+void merge_partial(PipelineResult& acc, PipelineResult&& part);
+
+/// Final pass after all chunks are merged: categories_observed and the
+/// canonical alert sort.
+void finalize_result(PipelineResult& r);
+
+}  // namespace detail
 
 }  // namespace wss::core

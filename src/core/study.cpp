@@ -1,21 +1,40 @@
 #include "core/study.hpp"
 
+#include "core/parallel.hpp"
+
 namespace wss::core {
 
 Study::Study(StudyOptions opts) : opts_(opts) {}
 
 const sim::Simulator& Study::simulator(parse::SystemId id) {
-  auto& slot = sims_[static_cast<std::size_t>(id)];
-  if (!slot) slot = std::make_unique<sim::Simulator>(id, opts_.sim);
-  return *slot;
+  const auto i = static_cast<std::size_t>(id);
+  std::call_once(sim_once_[i], [&] {
+    sims_[i] = std::make_unique<sim::Simulator>(id, opts_.sim);
+  });
+  return *sims_[i];
+}
+
+const PipelineResult& Study::ensure_result(parse::SystemId id, bool parallel) {
+  const auto i = static_cast<std::size_t>(id);
+  std::call_once(result_once_[i], [&] {
+    const sim::Simulator& sim = simulator(id);
+    if (parallel) {
+      results_[i] = std::make_unique<PipelineResult>(
+          ParallelPipeline(opts_.pipeline).run(sim));
+    } else {
+      results_[i] =
+          std::make_unique<PipelineResult>(run_pipeline(sim, opts_.pipeline));
+    }
+  });
+  return *results_[i];
 }
 
 const PipelineResult& Study::pipeline_result(parse::SystemId id) {
-  auto& slot = results_[static_cast<std::size_t>(id)];
-  if (!slot) {
-    slot = std::make_unique<PipelineResult>(run_pipeline(simulator(id)));
-  }
-  return *slot;
+  return ensure_result(id, /*parallel=*/false);
+}
+
+const PipelineResult& Study::parallel_pipeline_result(parse::SystemId id) {
+  return ensure_result(id, /*parallel=*/true);
 }
 
 }  // namespace wss::core

@@ -8,10 +8,17 @@
 //   const auto& sim = study.simulator(SystemId::kLiberty);
 //   const auto& res = study.pipeline_result(SystemId::kLiberty);
 //
+// Every accessor is thread-safe: the lazy caches are guarded by
+// per-system std::once_flag, so concurrent first calls build a
+// simulator or result exactly once and everyone gets the same object
+// (tests/test_core_study_concurrent.cpp hammers this). Serial and
+// parallel pipeline execution are bit-identical (see
+// core/parallel.hpp), so both entry points share one result cache.
 #pragma once
 
 #include <array>
 #include <memory>
+#include <mutex>
 
 #include "core/pipeline.hpp"
 #include "sim/generator.hpp"
@@ -21,6 +28,10 @@ namespace wss::core {
 /// Study-wide options.
 struct StudyOptions {
   sim::SimOptions sim;
+
+  /// How pipeline results are computed (thread count, chunk size).
+  /// Results do not depend on num_threads -- only wall-clock does.
+  PipelineOptions pipeline;
 
   /// Smaller, test-friendly volumes (a full run takes seconds; tests
   /// should take milliseconds).
@@ -33,24 +44,39 @@ struct StudyOptions {
 };
 
 /// Lazily builds and caches the per-system simulators and pipeline
-/// results.
+/// results. Thread-safe; not copyable or movable (the once_flags pin
+/// it in place).
 class Study {
  public:
   explicit Study(StudyOptions opts = {});
+
+  Study(const Study&) = delete;
+  Study& operator=(const Study&) = delete;
 
   const StudyOptions& options() const { return opts_; }
 
   /// The simulator for one system (built on first use).
   const sim::Simulator& simulator(parse::SystemId id);
 
-  /// The full parse->tag pipeline result for one system (cached).
+  /// The full parse->tag pipeline result for one system, computed
+  /// serially on first use (cached).
   const PipelineResult& pipeline_result(parse::SystemId id);
+
+  /// The same result, computed on first use with
+  /// ParallelPipeline(options().pipeline). Bit-identical to
+  /// pipeline_result() -- whichever entry point runs first fills the
+  /// shared cache.
+  const PipelineResult& parallel_pipeline_result(parse::SystemId id);
 
   /// The filtering threshold T (paper value: 5 s).
   util::TimeUs threshold() const { return opts_.sim.threshold_us; }
 
  private:
+  const PipelineResult& ensure_result(parse::SystemId id, bool parallel);
+
   StudyOptions opts_;
+  std::array<std::once_flag, parse::kNumSystems> sim_once_;
+  std::array<std::once_flag, parse::kNumSystems> result_once_;
   std::array<std::unique_ptr<sim::Simulator>, parse::kNumSystems> sims_;
   std::array<std::unique_ptr<PipelineResult>, parse::kNumSystems> results_;
 };

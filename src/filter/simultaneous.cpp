@@ -1,6 +1,9 @@
 #include "filter/simultaneous.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 namespace wss::filter {
 
@@ -44,6 +47,65 @@ std::size_t SimultaneousFilter::table_size() const {
   std::size_t live = 0;
   for (const Entry& e : table_) live += e.epoch == epoch_ ? 1 : 0;
   return live;
+}
+
+std::vector<std::size_t> quiet_gap_segments(const std::vector<Alert>& in,
+                                            util::TimeUs threshold_us) {
+  std::vector<std::size_t> starts;
+  if (in.empty()) return starts;
+  starts.push_back(0);
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    if (in[i].time < in[i - 1].time) {
+      throw std::invalid_argument(
+          "quiet_gap_segments: stream not time-sorted");
+    }
+    if (in[i].time - in[i - 1].time > threshold_us) starts.push_back(i);
+  }
+  return starts;
+}
+
+std::vector<Alert> apply_simultaneous_parallel(const std::vector<Alert>& in,
+                                               util::TimeUs threshold_us,
+                                               int num_threads,
+                                               bool use_clear_optimization) {
+  // Validates sortedness (and the threshold) even on the serial path.
+  const auto starts = quiet_gap_segments(in, threshold_us);
+  if (num_threads <= 1 || starts.size() <= 1) {
+    SimultaneousFilter f(threshold_us, use_clear_optimization);
+    return apply_filter(f, in);
+  }
+
+  // One output slot per segment; workers claim segments with an atomic
+  // counter (segments are many and cheap -- no queue needed here).
+  std::vector<std::vector<Alert>> kept(starts.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    SimultaneousFilter f(threshold_us, use_clear_optimization);
+    for (std::size_t s = next.fetch_add(1); s < starts.size();
+         s = next.fetch_add(1)) {
+      const std::size_t begin = starts[s];
+      const std::size_t end = s + 1 < starts.size() ? starts[s + 1] : in.size();
+      f.reset();
+      for (std::size_t i = begin; i < end; ++i) {
+        if (f.admit(in[i])) kept[s].push_back(in[i]);
+      }
+    }
+  };
+
+  const int workers = std::min<int>(num_threads,
+                                    static_cast<int>(starts.size()));
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  }
+
+  std::vector<Alert> out;
+  std::size_t total = 0;
+  for (const auto& k : kept) total += k.size();
+  out.reserve(total);
+  for (const auto& k : kept) out.insert(out.end(), k.begin(), k.end());
+  return out;
 }
 
 }  // namespace wss::filter

@@ -85,7 +85,25 @@ std::string Simulator::line(std::size_t i) const {
 
 void Simulator::for_each_line(
     const std::function<void(std::string_view)>& fn) const {
-  for (std::size_t i = 0; i < events_.size(); ++i) {
+  for_each_line_in(0, events_.size(), fn);
+}
+
+std::vector<Simulator::EventRange> Simulator::event_shards(
+    std::size_t chunk_events) const {
+  const std::size_t chunk = std::max<std::size_t>(chunk_events, 1);
+  std::vector<EventRange> shards;
+  shards.reserve(events_.size() / chunk + 1);
+  for (std::size_t begin = 0; begin < events_.size(); begin += chunk) {
+    shards.push_back({begin, std::min(begin + chunk, events_.size())});
+  }
+  return shards;
+}
+
+void Simulator::for_each_line_in(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::string_view)>& fn) const {
+  end = std::min(end, events_.size());
+  for (std::size_t i = begin; i < end; ++i) {
     fn(renderer_->render(events_[i], i));
   }
 }

@@ -48,6 +48,24 @@ class Simulator {
   /// Streams every rendered line through `fn` in time order.
   void for_each_line(const std::function<void(std::string_view)>& fn) const;
 
+  /// A contiguous, time-ordered slice of the event stream.
+  struct EventRange {
+    std::size_t begin = 0;
+    std::size_t end = 0;  ///< one past the last event index
+  };
+
+  /// Cuts the event stream into shards of at most `chunk_events`
+  /// events, in stream order. Shard boundaries depend only on
+  /// `chunk_events` (never on thread count), which is what lets the
+  /// parallel pipeline merge partial results deterministically.
+  std::vector<EventRange> event_shards(std::size_t chunk_events) const;
+
+  /// Streams the rendered lines of events [begin, end) through `fn`.
+  /// Rendering is a pure function of (event, index), so disjoint
+  /// ranges may be streamed concurrently from multiple threads.
+  void for_each_line_in(std::size_t begin, std::size_t end,
+                        const std::function<void(std::string_view)>& fn) const;
+
   /// The ground-truth alert stream (sorted), ready for the filters --
   /// what a perfect tagger would extract.
   std::vector<filter::Alert> ground_truth_alerts() const;

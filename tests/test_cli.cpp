@@ -167,5 +167,10 @@ TEST_F(CliCommandTest, TablesSelectsOne) {
   EXPECT_EQ(out_.str().find("Table 5"), std::string::npos);
 }
 
+TEST_F(CliCommandTest, TablesRejectsNegativeThreads) {
+  EXPECT_EQ(run_tokens({"tables", "--which", "1", "--threads", "-1"}), 2);
+  EXPECT_NE(err_.str().find("--threads"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace wss::cli

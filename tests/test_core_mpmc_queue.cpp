@@ -1,0 +1,110 @@
+// Unit tests for the bounded MPMC work queue that feeds the parallel
+// pipeline: FIFO delivery, close/drain semantics, backpressure, and
+// multi-producer multi-consumer exactly-once delivery.
+#include "core/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace wss::core {
+namespace {
+
+TEST(MpmcQueue, FifoSingleThread) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(MpmcQueue, CloseDrainsThenEndsStream) {
+  MpmcQueue<int> q(8);
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);          // items before close are delivered
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_FALSE(q.pop().has_value());  // then end-of-stream
+  EXPECT_FALSE(q.push(3));        // pushes after close are refused
+}
+
+TEST(MpmcQueue, CapacityClampsToOne) {
+  MpmcQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(MpmcQueue, BackpressureBlocksProducerUntilPop) {
+  MpmcQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  std::atomic<bool> third_pushed{false};
+  std::jthread producer([&] {
+    q.push(3);  // must block: queue is full
+    third_pushed.store(true);
+  });
+  // The producer cannot complete before a pop frees a slot. (A sleep
+  // can't prove blocking, but a wrong queue that drops or overwrites
+  // would corrupt the FIFO order checked below.)
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumersExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  MpmcQueue<int> q(16);
+
+  // Each value 0..N-1 is pushed exactly once; consumers tally how
+  // often each was seen.
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+      consumers.emplace_back([&] {
+        while (auto v = q.pop()) seen[static_cast<std::size_t>(*v)]++;
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            EXPECT_TRUE(q.push(p * kPerProducer + i));
+          }
+        });
+      }
+    }  // producers join
+    q.close();
+  }  // consumers drain and join
+
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i].load(), 1) << "value " << i;
+  }
+}
+
+TEST(MpmcQueue, SingleProducerOrderPreservedAcrossThreads) {
+  MpmcQueue<int> q(4);
+  std::vector<int> received;
+  std::jthread consumer([&] {
+    while (auto v = q.pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < 1000; ++i) q.push(i);
+  q.close();
+  consumer.join();
+  std::vector<int> expected(1000);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(received, expected);
+}
+
+}  // namespace
+}  // namespace wss::core

@@ -1,0 +1,142 @@
+// Determinism equivalence: ParallelPipeline must be *bit-identical*
+// to the serial run_pipeline for every system, at 1, 2, 4, and 7
+// (non-power-of-two) threads, with corruption injection on and off.
+// Floating-point fields are compared with exact equality -- the
+// chunked canonical accumulation order (core/pipeline.hpp) is what
+// makes that possible.
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/corruption.hpp"
+
+namespace wss::core {
+namespace {
+
+using parse::SystemId;
+
+sim::SimOptions tiny_sim(bool corruption) {
+  sim::SimOptions o;
+  o.category_cap = 800;
+  o.chatter_events = 6000;
+  o.inject_corruption = corruption;
+  return o;
+}
+
+/// Exact, field-by-field equality. EXPECT_EQ on doubles is bitwise
+/// for the values the pipeline produces (no NaNs, no signed zeros
+/// from sums of positive weights).
+void expect_identical(const PipelineResult& a, const PipelineResult& b,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.system, b.system);
+  EXPECT_EQ(a.physical_messages, b.physical_messages);
+  EXPECT_EQ(a.weighted_messages, b.weighted_messages);
+  EXPECT_EQ(a.physical_bytes, b.physical_bytes);
+  EXPECT_EQ(a.weighted_bytes, b.weighted_bytes);
+  EXPECT_EQ(a.corrupted_source_lines, b.corrupted_source_lines);
+  EXPECT_EQ(a.invalid_timestamp_lines, b.invalid_timestamp_lines);
+  EXPECT_EQ(a.categories_observed, b.categories_observed);
+
+  EXPECT_EQ(a.weighted_alert_counts, b.weighted_alert_counts);
+  EXPECT_EQ(a.physical_alert_counts, b.physical_alert_counts);
+
+  EXPECT_EQ(a.tagging.true_positives, b.tagging.true_positives);
+  EXPECT_EQ(a.tagging.false_positives, b.tagging.false_positives);
+  EXPECT_EQ(a.tagging.true_negatives, b.tagging.true_negatives);
+  EXPECT_EQ(a.tagging.false_negatives, b.tagging.false_negatives);
+
+  ASSERT_EQ(a.tagged_alerts.size(), b.tagged_alerts.size());
+  for (std::size_t i = 0; i < a.tagged_alerts.size(); ++i) {
+    const auto& x = a.tagged_alerts[i];
+    const auto& y = b.tagged_alerts[i];
+    ASSERT_TRUE(x.time == y.time && x.source == y.source &&
+                x.category == y.category && x.type == y.type &&
+                x.failure_id == y.failure_id && x.weight == y.weight)
+        << "alert " << i << " differs";
+  }
+
+  EXPECT_EQ(a.corrupted_source_weight, b.corrupted_source_weight);
+  ASSERT_EQ(a.messages_by_source.size(), b.messages_by_source.size());
+  auto ia = a.messages_by_source.begin();
+  auto ib = b.messages_by_source.begin();
+  for (; ia != a.messages_by_source.end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second, ib->second) << "source " << ia->first;
+  }
+}
+
+class ParallelPerSystem : public ::testing::TestWithParam<SystemId> {};
+
+TEST_P(ParallelPerSystem, BitIdenticalAtEveryThreadCount) {
+  const sim::Simulator simulator(GetParam(), tiny_sim(/*corruption=*/true));
+  const PipelineResult serial = run_pipeline(simulator);
+  for (const int threads : {1, 2, 4, 7}) {
+    PipelineOptions opts;
+    opts.num_threads = threads;
+    const PipelineResult parallel = ParallelPipeline(opts).run(simulator);
+    expect_identical(serial, parallel,
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(ParallelPerSystem, BitIdenticalWithoutCorruption) {
+  const sim::Simulator simulator(GetParam(), tiny_sim(/*corruption=*/false));
+  const PipelineResult serial = run_pipeline(simulator);
+  for (const int threads : {2, 7}) {
+    PipelineOptions opts;
+    opts.num_threads = threads;
+    expect_identical(serial, ParallelPipeline(opts).run(simulator),
+                     "threads=" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ParallelPerSystem, ::testing::ValuesIn(parse::kAllSystems),
+    [](const ::testing::TestParamInfo<SystemId>& info) {
+      return std::string(parse::system_short_name(info.param));
+    });
+
+TEST(ParallelPipeline, CustomChunkSizeMatchesSerialWithSameChunk) {
+  // Chunk size is part of the determinism contract: parallel and
+  // serial agree whenever they use the SAME chunk_events.
+  const sim::Simulator simulator(SystemId::kSpirit, tiny_sim(true));
+  PipelineOptions opts;
+  opts.chunk_events = 1000;  // deliberately non-default
+  const PipelineResult serial = run_pipeline(simulator, opts);
+  opts.num_threads = 3;
+  expect_identical(serial, ParallelPipeline(opts).run(simulator),
+                   "chunk=1000 threads=3");
+}
+
+TEST(ParallelPipeline, SourceTalliesCanBeDisabled) {
+  const sim::Simulator simulator(SystemId::kLiberty, tiny_sim(true));
+  PipelineOptions opts;
+  opts.num_threads = 4;
+  opts.collect_source_tallies = false;
+  const PipelineResult r = ParallelPipeline(opts).run(simulator);
+  EXPECT_TRUE(r.messages_by_source.empty());
+  EXPECT_EQ(r.corrupted_source_weight, 0.0);
+  EXPECT_GT(r.physical_messages, 0u);
+}
+
+TEST(ParallelPipeline, ZeroThreadsResolvesToHardware) {
+  PipelineOptions opts;
+  opts.num_threads = 0;
+  EXPECT_GE(ParallelPipeline(opts).resolved_threads(), 1);
+}
+
+TEST(ParallelPipeline, MoreThreadsThanChunksIsFine) {
+  sim::SimOptions so = tiny_sim(true);
+  so.category_cap = 100;
+  so.chatter_events = 500;
+  const sim::Simulator simulator(SystemId::kLiberty, so);
+  PipelineOptions opts;
+  opts.num_threads = 16;
+  opts.chunk_events = 1 << 20;  // single chunk
+  expect_identical(run_pipeline(simulator, opts),
+                   ParallelPipeline(opts).run(simulator), "one chunk");
+}
+
+}  // namespace
+}  // namespace wss::core

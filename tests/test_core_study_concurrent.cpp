@@ -1,0 +1,86 @@
+// Thread-safety stress for Study's lazy caches: many threads hammer
+// simulator() / pipeline_result() / parallel_pipeline_result() for
+// every system at once. The per-system std::once_flag guards must
+// yield exactly one simulator and one result object per system, with
+// no data race (this test is a primary target of the TSan preset:
+// cmake --preset tsan).
+#include "core/study.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace wss::core {
+namespace {
+
+StudyOptions tiny() {
+  StudyOptions o;
+  o.sim.category_cap = 400;
+  o.sim.chatter_events = 3000;
+  o.pipeline.num_threads = 2;  // parallel path exercises nested threading
+  return o;
+}
+
+TEST(StudyConcurrent, PipelineResultCacheIsRaceFree) {
+  Study study(tiny());
+  constexpr int kThreads = 16;
+
+  // Every thread records the address it saw for each system; the lazy
+  // cache is correct iff all threads saw the same object.
+  std::vector<std::vector<const PipelineResult*>> seen(
+      kThreads, std::vector<const PipelineResult*>(parse::kNumSystems));
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t s = 0; s < parse::kNumSystems; ++s) {
+          // Interleave systems differently per thread so first-call
+          // races actually happen on every slot.
+          const auto id = static_cast<parse::SystemId>(
+              (s + static_cast<std::size_t>(t)) % parse::kNumSystems);
+          const PipelineResult& r = (t % 2 == 0)
+                                        ? study.pipeline_result(id)
+                                        : study.parallel_pipeline_result(id);
+          seen[t][static_cast<std::size_t>(id)] = &r;
+        }
+      });
+    }
+  }
+
+  for (std::size_t s = 0; s < parse::kNumSystems; ++s) {
+    std::set<const PipelineResult*> unique;
+    for (int t = 0; t < kThreads; ++t) unique.insert(seen[t][s]);
+    EXPECT_EQ(unique.size(), 1u) << "system " << s
+                                 << " produced multiple cached results";
+    EXPECT_GT((*unique.begin())->physical_messages, 0u);
+  }
+}
+
+TEST(StudyConcurrent, SimulatorCacheIsRaceFree) {
+  Study study(tiny());
+  constexpr int kThreads = 12;
+  std::vector<const sim::Simulator*> seen(kThreads);
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&, t] {
+        seen[t] = &study.simulator(parse::SystemId::kThunderbird);
+      });
+    }
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+TEST(StudyConcurrent, SerialAndParallelEntryPointsShareTheCache) {
+  Study study(tiny());
+  const auto id = parse::SystemId::kSpirit;
+  const PipelineResult& a = study.parallel_pipeline_result(id);
+  const PipelineResult& b = study.pipeline_result(id);
+  EXPECT_EQ(&a, &b);  // bit-identical results, one cache slot
+}
+
+}  // namespace
+}  // namespace wss::core

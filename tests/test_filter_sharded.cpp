@@ -1,0 +1,116 @@
+// Equivalence of the per-segment parallel simultaneous filter with the
+// serial Algorithm 3.1 reference. The clear(X) rule is why segments
+// split at quiet gaps > T are independent: no table entry survives
+// such a gap, so running a fresh filter per segment changes nothing.
+#include "filter/simultaneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/generator.hpp"
+#include "util/rng.hpp"
+
+namespace wss::filter {
+namespace {
+
+constexpr util::TimeUs kT = 5 * util::kUsPerSec;
+
+/// Bursty synthetic stream: clusters of near-simultaneous alerts with
+/// occasional quiet gaps larger than T.
+std::vector<Alert> bursty_stream(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  std::vector<Alert> out;
+  util::TimeUs t = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    Alert a;
+    a.time = t;
+    a.source = static_cast<std::uint32_t>(rng.uniform_i64(0, 30));
+    a.category = static_cast<std::uint16_t>(rng.uniform_i64(0, 8));
+    out.push_back(a);
+    // 1-in-12 chance of a quiet gap; otherwise stay inside the burst.
+    if (rng.uniform_i64(0, 11) == 0) {
+      t += kT + 1 + static_cast<util::TimeUs>(rng.uniform_i64(0, 1000000));
+    } else {
+      t += static_cast<util::TimeUs>(rng.uniform_i64(0, 2000000));
+    }
+  }
+  return out;
+}
+
+std::vector<Alert> serial_reference(const std::vector<Alert>& in,
+                                    bool use_clear) {
+  SimultaneousFilter f(kT, use_clear);
+  return apply_filter(f, in);
+}
+
+void expect_same(const std::vector<Alert>& a, const std::vector<Alert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].time == b[i].time && a[i].source == b[i].source &&
+                a[i].category == b[i].category)
+        << "alert " << i;
+  }
+}
+
+TEST(ShardedSimultaneous, MatchesSerialOnBurstyStreams) {
+  for (const std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    const auto in = bursty_stream(seed, 4000);
+    const auto expected = serial_reference(in, /*use_clear=*/true);
+    for (const int threads : {1, 2, 4, 7}) {
+      expect_same(expected,
+                  apply_simultaneous_parallel(in, kT, threads));
+    }
+  }
+}
+
+TEST(ShardedSimultaneous, MatchesSerialWithoutClearOptimization) {
+  const auto in = bursty_stream(42, 3000);
+  const auto expected = serial_reference(in, /*use_clear=*/false);
+  for (const int threads : {2, 7}) {
+    expect_same(expected, apply_simultaneous_parallel(
+                              in, kT, threads,
+                              /*use_clear_optimization=*/false));
+  }
+}
+
+TEST(ShardedSimultaneous, MatchesSerialOnSimulatedGroundTruth) {
+  sim::SimOptions opts;
+  opts.category_cap = 600;
+  opts.chatter_events = 2000;
+  for (const auto id :
+       {parse::SystemId::kSpirit, parse::SystemId::kBlueGeneL}) {
+    const sim::Simulator simulator(id, opts);
+    const auto alerts = simulator.ground_truth_alerts();
+    const auto expected = serial_reference(alerts, true);
+    for (const int threads : {2, 4, 7}) {
+      expect_same(expected,
+                  apply_simultaneous_parallel(alerts, kT, threads));
+    }
+  }
+}
+
+TEST(ShardedSimultaneous, SegmentBoundariesAreQuietGaps) {
+  std::vector<Alert> in(5);
+  in[0].time = 0;
+  in[1].time = kT;          // gap == T: same segment (clear needs > T)
+  in[2].time = 2 * kT + 1;  // gap == T+1: new segment
+  in[3].time = 2 * kT + 2;
+  in[4].time = 10 * kT;     // new segment
+  const auto starts = quiet_gap_segments(in, kT);
+  EXPECT_EQ(starts, (std::vector<std::size_t>{0, 2, 4}));
+}
+
+TEST(ShardedSimultaneous, EmptyStream) {
+  EXPECT_TRUE(quiet_gap_segments({}, kT).empty());
+  EXPECT_TRUE(apply_simultaneous_parallel({}, kT, 4).empty());
+}
+
+TEST(ShardedSimultaneous, ThrowsOnUnsortedInput) {
+  std::vector<Alert> in(2);
+  in[0].time = 100;
+  in[1].time = 50;
+  EXPECT_THROW(apply_simultaneous_parallel(in, kT, 4),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wss::filter

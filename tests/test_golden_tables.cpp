@@ -1,0 +1,80 @@
+// Golden-file regression suite: every paper artifact (Tables 1-6 and
+// the Figure 2/5/6 data series) is rendered to canonical text and
+// byte-compared against the checked-in files under tests/golden/.
+// Doubles are serialized at %.17g, so the suite fails if any weighted
+// count, severity cross-tab, or fit parameter drifts at all.
+//
+// Intentional change? Rebless with
+//   cmake --build build --target update-goldens
+// then review the git diff of tests/golden/ and commit it.
+#include "core/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace wss::core {
+namespace {
+
+#ifndef WSS_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define WSS_GOLDEN_DIR"
+#endif
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Line number and content of the first differing line, for readable
+/// failure output (the full files can be hundreds of KB).
+std::string first_diff(const std::string& expected,
+                       const std::string& actual) {
+  std::istringstream e(expected);
+  std::istringstream a(actual);
+  std::string el;
+  std::string al;
+  for (std::size_t line = 1;; ++line) {
+    const bool got_e = static_cast<bool>(std::getline(e, el));
+    const bool got_a = static_cast<bool>(std::getline(a, al));
+    if (!got_e && !got_a) return "files identical";
+    if (el != al || got_e != got_a) {
+      return "line " + std::to_string(line) + ":\n  golden: " +
+             (got_e ? el : "<eof>") + "\n  actual: " + (got_a ? al : "<eof>");
+    }
+  }
+}
+
+TEST(GoldenTables, AllArtifactsMatch) {
+  // One shared Study: the artifacts all read the same cached pipeline
+  // results, so the suite costs one simulation pass, not fifteen.
+  Study study(golden_study_options());
+  for (const auto& artifact : golden_artifacts()) {
+    const std::string path = std::string(WSS_GOLDEN_DIR) + "/" + artifact.file;
+    const std::string expected = read_file(path);
+    ASSERT_FALSE(expected.empty())
+        << "missing golden file " << path << " (" << artifact.what
+        << ") -- run: cmake --build build --target update-goldens";
+    const std::string actual = artifact.produce(study);
+    EXPECT_EQ(expected, actual)
+        << artifact.file << " (" << artifact.what << ") drifted; "
+        << first_diff(expected, actual)
+        << "\nIf intentional: cmake --build build --target update-goldens";
+  }
+}
+
+TEST(GoldenTables, CoversAllSixTables) {
+  // The acceptance bar: every one of the paper's six tables has a
+  // golden. Table 4 is per-system (five files).
+  std::size_t tables = 0;
+  for (const auto& a : golden_artifacts()) {
+    if (a.file.rfind("table", 0) == 0) ++tables;
+  }
+  EXPECT_EQ(tables, 5u + parse::kNumSystems);  // 1,2,3,5,6 + five table4_*
+}
+
+}  // namespace
+}  // namespace wss::core

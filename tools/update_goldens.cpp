@@ -1,0 +1,24 @@
+// Regenerates the golden files under tests/golden/ from the current
+// build. Run via `cmake --build build --target update-goldens` after
+// an intentional behavior change, review the git diff, and commit the
+// reblessed files together with the change that caused them.
+#include <cstdio>
+#include <exception>
+
+#include "core/golden.hpp"
+
+#ifndef WSS_GOLDEN_DIR
+#define WSS_GOLDEN_DIR "tests/golden"
+#endif
+
+int main(int argc, char** argv) {
+  const char* dir = argc > 1 ? argv[1] : WSS_GOLDEN_DIR;
+  try {
+    const std::size_t n = wss::core::write_goldens(dir);
+    std::printf("wrote %zu golden file(s) to %s\n", n, dir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "update_goldens: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
