@@ -1,0 +1,125 @@
+// Streaming engine performance: sustained single-thread ingest
+// throughput and per-event latency quantiles.
+//
+// Two measurements over one simulated Liberty stream:
+//   1. throughput -- unpaced ingest of the full (event, line) stream
+//      through StreamPipeline, events/sec, best of reps;
+//   2. latency -- per-ingest wall time sampled across a full pass,
+//      reported as p50/p99/p999.
+//
+// Appends one JSON-lines record to BENCH_stream.json (the streaming
+// counterpart of BENCH_pipeline.json) so the perf trajectory across
+// PRs is machine-readable. The repo's floor is 100k events/sec
+// single-thread; the bench prints a PASS/FAIL line against it.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "sim/generator.hpp"
+#include "stream/pipeline.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double quantile_ns(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wss;
+
+  std::cout << "==== perf_stream: online pipeline ingest ====\n";
+
+  sim::SimOptions opts;
+  opts.category_cap = 20000;
+  opts.chatter_events = 120000;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, opts);
+  const auto& events = simulator.events();
+  const auto n = events.size();
+
+  // Pre-render so the measurement is the engine, not the renderer --
+  // a live deployment receives lines, it does not synthesize them.
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lines.push_back(simulator.renderer().render(events[i], i));
+  }
+
+  constexpr int kReps = 3;
+  double best_s = 1e300;
+  std::uint64_t admitted = 0;
+  for (int r = 0; r < kReps; ++r) {
+    stream::StreamPipeline pipeline(parse::SystemId::kLiberty);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      pipeline.ingest(events[i], lines[i]);
+    }
+    pipeline.finish();
+    const auto t1 = Clock::now();
+    const auto snap = pipeline.snapshot();
+    if (snap.events != n) std::abort();  // keep the compiler honest
+    admitted = snap.alerts_admitted;
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  const double events_per_sec = static_cast<double>(n) / best_s;
+
+  // Latency pass: per-ingest wall time. Timed individually, so this
+  // pass is slower than the throughput pass by the clock overhead;
+  // the quantiles are what matter.
+  std::vector<double> lat_ns;
+  lat_ns.reserve(n);
+  {
+    stream::StreamPipeline pipeline(parse::SystemId::kLiberty);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t0 = Clock::now();
+      pipeline.ingest(events[i], lines[i]);
+      const auto t1 = Clock::now();
+      lat_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    pipeline.finish();
+  }
+  std::sort(lat_ns.begin(), lat_ns.end());
+  const double p50 = quantile_ns(lat_ns, 0.50);
+  const double p99 = quantile_ns(lat_ns, 0.99);
+  const double p999 = quantile_ns(lat_ns, 0.999);
+
+  std::cout << util::format(
+      "  workload        liberty cap=20000 chatter=120000 (%zu events)\n", n);
+  std::cout << util::format("  throughput      %10.0f events/sec (best of %d)\n",
+                            events_per_sec, kReps);
+  std::cout << util::format("  admitted        %llu alerts\n",
+                            static_cast<unsigned long long>(admitted));
+  std::cout << util::format("  ingest latency  p50 %.0f ns   p99 %.0f ns   p999 %.0f ns\n",
+                            p50, p99, p999);
+
+  constexpr double kFloorEventsPerSec = 100000.0;
+  const bool pass = events_per_sec >= kFloorEventsPerSec;
+  std::cout << util::format("  floor           %.0f events/sec single-thread: %s\n",
+                            kFloorEventsPerSec, pass ? "PASS" : "FAIL");
+
+  const std::string json = util::format(
+      "{\"bench\":\"perf_stream\",\"workload\":\"liberty cap=20000 "
+      "chatter=120000\",\"events\":%zu,\"events_per_sec\":%.1f,"
+      "\"latency_ns\":{\"p50\":%.1f,\"p99\":%.1f,\"p999\":%.1f},"
+      "\"floor_events_per_sec\":%.0f,\"pass\":%s}",
+      n, events_per_sec, p50, p99, p999, kFloorEventsPerSec,
+      pass ? "true" : "false");
+  std::ofstream os("BENCH_stream.json", std::ios::app);
+  if (os) os << json << "\n";
+  std::cout << "(appended to BENCH_stream.json)\n";
+
+  return pass ? 0 : 1;
+}

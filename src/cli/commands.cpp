@@ -1,8 +1,11 @@
 #include "cli/commands.hpp"
 
+#include <chrono>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "core/report.hpp"
 #include "core/study.hpp"
@@ -11,6 +14,10 @@
 #include "mine/templates.hpp"
 #include "logio/reader.hpp"
 #include "logio/writer.hpp"
+#include "sim/replay.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/report.hpp"
+#include "stream/source.hpp"
 #include "tag/engine.hpp"
 #include "tag/rulesets.hpp"
 #include "util/strings.hpp"
@@ -47,6 +54,9 @@ void print_usage(std::ostream& os) {
         "             --system bgl|tbird|rstorm|spirit|liberty  --out PATH\n"
         "             [--seed N] [--cap N] [--chatter N] [--compressed]\n"
         "             [--per-source]\n"
+        "             [--speed N]  replay mode: pace lines at N simulated\n"
+        "             seconds per wall second (0 = unpaced); --out - for\n"
+        "             stdout\n"
         "  analyze    parse, tag, and filter a log file; print a summary\n"
         "             --system NAME --in PATH [--year Y] [--threshold SEC]\n"
         "  anonymize  pseudonymize IPs/users/paths in a log file\n"
@@ -56,7 +66,15 @@ void print_usage(std::ostream& os) {
         "  tables     print the paper's tables from a fresh simulation\n"
         "             [--which N] (default: all)\n"
         "             [--threads N]  pipeline worker threads (0 = all\n"
-        "             cores); results are bit-identical at any N\n";
+        "             cores); results are bit-identical at any N\n"
+        "  stream     run the online pipeline over a live event stream\n"
+        "             --system NAME; source: simulated replay (default;\n"
+        "             [--seed N] [--cap N] [--chatter N] [--speed N]) or\n"
+        "             --in PATH (parsed log, [--year Y])\n"
+        "             [--threshold SEC] [--window SEC] [--queue N]\n"
+        "             [--policy block|drop-oldest] [--refresh N]\n"
+        "             [--checkpoint PATH] [--restore PATH]\n"
+        "             [--max-events N] [--emit PATH]\n";
 }
 
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -75,9 +93,45 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
   logio::WriteOptions wopts;
   wopts.compressed = args.has("compressed");
   wopts.per_source_dirs = args.has("per-source");
+  const bool replay_mode = args.has("speed");
+  const double speed = args.get_double("speed", 0.0);
+  if (replay_mode && speed < 0.0) {
+    err << "--speed must be >= 0\n";
+    return 2;
+  }
   if (reject_unused(args, err)) return 2;
 
   const sim::Simulator simulator(*system, opts);
+
+  if (replay_mode) {
+    // Replay mode: stream rendered lines at --speed simulated seconds
+    // per wall second instead of bulk-writing the log.
+    std::ofstream file;
+    const bool to_stdout = *out_path == "-";
+    if (!to_stdout) {
+      file.open(*out_path, std::ios::binary);
+      if (!file) {
+        err << "generate: cannot open " << *out_path << "\n";
+        return 1;
+      }
+    }
+    std::ostream& dst = to_stdout ? out : file;
+    sim::ReplayOptions ropts;
+    ropts.speed = speed;
+    const sim::Replayer replayer(simulator, ropts);
+    const std::size_t lines = replayer.run(
+        [&](std::size_t, const sim::SimEvent&, std::string&& line) {
+          dst << line << '\n';
+          if (speed > 0.0) dst.flush();  // live consumers want lines now
+          return static_cast<bool>(dst);
+        });
+    if (!to_stdout) {
+      out << util::format("replayed %zu lines for %s\n", lines,
+                          std::string(parse::system_name(*system)).c_str());
+    }
+    return dst ? 0 : 1;
+  }
+
   const auto result = logio::write_log(simulator, *out_path, wopts);
   out << util::format(
       "wrote %zu lines (%s bytes) across %zu file(s) for %s\n", result.lines,
@@ -272,6 +326,216 @@ int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto system = parse_system(args.get_or("system", ""));
+  if (!system) {
+    err << "stream requires --system\n";
+    return 2;
+  }
+  const auto in_path = args.get("in");
+  const double threshold_s = args.get_double("threshold", 5.0);
+  const double window_s = args.get_double("window", 3600.0);
+  const double speed = args.get_double("speed", 0.0);
+  const std::int64_t queue_cap = args.get_int("queue", 1024);
+  const std::string policy_name = args.get_or("policy", "block");
+  const std::int64_t refresh = args.get_int("refresh", 0);
+  const auto checkpoint_path = args.get("checkpoint");
+  const auto restore_path = args.get("restore");
+  const auto emit_path = args.get("emit");
+  const std::int64_t max_events = args.get_int("max-events", 0);
+  const int year = static_cast<int>(args.get_int("year", 0));
+  sim::SimOptions sopts;
+  sopts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  sopts.category_cap = static_cast<std::uint64_t>(args.get_int("cap", 20000));
+  sopts.chatter_events =
+      static_cast<std::uint64_t>(args.get_int("chatter", 50000));
+  if (threshold_s <= 0.0 || window_s <= 0.0) {
+    err << "--threshold and --window must be positive\n";
+    return 2;
+  }
+  if (speed < 0.0 || queue_cap < 1 || max_events < 0) {
+    err << "--speed must be >= 0, --queue >= 1, --max-events >= 0\n";
+    return 2;
+  }
+  stream::BackpressurePolicy policy;
+  if (policy_name == "block") {
+    policy = stream::BackpressurePolicy::kBlock;
+  } else if (policy_name == "drop-oldest") {
+    policy = stream::BackpressurePolicy::kDropOldest;
+  } else {
+    err << "--policy must be block or drop-oldest\n";
+    return 2;
+  }
+  if (reject_unused(args, err)) return 2;
+
+  stream::StreamPipelineOptions popts;
+  popts.study.threshold_us = static_cast<util::TimeUs>(threshold_s * 1e6);
+  popts.study.window_us = static_cast<util::TimeUs>(window_s * 1e6);
+  popts.strict_order = !in_path.has_value();
+  popts.start_year = year;
+  stream::StreamPipeline pipeline(*system, popts);
+
+  if (restore_path) {
+    std::ifstream is(*restore_path, std::ios::binary);
+    if (!is) {
+      err << "stream: cannot open " << *restore_path << "\n";
+      return 1;
+    }
+    try {
+      pipeline.restore(is);
+    } catch (const std::exception& e) {
+      err << "stream: restore failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  std::ofstream emit;
+  if (emit_path) {
+    emit.open(*emit_path, std::ios::binary);
+    if (!emit) {
+      err << "stream: cannot open " << *emit_path << "\n";
+      return 1;
+    }
+    pipeline.set_alert_sink([&emit](const filter::Alert& a) {
+      emit << util::format_iso(a.time) << ' ' << a.category << ' '
+           << filter::alert_type_letter(a.type) << ' ' << a.source << '\n';
+    });
+  }
+
+  const std::uint64_t resume = pipeline.events();
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t ingested = 0;
+  bool truncated = false;
+
+  stream::IngestRing ring(static_cast<std::size_t>(queue_cap), policy);
+
+  const auto tick = [&] {
+    if (refresh <= 0 || ingested % static_cast<std::uint64_t>(refresh) != 0) {
+      return;
+    }
+    auto snap = pipeline.snapshot();
+    snap.dropped = ring.dropped();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    err << stream::render_status_line(
+               snap, secs > 0.0 ? static_cast<double>(ingested) / secs : 0.0)
+        << "\n";
+  };
+
+  std::thread producer;
+  try {
+    if (!in_path) {
+      // Simulated source: paced replay of the generator's stream.
+      const sim::Simulator simulator(*system, sopts);
+      const std::size_t total = simulator.events().size();
+      if (resume > total) {
+        err << "stream: checkpoint lies beyond this simulation\n";
+        return 1;
+      }
+      std::size_t end = total;
+      if (max_events > 0) {
+        end = std::min<std::size_t>(
+            total, resume + static_cast<std::size_t>(max_events));
+      }
+      truncated = end < total;
+
+      sim::ReplayOptions ropts;
+      ropts.speed = speed;
+      ropts.begin = static_cast<std::size_t>(resume);
+      ropts.end = end;
+      const sim::Replayer replayer(simulator, ropts);
+      producer = std::thread([&replayer, &ring] {
+        replayer.run([&ring](std::size_t i, const sim::SimEvent& e,
+                             std::string&& line) {
+          return ring.push({i, e, std::move(line)});
+        });
+        ring.close();
+      });
+      while (auto item = ring.pop()) {
+        pipeline.ingest(item->event, item->line);
+        ++ingested;
+        tick();
+      }
+      producer.join();
+    } else {
+      // File source: line-delimited log, optionally stdin ("-").
+      std::string text;
+      if (*in_path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+      } else {
+        text = logio::read_log_text(*in_path);
+      }
+      producer = std::thread([&ring, &resume, text = std::move(text)] {
+        std::istringstream is(text);
+        std::string line;
+        std::uint64_t index = 0;
+        while (std::getline(is, line)) {
+          if (index++ < resume) continue;  // checkpoint resume skip
+          if (!ring.push({index - 1, sim::SimEvent{}, std::move(line)})) {
+            break;
+          }
+        }
+        ring.close();
+      });
+      while (auto item = ring.pop()) {
+        pipeline.ingest_line(item->line);
+        ++ingested;
+        tick();
+        if (max_events > 0 &&
+            ingested >= static_cast<std::uint64_t>(max_events)) {
+          truncated = true;
+          break;
+        }
+      }
+      if (truncated) {
+        ring.close();
+        while (ring.try_pop()) {  // a drained producer can exit
+        }
+      }
+      producer.join();
+    }
+  } catch (const std::exception& e) {
+    if (producer.joinable()) {
+      ring.close();
+      producer.join();
+    }
+    err << "stream: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (!truncated) pipeline.finish();
+
+  if (checkpoint_path) {
+    std::ofstream os(*checkpoint_path, std::ios::binary);
+    if (!os) {
+      err << "stream: cannot open " << *checkpoint_path << "\n";
+      return 1;
+    }
+    try {
+      pipeline.save(os);
+    } catch (const std::exception& e) {
+      err << "stream: checkpoint failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  auto snap = pipeline.snapshot();
+  snap.dropped = ring.dropped();
+  if (truncated) {
+    out << util::format(
+        "paused after %s events%s\n",
+        util::with_commas(static_cast<std::int64_t>(pipeline.events()))
+            .c_str(),
+        checkpoint_path ? " (resume with --restore)" : "");
+  }
+  out << stream::render_snapshot(snap);
+  return 0;
+}
+
 int run(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string& cmd = args.command();
   if (cmd == "generate") return cmd_generate(args, out, err);
@@ -279,6 +543,7 @@ int run(const Args& args, std::ostream& out, std::ostream& err) {
   if (cmd == "anonymize") return cmd_anonymize(args, out, err);
   if (cmd == "tables") return cmd_tables(args, out, err);
   if (cmd == "mine") return cmd_mine(args, out, err);
+  if (cmd == "stream") return cmd_stream(args, out, err);
   print_usage(cmd.empty() || cmd == "help" ? out : err);
   return cmd.empty() || cmd == "help" ? 0 : 2;
 }

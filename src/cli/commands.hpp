@@ -7,6 +7,11 @@
 //   wss anonymize --in log.txt --out anon.txt [--seed N]
 //   wss mine      --in log.txt [--support N] [--skip N]
 //   wss tables    [--which 1..6]
+//   wss stream    --system liberty [--speed N] [--threshold 5.0]
+//                 [--in log.txt | --seed N --cap N --chatter N]
+//                 [--policy block|drop-oldest] [--queue N]
+//                 [--checkpoint PATH] [--restore PATH] [--max-events N]
+//                 [--emit PATH] [--refresh N] [--window SEC]
 //
 // Each command is a function of (Args, ostream) so tests can drive
 // them without a process boundary; wss_main.cpp is a thin shell.
@@ -28,6 +33,7 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_tables(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_mine(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_stream(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Prints usage.
 void print_usage(std::ostream& os);

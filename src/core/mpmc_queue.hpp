@@ -1,18 +1,29 @@
 // A bounded multi-producer multi-consumer work queue.
 //
-// The parallel pipeline's work-distribution channel: producers block
-// when the queue is full (backpressure), consumers block when it is
-// empty, and close() lets consumers drain remaining items and then
-// observe end-of-stream. Synchronization is one mutex + two condition
-// variables around a ring buffer; this is *not* on the per-event hot
-// path -- one pop covers a whole chunk of PipelineOptions::chunk_events
+// One implementation serves two clients with different backpressure
+// policies. The parallel pipeline uses the blocking push(): producers
+// wait when the queue is full, consumers wait when it is empty, and
+// close() lets consumers drain remaining items and then observe
+// end-of-stream. The streaming ingest ring (stream::IngestRing) adds
+// the lossy alternative push_evicting(): never block, evict the oldest
+// item to make room, and report exactly how many were evicted so the
+// caller can account for every drop.
+//
+// Capacity must be a power of two: the ring index is computed with a
+// mask instead of a modulo, and an accidental capacity like 1000 (that
+// silently wastes the rounding) is rejected loudly at construction.
+// Synchronization is one mutex + two condition variables around the
+// ring; for the pipeline this is *not* on the per-event hot path --
+// one pop covers a whole chunk of PipelineOptions::chunk_events
 // events, so the lock is taken a few hundred times per run, total.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <limits>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -21,9 +32,27 @@ namespace wss::core {
 template <typename T>
 class MpmcQueue {
  public:
-  /// `capacity` must be >= 1; pushes beyond it block until a pop.
+  /// Returned by push_evicting when the queue was closed.
+  static constexpr std::size_t kClosed =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Smallest power of two >= n (and >= 1). Use to derive a valid
+  /// capacity from a size that is merely a scale hint.
+  static constexpr std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  /// `capacity` must be a power of two >= 1; pushes beyond it block
+  /// (push) or evict (push_evicting). Throws std::invalid_argument on
+  /// zero or non-power-of-two capacities.
   explicit MpmcQueue(std::size_t capacity)
-      : capacity_(capacity < 1 ? 1 : capacity) {
+      : capacity_(capacity), mask_(capacity - 1) {
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0) {
+      throw std::invalid_argument(
+          "MpmcQueue: capacity must be a power of two >= 1");
+    }
     ring_.resize(capacity_);
   }
 
@@ -36,11 +65,35 @@ class MpmcQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
     if (closed_) return false;
-    ring_[(head_ + size_) % capacity_] = std::move(item);
+    ring_[(head_ + size_) & mask_] = std::move(item);
     ++size_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Never blocks: while the queue is full, evicts the oldest item to
+  /// make room (drop-oldest backpressure). Returns the number of items
+  /// evicted (0 when there was room), or kClosed if the queue was
+  /// closed (the item is dropped and nothing is evicted). Eviction and
+  /// insertion happen under one lock, so the returned count is exact
+  /// even while consumers pop concurrently.
+  std::size_t push_evicting(T item) {
+    std::size_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return kClosed;
+      while (size_ >= capacity_) {
+        ring_[head_] = T();  // release the oldest item's resources
+        head_ = (head_ + 1) & mask_;
+        --size_;
+        ++evicted;
+      }
+      ring_[(head_ + size_) & mask_] = std::move(item);
+      ++size_;
+    }
+    not_empty_.notify_one();
+    return evicted;
   }
 
   /// Blocks while empty. Returns nullopt once the queue is closed AND
@@ -50,7 +103,21 @@ class MpmcQueue {
     not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
     if (size_ == 0) return std::nullopt;
     T item = std::move(ring_[head_]);
-    head_ = (head_ + 1) % capacity_;
+    head_ = (head_ + 1) & mask_;
+    --size_;
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop: nullopt when the queue is currently empty
+  /// (which does NOT imply end-of-stream -- check via pop() or after
+  /// observing close() out of band).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (size_ == 0) return std::nullopt;
+    T item = std::move(ring_[head_]);
+    head_ = (head_ + 1) & mask_;
     --size_;
     lock.unlock();
     not_full_.notify_one();
@@ -70,10 +137,17 @@ class MpmcQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Instantaneous occupancy (a snapshot; racy by nature).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+  }
+
  private:
   const std::size_t capacity_;
+  const std::size_t mask_;
   std::vector<T> ring_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::size_t head_ = 0;

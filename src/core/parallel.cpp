@@ -39,6 +39,7 @@ PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
   detail::ChunkContext ctx;
   ctx.simulator = &simulator;
   ctx.engine = &engine;
+  ctx.system = system;
   ctx.num_categories = tag::categories_of(system).size();
   ctx.collect_source_tallies = options_.collect_source_tallies;
 
@@ -46,7 +47,8 @@ PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
   // the result array needs no lock; the queue provides the necessary
   // happens-before edges between producer, workers, and the join.
   std::vector<PipelineResult> partials(shards.size());
-  MpmcQueue<std::size_t> queue(static_cast<std::size_t>(workers) * 4);
+  MpmcQueue<std::size_t> queue(
+      MpmcQueue<std::size_t>::next_pow2(static_cast<std::size_t>(workers) * 4));
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;

@@ -9,59 +9,63 @@ namespace wss::core {
 
 namespace detail {
 
+PipelineResult make_partial(const ChunkContext& ctx) {
+  PipelineResult r;
+  r.system = ctx.system;
+  r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
+  r.physical_alert_counts.assign(ctx.num_categories, 0);
+  return r;
+}
+
+void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
+                  std::string_view line, PipelineResult& r) {
+  ++r.physical_messages;
+  r.weighted_messages += e.weight;
+  r.physical_bytes += line.size() + 1;  // trailing newline on disk
+  r.weighted_bytes += e.weight * static_cast<double>(line.size() + 1);
+
+  // Parse. The year hint follows the event's own year; a real reader
+  // would advance it at log rollover boundaries.
+  const parse::LogRecord rec =
+      parse::parse_line(ctx.system, line, util::to_civil(e.time).year);
+  if (rec.source_corrupted) ++r.corrupted_source_lines;
+  if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
+
+  // Tag.
+  const auto tagged = ctx.engine->tag(rec);
+  r.tagging.add(tagged.has_value(), e.is_alert());
+  if (tagged) {
+    filter::Alert a;
+    // Trust the parsed timestamp when valid; otherwise fall back to
+    // stream position (ground-truth time), as an operator reading a
+    // sequential log effectively does.
+    a.time = rec.timestamp_valid ? rec.time : e.time;
+    a.source = e.source;
+    a.category = tagged->category;
+    a.type = tagged->type;
+    a.failure_id = e.failure_id;  // ground truth rides along for scoring
+    a.weight = e.weight;
+    r.tagged_alerts.push_back(a);
+    r.weighted_alert_counts[tagged->category] += e.weight;
+    ++r.physical_alert_counts[tagged->category];
+  }
+
+  if (ctx.collect_source_tallies) {
+    if (rec.source_corrupted) {
+      r.corrupted_source_weight += e.weight;
+    } else {
+      r.messages_by_source[rec.source] += e.weight;
+    }
+  }
+}
+
 PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
                              std::size_t end) {
   const sim::Simulator& simulator = *ctx.simulator;
-  const parse::SystemId system = simulator.spec().id;
-
-  PipelineResult r;
-  r.system = system;
-  r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
-  r.physical_alert_counts.assign(ctx.num_categories, 0);
-
+  PipelineResult r = make_partial(ctx);
   const auto& events = simulator.events();
   for (std::size_t i = begin; i < end; ++i) {
-    const sim::SimEvent& e = events[i];
-    const std::string line = simulator.renderer().render(e, i);
-
-    ++r.physical_messages;
-    r.weighted_messages += e.weight;
-    r.physical_bytes += line.size() + 1;  // trailing newline on disk
-    r.weighted_bytes += e.weight * static_cast<double>(line.size() + 1);
-
-    // Parse. The year hint follows the event's own year; a real reader
-    // would advance it at log rollover boundaries.
-    const parse::LogRecord rec =
-        parse::parse_line(system, line, util::to_civil(e.time).year);
-    if (rec.source_corrupted) ++r.corrupted_source_lines;
-    if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
-
-    // Tag.
-    const auto tagged = ctx.engine->tag(rec);
-    r.tagging.add(tagged.has_value(), e.is_alert());
-    if (tagged) {
-      filter::Alert a;
-      // Trust the parsed timestamp when valid; otherwise fall back to
-      // stream position (ground-truth time), as an operator reading a
-      // sequential log effectively does.
-      a.time = rec.timestamp_valid ? rec.time : e.time;
-      a.source = e.source;
-      a.category = tagged->category;
-      a.type = tagged->type;
-      a.failure_id = e.failure_id;  // ground truth rides along for scoring
-      a.weight = e.weight;
-      r.tagged_alerts.push_back(a);
-      r.weighted_alert_counts[tagged->category] += e.weight;
-      ++r.physical_alert_counts[tagged->category];
-    }
-
-    if (ctx.collect_source_tallies) {
-      if (rec.source_corrupted) {
-        r.corrupted_source_weight += e.weight;
-      } else {
-        r.messages_by_source[rec.source] += e.weight;
-      }
-    }
+    process_line(ctx, events[i], simulator.renderer().render(events[i], i), r);
   }
   return r;
 }
@@ -123,6 +127,7 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
   detail::ChunkContext ctx;
   ctx.simulator = &simulator;
   ctx.engine = &engine;
+  ctx.system = system;
   ctx.num_categories = tag::categories_of(system).size();
   ctx.collect_source_tallies = options.collect_source_tallies;
 

@@ -92,13 +92,28 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
 
 namespace detail {
 
-/// Read-only state shared by every chunk of one pass.
+/// Read-only state shared by every chunk of one pass. `simulator` may
+/// be null for consumers that supply (event, line) pairs themselves
+/// (the streaming engine); process_chunk requires it.
 struct ChunkContext {
   const sim::Simulator* simulator = nullptr;
   const tag::TagEngine* engine = nullptr;  ///< const-shareable across threads
+  parse::SystemId system = parse::SystemId::kBlueGeneL;
   std::size_t num_categories = 0;
   bool collect_source_tallies = true;
 };
+
+/// Initializes an empty partial for one chunk of a pass. Part of the
+/// determinism contract: every accumulator starts from the same zeros
+/// in batch and streaming runs.
+PipelineResult make_partial(const ChunkContext& ctx);
+
+/// Reduces ONE rendered event into the partial `r`. This is the whole
+/// per-event semantics of the pipeline -- process_chunk and the online
+/// stream::StreamPipeline both call it, which is what makes their
+/// outputs bit-identical on the same (event, line) sequence.
+void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
+                  std::string_view line, PipelineResult& r);
 
 /// Reduces events [begin, end) to a partial result. Pure function of
 /// its arguments; safe to call concurrently for disjoint ranges.

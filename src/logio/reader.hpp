@@ -40,7 +40,16 @@ class YearTracker {
   int on_month(int month);
 
   int year() const { return year_; }
+  int last_month() const { return last_month_; }
   int rollovers() const { return rollovers_; }
+
+  /// Reinstates a previously observed state (streaming checkpoint
+  /// restore); the tracker continues exactly where it left off.
+  void restore(int year, int last_month, int rollovers) {
+    year_ = year;
+    last_month_ = last_month;
+    rollovers_ = rollovers;
+  }
 
  private:
   int year_;

@@ -1,0 +1,48 @@
+#include "sim/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace wss::sim {
+
+Replayer::Replayer(const Simulator& simulator, ReplayOptions opts)
+    : sim_(&simulator), opts_(opts) {
+  if (opts.speed < 0.0) {
+    throw std::invalid_argument("Replayer: speed must be >= 0");
+  }
+  const std::size_t n = simulator.events().size();
+  begin_ = std::min(opts.begin, n);
+  end_ = std::min(opts.end, n);
+  if (end_ < begin_) end_ = begin_;
+}
+
+std::size_t Replayer::run(const Visitor& visit) const {
+  const auto& events = sim_->events();
+  if (begin_ >= end_) return 0;
+
+  // Pace relative to the first replayed event: resume-from-checkpoint
+  // replays the tail at the same rate, without first sleeping through
+  // the already-consumed prefix.
+  const util::TimeUs t0 = events[begin_].time;
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  std::size_t delivered = 0;
+  for (std::size_t i = begin_; i < end_; ++i) {
+    const SimEvent& e = events[i];
+    if (opts_.speed > 0.0) {
+      const double sim_elapsed_us = static_cast<double>(e.time - t0);
+      const auto wall_target =
+          wall0 + std::chrono::microseconds(static_cast<std::int64_t>(
+                      sim_elapsed_us / opts_.speed));
+      std::this_thread::sleep_until(wall_target);
+    }
+    std::string line = sim_->renderer().render(e, i);
+    ++delivered;
+    if (!visit(i, e, std::move(line))) break;
+  }
+  return delivered;
+}
+
+}  // namespace wss::sim

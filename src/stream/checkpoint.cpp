@@ -1,0 +1,83 @@
+#include "stream/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace wss::stream {
+
+void CheckpointWriter::raw(const void* p, std::size_t n) {
+  os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void CheckpointWriter::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, 4);
+}
+
+void CheckpointWriter::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, 8);
+}
+
+void CheckpointWriter::str(std::string_view s) {
+  u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void CheckpointWriter::header() {
+  u32(kCheckpointMagic);
+  u32(kCheckpointVersion);
+}
+
+void CheckpointReader::raw(void* p, std::size_t n) {
+  is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n) {
+    throw std::runtime_error("checkpoint: truncated file");
+  }
+}
+
+std::uint8_t CheckpointReader::u8() {
+  std::uint8_t v;
+  raw(&v, 1);
+  return v;
+}
+
+std::uint32_t CheckpointReader::u32() {
+  std::uint8_t b[4];
+  raw(b, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t CheckpointReader::u64() {
+  std::uint8_t b[8];
+  raw(b, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::string CheckpointReader::str() {
+  const std::uint64_t n = u64();
+  if (n > (1ull << 32)) {
+    throw std::runtime_error("checkpoint: implausible string length");
+  }
+  std::string s(static_cast<std::size_t>(n), '\0');
+  if (n > 0) raw(s.data(), static_cast<std::size_t>(n));
+  return s;
+}
+
+void CheckpointReader::header() {
+  if (u32() != kCheckpointMagic) {
+    throw std::runtime_error("checkpoint: bad magic (not a wss checkpoint)");
+  }
+  const std::uint32_t version = u32();
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error("checkpoint: unsupported version " +
+                             std::to_string(version));
+  }
+}
+
+}  // namespace wss::stream

@@ -1,0 +1,78 @@
+// Binary serialization for streaming checkpoints.
+//
+// A checkpoint must round-trip *bit-exactly*: the restored engine has
+// to produce the same FP sums, the same reservoir decisions, and the
+// same filter verdicts as an uninterrupted run, or the
+// checkpoint -> restore -> finish equivalence guarantee (and the test
+// that enforces it) breaks. Doubles are therefore written as their raw
+// IEEE-754 bit patterns, never through decimal text, and every integer
+// is fixed-width little-endian so a checkpoint is portable across
+// builds of the same version.
+//
+// The format is deliberately dumb: a magic/version header, then a flat
+// sequence of typed fields in a fixed order defined by the save()/
+// load() pairs of each streaming class. There is no schema evolution;
+// a version bump invalidates old checkpoints (they cover hours of
+// stream, not years of archive).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace wss::stream {
+
+/// Format tag written at the head of every checkpoint file.
+inline constexpr std::uint32_t kCheckpointMagic = 0x57535343u;  // "WSSC"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Little-endian fixed-width field writer.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(std::ostream& os) : os_(os) {}
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(std::string_view s);
+
+  /// Writes the standard header.
+  void header();
+
+  bool ok() const { return static_cast<bool>(os_); }
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::ostream& os_;
+};
+
+/// Reader mirroring CheckpointWriter. Every accessor throws
+/// std::runtime_error on truncation; header() additionally validates
+/// magic and version.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(std::istream& is) : is_(is) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str();
+
+  /// Reads and validates the standard header.
+  void header();
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::istream& is_;
+};
+
+}  // namespace wss::stream

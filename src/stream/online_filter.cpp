@@ -1,0 +1,98 @@
+#include "stream/online_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wss::stream {
+
+OnlineSimultaneousFilter::OnlineSimultaneousFilter(util::TimeUs threshold_us,
+                                                   bool strict_order)
+    : threshold_(threshold_us), strict_(strict_order) {
+  if (threshold_us <= 0) {
+    throw std::invalid_argument(
+        "OnlineSimultaneousFilter: threshold must be > 0");
+  }
+}
+
+bool OnlineSimultaneousFilter::offer(const filter::Alert& a) {
+  if (strict_ && any_seen_ && a.time < watermark_) {
+    throw std::invalid_argument(
+        "OnlineSimultaneousFilter: stream not time-sorted");
+  }
+  // Identical decision sequence to SimultaneousFilter::admit; the
+  // clear(X) test uses the *previous* timestamp, which on a sorted
+  // stream coincides with the watermark.
+  if (any_seen_ && a.time - last_offer_ > threshold_) {
+    ++epoch_;  // clear(X): every entry is too stale to matter
+  }
+  watermark_ = any_seen_ ? std::max(watermark_, a.time) : a.time;
+  last_offer_ = a.time;
+  any_seen_ = true;
+  ++offered_;
+
+  if (a.category >= table_.size()) {
+    table_.resize(static_cast<std::size_t>(a.category) + 1);
+  }
+  Entry& e = table_[a.category];
+  const bool redundant = e.epoch == epoch_ && a.time - e.time < threshold_;
+  e.epoch = epoch_;
+  e.time = a.time;
+  if (!redundant) ++admitted_;
+  return !redundant;
+}
+
+void OnlineSimultaneousFilter::evict_stale() {
+  if (!strict_) return;  // only provable on sorted streams
+  for (Entry& e : table_) {
+    if (e.epoch != 0 &&
+        (e.epoch != epoch_ || watermark_ - e.time >= threshold_)) {
+      e = Entry{};  // unobservable: future times are >= watermark
+    }
+  }
+}
+
+std::size_t OnlineSimultaneousFilter::live_entries() const {
+  std::size_t live = 0;
+  for (const Entry& e : table_) {
+    if (e.epoch == epoch_ && watermark_ - e.time < threshold_) ++live;
+  }
+  return live;
+}
+
+void OnlineSimultaneousFilter::save(CheckpointWriter& w) const {
+  w.i64(threshold_);
+  w.boolean(strict_);
+  w.i64(watermark_);
+  w.i64(last_offer_);
+  w.boolean(any_seen_);
+  w.u32(epoch_);
+  w.u64(offered_);
+  w.u64(admitted_);
+  w.u64(table_.size());
+  for (const Entry& e : table_) {
+    w.u32(e.epoch);
+    w.i64(e.time);
+  }
+}
+
+void OnlineSimultaneousFilter::load(CheckpointReader& r) {
+  threshold_ = r.i64();
+  strict_ = r.boolean();
+  watermark_ = r.i64();
+  last_offer_ = r.i64();
+  any_seen_ = r.boolean();
+  epoch_ = r.u32();
+  offered_ = r.u64();
+  admitted_ = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible filter table size");
+  }
+  table_.assign(static_cast<std::size_t>(n), Entry{});
+  for (Entry& e : table_) {
+    e.epoch = r.u32();
+    e.time = r.i64();
+  }
+}
+
+}  // namespace wss::stream

@@ -1,0 +1,94 @@
+// Algorithm 3.1 as an online operator with a watermark.
+//
+// The batch SimultaneousFilter already processes alerts one at a time,
+// but it is framed for a materialized, finite stream: apply_filter
+// walks a vector and returns the survivors. This class reframes the
+// same algorithm for an unbounded stream and makes its two finality
+// properties explicit:
+//
+//  1. *Decisions are final immediately.* Algorithm 3.1 is causal -- the
+//     verdict on alert a_i depends only on a_1..a_i -- so an admitted
+//     alert can be emitted downstream the moment offer() returns true.
+//     Nothing is ever revised or retracted; bit-identical output to
+//     the batch filter on the same input needs no lookahead at all.
+//
+//  2. *State older than the watermark minus T is dead.* Let W be the
+//     watermark (the largest timestamp seen). On a time-sorted stream
+//     every future alert has time >= W, so a table entry with
+//     W - entry.time >= T can never again satisfy the redundancy test
+//     "a.time - entry.time < T" -- it is provably unobservable and
+//     evict_stale() may drop it. This is the same quiet-gap argument
+//     that makes PR 1's sharded filter correct, applied per entry
+//     instead of per segment: the filter's live state is bounded by
+//     the alerts of the last T seconds (at most one entry per
+//     category), never by the length of the log.
+//
+// Decision logic is kept line-for-line equivalent to
+// filter::SimultaneousFilter (epoch-bump clear included);
+// tests/test_stream_filter.cpp locks the two together
+// decision-for-decision on bursty and simulated streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/alert.hpp"
+#include "stream/checkpoint.hpp"
+
+namespace wss::stream {
+
+/// Online simultaneous spatio-temporal filter (paper Algorithm 3.1).
+class OnlineSimultaneousFilter {
+ public:
+  /// `strict_order`: throw std::invalid_argument on a timestamp
+  /// regression (the contract of the batch apply_filter). Disable for
+  /// parsed real-log streams, where second-granularity stamps can tie
+  /// or regress; decisions then match SimultaneousFilter::admit, which
+  /// tolerates regressions.
+  explicit OnlineSimultaneousFilter(util::TimeUs threshold_us,
+                                    bool strict_order = true);
+
+  /// Feeds the next alert. Returns true iff admitted; an admitted
+  /// alert is final immediately (see file comment) and should be
+  /// emitted downstream by the caller.
+  bool offer(const filter::Alert& a);
+
+  /// Largest timestamp seen (0 before the first alert).
+  util::TimeUs watermark() const { return watermark_; }
+
+  /// Drops table entries that the watermark proves unobservable
+  /// (W - entry.time >= T). Semantics-preserving ONLY on sorted
+  /// streams; requires strict_order. Called by the engine between
+  /// chunks to keep resident state at its O(live categories) floor.
+  void evict_stale();
+
+  /// Live entries: current epoch and still inside the T horizon.
+  std::size_t live_entries() const;
+
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t suppressed() const { return offered_ - admitted_; }
+
+  util::TimeUs threshold() const { return threshold_; }
+
+  void save(CheckpointWriter& w) const;
+  void load(CheckpointReader& r);
+
+ private:
+  struct Entry {
+    std::uint32_t epoch = 0;  ///< 0 = never written
+    util::TimeUs time = 0;
+  };
+
+  util::TimeUs threshold_;
+  bool strict_;
+  util::TimeUs watermark_ = 0;    ///< max timestamp seen
+  util::TimeUs last_offer_ = 0;   ///< previous timestamp (clear(X) test)
+  bool any_seen_ = false;
+  std::uint32_t epoch_ = 1;
+  std::vector<Entry> table_;  ///< indexed by category id
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace wss::stream

@@ -1,0 +1,200 @@
+#include "stream/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "parse/dispatch.hpp"
+#include "sim/spec.hpp"
+
+namespace wss::stream {
+
+StreamPipeline::StreamPipeline(parse::SystemId system,
+                               StreamPipelineOptions opts)
+    : system_(system),
+      opts_(opts),
+      engine_(tag::build_ruleset(system)),
+      cats_(tag::categories_of(system)),
+      study_(system, opts.study),
+      filter_(opts.study.threshold_us, opts.strict_order),
+      year_(opts.start_year != 0 ? opts.start_year
+                                 : sim::system_spec(system).start_date.year) {
+  ctx_.engine = &engine_;
+  ctx_.system = system;
+  ctx_.num_categories = cats_.size();
+  ctx_.collect_source_tallies = opts.study.collect_source_tallies;
+}
+
+void StreamPipeline::offer(const filter::Alert& a) {
+  const bool admitted = filter_.offer(a);
+  study_.on_filter_verdict(a, admitted);
+  if (admitted && sink_) sink_(a);
+}
+
+void StreamPipeline::ingest(const sim::SimEvent& e, std::string_view line) {
+  // Reduce into the open chunk partial with the shared batch reducer,
+  // then let the study state advance chunk bookkeeping (it merges the
+  // partial at every chunk_events boundary, exactly like run_pipeline).
+  core::detail::process_line(ctx_, e, line, study_.partial());
+  study_.on_event(e, line);
+
+  if (e.is_alert()) {
+    // The ground-truth alert, constructed exactly as
+    // Simulator::ground_truth_alerts() does -- the batch
+    // filtered_alerts() feed.
+    filter::Alert a;
+    a.time = e.time;
+    a.source = e.source;
+    a.category = static_cast<std::uint16_t>(e.category);
+    a.type = cats_.at(static_cast<std::size_t>(e.category))->type;
+    a.failure_id = e.failure_id;
+    a.weight = e.weight;
+    offer(a);
+  }
+
+  // Chunk boundary: shed filter entries the watermark proves dead.
+  if (opts_.strict_order &&
+      study_.events() % opts_.study.chunk_events == 0) {
+    filter_.evict_stale();
+  }
+}
+
+std::uint32_t StreamPipeline::intern(const std::string& name) {
+  const auto [it, inserted] = source_ids_.emplace(
+      name, static_cast<std::uint32_t>(source_ids_.size()));
+  return it->second;
+}
+
+void StreamPipeline::ingest_line(std::string_view line) {
+  study_.mark_no_ground_truth();
+
+  // Year-rollover inference, as logio::read_log does it: peek the
+  // month abbreviation; stamps that carry their own year leave the
+  // tracker inert.
+  int month = 0;
+  if (line.size() >= 3) month = util::parse_month_abbrev(line.substr(0, 3));
+  const int year = month > 0 ? year_.on_month(month) : year_.year();
+
+  const parse::LogRecord rec = parse::parse_line(system_, line, year);
+
+  // Analyze-style reduction: no ground truth, every line weight 1.
+  // Mirrors core::detail::process_line except for the tagger scoring
+  // (meaningless without ground truth, left at zero).
+  core::PipelineResult& r = study_.partial();
+  ++r.physical_messages;
+  r.weighted_messages += 1.0;
+  r.physical_bytes += line.size() + 1;
+  r.weighted_bytes += static_cast<double>(line.size() + 1);
+  if (rec.source_corrupted) ++r.corrupted_source_lines;
+  if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
+
+  sim::SimEvent e;
+  e.time = rec.timestamp_valid ? rec.time : study_.watermark();
+  e.severity = rec.severity;
+  e.weight = 1.0;
+
+  const auto tagged = engine_.tag(rec);
+  filter::Alert a;
+  if (tagged) {
+    e.category = static_cast<std::int32_t>(tagged->category);
+    if (tagged->category < r.weighted_alert_counts.size()) {
+      r.weighted_alert_counts[tagged->category] += 1.0;
+      ++r.physical_alert_counts[tagged->category];
+    }
+    a.time = e.time;
+    a.category = tagged->category;
+    a.type = tagged->type;
+    a.source = intern(rec.source);
+    a.weight = 1.0;
+    e.source = a.source;
+  }
+
+  if (ctx_.collect_source_tallies) {
+    if (rec.source_corrupted) {
+      r.corrupted_source_weight += 1.0;
+    } else {
+      r.messages_by_source[rec.source] += 1.0;
+    }
+  }
+
+  study_.on_event(e, line);
+  if (tagged) offer(a);
+}
+
+void StreamPipeline::finish() { study_.finish(); }
+
+void StreamPipeline::save(std::ostream& os) const {
+  CheckpointWriter w(os);
+  w.header();
+  w.u8(static_cast<std::uint8_t>(system_));
+
+  // Options travel with the state: a restored engine must rebuild its
+  // accumulators with the exact shapes the checkpoint assumes.
+  w.i64(opts_.study.threshold_us);
+  w.u64(opts_.study.chunk_events);
+  w.i64(opts_.study.window_us);
+  w.u64(opts_.study.window_buckets);
+  w.u64(opts_.study.reservoir_k);
+  w.u64(opts_.study.reservoir_seed);
+  w.boolean(opts_.study.capture_compression_sample);
+  w.boolean(opts_.study.collect_source_tallies);
+  w.boolean(opts_.strict_order);
+
+  study_.save(w);
+  filter_.save(w);
+
+  w.i64(year_.year());
+  w.u32(static_cast<std::uint32_t>(year_.last_month()));
+  w.u32(static_cast<std::uint32_t>(year_.rollovers()));
+  w.u64(source_ids_.size());
+  for (const auto& [name, id] : source_ids_) {
+    w.str(name);
+    w.u32(id);
+  }
+  if (!w.ok()) throw std::runtime_error("checkpoint: write failed");
+}
+
+void StreamPipeline::restore(std::istream& is) {
+  CheckpointReader r(is);
+  r.header();
+  const auto sys = static_cast<parse::SystemId>(r.u8());
+  if (sys != system_) {
+    throw std::runtime_error("checkpoint: system mismatch");
+  }
+
+  StreamStudyOptions so;
+  so.threshold_us = r.i64();
+  so.chunk_events = static_cast<std::size_t>(r.u64());
+  so.window_us = r.i64();
+  so.window_buckets = static_cast<std::size_t>(r.u64());
+  so.reservoir_k = static_cast<std::size_t>(r.u64());
+  so.reservoir_seed = r.u64();
+  so.capture_compression_sample = r.boolean();
+  so.collect_source_tallies = r.boolean();
+  const bool strict = r.boolean();
+
+  opts_.study = so;
+  opts_.strict_order = strict;
+  ctx_.collect_source_tallies = so.collect_source_tallies;
+
+  study_ = StreamStudyState(system_, so);
+  study_.load(r);
+  filter_ = OnlineSimultaneousFilter(so.threshold_us, strict);
+  filter_.load(r);
+
+  const int year = static_cast<int>(r.i64());
+  const int last_month = static_cast<int>(r.u32());
+  const int rollovers = static_cast<int>(r.u32());
+  year_.restore(year, last_month, rollovers);
+
+  const std::uint64_t sources = r.u64();
+  if (sources > (1u << 24)) {
+    throw std::runtime_error("checkpoint: implausible source map size");
+  }
+  source_ids_.clear();
+  for (std::uint64_t i = 0; i < sources; ++i) {
+    std::string name = r.str();
+    const std::uint32_t id = r.u32();
+    source_ids_[std::move(name)] = id;
+  }
+}
+
+}  // namespace wss::stream

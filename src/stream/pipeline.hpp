@@ -1,0 +1,120 @@
+// The online streaming engine: batch semantics, O(window) memory.
+//
+// StreamPipeline consumes one event at a time and maintains exactly
+// three kinds of state:
+//
+//   * the chunk-mirrored pipeline accumulators (StreamStudyState) --
+//     bounded by chunk_events plus the category count;
+//   * the online Algorithm 3.1 filter table (OnlineSimultaneousFilter)
+//     -- bounded by one entry per category, evicted down to the live
+//     T-second horizon at every chunk boundary;
+//   * sliding windows / reservoir for live rates and quantiles --
+//     bounded by their configured sizes.
+//
+// Nothing grows with the length of the log, yet a finished stream
+// reports bit-identical Tables 2-4 ingredients and a bit-identical
+// filtered alert sequence versus the batch pipeline over the same
+// rendered events (tests/test_integration_stream.cpp pins this for
+// all five systems).
+//
+// Two ingestion modes:
+//   ingest(event, line)  -- simulated streams: ground truth rides
+//     along, the filter consumes the ground-truth alert stream (the
+//     batch Study::filtered_alerts feed), and tagging is scored.
+//   ingest_line(line)    -- real/parsed logs: analyze-style. The line
+//     is parsed with year-rollover inference, tagged, and the tagged
+//     alert stream (weight 1, interned source ids) feeds the filter --
+//     the same semantics as `wss analyze`, made incremental.
+//
+// Admitted alerts are emitted through the AlertSink the moment the
+// filter rules them non-redundant (decisions are final; see
+// online_filter.hpp). save()/restore() checkpoint the entire engine
+// bit-exactly: checkpoint -> restore -> finish equals uninterrupted.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "logio/reader.hpp"
+#include "stream/online_filter.hpp"
+#include "stream/study_state.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss::stream {
+
+struct StreamPipelineOptions {
+  StreamStudyOptions study;
+
+  /// Sorted-stream contract for the filter. Keep true for simulated
+  /// streams (regression = bug); set false for parsed real logs,
+  /// where 1 s stamp granularity can tie or regress.
+  bool strict_order = true;
+
+  /// Year seed for file-mode timestamp inference; 0 = the system
+  /// spec's collection start year.
+  int start_year = 0;
+};
+
+/// Online counterpart of core::run_pipeline + filtered_alerts.
+class StreamPipeline {
+ public:
+  /// Receives each admitted alert, in stream order, as soon as its
+  /// verdict is final.
+  using AlertSink = std::function<void(const filter::Alert&)>;
+
+  explicit StreamPipeline(parse::SystemId system,
+                          StreamPipelineOptions opts = {});
+
+  void set_alert_sink(AlertSink sink) { sink_ = std::move(sink); }
+
+  /// Simulated-stream mode: one event plus its rendered line, in
+  /// stream order (the pair process_chunk would see).
+  void ingest(const sim::SimEvent& e, std::string_view line);
+
+  /// File mode: one raw log line, in file order.
+  void ingest_line(std::string_view line);
+
+  /// Flushes the open chunk; snapshot() afterwards is the batch
+  /// result. Idempotent.
+  void finish();
+
+  StreamSnapshot snapshot() const { return study_.snapshot(); }
+
+  std::uint64_t events() const { return study_.events(); }
+  util::TimeUs watermark() const { return study_.watermark(); }
+  const OnlineSimultaneousFilter& filter() const { return filter_; }
+  const StreamStudyState& study() const { return study_; }
+  const StreamPipelineOptions& options() const { return opts_; }
+  int year_rollovers() const { return year_.rollovers(); }
+
+  /// Serializes the full engine state. Throws std::runtime_error on a
+  /// write failure.
+  void save(std::ostream& os) const;
+
+  /// Restores a checkpoint written by save() for the same system.
+  /// Replaces options and all accumulator state; the sink is kept.
+  void restore(std::istream& is);
+
+ private:
+  void offer(const filter::Alert& a);
+  std::uint32_t intern(const std::string& name);
+
+  parse::SystemId system_;
+  StreamPipelineOptions opts_;
+  tag::TagEngine engine_;
+  std::vector<const tag::CategoryInfo*> cats_;
+  core::detail::ChunkContext ctx_;
+  StreamStudyState study_;
+  OnlineSimultaneousFilter filter_;
+  AlertSink sink_;
+
+  // File-mode state: year inference + source-name interning (the
+  // `wss analyze` scheme). The intern map is O(distinct sources) --
+  // the same bound cmd_analyze accepts.
+  logio::YearTracker year_;
+  std::map<std::string, std::uint32_t> source_ids_;
+};
+
+}  // namespace wss::stream

@@ -1,0 +1,20 @@
+// Human-readable rendering of streaming snapshots for `wss stream`.
+#pragma once
+
+#include <string>
+
+#include "stream/study_state.hpp"
+
+namespace wss::stream {
+
+/// Multi-line report of a snapshot (mid-stream or final). The final
+/// report's table section carries the same numbers as the batch
+/// Tables 2-4 ingredients.
+std::string render_snapshot(const StreamSnapshot& s);
+
+/// One-line live status for periodic refresh. `wall_events_per_sec`
+/// is the driver-measured ingest rate (<= 0 to omit).
+std::string render_status_line(const StreamSnapshot& s,
+                               double wall_events_per_sec);
+
+}  // namespace wss::stream

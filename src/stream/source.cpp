@@ -1,0 +1,24 @@
+#include "stream/source.hpp"
+
+#include <algorithm>
+
+namespace wss::stream {
+
+IngestRing::IngestRing(std::size_t capacity_hint, BackpressurePolicy policy)
+    : queue_(core::MpmcQueue<StreamItem>::next_pow2(
+          std::max<std::size_t>(1, capacity_hint))),
+      policy_(policy) {}
+
+bool IngestRing::push(StreamItem item) {
+  if (policy_ == BackpressurePolicy::kBlock) {
+    return queue_.push(std::move(item));
+  }
+  const std::size_t evicted = queue_.push_evicting(std::move(item));
+  if (evicted == core::MpmcQueue<StreamItem>::kClosed) return false;
+  if (evicted > 0) {
+    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+}  // namespace wss::stream

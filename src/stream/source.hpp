@@ -1,0 +1,78 @@
+// Bounded ingestion front-end for the streaming pipeline.
+//
+// A producer (paced replay, file tail, generator) pushes StreamItems
+// into a fixed-capacity ring; the engine pops them. Backpressure is
+// explicit and lossless by default: BackpressurePolicy::kBlock stalls
+// the producer when the consumer falls behind (the right choice when
+// the producer is replay and can wait). kDropOldest never blocks --
+// the ring evicts its oldest unconsumed items to make room and counts
+// every eviction, so a slow consumer under a live source degrades to a
+// sampled stream with an exact, queryable drop count. Nothing is ever
+// dropped silently.
+//
+// The ring is core::MpmcQueue -- the same bounded queue the parallel
+// batch pipeline uses for its work chunks -- with the lossy
+// push_evicting() path enabled by policy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/mpmc_queue.hpp"
+#include "sim/process.hpp"
+
+namespace wss::stream {
+
+/// One unit of ingestion: the event plus its rendered line. In file
+/// mode only `line` is meaningful (the event is synthesized by the
+/// engine after parsing).
+struct StreamItem {
+  std::uint64_t index = 0;  ///< position in the source stream
+  sim::SimEvent event;
+  std::string line;
+};
+
+/// What to do when the ring is full and the producer has a new item.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock = 0,       ///< stall the producer (lossless)
+  kDropOldest = 1,  ///< evict oldest unconsumed items; count each drop
+};
+
+/// Fixed-capacity ingestion ring with accounted backpressure.
+class IngestRing {
+ public:
+  /// `capacity_hint` is rounded up to the next power of two (the
+  /// queue's invariant); the effective bound is capacity().
+  IngestRing(std::size_t capacity_hint, BackpressurePolicy policy);
+
+  /// Producer side. Applies the policy; returns false only when the
+  /// ring was closed (the item is discarded, not counted as dropped).
+  bool push(StreamItem item);
+
+  /// Consumer side: blocks while empty, nullopt at end-of-stream.
+  std::optional<StreamItem> pop() { return queue_.pop(); }
+
+  /// Non-blocking consumer probe (empty != end-of-stream).
+  std::optional<StreamItem> try_pop() { return queue_.try_pop(); }
+
+  /// Ends the stream; consumers drain what remains.
+  void close() { queue_.close(); }
+
+  std::size_t capacity() const { return queue_.capacity(); }
+  std::size_t size() const { return queue_.size(); }
+  BackpressurePolicy policy() const { return policy_; }
+
+  /// Exact number of items evicted under kDropOldest so far.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  core::MpmcQueue<StreamItem> queue_;
+  BackpressurePolicy policy_;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace wss::stream

@@ -1,0 +1,176 @@
+#include "stream/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wss::stream {
+
+// ---------------------------------------------------- StreamingMoments
+
+void StreamingMoments::add(double x) {
+  ++count_;
+  if (count_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingMoments::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+void StreamingMoments::save(CheckpointWriter& w) const {
+  w.u64(count_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(min_);
+  w.f64(max_);
+}
+
+void StreamingMoments::load(CheckpointReader& r) {
+  count_ = r.u64();
+  mean_ = r.f64();
+  m2_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+}
+
+// ----------------------------------------------------- ReservoirSample
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ReservoirSample: capacity must be >= 1");
+  }
+  samples_.reserve(capacity_);
+}
+
+void ReservoirSample::add(double x) {
+  ++seen_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: element n survives with probability k/n.
+  const std::uint64_t j = rng_.uniform_u64(seen_);
+  if (j < capacity_) samples_[static_cast<std::size_t>(j)] = x;
+}
+
+double ReservoirSample::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+void ReservoirSample::save(CheckpointWriter& w) const {
+  w.u64(capacity_);
+  w.u64(seen_);
+  w.u64(samples_.size());
+  for (const double x : samples_) w.f64(x);
+  const util::Rng::State st = rng_.state();
+  for (const std::uint64_t word : st.s) w.u64(word);
+  w.f64(st.cached_normal);
+  w.boolean(st.has_cached_normal);
+}
+
+void ReservoirSample::load(CheckpointReader& r) {
+  capacity_ = static_cast<std::size_t>(r.u64());
+  seen_ = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n > capacity_) throw std::runtime_error("checkpoint: oversized reservoir");
+  samples_.assign(static_cast<std::size_t>(n), 0.0);
+  for (auto& x : samples_) x = r.f64();
+  util::Rng::State st;
+  for (auto& word : st.s) word = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.boolean();
+  rng_.set_state(st);
+}
+
+// ------------------------------------------------- SlidingWindowCounter
+
+SlidingWindowCounter::SlidingWindowCounter(util::TimeUs window_us,
+                                           std::size_t buckets)
+    : window_us_(window_us) {
+  if (window_us <= 0 || buckets == 0) {
+    throw std::invalid_argument(
+        "SlidingWindowCounter: window and buckets must be positive");
+  }
+  span_us_ = std::max<util::TimeUs>(
+      1, (window_us + static_cast<util::TimeUs>(buckets) - 1) /
+             static_cast<util::TimeUs>(buckets));
+  bucket_id_.assign(buckets, -1);
+  bucket_sum_.assign(buckets, 0.0);
+}
+
+void SlidingWindowCounter::add(util::TimeUs t, double weight) {
+  const std::int64_t id = t / span_us_;
+  const std::size_t slot =
+      static_cast<std::size_t>(id) % bucket_id_.size();
+  if (bucket_id_[slot] != id) {
+    bucket_id_[slot] = id;
+    bucket_sum_[slot] = 0.0;
+  }
+  bucket_sum_[slot] += weight;
+}
+
+double SlidingWindowCounter::total(util::TimeUs watermark) const {
+  // Whole buckets only: ids strictly newer than the bucket containing
+  // watermark - window, up to the watermark's own bucket. The boundary
+  // bucket is excluded, so the window is approximated from below by up
+  // to one bucket span -- fine for live rates.
+  const std::int64_t newest = watermark / span_us_;
+  const std::int64_t oldest = (watermark - window_us_) / span_us_;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bucket_id_.size(); ++i) {
+    if (bucket_id_[i] > oldest && bucket_id_[i] <= newest) {
+      sum += bucket_sum_[i];
+    }
+  }
+  return sum;
+}
+
+void SlidingWindowCounter::save(CheckpointWriter& w) const {
+  w.i64(window_us_);
+  w.i64(span_us_);
+  w.u64(bucket_id_.size());
+  for (std::size_t i = 0; i < bucket_id_.size(); ++i) {
+    w.i64(bucket_id_[i]);
+    w.f64(bucket_sum_[i]);
+  }
+}
+
+void SlidingWindowCounter::load(CheckpointReader& r) {
+  window_us_ = r.i64();
+  span_us_ = r.i64();
+  const std::uint64_t n = r.u64();
+  if (n == 0 || n > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible window bucket count");
+  }
+  bucket_id_.assign(static_cast<std::size_t>(n), -1);
+  bucket_sum_.assign(static_cast<std::size_t>(n), 0.0);
+  for (std::size_t i = 0; i < bucket_id_.size(); ++i) {
+    bucket_id_[i] = r.i64();
+    bucket_sum_[i] = r.f64();
+  }
+}
+
+}  // namespace wss::stream

@@ -1,0 +1,111 @@
+// Bounded-memory statistics primitives for the streaming engine.
+//
+// The batch study materializes every interarrival gap and sorts it to
+// take quantiles; a stream cannot. These are the standard online
+// replacements, each with O(1) or O(k) state and a bit-exact
+// checkpoint story:
+//
+//   StreamingMoments     Welford's single-pass mean/variance. Same
+//                        numerically stable recurrence every run, so a
+//                        restored checkpoint continues the exact FP
+//                        trajectory of an uninterrupted run.
+//   ReservoirSample      Vitter's Algorithm R over a deterministic
+//                        util::Rng; quantile estimates from a uniform
+//                        k-sample of the stream. The RNG state rides
+//                        along in the checkpoint, so the sample a
+//                        resumed run keeps is the sample the
+//                        uninterrupted run would have kept.
+//   SlidingWindowCounter Time-bucketed ring covering the last W of
+//                        stream time ("how many alerts in the last
+//                        hour"), advanced by the consumer's watermark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/checkpoint.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace wss::stream {
+
+/// Welford online mean/variance plus min/max. O(1) state.
+class StreamingMoments {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator), 0 when count < 2 -- matching
+  /// stats::variance on the materialized sample.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  void save(CheckpointWriter& w) const;
+  void load(CheckpointReader& r);
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Algorithm R reservoir sample of fixed capacity k. While the stream
+/// is shorter than k the sample is exact (quantiles match the sorted
+/// sample bit-for-bit); beyond that each element survives with
+/// probability k/n.
+class ReservoirSample {
+ public:
+  ReservoirSample(std::size_t capacity, std::uint64_t seed);
+
+  void add(double x);
+
+  std::uint64_t seen() const { return seen_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Linear-interpolated quantile of the current sample, q in [0, 1];
+  /// 0 when empty. Sorts a copy (the sample is small).
+  double quantile(double q) const;
+
+  void save(CheckpointWriter& w) const;
+  void load(CheckpointReader& r);
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  std::vector<double> samples_;
+  util::Rng rng_;
+};
+
+/// Weighted event counts over the trailing `window_us` of *stream*
+/// time, kept in `buckets` fixed time buckets. Memory is O(buckets)
+/// regardless of stream length; granularity is window/buckets. Times
+/// must be presented nondecreasing (the streaming engine's watermark
+/// guarantees it); total(watermark) counts events in
+/// (watermark - window, watermark].
+class SlidingWindowCounter {
+ public:
+  SlidingWindowCounter(util::TimeUs window_us, std::size_t buckets);
+
+  void add(util::TimeUs t, double weight);
+
+  /// Weighted total inside the window ending at `watermark`.
+  double total(util::TimeUs watermark) const;
+
+  util::TimeUs window() const { return window_us_; }
+
+  void save(CheckpointWriter& w) const;
+  void load(CheckpointReader& r);
+
+ private:
+  util::TimeUs window_us_;
+  util::TimeUs span_us_;                 ///< per-bucket time span
+  std::vector<std::int64_t> bucket_id_;  ///< absolute bucket index, -1 empty
+  std::vector<double> bucket_sum_;
+};
+
+}  // namespace wss::stream

@@ -29,6 +29,23 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.cached_normal = cached_normal_;
+  st.has_cached_normal = has_cached_normal_;
+  return st;
+}
+
+void Rng::set_state(const State& st) {
+  if ((st.s[0] | st.s[1] | st.s[2] | st.s[3]) == 0) {
+    throw std::invalid_argument("Rng::set_state: all-zero state");
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+  cached_normal_ = st.cached_normal;
+  has_cached_normal_ = st.has_cached_normal;
+}
+
 std::uint64_t Rng::operator()() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
   const std::uint64_t t = s_[1] << 17;

@@ -82,6 +82,19 @@ class Rng {
   /// so adding a process does not perturb the others.
   Rng fork();
 
+  /// The full engine state, exposed so long-running consumers (the
+  /// streaming checkpoint) can persist and resume a stream bit-exactly.
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+
+  /// Restores a state captured by state(). Throws std::invalid_argument
+  /// on the all-zero word state (invalid for xoshiro).
+  void set_state(const State& st);
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

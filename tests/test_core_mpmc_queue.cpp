@@ -34,9 +34,40 @@ TEST(MpmcQueue, CloseDrainsThenEndsStream) {
   EXPECT_FALSE(q.push(3));        // pushes after close are refused
 }
 
-TEST(MpmcQueue, CapacityClampsToOne) {
-  MpmcQueue<int> q(0);
-  EXPECT_EQ(q.capacity(), 1u);
+TEST(MpmcQueue, RejectsNonPowerOfTwoCapacity) {
+  EXPECT_THROW(MpmcQueue<int>(0), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(3), std::invalid_argument);
+  EXPECT_THROW(MpmcQueue<int>(12), std::invalid_argument);
+  EXPECT_NO_THROW(MpmcQueue<int>(1));
+  EXPECT_NO_THROW(MpmcQueue<int>(64));
+}
+
+TEST(MpmcQueue, NextPow2) {
+  EXPECT_EQ(MpmcQueue<int>::next_pow2(0), 1u);
+  EXPECT_EQ(MpmcQueue<int>::next_pow2(1), 1u);
+  EXPECT_EQ(MpmcQueue<int>::next_pow2(3), 4u);
+  EXPECT_EQ(MpmcQueue<int>::next_pow2(8), 8u);
+  EXPECT_EQ(MpmcQueue<int>::next_pow2(1000), 1024u);
+}
+
+TEST(MpmcQueue, TryPopNonBlocking) {
+  MpmcQueue<int> q(4);
+  EXPECT_FALSE(q.try_pop().has_value());  // empty: no blocking, no value
+  q.push(7);
+  EXPECT_EQ(q.try_pop(), 7);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, PushEvictingDropsOldestWhenFull) {
+  MpmcQueue<int> q(2);
+  EXPECT_EQ(q.push_evicting(1), 0u);
+  EXPECT_EQ(q.push_evicting(2), 0u);
+  EXPECT_EQ(q.push_evicting(3), 1u);  // evicts 1
+  EXPECT_EQ(q.push_evicting(4), 1u);  // evicts 2
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 4);
+  q.close();
+  EXPECT_EQ(q.push_evicting(5), MpmcQueue<int>::kClosed);
 }
 
 TEST(MpmcQueue, BackpressureBlocksProducerUntilPop) {

@@ -1,0 +1,182 @@
+// Checkpoint/restore of the full streaming engine:
+// checkpoint -> restore -> finish must equal an uninterrupted run,
+// bit for bit -- FP accumulators, reservoir contents, filter verdicts,
+// emitted alert sequence, everything.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/generator.hpp"
+#include "stream/pipeline.hpp"
+
+namespace wss {
+namespace {
+
+void expect_snapshots_identical(const stream::StreamSnapshot& a,
+                                const stream::StreamSnapshot& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.first_time, b.first_time);
+  EXPECT_EQ(a.watermark, b.watermark);
+  EXPECT_EQ(a.physical_messages, b.physical_messages);
+  // Bit-exact doubles: plain == on purpose.
+  EXPECT_EQ(a.weighted_messages, b.weighted_messages);
+  EXPECT_EQ(a.physical_bytes, b.physical_bytes);
+  EXPECT_EQ(a.weighted_bytes, b.weighted_bytes);
+  EXPECT_EQ(a.corrupted_source_lines, b.corrupted_source_lines);
+  EXPECT_EQ(a.invalid_timestamp_lines, b.invalid_timestamp_lines);
+  ASSERT_EQ(a.weighted_alert_counts.size(), b.weighted_alert_counts.size());
+  for (std::size_t c = 0; c < a.weighted_alert_counts.size(); ++c) {
+    EXPECT_EQ(a.weighted_alert_counts[c], b.weighted_alert_counts[c])
+        << "category " << c;
+  }
+  EXPECT_EQ(a.physical_alert_counts, b.physical_alert_counts);
+  EXPECT_EQ(a.categories_observed, b.categories_observed);
+  EXPECT_EQ(a.tagging.true_positives, b.tagging.true_positives);
+  EXPECT_EQ(a.tagging.false_positives, b.tagging.false_positives);
+  EXPECT_EQ(a.tagging.true_negatives, b.tagging.true_negatives);
+  EXPECT_EQ(a.tagging.false_negatives, b.tagging.false_negatives);
+  EXPECT_EQ(a.measured_gb, b.measured_gb);
+  EXPECT_EQ(a.rate_bytes_per_sec, b.rate_bytes_per_sec);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.alerts, b.alerts);
+  EXPECT_EQ(a.compressed_fraction.has_value(),
+            b.compressed_fraction.has_value());
+  if (a.compressed_fraction) {
+    EXPECT_EQ(*a.compressed_fraction, *b.compressed_fraction);
+  }
+  EXPECT_EQ(a.alerts_offered, b.alerts_offered);
+  EXPECT_EQ(a.alerts_admitted, b.alerts_admitted);
+  EXPECT_EQ(a.filtered_counts, b.filtered_counts);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(a.filtered_by_type[i], b.filtered_by_type[i]);
+  }
+  EXPECT_EQ(a.gap_count, b.gap_count);
+  EXPECT_EQ(a.gap_mean_s, b.gap_mean_s);
+  EXPECT_EQ(a.gap_stddev_s, b.gap_stddev_s);
+  EXPECT_EQ(a.gap_min_s, b.gap_min_s);
+  EXPECT_EQ(a.gap_max_s, b.gap_max_s);
+  EXPECT_EQ(a.gap_p50_s, b.gap_p50_s);
+  EXPECT_EQ(a.gap_p95_s, b.gap_p95_s);
+  EXPECT_EQ(a.gap_p99_s, b.gap_p99_s);
+  EXPECT_EQ(a.messages_in_window, b.messages_in_window);
+  EXPECT_EQ(a.raw_alerts_in_window, b.raw_alerts_in_window);
+  EXPECT_EQ(a.admitted_in_window, b.admitted_in_window);
+}
+
+struct Emitted {
+  std::vector<filter::Alert> alerts;
+  void attach(stream::StreamPipeline& p) {
+    p.set_alert_sink(
+        [this](const filter::Alert& a) { alerts.push_back(a); });
+  }
+};
+
+TEST(StreamCheckpoint, RestoreAndFinishEqualsUninterrupted) {
+  sim::SimOptions opts;
+  opts.category_cap = 900;
+  opts.chatter_events = 4000;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, opts);
+  const auto& events = simulator.events();
+  ASSERT_GT(events.size(), 1000u);
+  // An awkward cut on purpose: mid-chunk, so the open partial, the
+  // filter table, and the reservoir all carry live state across the
+  // checkpoint.
+  const std::size_t cut = events.size() / 2 + 137;
+
+  stream::StreamPipeline uninterrupted(parse::SystemId::kLiberty);
+  Emitted full;
+  full.attach(uninterrupted);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    uninterrupted.ingest(events[i], simulator.renderer().render(events[i], i));
+  }
+  uninterrupted.finish();
+
+  stream::StreamPipeline first(parse::SystemId::kLiberty);
+  Emitted head;
+  head.attach(first);
+  for (std::size_t i = 0; i < cut; ++i) {
+    first.ingest(events[i], simulator.renderer().render(events[i], i));
+  }
+  std::stringstream checkpoint;
+  first.save(checkpoint);
+
+  stream::StreamPipeline resumed(parse::SystemId::kLiberty);
+  resumed.restore(checkpoint);
+  EXPECT_EQ(resumed.events(), cut);
+  Emitted tail;
+  tail.attach(resumed);
+  for (std::size_t i = cut; i < events.size(); ++i) {
+    resumed.ingest(events[i], simulator.renderer().render(events[i], i));
+  }
+  resumed.finish();
+
+  expect_snapshots_identical(resumed.snapshot(), uninterrupted.snapshot());
+
+  // The emitted survivor stream splices exactly.
+  ASSERT_EQ(head.alerts.size() + tail.alerts.size(), full.alerts.size());
+  for (std::size_t i = 0; i < full.alerts.size(); ++i) {
+    const auto& got =
+        i < head.alerts.size() ? head.alerts[i]
+                               : tail.alerts[i - head.alerts.size()];
+    EXPECT_EQ(got.time, full.alerts[i].time) << "alert " << i;
+    EXPECT_EQ(got.category, full.alerts[i].category) << "alert " << i;
+    EXPECT_EQ(got.source, full.alerts[i].source) << "alert " << i;
+  }
+}
+
+TEST(StreamCheckpoint, FileModeRoundTrip) {
+  // Render a small log, stream it line by line with a mid-stream
+  // checkpoint, and require equivalence in file (analyze-style) mode
+  // too -- this exercises year-tracker and source-intern state.
+  sim::SimOptions opts;
+  opts.category_cap = 400;
+  opts.chatter_events = 1500;
+  const sim::Simulator simulator(parse::SystemId::kSpirit, opts);
+  std::vector<std::string> lines;
+  simulator.for_each_line(
+      [&](std::string_view l) { lines.emplace_back(l); });
+  ASSERT_GT(lines.size(), 200u);
+  const std::size_t cut = lines.size() / 3 + 29;
+
+  stream::StreamPipelineOptions popts;
+  popts.strict_order = false;
+  stream::StreamPipeline uninterrupted(parse::SystemId::kSpirit, popts);
+  for (const auto& l : lines) uninterrupted.ingest_line(l);
+  uninterrupted.finish();
+
+  stream::StreamPipeline first(parse::SystemId::kSpirit, popts);
+  for (std::size_t i = 0; i < cut; ++i) first.ingest_line(lines[i]);
+  std::stringstream checkpoint;
+  first.save(checkpoint);
+
+  stream::StreamPipeline resumed(parse::SystemId::kSpirit, popts);
+  resumed.restore(checkpoint);
+  for (std::size_t i = cut; i < lines.size(); ++i) {
+    resumed.ingest_line(lines[i]);
+  }
+  resumed.finish();
+
+  expect_snapshots_identical(resumed.snapshot(), uninterrupted.snapshot());
+}
+
+TEST(StreamCheckpoint, RejectsWrongSystem) {
+  stream::StreamPipeline liberty(parse::SystemId::kLiberty);
+  std::stringstream checkpoint;
+  liberty.save(checkpoint);
+  stream::StreamPipeline spirit(parse::SystemId::kSpirit);
+  EXPECT_THROW(spirit.restore(checkpoint), std::runtime_error);
+}
+
+TEST(StreamCheckpoint, RejectsTruncatedCheckpoint) {
+  stream::StreamPipeline p(parse::SystemId::kLiberty);
+  std::stringstream checkpoint;
+  p.save(checkpoint);
+  const std::string full = checkpoint.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  stream::StreamPipeline q(parse::SystemId::kLiberty);
+  EXPECT_THROW(q.restore(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wss

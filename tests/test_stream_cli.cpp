@@ -1,0 +1,173 @@
+// CLI surface of the streaming engine: `wss stream` and the replay
+// mode of `wss generate`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "core/experiments.hpp"
+#include "core/study.hpp"
+
+namespace wss::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+Args make_args(std::vector<std::string> tokens) {
+  std::vector<const char*> argv = {"wss"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+class StreamCliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wss_stream_cli_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_tokens(std::vector<std::string> tokens) {
+    out_.str("");
+    err_.str("");
+    return run(make_args(std::move(tokens)), out_, err_);
+  }
+
+  static std::vector<std::string> file_lines(const fs::path& p) {
+    std::ifstream is(p);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+    return lines;
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(StreamCliTest, RequiresSystemAndValidatesFlags) {
+  EXPECT_EQ(run_tokens({"stream"}), 2);
+  EXPECT_NE(err_.str().find("--system"), std::string::npos);
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--policy",
+                        "drop-newest"}),
+            2);
+  EXPECT_NE(err_.str().find("block or drop-oldest"), std::string::npos);
+  EXPECT_EQ(
+      run_tokens({"stream", "--system", "liberty", "--threshold", "0"}), 2);
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--sed", "7"}), 2);
+  EXPECT_NE(err_.str().find("unknown flag --sed"), std::string::npos);
+}
+
+TEST_F(StreamCliTest, SimulatedStreamReportIsDeterministic) {
+  const std::vector<std::string> tokens = {
+      "stream", "--system", "liberty", "--cap", "500", "--chatter", "3000"};
+  ASSERT_EQ(run_tokens(tokens), 0);
+  const std::string first = out_.str();
+  EXPECT_NE(first.find("Liberty"), std::string::npos);
+  EXPECT_NE(first.find("final"), std::string::npos);
+  ASSERT_EQ(run_tokens(tokens), 0);
+  EXPECT_EQ(out_.str(), first);
+}
+
+TEST_F(StreamCliTest, CheckpointResumeReportEqualsUninterrupted) {
+  const std::vector<std::string> base = {
+      "stream", "--system", "spirit", "--cap", "400", "--chatter", "2000"};
+  ASSERT_EQ(run_tokens(base), 0);
+  const std::string uninterrupted = out_.str();
+
+  const auto ck = (dir_ / "ck.wssc").string();
+  auto first_half = base;
+  first_half.insert(first_half.end(),
+                    {"--max-events", "1000", "--checkpoint", ck});
+  ASSERT_EQ(run_tokens(first_half), 0);
+  EXPECT_NE(out_.str().find("paused after"), std::string::npos);
+  EXPECT_NE(out_.str().find("resume with --restore"), std::string::npos);
+  ASSERT_TRUE(fs::exists(ck));
+
+  auto resumed = base;
+  resumed.insert(resumed.end(), {"--restore", ck});
+  ASSERT_EQ(run_tokens(resumed), 0);
+  EXPECT_EQ(out_.str(), uninterrupted);
+}
+
+TEST_F(StreamCliTest, EmitMatchesBatchFilteredAlerts) {
+  const auto emit = (dir_ / "alerts.txt").string();
+  ASSERT_EQ(run_tokens({"stream", "--system", "liberty", "--cap", "400",
+                        "--chatter", "2000", "--emit", emit}),
+            0);
+  const auto lines = file_lines(emit);
+
+  core::StudyOptions sopts;
+  sopts.sim.category_cap = 400;
+  sopts.sim.chatter_events = 2000;
+  core::Study study(sopts);
+  const auto batch =
+      core::filtered_alerts(study, parse::SystemId::kLiberty);
+  ASSERT_EQ(lines.size(), batch.size());
+  // Spot-check line shape: "<iso time> <category> <H|S|I> <source>".
+  ASSERT_FALSE(lines.empty());
+  std::istringstream first(lines.front());
+  std::string date, clock, cat, type, source;
+  first >> date >> clock >> cat >> type >> source;
+  EXPECT_EQ(date.size(), 10u);
+  EXPECT_TRUE(type == "H" || type == "S" || type == "I");
+  EXPECT_FALSE(source.empty());
+}
+
+TEST_F(StreamCliTest, FileModeStreamsGeneratedLog) {
+  const auto log = (dir_ / "log.txt").string();
+  ASSERT_EQ(run_tokens({"generate", "--system", "liberty", "--out", log,
+                        "--cap", "400", "--chatter", "2000"}),
+            0);
+  const std::vector<std::string> tokens = {"stream",  "--system", "liberty",
+                                           "--in",    log,        "--queue",
+                                           "256"};
+  ASSERT_EQ(run_tokens(tokens), 0);
+  const std::string first = out_.str();
+  EXPECT_NE(first.find("Liberty"), std::string::npos);
+  EXPECT_NE(first.find("events"), std::string::npos);
+  // Deterministic in file mode too.
+  ASSERT_EQ(run_tokens(tokens), 0);
+  EXPECT_EQ(out_.str(), first);
+}
+
+TEST_F(StreamCliTest, GenerateReplayUnpacedMatchesBulkWrite) {
+  const auto bulk = (dir_ / "bulk.txt").string();
+  const auto replayed = (dir_ / "replay.txt").string();
+  ASSERT_EQ(run_tokens({"generate", "--system", "spirit", "--out", bulk,
+                        "--cap", "300", "--chatter", "1500"}),
+            0);
+  ASSERT_EQ(run_tokens({"generate", "--system", "spirit", "--out", replayed,
+                        "--cap", "300", "--chatter", "1500", "--speed",
+                        "0"}),
+            0);
+  EXPECT_NE(out_.str().find("replayed"), std::string::npos);
+  EXPECT_EQ(file_lines(replayed), file_lines(bulk));
+}
+
+TEST_F(StreamCliTest, GenerateReplayToStdout) {
+  ASSERT_EQ(run_tokens({"generate", "--system", "liberty", "--out", "-",
+                        "--cap", "200", "--chatter", "500", "--speed",
+                        "0"}),
+            0);
+  const auto lines_begin = out_.str().find('\n');
+  ASSERT_NE(lines_begin, std::string::npos);
+  EXPECT_GT(out_.str().size(), 1000u);  // actual log lines, not a summary
+  EXPECT_EQ(out_.str().find("replayed"), std::string::npos);
+}
+
+TEST_F(StreamCliTest, GenerateRejectsNegativeSpeed) {
+  EXPECT_EQ(run_tokens({"generate", "--system", "liberty", "--out", "-",
+                        "--speed", "-1"}),
+            2);
+  EXPECT_NE(err_.str().find("--speed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wss::cli
