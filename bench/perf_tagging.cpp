@@ -1,12 +1,24 @@
-// Perf: tag-engine throughput, with and without the required-literal
-// pre-filter (DESIGN.md ablation 5). Tagging must keep up with
-// hundreds of millions of messages, so the miss path (chatter) is what
-// matters.
+// Perf: tag-engine throughput, as a three-way ablation of the real
+// TagEngine::tag_line path (DESIGN.md section 5d):
+//
+//   naive      -- per-rule predicate loop, first match wins;
+//   prefilter  -- one Aho-Corasick pass gates the per-rule loop;
+//   multi      -- prefilter + one lazy-DFA set-matching pass.
+//
+// Tagging must keep up with hundreds of millions of messages, so the
+// miss path (chatter lines that match no rule) is what matters; the
+// corpus below is chatter-heavy by construction. All three modes are
+// bit-identical by contract -- the bench aborts if their tag counts
+// disagree.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "match/scratch.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
 #include "tag/rulesets.hpp"
@@ -17,74 +29,188 @@ using namespace wss;
 
 struct Corpus {
   std::vector<std::string> lines;
-  tag::RuleSet rules;
+  std::size_t bytes = 0;
 };
 
-const Corpus& corpus() {
+/// Mixed corpus: alerts and chatter in simulator proportions.
+const Corpus& mixed_corpus() {
   static const Corpus c = [] {
     sim::SimOptions opts;
     opts.category_cap = 2000;
     opts.chatter_events = 30000;
     opts.inject_corruption = false;
     const sim::Simulator simulator(parse::SystemId::kBlueGeneL, opts);
-    Corpus out{{}, tag::build_ruleset(parse::SystemId::kBlueGeneL)};
+    Corpus out;
     for (std::size_t i = 0; i < simulator.events().size(); ++i) {
       out.lines.push_back(simulator.line(i));
+      out.bytes += out.lines.back().size();
     }
     return out;
   }();
   return c;
 }
 
-void tag_all(benchmark::State& state, bool use_prefilter) {
-  const auto& c = corpus();
-  // Measures the dominant cost: every rule's primary whole-line regex
-  // probed against every line (the miss path is what scales to 10^9
-  // messages).
-  for (auto _ : state) {
-    std::size_t hits = 0;
-    for (const auto& line : c.lines) {
-      for (const auto& rule : c.rules.rules()) {
-        if (rule.predicate.terms().front().re->search(line, use_prefilter)) {
-          ++hits;
-          break;
-        }
+/// Miss-path corpus: the mixed corpus minus every line any engine
+/// tags. This is the case that scales to 10^9 messages -- the paper's
+/// logs are overwhelmingly chatter -- and the one the set matcher is
+/// built for.
+const Corpus& miss_corpus() {
+  static const Corpus c = [] {
+    const tag::TagEngine naive(tag::build_ruleset(parse::SystemId::kBlueGeneL),
+                               tag::TagEngineMode::kNaive);
+    match::MatchScratch scratch;
+    Corpus out;
+    for (const auto& line : mixed_corpus().lines) {
+      if (!naive.tag_line(line, scratch)) {
+        out.lines.push_back(line);
+        out.bytes += line.size();
       }
     }
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(c.lines.size()));
+    return out;
+  }();
+  return c;
 }
 
-void BM_TagWithPrefilter(benchmark::State& state) { tag_all(state, true); }
-BENCHMARK(BM_TagWithPrefilter);
+const tag::TagEngine& engine_for(tag::TagEngineMode mode) {
+  static const tag::TagEngine naive(
+      tag::build_ruleset(parse::SystemId::kBlueGeneL),
+      tag::TagEngineMode::kNaive);
+  static const tag::TagEngine prefilter(
+      tag::build_ruleset(parse::SystemId::kBlueGeneL),
+      tag::TagEngineMode::kPrefilter);
+  static const tag::TagEngine multi(
+      tag::build_ruleset(parse::SystemId::kBlueGeneL),
+      tag::TagEngineMode::kMulti);
+  switch (mode) {
+    case tag::TagEngineMode::kNaive:
+      return naive;
+    case tag::TagEngineMode::kPrefilter:
+      return prefilter;
+    default:
+      return multi;
+  }
+}
 
-void BM_TagWithoutPrefilter(benchmark::State& state) { tag_all(state, false); }
-BENCHMARK(BM_TagWithoutPrefilter);
+std::size_t tag_pass(const Corpus& c, const tag::TagEngine& engine,
+                     match::MatchScratch& scratch) {
+  std::size_t hits = 0;
+  for (const auto& line : c.lines) {
+    hits += engine.tag_line(line, scratch).has_value() ? 1 : 0;
+  }
+  return hits;
+}
 
-void BM_TagEngineEndToEnd(benchmark::State& state) {
-  const auto& c = corpus();
-  const tag::TagEngine engine(tag::build_ruleset(parse::SystemId::kBlueGeneL));
+void tag_mode(benchmark::State& state, const Corpus& c,
+              tag::TagEngineMode mode) {
+  const tag::TagEngine& engine = engine_for(mode);
+  match::MatchScratch scratch;  // reused: the steady-state contract
   for (auto _ : state) {
-    std::size_t hits = 0;
-    for (const auto& line : c.lines) {
-      hits += engine.tag_line(line).has_value() ? 1 : 0;
-    }
+    const std::size_t hits = tag_pass(c, engine, scratch);
     benchmark::DoNotOptimize(hits);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(c.lines.size()));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.bytes));
 }
-BENCHMARK(BM_TagEngineEndToEnd);
+
+void BM_TagNaive(benchmark::State& state) {
+  tag_mode(state, mixed_corpus(), tag::TagEngineMode::kNaive);
+}
+BENCHMARK(BM_TagNaive);
+
+void BM_TagPrefilter(benchmark::State& state) {
+  tag_mode(state, mixed_corpus(), tag::TagEngineMode::kPrefilter);
+}
+BENCHMARK(BM_TagPrefilter);
+
+void BM_TagMulti(benchmark::State& state) {
+  tag_mode(state, mixed_corpus(), tag::TagEngineMode::kMulti);
+}
+BENCHMARK(BM_TagMulti);
+
+void BM_TagNaiveMiss(benchmark::State& state) {
+  tag_mode(state, miss_corpus(), tag::TagEngineMode::kNaive);
+}
+BENCHMARK(BM_TagNaiveMiss);
+
+void BM_TagMultiMiss(benchmark::State& state) {
+  tag_mode(state, miss_corpus(), tag::TagEngineMode::kMulti);
+}
+BENCHMARK(BM_TagMultiMiss);
+
+/// The machine-readable record: one timed pass per mode (best of
+/// `reps`), tag counts cross-checked, appended as one JSON-lines
+/// object per workload to BENCH_tagging.json.
+void emit_tagging_ablation(const char* workload, const Corpus& c,
+                           int reps = 3) {
+  const auto lines = static_cast<double>(c.lines.size());
+
+  struct Row {
+    const char* name;
+    tag::TagEngineMode mode;
+    double lines_per_sec = 0.0;
+    std::size_t hits = 0;
+  };
+  Row rows[] = {
+      {"naive", tag::TagEngineMode::kNaive},
+      {"prefilter", tag::TagEngineMode::kPrefilter},
+      {"multi", tag::TagEngineMode::kMulti},
+  };
+
+  std::cout << "\n==== Tagging ablation (BG/L " << workload << ", "
+            << c.lines.size() << " lines) ====\n";
+  for (Row& row : rows) {
+    const tag::TagEngine& engine = engine_for(row.mode);
+    match::MatchScratch scratch;
+    row.hits = tag_pass(c, engine, scratch);  // warm-up (DFA cache, scratch)
+    double best_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t hits = tag_pass(c, engine, scratch);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (hits != row.hits) std::abort();  // modes must agree with themselves
+      best_s =
+          std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    row.lines_per_sec = lines / best_s;
+  }
+  if (rows[0].hits != rows[1].hits || rows[0].hits != rows[2].hits) {
+    std::cerr << "FATAL: ablation modes disagree on tag counts: naive="
+              << rows[0].hits << " prefilter=" << rows[1].hits
+              << " multi=" << rows[2].hits << "\n";
+    std::abort();
+  }
+
+  const double naive_lps = rows[0].lines_per_sec;
+  std::string json = util::format(
+      "{\"bench\":\"perf_tagging\",\"workload\":\"%s\",\"lines\":%zu,"
+      "\"tagged\":%zu,\"ablation\":[",
+      workload, c.lines.size(), rows[0].hits);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Row& row = rows[i];
+    const double speedup = naive_lps > 0 ? row.lines_per_sec / naive_lps : 1.0;
+    std::cout << util::format("  %-9s  %10.0f lines/sec  (%.2fx naive)\n",
+                              row.name, row.lines_per_sec, speedup);
+    json += util::format(
+        "%s{\"mode\":\"%s\",\"lines_per_sec\":%.1f,\"speedup\":%.3f}",
+        i == 0 ? "" : ",", row.name, row.lines_per_sec, speedup);
+  }
+  json += "]}";
+  std::ofstream os("BENCH_tagging.json", std::ios::app);
+  if (os) os << json << "\n";
+  std::cout << "(appended to BENCH_tagging.json)\n";
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::cout << "==== Perf: tagging throughput (41 BG/L rules, "
-            << corpus().lines.size() << " lines) ====\n\n";
+  std::cout << "==== Perf: tagging throughput (BG/L rules, "
+            << mixed_corpus().lines.size() << " mixed / "
+            << miss_corpus().lines.size() << " miss-only lines) ====\n\n";
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  wss::bench::emit_pipeline_threads_sweep("perf_tagging");
+  emit_tagging_ablation("bgl mixed cap=2000 chatter=30000", mixed_corpus());
+  emit_tagging_ablation("bgl miss-path (untagged lines only)", miss_corpus());
   return 0;
 }

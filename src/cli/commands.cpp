@@ -171,10 +171,11 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
   std::size_t kept = 0;
 
   logio::ReadStats stats;
+  match::MatchScratch scratch;  // reused across every line of the file
   try {
     stats = logio::read_log(*in_path, *system, year,
                             [&](const parse::LogRecord& rec) {
-      const auto tagged = engine.tag(rec);
+      const auto tagged = engine.tag(rec, scratch);
       if (!tagged) return;
       ++alerts;
       ++raw_counts[tagged->category];

@@ -58,11 +58,15 @@ PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
     pool.reserve(static_cast<std::size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
+        // Worker-owned matching scratch, reused across every chunk
+        // this worker pops: the steady-state tag path allocates
+        // nothing, and the lazy-DFA cache warms once per thread.
+        match::MatchScratch scratch;
         while (auto chunk = queue.pop()) {
           if (failed.load(std::memory_order_relaxed)) continue;
           try {
             partials[*chunk] = detail::process_chunk(
-                ctx, shards[*chunk].begin, shards[*chunk].end);
+                ctx, shards[*chunk].begin, shards[*chunk].end, scratch);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!failed.exchange(true)) first_error = std::current_exception();

@@ -18,7 +18,8 @@ PipelineResult make_partial(const ChunkContext& ctx) {
 }
 
 void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
-                  std::string_view line, PipelineResult& r) {
+                  std::string_view line, PipelineResult& r,
+                  match::MatchScratch& scratch) {
   ++r.physical_messages;
   r.weighted_messages += e.weight;
   r.physical_bytes += line.size() + 1;  // trailing newline on disk
@@ -32,7 +33,7 @@ void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
   if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
 
   // Tag.
-  const auto tagged = ctx.engine->tag(rec);
+  const auto tagged = ctx.engine->tag(rec, scratch);
   r.tagging.add(tagged.has_value(), e.is_alert());
   if (tagged) {
     filter::Alert a;
@@ -60,12 +61,13 @@ void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
 }
 
 PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
-                             std::size_t end) {
+                             std::size_t end, match::MatchScratch& scratch) {
   const sim::Simulator& simulator = *ctx.simulator;
   PipelineResult r = make_partial(ctx);
   const auto& events = simulator.events();
   for (std::size_t i = begin; i < end; ++i) {
-    process_line(ctx, events[i], simulator.renderer().render(events[i], i), r);
+    process_line(ctx, events[i], simulator.renderer().render(events[i], i), r,
+                 scratch);
   }
   return r;
 }
@@ -138,9 +140,11 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
   r.system = system;
   r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
   r.physical_alert_counts.assign(ctx.num_categories, 0);
+  match::MatchScratch scratch;  // reused across every line of the pass
   for (std::size_t begin = 0; begin < n; begin += chunk) {
-    detail::merge_partial(
-        r, detail::process_chunk(ctx, begin, std::min(begin + chunk, n)));
+    detail::merge_partial(r, detail::process_chunk(
+                                 ctx, begin, std::min(begin + chunk, n),
+                                 scratch));
   }
   detail::finalize_result(r);
   return r;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "filter/alert.hpp"
+#include "match/scratch.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
 #include "tag/evaluate.hpp"
@@ -112,13 +113,17 @@ PipelineResult make_partial(const ChunkContext& ctx);
 /// per-event semantics of the pipeline -- process_chunk and the online
 /// stream::StreamPipeline both call it, which is what makes their
 /// outputs bit-identical on the same (event, line) sequence.
+/// `scratch` is the caller-owned per-thread matching scratch, reused
+/// across lines so the steady-state tag path never allocates.
 void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
-                  std::string_view line, PipelineResult& r);
+                  std::string_view line, PipelineResult& r,
+                  match::MatchScratch& scratch);
 
 /// Reduces events [begin, end) to a partial result. Pure function of
-/// its arguments; safe to call concurrently for disjoint ranges.
+/// its arguments; safe to call concurrently for disjoint ranges with
+/// distinct scratches (ParallelPipeline keeps one per worker).
 PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
-                             std::size_t end);
+                             std::size_t end, match::MatchScratch& scratch);
 
 /// Folds `part` into `acc`. MUST be called in chunk-index order --
 /// the merge order is what the determinism guarantee hangs on.

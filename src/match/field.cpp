@@ -14,29 +14,35 @@ void LinePredicate::add_term(int field, std::string_view pattern, bool negated,
   terms_.push_back(std::move(t));
 }
 
-bool LinePredicate::matches(std::string_view line) const {
+bool LinePredicate::matches(std::string_view line,
+                            MatchScratch& scratch) const {
   if (terms_.empty()) return false;
-  std::vector<std::string_view> fields;
   bool fields_computed = false;
   for (const Term& t : terms_) {
     bool hit;
     if (t.field == 0) {
-      hit = t.re->search(line);
+      hit = t.re->search(line, scratch.pike);
     } else {
       if (!fields_computed) {
-        fields = util::split_fields(line);
+        util::split_fields(line, scratch.fields);
         fields_computed = true;
       }
       const auto idx = static_cast<std::size_t>(t.field - 1);
       // awk: a reference to a field beyond NF yields the empty string.
-      const std::string_view f = idx < fields.size() ? fields[idx]
-                                                     : std::string_view{};
-      hit = t.re->search(f);
+      const std::string_view f = idx < scratch.fields.size()
+                                     ? scratch.fields[idx]
+                                     : std::string_view{};
+      hit = t.re->search(f, scratch.pike);
     }
     if (t.negated) hit = !hit;
     if (!hit) return false;
   }
   return true;
+}
+
+bool LinePredicate::matches(std::string_view line) const {
+  thread_local MatchScratch scratch;
+  return matches(line, scratch);
 }
 
 }  // namespace wss::match

@@ -37,6 +37,11 @@ class LinePredicate {
   /// some term needs them).
   bool matches(std::string_view line) const;
 
+  /// Same, with caller-owned scratch: the field split and the Pike-VM
+  /// thread lists come from `scratch`, so the steady-state evaluation
+  /// allocates nothing.
+  bool matches(std::string_view line, MatchScratch& scratch) const;
+
   /// True if no terms have been added.
   bool empty() const { return terms_.empty(); }
 

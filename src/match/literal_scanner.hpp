@@ -1,0 +1,87 @@
+// Multi-literal substring search: an Aho–Corasick automaton over the
+// required literals of every rule in a RuleSet.
+//
+// The tag engine's old fast path probed each rule's single required
+// literal with an independent memmem -- N passes over the line. A
+// LiteralScanner finds all N literals in ONE pass: the goto/fail trie
+// is flattened into a dense DFA at build time, so the scan is one
+// table lookup per input byte regardless of how many literals are
+// registered. The result is a bitset of literal ids present in the
+// line, from which the engine derives the candidate rule set (a rule
+// whose required literal is absent cannot match).
+//
+// Three layout decisions keep the per-byte cost at a few cycles
+// (DESIGN.md section 5d):
+//   - byte-class compression: bytes occurring in no literal share one
+//     column, so a row is ~tens of entries instead of 256 and the hot
+//     rows live in L1;
+//   - accepting states are renumbered to the top of the id space, so
+//     "did this byte complete a literal?" is a register compare
+//     (state >= out_min_), not a table load;
+//   - the root state's self-loop is peeled into a 256-byte skip table
+//     plus an 8 KiB first-two-bytes bitmap, so bytes that start no
+//     literal (digits, punctuation, most of a log line's
+//     timestamp/location prefix) -- and bytes whose two-byte window
+//     extends no literal prefix ('e' of "end" when the literals say
+//     "ecc") -- never touch the transition table at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "match/scratch.hpp"
+
+namespace wss::match {
+
+/// Immutable multi-pattern substring matcher. Thread-compatible:
+/// scan() is const and touches only caller-owned output.
+class LiteralScanner {
+ public:
+  /// Builds the automaton; literal ids are indices into `literals`.
+  /// Duplicate literals are allowed (both ids are reported); empty
+  /// literals are not (throws std::invalid_argument -- an empty
+  /// required literal means "no prefilter", which the caller models by
+  /// not registering the rule here at all).
+  explicit LiteralScanner(std::vector<std::string> literals);
+
+  std::size_t size() const { return literals_.size(); }
+  std::size_t bitset_words() const { return (size() + 63) / 64; }
+  const std::vector<std::string>& literals() const { return literals_; }
+
+  /// Sets bit i of `found` for every literal i occurring anywhere in
+  /// `text`. `found` must hold bitset_words() zeroed words; bits are
+  /// only ever set, so a caller may accumulate across fragments.
+  void scan(std::string_view text, std::uint64_t* found) const;
+
+  // ---- Diagnostics ----
+  /// Number of automaton states.
+  std::size_t states() const {
+    return num_classes_ ? trans_.size() >> shift_ : 0;
+  }
+  /// Number of byte classes (distinct literal bytes + 1 catch-all).
+  std::size_t byte_classes() const { return num_classes_; }
+
+ private:
+  std::vector<std::string> literals_;
+  /// Transition table, trans_[(state << shift_) | byte_class]; state 0
+  /// is the root, states >= out_min_ accept at least one literal.
+  std::vector<std::uint16_t> trans_;
+  std::uint8_t byte_class_[256] = {};
+  /// true for bytes on the root's self-loop (start no literal).
+  std::uint8_t root_stay_[256] = {};
+  /// Bit (b0 << 8 | b1) set iff a literal may start with bytes b0 b1
+  /// (the exact two-byte prefixes of length >= 2 literals, plus every
+  /// pair whose b0 is a one-byte literal). 1024 words = 8 KiB.
+  std::vector<std::uint64_t> pair_start_;
+  std::uint32_t num_classes_ = 0;
+  std::uint32_t shift_ = 0;    ///< log2 of the padded row stride
+  std::uint32_t out_min_ = 0;  ///< first accepting state id
+  /// Literal ids accepted by state out_min_ + k live at
+  /// out_ids_[out_offsets_[k] .. out_offsets_[k+1]).
+  std::vector<std::uint32_t> out_offsets_;
+  std::vector<std::uint16_t> out_ids_;
+};
+
+}  // namespace wss::match

@@ -81,20 +81,19 @@ std::uint32_t Regex::compile_node(const Node& n) {
   return start;
 }
 
-bool Regex::run(std::string_view text, bool anchored_start,
-                bool require_end) const {
+bool Regex::run(std::string_view text, bool anchored_start, bool require_end,
+                PikeScratch& scratch) const {
   // Thread lists hold program counters of kClass instructions waiting
   // to consume the next byte. `mark` dedups threads per generation.
-  std::vector<std::uint32_t> clist;
-  std::vector<std::uint32_t> nlist;
-  std::vector<std::uint32_t> mark(prog_.size(), 0);
-  std::uint32_t gen = 0;
-  std::vector<std::uint32_t> stack;
+  scratch.prepare(prog_.size());
+  std::vector<std::uint32_t>& clist = scratch.clist;
+  std::vector<std::uint32_t>& nlist = scratch.nlist;
+  std::vector<std::uint32_t>& stack = scratch.stack;
+  std::vector<std::uint32_t>& mark = scratch.mark;
+  clist.clear();
+  nlist.clear();
 
-  const auto is_word = [](char c) {
-    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-           (c >= '0' && c <= '9') || c == '_';
-  };
+  std::uint32_t gen = scratch.next_gen();
   const auto add = [&](std::uint32_t pc0, std::size_t pos,
                        std::vector<std::uint32_t>& list) -> bool {
     stack.clear();
@@ -123,8 +122,8 @@ bool Regex::run(std::string_view text, bool anchored_start,
           if (pos == text.size()) stack.push_back(pc + 1);
           break;
         case Op::kWordB: {
-          const bool before = pos > 0 && is_word(text[pos - 1]);
-          const bool after = pos < text.size() && is_word(text[pos]);
+          const bool before = pos > 0 && is_word_byte(text[pos - 1]);
+          const bool after = pos < text.size() && is_word_byte(text[pos]);
           const bool at_boundary = before != after;
           if (at_boundary == (in.x == 0)) stack.push_back(pc + 1);
           break;
@@ -137,7 +136,6 @@ bool Regex::run(std::string_view text, bool anchored_start,
     return false;
   };
 
-  ++gen;
   for (std::size_t pos = 0;; ++pos) {
     if (pos == 0 || !anchored_start) {
       if (add(0, pos, clist)) return true;
@@ -146,7 +144,7 @@ bool Regex::run(std::string_view text, bool anchored_start,
     if (clist.empty() && anchored_start) break;  // no live threads remain
     const auto c = static_cast<unsigned char>(text[pos]);
     nlist.clear();
-    ++gen;
+    gen = scratch.next_gen();
     for (const std::uint32_t pc : clist) {
       if (prog_[pc].cls.contains(c)) {
         if (add(pc + 1, pos + 1, nlist)) return true;
@@ -157,16 +155,29 @@ bool Regex::run(std::string_view text, bool anchored_start,
   return false;
 }
 
-bool Regex::search(std::string_view text, bool use_prefilter) const {
+namespace {
+PikeScratch& thread_local_pike_scratch() {
+  thread_local PikeScratch scratch;
+  return scratch;
+}
+}  // namespace
+
+bool Regex::search(std::string_view text, PikeScratch& scratch,
+                   bool use_prefilter) const {
   if (use_prefilter && !literal_.empty() &&
       text.find(literal_) == std::string_view::npos) {
     return false;
   }
-  return run(text, /*anchored_start=*/false, /*require_end=*/false);
+  return run(text, /*anchored_start=*/false, /*require_end=*/false, scratch);
+}
+
+bool Regex::search(std::string_view text, bool use_prefilter) const {
+  return search(text, thread_local_pike_scratch(), use_prefilter);
 }
 
 bool Regex::full_match(std::string_view text) const {
-  return run(text, /*anchored_start=*/true, /*require_end=*/true);
+  return run(text, /*anchored_start=*/true, /*require_end=*/true,
+             thread_local_pike_scratch());
 }
 
 }  // namespace wss::match

@@ -6,6 +6,10 @@
 // with zero backtracking, so hostile or degenerate log content cannot
 // blow up tagging time. Bounded repetitions are expanded at compile
 // time (bounds are capped at kMaxRepeat).
+//
+// The compiled program (match/prog.hpp) is exposed read-only so that
+// match::MultiRegex can relocate many Regex programs into one combined
+// automaton and match them all in a single pass (see multiregex.hpp).
 #pragma once
 
 #include <cstdint>
@@ -15,13 +19,18 @@
 #include <vector>
 
 #include "match/pattern.hpp"
+#include "match/prog.hpp"
+#include "match/scratch.hpp"
 
 namespace wss::match {
 
 /// A compiled, immutable regular expression.
 ///
-/// Thread-compatibility: `search`/`match` are const and allocate their
-/// scratch per call, so a single Regex may be shared across threads.
+/// Thread-compatibility: `search`/`match` are const. The overloads
+/// without a scratch argument use a thread_local PikeScratch; the
+/// scratch-taking overloads are for callers that manage reuse
+/// explicitly (the tag engine's hot path). Either way a single Regex
+/// may be shared across threads.
 class Regex {
  public:
   /// Compiles `pattern`; throws PatternError on invalid syntax.
@@ -32,6 +41,10 @@ class Regex {
   /// required-literal fast path (exposed for the tagging ablation
   /// bench; results are identical).
   bool search(std::string_view text, bool use_prefilter = true) const;
+
+  /// Same, with caller-owned scratch (no per-call allocation).
+  bool search(std::string_view text, PikeScratch& scratch,
+              bool use_prefilter = true) const;
 
   /// True if the pattern matches the whole of `text`.
   bool full_match(std::string_view text) const;
@@ -47,35 +60,22 @@ class Regex {
   /// Number of compiled instructions (for tests and diagnostics).
   std::size_t program_size() const { return prog_.size(); }
 
+  /// The compiled program: read-only, for MultiRegex relocation.
+  const Prog& prog() const { return prog_; }
+
  private:
-  enum class Op : std::uint8_t {
-    kClass,  ///< consume one byte in cls, go to next instruction
-    kSplit,  ///< fork to x and y
-    kJump,   ///< go to x
-    kBegin,  ///< zero-width: succeed only at text start
-    kEnd,    ///< zero-width: succeed only at text end
-    kWordB,  ///< zero-width: word boundary (x = 1 for \B)
-    kMatch,  ///< accept
-  };
-
-  struct Inst {
-    Op op;
-    std::uint32_t x = 0;
-    std::uint32_t y = 0;
-    CharClass cls;
-  };
-
   /// Core simulation. If `anchored_start`, threads start only at
   /// position 0; if `require_end`, kMatch is accepted only once the
   /// whole text is consumed.
-  bool run(std::string_view text, bool anchored_start, bool require_end) const;
+  bool run(std::string_view text, bool anchored_start, bool require_end,
+           PikeScratch& scratch) const;
 
   std::uint32_t emit(Inst inst);
   std::uint32_t compile_node(const Node& n);
 
   std::string pattern_;
   std::string literal_;
-  std::vector<Inst> prog_;
+  Prog prog_;
 };
 
 }  // namespace wss::match

@@ -1,0 +1,95 @@
+// Caller-owned scratch for the matching hot path.
+//
+// The tag engine runs over hundreds of millions of lines; allocating
+// thread lists, bitsets, and field arrays per line would dominate the
+// cost of matching itself. A MatchScratch owns every per-line buffer
+// the match/tag stack needs -- Pike-VM thread lists, the literal /
+// candidate / matched bitsets, the lazy awk field split, and the
+// lazy-DFA state cache -- and is reused across lines. One scratch per
+// thread; the engines themselves stay immutable and const-shareable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace wss::match {
+
+/// Thread lists and visit marks for one Pike-VM simulation. Reusable
+/// across programs of any size (prepare() grows the mark array).
+struct PikeScratch {
+  std::vector<std::uint32_t> clist;
+  std::vector<std::uint32_t> nlist;
+  std::vector<std::uint32_t> stack;
+  /// mark[pc] == gen means pc was already added this generation. gen
+  /// only ever grows (reset to 0 with a full clear on wraparound), so
+  /// stale marks from earlier lines -- or other programs -- never
+  /// alias.
+  std::vector<std::uint32_t> mark;
+  std::uint32_t gen = 0;
+
+  /// Ensures mark covers `prog_size` pcs; amortized no-op.
+  void prepare(std::size_t prog_size) {
+    if (mark.size() < prog_size) mark.resize(prog_size, 0);
+  }
+
+  /// Starts a new dedup generation and returns it.
+  std::uint32_t next_gen() {
+    if (gen == ~std::uint32_t{0}) {
+      std::fill(mark.begin(), mark.end(), 0);
+      gen = 0;
+    }
+    return ++gen;
+  }
+};
+
+/// Opaque base for the per-scratch lazy-DFA state cache; the concrete
+/// type lives in multiregex.cpp.
+struct DfaCacheBase {
+  virtual ~DfaCacheBase() = default;
+};
+
+/// All per-line mutable state for the match/tag stack. Default
+/// constructible; buffers grow to their steady-state sizes within the
+/// first few lines and are never shrunk.
+class MatchScratch {
+ public:
+  PikeScratch pike;
+
+  // Bitsets, one std::uint64_t word per 64 ids. Sized by the engines.
+  std::vector<std::uint64_t> found;        ///< literal ids present in line
+  std::vector<std::uint64_t> candidates;   ///< rule ids passing the prefilter
+  std::vector<std::uint64_t> interesting;  ///< pattern ids worth deciding
+  std::vector<std::uint64_t> matched;      ///< pattern ids that match the line
+
+  /// Lazy awk-style field split of the current line.
+  std::vector<std::string_view> fields;
+
+  /// Lazy-DFA state cache, owned here so the MultiRegex stays const and
+  /// shareable across threads. `dfa_owner` is the owning MultiRegex's
+  /// unique instance id (never an address -- addresses can be reused
+  /// after destruction, which would resurrect a stale cache); a
+  /// different owner resets it. 0 = no cache yet.
+  std::unique_ptr<DfaCacheBase> dfa;
+  std::uint64_t dfa_owner = 0;
+
+  // ---- Diagnostics (tests and the tagging bench read these) ----
+  std::uint64_t dfa_scans = 0;            ///< lines decided by the lazy DFA
+  std::uint64_t pike_fallback_scans = 0;  ///< lines decided by the Pike VM
+  std::uint64_t dfa_flushes = 0;          ///< cache blowups (state evictions)
+};
+
+/// Bitset helpers over the word vectors above.
+inline void bitset_clear(std::vector<std::uint64_t>& bits, std::size_t words) {
+  bits.assign(words, 0);
+}
+inline void bitset_set(std::uint64_t* bits, std::size_t i) {
+  bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+}
+inline bool bitset_test(const std::uint64_t* bits, std::size_t i) {
+  return (bits[i >> 6] >> (i & 63)) & 1;
+}
+
+}  // namespace wss::match

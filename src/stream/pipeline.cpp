@@ -33,7 +33,7 @@ void StreamPipeline::ingest(const sim::SimEvent& e, std::string_view line) {
   // Reduce into the open chunk partial with the shared batch reducer,
   // then let the study state advance chunk bookkeeping (it merges the
   // partial at every chunk_events boundary, exactly like run_pipeline).
-  core::detail::process_line(ctx_, e, line, study_.partial());
+  core::detail::process_line(ctx_, e, line, study_.partial(), scratch_);
   study_.on_event(e, line);
 
   if (e.is_alert()) {
@@ -91,7 +91,7 @@ void StreamPipeline::ingest_line(std::string_view line) {
   e.severity = rec.severity;
   e.weight = 1.0;
 
-  const auto tagged = engine_.tag(rec);
+  const auto tagged = engine_.tag(rec, scratch_);
   filter::Alert a;
   if (tagged) {
     e.category = static_cast<std::int32_t>(tagged->category);

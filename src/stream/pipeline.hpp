@@ -115,6 +115,11 @@ class StreamPipeline {
   // the same bound cmd_analyze accepts.
   logio::YearTracker year_;
   std::map<std::string, std::uint32_t> source_ids_;
+
+  // Per-engine matching scratch, reused across every ingested line.
+  // Purely transient (cleared at the start of each tag call), so it is
+  // deliberately NOT part of save()/restore().
+  match::MatchScratch scratch_;
 };
 
 }  // namespace wss::stream

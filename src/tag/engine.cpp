@@ -1,19 +1,200 @@
 #include "tag/engine.hpp"
 
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "util/strings.hpp"
+
 namespace wss::tag {
 
-std::optional<TagResult> TagEngine::tag_line(std::string_view raw_line) const {
-  const auto& rules = rules_.rules();
-  for (std::size_t i = 0; i < rules.size(); ++i) {
-    if (rules[i].predicate.matches(raw_line)) {
-      return TagResult{static_cast<std::uint16_t>(i), rules[i].type};
+namespace {
+
+match::MatchScratch& thread_local_scratch() {
+  thread_local match::MatchScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+TagEngineMode TagEngine::mode_from_env() {
+  const char* env = std::getenv("WSS_TAG_ENGINE");
+  if (env == nullptr) return TagEngineMode::kMulti;
+  if (std::strcmp(env, "naive") == 0) return TagEngineMode::kNaive;
+  if (std::strcmp(env, "prefilter") == 0) return TagEngineMode::kPrefilter;
+  return TagEngineMode::kMulti;
+}
+
+TagEngine::TagEngine(RuleSet rules, TagEngineMode mode)
+    : rules_(std::move(rules)), mode_(mode) {
+  // Compile the rule plans: every whole-line term becomes a pattern of
+  // the combined set matcher; every non-negated term with a provable
+  // required literal contributes to the Aho–Corasick prefilter. (A
+  // negated term cannot gate candidacy: its conjunct is SATISFIED when
+  // the pattern -- and hence its literal -- is absent.)
+  std::vector<std::string> literals;
+  std::map<std::string, std::uint16_t> literal_ids;
+  std::vector<const match::Regex*> patterns;
+  const auto& rule_list = rules_.rules();
+  plans_.reserve(rule_list.size());
+  for (const Rule& rule : rule_list) {
+    RulePlan plan;
+    plan.type = rule.type;
+    plan.never = rule.predicate.empty();
+    for (const match::Term& t : rule.predicate.terms()) {
+      TermPlan tp;
+      tp.field = t.field;
+      tp.negated = t.negated;
+      tp.re = t.re.get();
+      if (t.field == 0) {
+        tp.pid = static_cast<std::uint32_t>(patterns.size());
+        patterns.push_back(t.re.get());
+      }
+      if (!t.negated && !t.re->prefilter_literal().empty()) {
+        const std::string& lit = t.re->prefilter_literal();
+        const auto [it, inserted] = literal_ids.emplace(
+            lit, static_cast<std::uint16_t>(literals.size()));
+        if (inserted) literals.push_back(lit);
+        plan.lits.push_back(it->second);
+      }
+      plan.terms.push_back(tp);
+    }
+    plans_.push_back(std::move(plan));
+  }
+  literals_ = std::make_unique<match::LiteralScanner>(std::move(literals));
+  multi_ = std::make_unique<match::MultiRegex>(std::move(patterns));
+  for (const RulePlan& plan : plans_) {
+    if (!plan.never && plan.lits.empty()) has_ungated_rule_ = true;
+  }
+  // Flatten each rule's required-literal set into one contiguous mask
+  // row: the candidate test becomes sequential word ANDs over a flat
+  // array instead of chasing per-rule id vectors.
+  lit_words_ = literals_->bitset_words();
+  lit_masks_.assign(plans_.size() * lit_words_, 0);
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    for (const std::uint16_t lit : plans_[i].lits) {
+      match::bitset_set(lit_masks_.data() + i * lit_words_, lit);
+    }
+  }
+
+  const std::size_t pid_words = multi_->bitset_words();
+  rule_pids_.resize(plans_.size());
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    rule_pids_[i].assign(pid_words, 0);
+    for (const TermPlan& t : plans_[i].terms) {
+      if (t.field == 0) {
+        match::bitset_set(rule_pids_[i].data(), t.pid);
+      }
+    }
+  }
+}
+
+std::optional<TagResult> TagEngine::tag_line_scan(
+    std::string_view line, match::MatchScratch& scratch,
+    const std::uint64_t* candidates) const {
+  const auto& rule_list = rules_.rules();
+  for (std::size_t i = 0; i < rule_list.size(); ++i) {
+    if (candidates != nullptr && !match::bitset_test(candidates, i)) continue;
+    if (rule_list[i].predicate.matches(line, scratch)) {
+      return TagResult{static_cast<std::uint16_t>(i), rule_list[i].type};
     }
   }
   return std::nullopt;
 }
 
+std::optional<TagResult> TagEngine::tag_line(
+    std::string_view line, match::MatchScratch& scratch) const {
+  if (mode_ == TagEngineMode::kNaive) {
+    return tag_line_scan(line, scratch, nullptr);
+  }
+
+  // 1. One Aho–Corasick pass over the line: which required literals
+  //    occur? From that, which rules are still candidates?
+  match::bitset_clear(scratch.found, literals_->bitset_words());
+  literals_->scan(line, scratch.found.data());
+  // Typical chatter contains no required literal at all; unless some
+  // rule is ungated (no provable literal), such a line is decided by
+  // the scan alone.
+  std::uint64_t found_any = 0;
+  for (const std::uint64_t w : scratch.found) found_any |= w;
+  if (found_any == 0 && !has_ungated_rule_) return std::nullopt;
+  const std::size_t rule_words = (plans_.size() + 63) / 64;
+  match::bitset_clear(scratch.candidates, rule_words);
+  bool any_candidate = false;
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (plans_[i].never) continue;
+    const std::uint64_t* mask = lit_masks_.data() + i * lit_words_;
+    bool candidate = true;
+    for (std::size_t w = 0; w < lit_words_; ++w) {
+      candidate &= (scratch.found[w] & mask[w]) == mask[w];
+    }
+    if (candidate) {
+      match::bitset_set(scratch.candidates.data(), i);
+      any_candidate = true;
+    }
+  }
+  if (!any_candidate) return std::nullopt;  // the chatter fast path
+
+  if (mode_ == TagEngineMode::kPrefilter) {
+    return tag_line_scan(line, scratch, scratch.candidates.data());
+  }
+
+  // 2. One set-matching pass decides every whole-line term of every
+  //    candidate rule at once.
+  match::bitset_clear(scratch.interesting, multi_->bitset_words());
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (!match::bitset_test(scratch.candidates.data(), i)) continue;
+    const auto& mask = rule_pids_[i];
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+      scratch.interesting[w] |= mask[w];
+    }
+  }
+  multi_->match_all(line, scratch, scratch.interesting.data());
+
+  // 3. First match wins, by rule index -- identical to the naive loop.
+  bool fields_ready = false;
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (!match::bitset_test(scratch.candidates.data(), i)) continue;
+    const RulePlan& plan = plans_[i];
+    bool ok = true;
+    for (const TermPlan& t : plan.terms) {
+      bool hit;
+      if (t.field == 0) {
+        hit = match::bitset_test(scratch.matched.data(), t.pid);
+      } else {
+        if (!fields_ready) {
+          util::split_fields(line, scratch.fields);
+          fields_ready = true;
+        }
+        const auto idx = static_cast<std::size_t>(t.field - 1);
+        // awk: a reference to a field beyond NF is the empty string.
+        const std::string_view f = idx < scratch.fields.size()
+                                       ? scratch.fields[idx]
+                                       : std::string_view{};
+        hit = t.re->search(f, scratch.pike);
+      }
+      if (t.negated) hit = !hit;
+      if (!hit) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return TagResult{static_cast<std::uint16_t>(i), plan.type};
+  }
+  return std::nullopt;
+}
+
+std::optional<TagResult> TagEngine::tag_line(std::string_view line) const {
+  return tag_line(line, thread_local_scratch());
+}
+
+std::optional<TagResult> TagEngine::tag(const parse::LogRecord& rec,
+                                        match::MatchScratch& scratch) const {
+  return tag_line(rec.raw, scratch);
+}
+
 std::optional<TagResult> TagEngine::tag(const parse::LogRecord& rec) const {
-  return tag_line(rec.raw);
+  return tag_line(rec.raw, thread_local_scratch());
 }
 
 }  // namespace wss::tag

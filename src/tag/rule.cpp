@@ -6,8 +6,14 @@ namespace wss::tag {
 
 RuleSet::RuleSet(parse::SystemId system, std::vector<Rule> rules)
     : system_(system), rules_(std::move(rules)) {
-  if (rules_.size() > 0xffff) {
-    throw std::invalid_argument("RuleSet: too many rules for uint16 category");
+  if (rules_.size() > kMaxRules) {
+    throw std::invalid_argument(
+        "RuleSet: " + std::to_string(rules_.size()) +
+        " rules exceed the tag engine's candidate-bitset capacity of " +
+        std::to_string(kMaxRules) + " (kCandidateBitsetWords = " +
+        std::to_string(kCandidateBitsetWords) +
+        " x 64-bit words); raise tag::kCandidateBitsetWords in "
+        "tag/rule.hpp to grow it");
   }
 }
 

@@ -27,6 +27,14 @@ struct Rule {
   match::LinePredicate predicate;   ///< evaluated on the raw line
 };
 
+/// Candidate-rule bitsets in the tag engine are sized in
+/// std::uint64_t words; this is the word count, and 64x it is the
+/// hard cap on rules per set (enforced by the RuleSet constructor).
+/// The largest real catalog (BG/L) has 41 rules, so 16 words = 1024
+/// rules leaves an order of magnitude of headroom.
+inline constexpr std::size_t kCandidateBitsetWords = 16;
+inline constexpr std::size_t kMaxRules = kCandidateBitsetWords * 64;
+
 /// The ordered rule list for one system; first match wins.
 class RuleSet {
  public:

@@ -24,6 +24,10 @@ std::vector<std::string_view> split(std::string_view s, char sep);
 /// field predicates ($1, $2, ...).
 std::vector<std::string_view> split_fields(std::string_view s);
 
+/// Same, into a caller-owned buffer (cleared first). The tag engine's
+/// per-line hot path reuses one buffer to stay allocation-free.
+void split_fields(std::string_view s, std::vector<std::string_view>& out);
+
 /// True if `s` begins with `prefix`.
 bool starts_with(std::string_view s, std::string_view prefix);
 

@@ -1,0 +1,255 @@
+// Required-literal extraction (the per-rule prefilter contract) and
+// the Aho-Corasick LiteralScanner that batches those literals into one
+// pass. Both sit under the tag engine's candidate gating, so a wrong
+// answer here silently drops alerts -- the scanner is checked against
+// brute-force substring search.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "match/literal_scanner.hpp"
+#include "match/nfa.hpp"
+#include "match/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace wss::match {
+namespace {
+
+// ---- required_literal() edge cases --------------------------------
+
+TEST(RequiredLiteral, PlainLiteralIsItself) {
+  EXPECT_EQ(required_literal("data TLB error interrupt"),
+            "data TLB error interrupt");
+}
+
+TEST(RequiredLiteral, AlternationWithoutCommonLiteralYieldsNothing) {
+  // Either branch can satisfy the match, so no literal is required.
+  EXPECT_EQ(required_literal("error|fail"), "");
+  EXPECT_EQ(required_literal("(panic|oops)"), "");
+}
+
+TEST(RequiredLiteral, AlternationDoesNotPoisonSurroundingRuns) {
+  // The literal before/after the alternation is still mandatory; the
+  // scan keeps the longest such run.
+  const std::string lit = required_literal("kernel: (read|write) fault");
+  EXPECT_EQ(lit, "kernel: ");
+  const Regex re("kernel: (read|write) fault");
+  EXPECT_EQ(re.prefilter_literal(), lit);
+}
+
+TEST(RequiredLiteral, AnchorsAreZeroWidth) {
+  // ^/$/\b do not break a literal run -- every match still contains it.
+  EXPECT_EQ(required_literal("^MACHINE CHECK$"), "MACHINE CHECK");
+  EXPECT_EQ(required_literal("\\berror\\b"), "error");
+}
+
+TEST(RequiredLiteral, CaseInsensitiveYieldsNothing) {
+  ParseOptions opts;
+  opts.case_insensitive = true;
+  // Each letter matches two bytes, so no byte string is required.
+  EXPECT_EQ(required_literal("FAILURE", opts), "");
+}
+
+TEST(RequiredLiteral, NonSingletonClassBreaksTheRun) {
+  EXPECT_EQ(required_literal("[0-9]+ microseconds"), " microseconds");
+  EXPECT_EQ(required_literal("rts: [kp]anic"), "rts: ");
+}
+
+TEST(RequiredLiteral, SingletonClassExtendsTheRun) {
+  EXPECT_EQ(required_literal("[e]rror [c]ode"), "error code");
+  EXPECT_EQ(required_literal("\\.\\*literal"), ".*literal");
+}
+
+TEST(RequiredLiteral, BoundedRepeats) {
+  // {0,n} makes the atom optional: nothing inside is required.
+  EXPECT_EQ(required_literal("ab{0,3}"), "a");
+  // min >= 1 guarantees at least one occurrence of the atom, so the
+  // run extends through the first repetition before the scan flushes.
+  EXPECT_EQ(required_literal("link error x{2,4} retry"), "link error x");
+  const std::string lit = required_literal("failure{1,3} detected");
+  EXPECT_FALSE(lit.empty());
+  // Whatever is claimed must genuinely appear in every match.
+  const Regex re("failure{1,3} detected");
+  EXPECT_TRUE(re.search("node failuree detected"));
+  EXPECT_NE(std::string("failuree detected").find(lit), std::string::npos);
+}
+
+TEST(RequiredLiteral, StarAndOptionalContributeNothing) {
+  EXPECT_EQ(required_literal("a*b?c"), "c");
+  EXPECT_EQ(required_literal(".*ciod: Error.*"), "ciod: Error");
+}
+
+TEST(RequiredLiteral, ClaimedLiteralAlwaysGates) {
+  // The prefilter contract: literal absent => search cannot succeed.
+  // Spot-check with real rule-style patterns over matching lines.
+  const char* patterns[] = {
+      "kernel: (read|write) fault",  "^MACHINE CHECK",
+      "[0-9]+ ddr errors? detected", "rts: [kp]anic",
+      "(ido|service) node (down|unreachable)",
+  };
+  const char* lines[] = {
+      "Jun  3 15:42:50 sn373 kernel: read fault at 0xdeadbeef",
+      "MACHINE CHECK master abort",
+      "17 ddr errors detected and corrected",
+      "rts: kanic -- halting",
+      "service node down since 12:00",
+  };
+  for (const char* p : patterns) {
+    const Regex re(p);
+    const std::string& lit = re.prefilter_literal();
+    for (const char* line : lines) {
+      if (re.search(line, /*use_prefilter=*/false)) {
+        EXPECT_NE(std::string_view(line).find(lit), std::string_view::npos)
+            << "pattern=" << p << " line=" << line;
+      }
+    }
+  }
+}
+
+// ---- LiteralScanner vs brute force --------------------------------
+
+std::vector<bool> brute_force(const std::vector<std::string>& lits,
+                              std::string_view text) {
+  std::vector<bool> out(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    out[i] = text.find(lits[i]) != std::string_view::npos;
+  }
+  return out;
+}
+
+void expect_scan_equals_brute_force(const std::vector<std::string>& lits,
+                                    std::string_view text) {
+  const LiteralScanner scanner(lits);
+  std::vector<std::uint64_t> found(scanner.bitset_words(), 0);
+  scanner.scan(text, found.data());
+  const auto expected = brute_force(lits, text);
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    EXPECT_EQ(bitset_test(found.data(), i), expected[i])
+        << "literal=" << lits[i] << " text=" << text;
+  }
+}
+
+TEST(LiteralScanner, RejectsEmptyLiteral) {
+  EXPECT_THROW(LiteralScanner({std::string()}), std::invalid_argument);
+  EXPECT_THROW(LiteralScanner({"ok", ""}), std::invalid_argument);
+}
+
+TEST(LiteralScanner, EmptySetScansCleanly) {
+  const LiteralScanner scanner{std::vector<std::string>{}};
+  EXPECT_EQ(scanner.size(), 0u);
+  EXPECT_EQ(scanner.bitset_words(), 0u);
+  scanner.scan("anything", nullptr);  // zero words to write
+}
+
+TEST(LiteralScanner, OverlappingAndNestedLiterals) {
+  // "he"/"she"/"his"/"hers": the classic AC example where outputs must
+  // be merged down fail links to be found at all.
+  const std::vector<std::string> lits = {"he", "she", "his", "hers"};
+  expect_scan_equals_brute_force(lits, "ushers");
+  expect_scan_equals_brute_force(lits, "this");
+  expect_scan_equals_brute_force(lits, "ahishers");
+  expect_scan_equals_brute_force(lits, "");
+}
+
+TEST(LiteralScanner, DuplicateLiteralsReportBothIds) {
+  const std::vector<std::string> lits = {"err", "err", "warn"};
+  const LiteralScanner scanner(lits);
+  std::vector<std::uint64_t> found(scanner.bitset_words(), 0);
+  scanner.scan("an err occurred", found.data());
+  EXPECT_TRUE(bitset_test(found.data(), 0));
+  EXPECT_TRUE(bitset_test(found.data(), 1));
+  EXPECT_FALSE(bitset_test(found.data(), 2));
+}
+
+TEST(LiteralScanner, AccumulatesAcrossFragments) {
+  const std::vector<std::string> lits = {"alpha", "beta"};
+  const LiteralScanner scanner(lits);
+  std::vector<std::uint64_t> found(scanner.bitset_words(), 0);
+  scanner.scan("alpha only", found.data());
+  scanner.scan("beta only", found.data());
+  EXPECT_TRUE(bitset_test(found.data(), 0));
+  EXPECT_TRUE(bitset_test(found.data(), 1));
+}
+
+TEST(LiteralScanner, BinaryBytesAndWideBitsets) {
+  // >64 literals exercises the multi-word bitset; bytes >= 0x80
+  // exercise the unsigned-byte indexing of the dense table.
+  std::vector<std::string> lits;
+  for (int i = 0; i < 70; ++i) {
+    lits.push_back("lit" + std::to_string(i));
+  }
+  lits.push_back(std::string("\xff\xfe\x80", 3));
+  const LiteralScanner scanner(lits);
+  ASSERT_EQ(scanner.bitset_words(), 2u);
+  std::vector<std::uint64_t> found(scanner.bitset_words(), 0);
+  const std::string text = std::string("noise lit69 \xff\xfe\x80 lit7!");
+  scanner.scan(text, found.data());
+  const auto expected = brute_force(lits, text);
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    EXPECT_EQ(bitset_test(found.data(), i), expected[i]) << "i=" << i;
+  }
+}
+
+TEST(LiteralScanner, AllByteValuesInLiterals) {
+  // Every byte value 0..255 occurs in some literal, so the byte-class
+  // table has no catch-all members left -- the one value that cannot
+  // get its own class id must still map distinctly (at most one byte
+  // can share class 0, and only when no non-literal bytes exist).
+  std::vector<std::string> lits;
+  for (int c = 0; c < 256; ++c) {
+    lits.push_back(std::string(1, static_cast<char>(c)) + "x");
+  }
+  const LiteralScanner scanner(lits);
+  std::string text;
+  for (int c = 255; c >= 0; --c) {
+    text.push_back(static_cast<char>(c));
+    text.push_back('x');
+  }
+  expect_scan_equals_brute_force(lits, text);
+  expect_scan_equals_brute_force(lits, "plain ascii only");
+}
+
+TEST(LiteralScanner, RandomizedVsBruteForce) {
+  util::Rng rng(20260806);
+  static constexpr char kAlphabet[] = "abcde ";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<std::string> lits;
+    const std::size_t n = 1 + rng.uniform_u64(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string lit;
+      const std::size_t len = 1 + rng.uniform_u64(5);
+      for (std::size_t j = 0; j < len; ++j) {
+        lit.push_back(kAlphabet[rng.uniform_u64(sizeof(kAlphabet) - 1)]);
+      }
+      lits.push_back(std::move(lit));
+    }
+    std::string text;
+    const std::size_t len = rng.uniform_u64(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      text.push_back(kAlphabet[rng.uniform_u64(sizeof(kAlphabet) - 1)]);
+    }
+    expect_scan_equals_brute_force(lits, text);
+  }
+}
+
+TEST(LiteralScanner, RuleSetSizedCorpus) {
+  // The shape the tag engine actually builds: a few dozen distinct
+  // message fragments scanned against log-like lines.
+  const std::vector<std::string> lits = {
+      "data TLB error",     "MACHINE CHECK",      "ddr errors",
+      "ciod: Error",        "kernel panic",       "Link error",
+      "ECC error",          "node card",          "power module",
+      "temperature",        "fan speed",          "L3 major internal",
+  };
+  expect_scan_equals_brute_force(
+      lits, "RAS KERNEL FATAL data TLB error interrupt");
+  expect_scan_equals_brute_force(
+      lits, "RAS KERNEL INFO 4 ddr errors detected and corrected");
+  expect_scan_equals_brute_force(
+      lits, "generating core.2275 -- no rule fragment present here");
+  expect_scan_equals_brute_force(lits, "MACHINE CHECK");
+}
+
+}  // namespace
+}  // namespace wss::match

@@ -1,0 +1,222 @@
+// MultiRegex unit tests: the combined lazy-DFA set matcher must agree
+// bit-for-bit with per-pattern Regex::search on every input, including
+// anchors and word boundaries (the assertions a byte-at-a-time DFA
+// gets wrong first), and must degrade to the Pike VM -- not to wrong
+// answers -- when the state cache is starved.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "match/multiregex.hpp"
+#include "match/nfa.hpp"
+
+namespace wss::match {
+namespace {
+
+class Patterns {
+ public:
+  explicit Patterns(std::vector<std::string> sources) {
+    for (const auto& s : sources) {
+      owned_.push_back(std::make_unique<Regex>(s));
+      raw_.push_back(owned_.back().get());
+    }
+  }
+  const std::vector<const Regex*>& raw() const { return raw_; }
+  const Regex& at(std::size_t i) const { return *owned_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Regex>> owned_;
+  std::vector<const Regex*> raw_;
+};
+
+void expect_agrees(const MultiRegex& multi, const Patterns& pats,
+                   MatchScratch& scratch, std::string_view text) {
+  multi.match_all(text, scratch);
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    EXPECT_EQ(bitset_test(scratch.matched.data(), i), pats.at(i).search(text))
+        << "pattern=" << pats.at(i).pattern() << " text=" << text;
+  }
+}
+
+TEST(MultiRegex, EmptyPatternSetMatchesNothing) {
+  const MultiRegex multi{std::vector<const Regex*>{}};
+  MatchScratch scratch;
+  multi.match_all("anything", scratch);
+  EXPECT_EQ(multi.size(), 0u);
+  EXPECT_EQ(multi.bitset_words(), 0u);
+}
+
+TEST(MultiRegex, BasicSetMatching) {
+  Patterns pats({"error", "warn(ing)?", "fail[0-9]+", "^root"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  expect_agrees(multi, pats, scratch, "an error and a warning");
+  expect_agrees(multi, pats, scratch, "fail123 with error");
+  expect_agrees(multi, pats, scratch, "root error");
+  expect_agrees(multi, pats, scratch, "no hits here");
+  expect_agrees(multi, pats, scratch, "");
+}
+
+TEST(MultiRegex, AnchorsResolveAtTheRightPositions) {
+  Patterns pats({"^start", "end$", "^whole$", "mid"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  for (const char* text :
+       {"start of line", "at the end", "whole", "start end", "a mid b",
+        "not start", "end not last", ""}) {
+    expect_agrees(multi, pats, scratch, text);
+  }
+}
+
+TEST(MultiRegex, WordBoundaries) {
+  Patterns pats({"\\berr\\b", "\\Berr\\B", "\\bword"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  for (const char* text :
+       {"err", "an err here", "terror", "errs", " err.", "wordy",
+        "keyword", "a word", "err"}) {
+    expect_agrees(multi, pats, scratch, text);
+  }
+}
+
+TEST(MultiRegex, DuplicateAndOverlappingPatterns) {
+  Patterns pats({"abc", "abc", "ab", "bc", "abcd"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  for (const char* text : {"abc", "abcd", "ab", "xbcx", "zzabcz"}) {
+    expect_agrees(multi, pats, scratch, text);
+  }
+}
+
+TEST(MultiRegex, EmptyMatchingPatternMatchesEverywhere) {
+  Patterns pats({"a*", "x?", "real"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  for (const char* text : {"", "b", "real deal"}) {
+    expect_agrees(multi, pats, scratch, text);
+  }
+}
+
+TEST(MultiRegex, PikeAndDfaAgreeDirectly) {
+  Patterns pats({"RAS [A-Z]+ (FATAL|ERROR)", "ddr errors? detected",
+                 "^ciod:", "\\b[0-9]{1,3}\\b"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch dfa_scratch;
+  MatchScratch pike_scratch;
+  for (const char* text :
+       {"RAS KERNEL FATAL data TLB error interrupt",
+        "RAS LINKCARD ERROR", "17 ddr errors detected",
+        "ciod: Error reading message prefix", "no alerts 4096 here", ""}) {
+    ASSERT_TRUE(multi.match_all_dfa(text, dfa_scratch));
+    multi.match_all_pike(text, pike_scratch);
+    for (std::size_t i = 0; i < multi.size(); ++i) {
+      EXPECT_EQ(bitset_test(dfa_scratch.matched.data(), i),
+                bitset_test(pike_scratch.matched.data(), i))
+          << "pattern=" << pats.at(i).pattern() << " text=" << text;
+    }
+  }
+}
+
+TEST(MultiRegex, InterestingBitsAreExactOthersSetOnly) {
+  Patterns pats({"alpha", "beta", "gamma"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  // Only pattern 1 is interesting; the scan may stop as soon as it is
+  // decided, so bit 1 must be exact while bits 0/2 are set-only-valid.
+  std::vector<std::uint64_t> interesting(multi.bitset_words(), 0);
+  bitset_set(interesting.data(), 1);
+  multi.match_all("beta then alpha then gamma", scratch, interesting.data());
+  EXPECT_TRUE(bitset_test(scratch.matched.data(), 1));
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    if (bitset_test(scratch.matched.data(), i)) {
+      EXPECT_TRUE(pats.at(i).search("beta then alpha then gamma"));
+    }
+  }
+  // An interesting pattern that does NOT match must come back clear
+  // even though others match early.
+  multi.match_all("alpha gamma only", scratch, interesting.data());
+  EXPECT_FALSE(bitset_test(scratch.matched.data(), 1));
+}
+
+TEST(MultiRegex, TinyCacheFallsBackToPikeAndStaysCorrect) {
+  Patterns pats({"a[0-9]+b", "(x|y)+z", "needle"});
+  MultiRegex::Options opts;
+  opts.dfa_cache_bytes = 1;  // nothing fits: every scan falls back
+  opts.max_cache_flushes = 2;
+  const MultiRegex multi(pats.raw(), opts);
+  MatchScratch scratch;
+  for (const char* text :
+       {"a123b", "xyxyz", "hay needle stack", "none of them"}) {
+    multi.match_all(text, scratch);
+    for (std::size_t i = 0; i < multi.size(); ++i) {
+      EXPECT_EQ(bitset_test(scratch.matched.data(), i), pats.at(i).search(text))
+          << "pattern=" << pats.at(i).pattern() << " text=" << text;
+    }
+  }
+  EXPECT_GT(scratch.pike_fallback_scans, 0u);
+  EXPECT_EQ(scratch.dfa_scans, 0u);
+}
+
+TEST(MultiRegex, CacheDisablesAfterRepeatedBlowups) {
+  Patterns pats({"a+b+c+", "d"});
+  MultiRegex::Options opts;
+  opts.dfa_cache_bytes = 1;
+  opts.max_cache_flushes = 3;
+  const MultiRegex multi(pats.raw(), opts);
+  MatchScratch scratch;
+  for (int i = 0; i < 20; ++i) {
+    multi.match_all("aabbccd", scratch);
+    EXPECT_TRUE(bitset_test(scratch.matched.data(), 0));
+    EXPECT_TRUE(bitset_test(scratch.matched.data(), 1));
+  }
+  // Flush count saturates at the disable threshold instead of growing
+  // once per line (no rebuild thrash).
+  EXPECT_LE(scratch.dfa_flushes, 4u);
+  EXPECT_EQ(scratch.dfa_scans, 0u);
+  EXPECT_EQ(scratch.pike_fallback_scans, 20u);
+}
+
+TEST(MultiRegex, ScratchSharedAcrossDifferentMatchers) {
+  // A scratch moving between MultiRegexes must rebuild its cache, not
+  // reuse stale states from the previous owner.
+  Patterns a({"alpha", "beta"});
+  Patterns b({"gamma$", "^delta", "alpha"});
+  const MultiRegex ma(a.raw());
+  const MultiRegex mb(b.raw());
+  MatchScratch scratch;
+  for (int round = 0; round < 3; ++round) {
+    expect_agrees(ma, a, scratch, "alpha beta gamma");
+    expect_agrees(mb, b, scratch, "delta then gamma");
+    expect_agrees(mb, b, scratch, "alpha");
+    expect_agrees(ma, a, scratch, "nothing");
+  }
+}
+
+TEST(MultiRegex, ManyPatternsSpanBitsetWords) {
+  std::vector<std::string> sources;
+  for (int i = 0; i < 130; ++i) {
+    sources.push_back("tok" + std::to_string(i) + "\\b");
+  }
+  Patterns pats(sources);
+  const MultiRegex multi(pats.raw());
+  ASSERT_EQ(multi.bitset_words(), 3u);
+  MatchScratch scratch;
+  expect_agrees(multi, pats, scratch, "tok0 tok63 tok64 tok127 tok129");
+  expect_agrees(multi, pats, scratch, "tok1280 is none of them (no break)");
+}
+
+TEST(MultiRegex, ScanCountersAdvanceOnTheDfaPath) {
+  Patterns pats({"hit"});
+  const MultiRegex multi(pats.raw());
+  MatchScratch scratch;
+  multi.match_all("a hit", scratch);
+  multi.match_all("a miss", scratch);
+  EXPECT_EQ(scratch.dfa_scans, 2u);
+  EXPECT_EQ(scratch.pike_fallback_scans, 0u);
+  EXPECT_EQ(scratch.dfa_flushes, 0u);
+}
+
+}  // namespace
+}  // namespace wss::match

@@ -1,0 +1,173 @@
+// Differential fuzzing of the multi-pattern matcher: on the same
+// combined program, the lazy DFA and the Pike VM must produce the same
+// match set for every pattern on every input -- including patterns
+// heavy with anchors and word boundaries, binary texts, and starved
+// caches. Seeded and deterministic; labelled `stress` (CI runs it
+// under asan/tsan in the nightly lane).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "match/multiregex.hpp"
+#include "match/nfa.hpp"
+#include "util/rng.hpp"
+
+namespace wss::match {
+namespace {
+
+std::string random_pattern(util::Rng& rng, std::size_t max_len) {
+  // The same generator shape as test_match_fuzz.cpp, with extra weight
+  // on the zero-width assertions the DFA resolves at transition time.
+  static constexpr char kChars[] = "ab01.*+?()[]{}|^$\\-, dDwWsSbB";
+  const std::size_t n = 1 + rng.uniform_u64(max_len);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kChars[rng.uniform_u64(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+std::string random_text(util::Rng& rng, std::size_t max_len, bool binary) {
+  static constexpr char kChars[] = "ab01 ,x.";
+  const std::size_t n = rng.uniform_u64(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(binary ? static_cast<char>(rng())
+                         : kChars[rng.uniform_u64(sizeof(kChars) - 1)]);
+  }
+  return out;
+}
+
+struct PatternSet {
+  std::vector<std::unique_ptr<Regex>> owned;
+  std::vector<const Regex*> raw;
+};
+
+PatternSet random_patterns(util::Rng& rng, std::size_t count) {
+  PatternSet set;
+  while (set.raw.size() < count) {
+    try {
+      set.owned.push_back(
+          std::make_unique<Regex>(random_pattern(rng, 10)));
+      set.raw.push_back(set.owned.back().get());
+    } catch (const PatternError&) {
+      // Invalid pattern; roll another.
+    }
+  }
+  return set;
+}
+
+void expect_dfa_equals_pike(const MultiRegex& multi, const PatternSet& pats,
+                            MatchScratch& dfa_scratch,
+                            MatchScratch& pike_scratch,
+                            std::string_view text) {
+  multi.match_all_pike(text, pike_scratch);
+  if (!multi.match_all_dfa(text, dfa_scratch)) {
+    return;  // cache starved: match_all would fall back to the Pike VM
+  }
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    ASSERT_EQ(bitset_test(dfa_scratch.matched.data(), i),
+              bitset_test(pike_scratch.matched.data(), i))
+        << "pattern[" << i << "]=" << pats.owned[i]->pattern()
+        << " text=" << text;
+  }
+}
+
+TEST(MultiRegexFuzz, DfaEqualsPikeOnRandomSets) {
+  util::Rng rng(4202607);
+  for (int iter = 0; iter < 250; ++iter) {
+    const auto pats = random_patterns(rng, 1 + rng.uniform_u64(8));
+    const MultiRegex multi(pats.raw);
+    MatchScratch dfa_scratch;
+    MatchScratch pike_scratch;
+    for (int t = 0; t < 12; ++t) {
+      expect_dfa_equals_pike(multi, pats, dfa_scratch, pike_scratch,
+                             random_text(rng, 48, /*binary=*/t % 4 == 3));
+    }
+  }
+}
+
+TEST(MultiRegexFuzz, DfaEqualsSinglePatternSearch) {
+  // Cross-engine check: the combined matcher vs N independent Regexes.
+  // This catches relocation bugs (mis-patched split/jump targets) that
+  // a DFA-vs-Pike diff over the SAME combined program cannot see.
+  util::Rng rng(4202608);
+  for (int iter = 0; iter < 150; ++iter) {
+    const auto pats = random_patterns(rng, 1 + rng.uniform_u64(6));
+    const MultiRegex multi(pats.raw);
+    MatchScratch scratch;
+    for (int t = 0; t < 8; ++t) {
+      const std::string text = random_text(rng, 40, /*binary=*/false);
+      multi.match_all(text, scratch);
+      for (std::size_t i = 0; i < multi.size(); ++i) {
+        ASSERT_EQ(bitset_test(scratch.matched.data(), i),
+                  pats.owned[i]->search(text))
+            << "pattern[" << i << "]=" << pats.owned[i]->pattern()
+            << " text=" << text;
+      }
+    }
+  }
+}
+
+TEST(MultiRegexFuzz, StarvedCacheNeverChangesResults) {
+  // match_all under a cache too small to hold the working set: the
+  // flush/fallback/disable machinery must be invisible in the results.
+  util::Rng rng(4202609);
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto pats = random_patterns(rng, 1 + rng.uniform_u64(6));
+    MultiRegex::Options opts;
+    opts.dfa_cache_bytes = rng.uniform_u64(4096);  // 0..4095 bytes
+    opts.max_cache_flushes = static_cast<int>(rng.uniform_u64(3));
+    const MultiRegex starved(pats.raw, opts);
+    const MultiRegex roomy(pats.raw);
+    MatchScratch starved_scratch;
+    MatchScratch roomy_scratch;
+    for (int t = 0; t < 10; ++t) {
+      const std::string text = random_text(rng, 64, /*binary=*/t % 3 == 2);
+      starved.match_all(text, starved_scratch);
+      roomy.match_all(text, roomy_scratch);
+      for (std::size_t i = 0; i < starved.size(); ++i) {
+        ASSERT_EQ(bitset_test(starved_scratch.matched.data(), i),
+                  bitset_test(roomy_scratch.matched.data(), i))
+            << "pattern[" << i << "]=" << pats.owned[i]->pattern()
+            << " text=" << text << " cache=" << opts.dfa_cache_bytes;
+      }
+    }
+  }
+}
+
+TEST(MultiRegexFuzz, InterestingSubsetsStayExact) {
+  util::Rng rng(4202610);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto pats = random_patterns(rng, 2 + rng.uniform_u64(6));
+    const MultiRegex multi(pats.raw);
+    MatchScratch scratch;
+    std::vector<std::uint64_t> interesting(multi.bitset_words(), 0);
+    for (std::size_t i = 0; i < multi.size(); ++i) {
+      if (rng.uniform_u64(2) == 0) bitset_set(interesting.data(), i);
+    }
+    for (int t = 0; t < 6; ++t) {
+      const std::string text = random_text(rng, 40, /*binary=*/false);
+      multi.match_all(text, scratch, interesting.data());
+      for (std::size_t i = 0; i < multi.size(); ++i) {
+        const bool truth = pats.owned[i]->search(text);
+        if (bitset_test(interesting.data(), i)) {
+          // Interesting bits are exact.
+          ASSERT_EQ(bitset_test(scratch.matched.data(), i), truth)
+              << "pattern[" << i << "]=" << pats.owned[i]->pattern()
+              << " text=" << text;
+        } else if (bitset_test(scratch.matched.data(), i)) {
+          // Outside the set, a set bit must still be a real match.
+          ASSERT_TRUE(truth)
+              << "pattern[" << i << "]=" << pats.owned[i]->pattern()
+              << " text=" << text;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wss::match

@@ -1,0 +1,114 @@
+// Steady-state allocation contract of the tag path: after a warm-up
+// pass (scratch buffers sized, lazy-DFA cache populated), tagging a
+// line allocates NOTHING -- in any engine mode. The pipeline calls
+// tag_line hundreds of millions of times; a single per-line allocation
+// is the difference between memory-bandwidth-bound and
+// allocator-bound.
+//
+// The counter is a global operator new override local to this binary;
+// it counts every allocation on the thread, so the measured region is
+// exactly the tag loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "match/scratch.hpp"
+#include "sim/generator.hpp"
+#include "tag/engine.hpp"
+#include "tag/rulesets.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace wss::tag {
+namespace {
+
+std::vector<std::string> corpus() {
+  sim::SimOptions opts;
+  opts.category_cap = 500;
+  opts.chatter_events = 5000;
+  opts.inject_corruption = false;
+  const sim::Simulator simulator(parse::SystemId::kBlueGeneL, opts);
+  std::vector<std::string> lines;
+  lines.reserve(simulator.events().size());
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    lines.push_back(simulator.line(i));
+  }
+  return lines;
+}
+
+std::size_t tag_pass(const TagEngine& engine,
+                     const std::vector<std::string>& lines,
+                     match::MatchScratch& scratch) {
+  std::size_t hits = 0;
+  for (const auto& line : lines) {
+    hits += engine.tag_line(line, scratch).has_value() ? 1 : 0;
+  }
+  return hits;
+}
+
+class TagAllocTest : public ::testing::TestWithParam<TagEngineMode> {};
+
+TEST_P(TagAllocTest, SteadyStateTaggingAllocatesNothing) {
+  const std::vector<std::string> lines = corpus();
+  ASSERT_FALSE(lines.empty());
+  const TagEngine engine(build_ruleset(parse::SystemId::kBlueGeneL),
+                         GetParam());
+  match::MatchScratch scratch;
+
+  // Warm-up: grows every scratch buffer to its high-water mark and
+  // (in multi mode) builds every DFA state this corpus ever visits.
+  const std::size_t hits = tag_pass(engine, lines, scratch);
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  const std::size_t hits_again = tag_pass(engine, lines, scratch);
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(hits_again, hits);
+  EXPECT_GT(hits, 0u);  // the corpus must exercise the hit path too
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations across " << lines.size()
+      << " steady-state lines";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TagAllocTest,
+                         ::testing::Values(TagEngineMode::kNaive,
+                                           TagEngineMode::kPrefilter,
+                                           TagEngineMode::kMulti),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case TagEngineMode::kNaive:
+                               return "naive";
+                             case TagEngineMode::kPrefilter:
+                               return "prefilter";
+                             default:
+                               return "multi";
+                           }
+                         });
+
+}  // namespace
+}  // namespace wss::tag

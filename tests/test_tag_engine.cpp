@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/generator.hpp"
 #include "tag/evaluate.hpp"
 #include "tag/rulesets.hpp"
 #include "tag/severity_tagger.hpp"
@@ -53,6 +54,106 @@ TEST(TagEngine, CorruptedTailStillTagsWhenPatternIntact) {
   // Truncation inside the pattern loses the alert -- a documented
   // failure mode of automated tagging (Section 3.2.1).
   EXPECT_FALSE(engine.tag_line("kernel: [KERNEL_IB][ib_sm_sweep.c:1455]Fat"));
+}
+
+TEST(TagEngine, ModeFromEnvDefaultsToMulti) {
+  EXPECT_EQ(TagEngine::mode_from_env(), TagEngineMode::kMulti);
+  const TagEngine engine(build_ruleset(SystemId::kLiberty));
+  EXPECT_EQ(engine.mode(), TagEngineMode::kMulti);
+}
+
+TEST(TagEngine, NegatedTermsDoNotGateCandidacy) {
+  // A negated term is SATISFIED when its pattern is absent -- so its
+  // required literal must not be demanded by the prefilter. Rule:
+  // /disk error/ && !/recovered/.
+  std::vector<Rule> rules(1);
+  rules[0].category = "DISK";
+  rules[0].predicate.add_term(0, "disk error");
+  rules[0].predicate.add_term(0, "recovered", /*negated=*/true);
+  const RuleSet rs(SystemId::kLiberty, std::move(rules));
+  for (const auto mode : {TagEngineMode::kNaive, TagEngineMode::kPrefilter,
+                          TagEngineMode::kMulti}) {
+    const TagEngine engine(RuleSet(rs), mode);
+    // "recovered" absent: the negated conjunct holds, the rule fires.
+    EXPECT_TRUE(engine.tag_line("kernel: disk error on sda"))
+        << static_cast<int>(mode);
+    // "recovered" present: the negated conjunct fails.
+    EXPECT_FALSE(engine.tag_line("kernel: disk error on sda recovered"))
+        << static_cast<int>(mode);
+    EXPECT_FALSE(engine.tag_line("kernel: all quiet"))
+        << static_cast<int>(mode);
+  }
+}
+
+TEST(TagEngine, NegatedFieldTerms) {
+  // Field terms ride the direct evaluation path in every mode.
+  std::vector<Rule> rules(1);
+  rules[0].category = "FIELDNEG";
+  rules[0].predicate.add_term(0, "panic");
+  rules[0].predicate.add_term(2, "APP", /*negated=*/true);
+  const RuleSet rs(SystemId::kLiberty, std::move(rules));
+  for (const auto mode : {TagEngineMode::kNaive, TagEngineMode::kPrefilter,
+                          TagEngineMode::kMulti}) {
+    const TagEngine engine(RuleSet(rs), mode);
+    EXPECT_TRUE(engine.tag_line("x KERNEL panic now")) << static_cast<int>(mode);
+    EXPECT_FALSE(engine.tag_line("x APP panic now")) << static_cast<int>(mode);
+  }
+}
+
+TEST(TagEngine, ModesAreBitIdenticalOnAllSystems) {
+  // The load-bearing equivalence: naive / prefilter / multi must agree
+  // on every rendered line of every system -- category AND type, not
+  // just hit/miss (first-match-wins ordering is part of the contract).
+  sim::SimOptions opts;
+  opts.category_cap = 300;
+  opts.chatter_events = 2000;
+  for (const auto id : parse::kAllSystems) {
+    const sim::Simulator simulator(id, opts);
+    const TagEngine naive(build_ruleset(id), TagEngineMode::kNaive);
+    const TagEngine prefilter(build_ruleset(id), TagEngineMode::kPrefilter);
+    const TagEngine multi(build_ruleset(id), TagEngineMode::kMulti);
+    match::MatchScratch s_naive, s_prefilter, s_multi;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+      const std::string line = simulator.line(i);
+      const auto a = naive.tag_line(line, s_naive);
+      const auto b = prefilter.tag_line(line, s_prefilter);
+      const auto c = multi.tag_line(line, s_multi);
+      ASSERT_EQ(a.has_value(), b.has_value()) << line;
+      ASSERT_EQ(a.has_value(), c.has_value()) << line;
+      if (a) {
+        ++hits;
+        ASSERT_EQ(a->category, b->category) << line;
+        ASSERT_EQ(a->category, c->category) << line;
+        ASSERT_EQ(a->type, c->type) << line;
+      }
+    }
+    EXPECT_GT(hits, 0u) << parse::system_name(id);
+  }
+}
+
+TEST(TagEngine, CorruptedLinesAgreeAcrossModes) {
+  // Corruption injection mangles sources, timestamps, and bodies --
+  // exactly the text shapes where a prefilter could diverge.
+  sim::SimOptions opts;
+  opts.category_cap = 300;
+  opts.chatter_events = 2000;
+  opts.inject_corruption = true;
+  const sim::Simulator simulator(SystemId::kSpirit, opts);
+  const TagEngine naive(build_ruleset(SystemId::kSpirit),
+                        TagEngineMode::kNaive);
+  const TagEngine multi(build_ruleset(SystemId::kSpirit),
+                        TagEngineMode::kMulti);
+  match::MatchScratch s_naive, s_multi;
+  for (std::size_t i = 0; i < simulator.events().size(); ++i) {
+    const std::string line = simulator.line(i);
+    const auto a = naive.tag_line(line, s_naive);
+    const auto c = multi.tag_line(line, s_multi);
+    ASSERT_EQ(a.has_value(), c.has_value()) << line;
+    if (a) {
+      ASSERT_EQ(a->category, c->category) << line;
+    }
+  }
 }
 
 TEST(SeverityTagger, BglBaseline) {

@@ -156,6 +156,31 @@ TEST(Rulesets, ApportionExactAndPositive) {
   EXPECT_GE(tsum, 3u);
 }
 
+TEST(Rulesets, RuleCountBoundedByCandidateBitsetWidth) {
+  // The tag engine's candidate bitsets are kCandidateBitsetWords
+  // uint64 words; RuleSet construction must reject anything wider,
+  // loudly, at build time rather than corrupting memory at tag time.
+  auto make_rules = [](std::size_t n) {
+    std::vector<Rule> rules(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rules[i].category = "CAT" + std::to_string(i);
+      rules[i].predicate.add_term(0, "pattern" + std::to_string(i));
+    }
+    return rules;
+  };
+  // At the cap: fine.
+  EXPECT_NO_THROW(RuleSet(SystemId::kLiberty, make_rules(kMaxRules)));
+  // One past the cap: a clear, actionable error.
+  try {
+    const RuleSet rs(SystemId::kLiberty, make_rules(kMaxRules + 1));
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1024"), std::string::npos) << what;
+    EXPECT_NE(what.find("kCandidateBitsetWords"), std::string::npos) << what;
+  }
+}
+
 TEST(Rulesets, OperationalContextExampleIsNotTagged) {
   // "BGLMASTER FAILURE ciodb exited normally with exit code 0" must
   // NOT be tagged (only with operational context could the paper call
