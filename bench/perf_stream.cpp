@@ -18,6 +18,7 @@
 #include <iostream>
 #include <vector>
 
+#include "obs/export.hpp"
 #include "sim/generator.hpp"
 #include "stream/pipeline.hpp"
 #include "util/strings.hpp"
@@ -120,6 +121,11 @@ int main() {
   std::ofstream os("BENCH_stream.json", std::ios::app);
   if (os) os << json << "\n";
   std::cout << "(appended to BENCH_stream.json)\n";
+
+  // Obs registry snapshot (stream/pipeline/filter/tag counters and the
+  // ingest-latency histogram across all passes above).
+  obs::write_metrics_file("BENCH_stream_metrics.json");
+  std::cout << "(wrote BENCH_stream_metrics.json)\n";
 
   return pass ? 0 : 1;
 }

@@ -19,8 +19,10 @@
 
 #include "bench_common.hpp"
 #include "match/scratch.hpp"
+#include "obs/export.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
+#include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
 
 namespace {
@@ -163,6 +165,7 @@ void emit_tagging_ablation(const char* workload, const Corpus& c,
   for (Row& row : rows) {
     const tag::TagEngine& engine = engine_for(row.mode);
     match::MatchScratch scratch;
+    tag::TagMetricsFlusher flusher;
     row.hits = tag_pass(c, engine, scratch);  // warm-up (DFA cache, scratch)
     double best_s = 1e300;
     for (int r = 0; r < reps; ++r) {
@@ -173,6 +176,7 @@ void emit_tagging_ablation(const char* workload, const Corpus& c,
       best_s =
           std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
     }
+    flusher.flush(scratch);  // publish tallies so the snapshot sees them
     row.lines_per_sec = lines / best_s;
   }
   if (rows[0].hits != rows[1].hits || rows[0].hits != rows[2].hits) {
@@ -212,5 +216,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   emit_tagging_ablation("bgl mixed cap=2000 chatter=30000", mixed_corpus());
   emit_tagging_ablation("bgl miss-path (untagged lines only)", miss_corpus());
+  // Attach the obs registry snapshot (wss_tag_* totals across every
+  // ablation pass) as a machine-readable sibling of BENCH_tagging.json.
+  obs::write_metrics_file("BENCH_tagging_metrics.json");
+  std::cout << "(wrote BENCH_tagging_metrics.json)\n";
   return 0;
 }

@@ -7,9 +7,12 @@
 #include <sstream>
 #include <thread>
 
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "filter/simultaneous.hpp"
+#include "obs/export.hpp"
+#include "obs/span.hpp"
 #include "logio/anonymize.hpp"
 #include "mine/templates.hpp"
 #include "logio/reader.hpp"
@@ -19,6 +22,7 @@
 #include "stream/report.hpp"
 #include "stream/source.hpp"
 #include "tag/engine.hpp"
+#include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -40,6 +44,63 @@ bool reject_unused(const Args& args, std::ostream& err) {
   if (stray.empty()) return false;
   err << "unknown flag --" << stray.front() << "\n";
   return true;
+}
+
+/// Shared --threads parsing: a worker count >= 1, or "auto" for all
+/// cores (mapped to 0, the PipelineOptions convention). Anything else
+/// -- zero, negative, non-numeric -- is a loud error, never a silent
+/// default.
+bool parse_threads_flag(const Args& args, std::ostream& err, int& threads) {
+  const auto raw = args.get("threads");
+  if (!raw) {
+    threads = 1;
+    return true;
+  }
+  if (*raw == "auto") {
+    threads = 0;
+    return true;
+  }
+  std::int64_t n = 0;
+  try {
+    n = args.get_int("threads", 1);
+  } catch (const std::exception&) {
+    err << "--threads: '" << *raw << "' is not a thread count (use a number"
+        << " >= 1, or 'auto')\n";
+    return false;
+  }
+  if (n < 1) {
+    err << "--threads must be >= 1 (or 'auto' for all cores)\n";
+    return false;
+  }
+  threads = static_cast<int>(n);
+  return true;
+}
+
+/// Shared --metrics parsing. Must run before reject_unused (so the
+/// flag counts as read); a present-but-empty path is an error.
+bool parse_metrics_flag(const Args& args, std::ostream& err,
+                        std::optional<std::string>& path) {
+  path = args.get("metrics");
+  if (args.has("metrics") && (!path || path->empty())) {
+    err << "--metrics requires a file path\n";
+    return false;
+  }
+  return true;
+}
+
+/// Snapshots the registry to `path` (JSON, or Prometheus text for
+/// .prom). Returns the command's exit code contribution: 0, or 1 on an
+/// I/O failure.
+int write_metrics(const std::optional<std::string>& path, const char* cmd,
+                  std::ostream& err) {
+  if (!path) return 0;
+  try {
+    obs::write_metrics_file(*path);
+  } catch (const std::exception& e) {
+    err << cmd << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -65,8 +126,12 @@ void print_usage(std::ostream& os) {
         "             --in PATH [--support N] [--skip N] [--top N]\n"
         "  tables     print the paper's tables from a fresh simulation\n"
         "             [--which N] (default: all)\n"
-        "             [--threads N]  pipeline worker threads (0 = all\n"
-        "             cores); results are bit-identical at any N\n"
+        "             [--threads N|auto]  pipeline worker threads (auto =\n"
+        "             all cores); results are bit-identical at any N\n"
+        "  study      run the full parallel pipeline + filter over fresh\n"
+        "             simulations and print a per-system summary\n"
+        "             [--system NAME|all] [--threads N|auto]\n"
+        "             [--threshold SEC] [--seed N] [--cap N] [--chatter N]\n"
         "  stream     run the online pipeline over a live event stream\n"
         "             --system NAME; source: simulated replay (default;\n"
         "             [--seed N] [--cap N] [--chatter N] [--speed N]) or\n"
@@ -74,7 +139,11 @@ void print_usage(std::ostream& os) {
         "             [--threshold SEC] [--window SEC] [--queue N]\n"
         "             [--policy block|drop-oldest] [--refresh N]\n"
         "             [--checkpoint PATH] [--restore PATH]\n"
-        "             [--max-events N] [--emit PATH]\n";
+        "             [--max-events N] [--emit PATH]\n"
+        "\n"
+        "every command accepts --metrics FILE: write an observability\n"
+        "snapshot on exit (Prometheus text when FILE ends in .prom, JSON\n"
+        "otherwise)\n";
 }
 
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
@@ -99,6 +168,8 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
     err << "--speed must be >= 0\n";
     return 2;
   }
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   const sim::Simulator simulator(*system, opts);
@@ -129,7 +200,8 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
       out << util::format("replayed %zu lines for %s\n", lines,
                           std::string(parse::system_name(*system)).c_str());
     }
-    return dst ? 0 : 1;
+    if (!dst) return 1;
+    return write_metrics(metrics, "generate", err);
   }
 
   const auto result = logio::write_log(simulator, *out_path, wopts);
@@ -139,7 +211,7 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
           .c_str(),
       result.files,
       std::string(parse::system_name(*system)).c_str());
-  return 0;
+  return write_metrics(metrics, "generate", err);
 }
 
 int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
@@ -156,6 +228,8 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     err << "--threshold must be positive\n";
     return 2;
   }
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   const tag::RuleSet rules = tag::build_ruleset(*system);
@@ -172,7 +246,9 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
 
   logio::ReadStats stats;
   match::MatchScratch scratch;  // reused across every line of the file
+  tag::TagMetricsFlusher flusher;
   try {
+    obs::Span span("analyze_pass");  // closes before the metrics snapshot
     stats = logio::read_log(*in_path, *system, year,
                             [&](const parse::LogRecord& rec) {
       const auto tagged = engine.tag(rec, scratch);
@@ -195,6 +271,8 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
     err << "analyze: " << e.what() << "\n";
     return 1;
   }
+  flusher.flush(scratch);
+  filter.publish_metrics();
 
   out << util::format(
       "%zu lines: %zu alerts -> %zu after filtering (T=%.1fs); "
@@ -208,7 +286,7 @@ int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
                std::to_string(filtered_counts[c])});
   }
   out << t.render();
-  return 0;
+  return write_metrics(metrics, "analyze", err);
 }
 
 int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
@@ -220,6 +298,8 @@ int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
   }
   const logio::Anonymizer anon(
       static_cast<std::uint64_t>(args.get_int("seed", 0x5eed)));
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   std::string text;
@@ -243,46 +323,48 @@ int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
   }
   out << util::format("anonymized %zu lines -> %s\n", lines,
                       out_path->c_str());
-  return 0;
+  return write_metrics(metrics, "anonymize", err);
 }
 
 int cmd_tables(const Args& args, std::ostream& out, std::ostream& err) {
   const int which = static_cast<int>(args.get_int("which", 0));
-  const int threads = static_cast<int>(args.get_int("threads", 1));
-  if (threads < 0) {
-    err << "--threads must be >= 0 (0 = all cores)\n";
+  int threads = 1;
+  if (!parse_threads_flag(args, err, threads)) return 2;
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
+  if (reject_unused(args, err)) return 2;
+  if (which < 0 || which > 6) {
+    err << "--which must be 1..6\n";
     return 2;
   }
-  if (reject_unused(args, err)) return 2;
   core::StudyOptions opts;
   opts.sim.category_cap = 20000;
   opts.sim.chatter_events = 30000;
   opts.pipeline.num_threads = threads;
   core::Study study(opts);
-  // Warm the shared result cache through the parallel path; every
-  // render_table* call below then hits the cache. Output is
-  // bit-identical to the serial path at any thread count.
-  if (threads != 1) {
-    for (const auto id : parse::kAllSystems) {
-      study.parallel_pipeline_result(id);
+  {
+    obs::Span span("cmd_tables");
+    // Warm the shared result cache through the parallel path; every
+    // render_table* call below then hits the cache. Output is
+    // bit-identical to the serial path at any thread count.
+    if (threads != 1) {
+      for (const auto id : parse::kAllSystems) {
+        study.parallel_pipeline_result(id);
+      }
     }
-  }
-  const auto want = [&](int n) { return which == 0 || which == n; };
-  if (want(1)) out << core::render_table1() << "\n";
-  if (want(2)) out << core::render_table2(study) << "\n";
-  if (want(3)) out << core::render_table3(study) << "\n";
-  if (want(4)) {
-    for (const auto id : parse::kAllSystems) {
-      out << core::render_table4(study, id) << "\n";
+    const auto want = [&](int n) { return which == 0 || which == n; };
+    if (want(1)) out << core::render_table1() << "\n";
+    if (want(2)) out << core::render_table2(study) << "\n";
+    if (want(3)) out << core::render_table3(study) << "\n";
+    if (want(4)) {
+      for (const auto id : parse::kAllSystems) {
+        out << core::render_table4(study, id) << "\n";
+      }
     }
+    if (want(5)) out << core::render_table5(study) << "\n";
+    if (want(6)) out << core::render_table6(study) << "\n";
   }
-  if (want(5)) out << core::render_table5(study) << "\n";
-  if (want(6)) out << core::render_table6(study) << "\n";
-  if (which < 0 || which > 6) {
-    err << "--which must be 1..6\n";
-    return 2;
-  }
-  return 0;
+  return write_metrics(metrics, "tables", err);
 }
 
 int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
@@ -296,6 +378,8 @@ int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
   opts.min_template_count = opts.min_support;
   opts.skip_positions = static_cast<std::size_t>(args.get_int("skip", 4));
   const auto top = static_cast<std::size_t>(args.get_int("top", 25));
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   std::string text;
@@ -324,7 +408,7 @@ int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
     out << util::format("%8zu  %s\n", templates[i].count,
                         templates[i].pattern.c_str());
   }
-  return 0;
+  return write_metrics(metrics, "mine", err);
 }
 
 int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
@@ -367,6 +451,13 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
     err << "--policy must be block or drop-oldest\n";
     return 2;
   }
+  if (checkpoint_path && restore_path && *checkpoint_path == *restore_path) {
+    err << "--checkpoint and --restore must not name the same file (the "
+           "checkpoint would overwrite the state being restored)\n";
+    return 2;
+  }
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   stream::StreamPipelineOptions popts;
@@ -534,17 +625,92 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
         checkpoint_path ? " (resume with --restore)" : "");
   }
   out << stream::render_snapshot(snap);
-  return 0;
+  // A truncated run skipped finish(); publish pending deltas so the
+  // exported snapshot is complete either way.
+  pipeline.publish_metrics();
+  return write_metrics(metrics, "stream", err);
+}
+
+int cmd_study(const Args& args, std::ostream& out, std::ostream& err) {
+  const std::string sys_name = args.get_or("system", "all");
+  int threads = 1;
+  if (!parse_threads_flag(args, err, threads)) return 2;
+  const double threshold_s = args.get_double("threshold", 5.0);
+  if (threshold_s <= 0.0) {
+    err << "--threshold must be positive\n";
+    return 2;
+  }
+  sim::SimOptions sopts;
+  sopts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  sopts.category_cap = static_cast<std::uint64_t>(args.get_int("cap", 20000));
+  sopts.chatter_events =
+      static_cast<std::uint64_t>(args.get_int("chatter", 50000));
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
+  if (reject_unused(args, err)) return 2;
+
+  std::vector<parse::SystemId> systems;
+  if (sys_name == "all") {
+    systems.assign(parse::kAllSystems.begin(), parse::kAllSystems.end());
+  } else {
+    const auto system = parse_system(sys_name);
+    if (!system) {
+      err << "study: unknown system '" << sys_name << "'\n";
+      return 2;
+    }
+    systems.push_back(*system);
+  }
+  const auto threshold_us = static_cast<util::TimeUs>(threshold_s * 1e6);
+
+  util::Table t({"System", "Events", "Messages", "Raw alerts", "Admitted",
+                 "Suppressed", "Corrupt src", "Bad stamps"});
+  {
+    obs::Span span("cmd_study");  // closes before the metrics snapshot
+    core::PipelineOptions popts;
+    popts.num_threads = threads;
+    const core::ParallelPipeline pipeline(popts);
+    const int filter_threads = pipeline.resolved_threads();
+    for (const auto id : systems) {
+      const sim::Simulator simulator(id, sopts);
+      const core::PipelineResult r = pipeline.run(simulator);
+      const auto truth = simulator.ground_truth_alerts();
+      const auto kept = filter::apply_simultaneous_parallel(
+          truth, threshold_us, filter_threads);
+      t.add_row(
+          {std::string(parse::system_short_name(id)),
+           util::with_commas(static_cast<std::int64_t>(
+               simulator.events().size())),
+           util::with_commas(static_cast<std::int64_t>(r.physical_messages)),
+           util::with_commas(static_cast<std::int64_t>(truth.size())),
+           util::with_commas(static_cast<std::int64_t>(kept.size())),
+           util::with_commas(
+               static_cast<std::int64_t>(truth.size() - kept.size())),
+           util::with_commas(
+               static_cast<std::int64_t>(r.corrupted_source_lines)),
+           util::with_commas(
+               static_cast<std::int64_t>(r.invalid_timestamp_lines))});
+    }
+  }
+  out << t.render();
+  return write_metrics(metrics, "study", err);
 }
 
 int run(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string& cmd = args.command();
-  if (cmd == "generate") return cmd_generate(args, out, err);
-  if (cmd == "analyze") return cmd_analyze(args, out, err);
-  if (cmd == "anonymize") return cmd_anonymize(args, out, err);
-  if (cmd == "tables") return cmd_tables(args, out, err);
-  if (cmd == "mine") return cmd_mine(args, out, err);
-  if (cmd == "stream") return cmd_stream(args, out, err);
+  try {
+    if (cmd == "generate") return cmd_generate(args, out, err);
+    if (cmd == "analyze") return cmd_analyze(args, out, err);
+    if (cmd == "anonymize") return cmd_anonymize(args, out, err);
+    if (cmd == "tables") return cmd_tables(args, out, err);
+    if (cmd == "study") return cmd_study(args, out, err);
+    if (cmd == "mine") return cmd_mine(args, out, err);
+    if (cmd == "stream") return cmd_stream(args, out, err);
+  } catch (const std::exception& e) {
+    // Last-resort guard: no command may escape as an uncaught throw
+    // (a stray exception would read as a crash, not a usage error).
+    err << cmd << ": " << e.what() << "\n";
+    return 2;
+  }
   print_usage(cmd.empty() || cmd == "help" ? out : err);
   return cmd.empty() || cmd == "help" ? 0 : 2;
 }

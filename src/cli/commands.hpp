@@ -6,12 +6,17 @@
 //                 [--threshold 5.0]
 //   wss anonymize --in log.txt --out anon.txt [--seed N]
 //   wss mine      --in log.txt [--support N] [--skip N]
-//   wss tables    [--which 1..6]
+//   wss tables    [--which 1..6] [--threads N|auto]
+//   wss study     [--system NAME|all] [--threads N|auto]
+//                 [--threshold 5.0] [--seed N] [--cap N] [--chatter N]
 //   wss stream    --system liberty [--speed N] [--threshold 5.0]
 //                 [--in log.txt | --seed N --cap N --chatter N]
 //                 [--policy block|drop-oldest] [--queue N]
 //                 [--checkpoint PATH] [--restore PATH] [--max-events N]
 //                 [--emit PATH] [--refresh N] [--window SEC]
+//
+// Every command additionally accepts --metrics FILE (observability
+// snapshot on exit: Prometheus text for .prom, JSON otherwise).
 //
 // Each command is a function of (Args, ostream) so tests can drive
 // them without a process boundary; wss_main.cpp is a thin shell.
@@ -32,6 +37,7 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_tables(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_study(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_mine(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stream(const Args& args, std::ostream& out, std::ostream& err);
 

@@ -20,6 +20,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <mutex>
 #include <optional>
@@ -76,8 +77,11 @@ class MpmcQueue {
   /// make room (drop-oldest backpressure). Returns the number of items
   /// evicted (0 when there was room), or kClosed if the queue was
   /// closed (the item is dropped and nothing is evicted). Eviction and
-  /// insertion happen under one lock, so the returned count is exact
-  /// even while consumers pop concurrently.
+  /// insertion happen under one lock, and evicted_total() is updated
+  /// under that same lock -- so the running total is exact at every
+  /// instant, even while other producers push and consumers pop
+  /// concurrently (a caller-side atomic added after return would lag
+  /// the queue's real state between the unlock and the add).
   std::size_t push_evicting(T item) {
     std::size_t evicted = 0;
     {
@@ -89,6 +93,7 @@ class MpmcQueue {
         --size_;
         ++evicted;
       }
+      evicted_total_ += evicted;
       ring_[(head_ + size_) & mask_] = std::move(item);
       ++size_;
     }
@@ -143,6 +148,14 @@ class MpmcQueue {
     return size_;
   }
 
+  /// Exact number of items ever evicted by push_evicting. Maintained
+  /// under the queue lock, so (items popped) + evicted_total() +
+  /// (items resident) == items pushed holds at any observation point.
+  std::uint64_t evicted_total() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evicted_total_;
+  }
+
  private:
   const std::size_t capacity_;
   const std::size_t mask_;
@@ -152,6 +165,7 @@ class MpmcQueue {
   std::condition_variable not_empty_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
+  std::uint64_t evicted_total_ = 0;
   bool closed_ = false;
 };
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "core/mpmc_queue.hpp"
+#include "obs/span.hpp"
+#include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
 
 namespace wss::core {
@@ -62,11 +64,14 @@ PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
         // this worker pops: the steady-state tag path allocates
         // nothing, and the lazy-DFA cache warms once per thread.
         match::MatchScratch scratch;
+        tag::TagMetricsFlusher flusher;
+        obs::Span worker_span("pipeline_worker");
         while (auto chunk = queue.pop()) {
           if (failed.load(std::memory_order_relaxed)) continue;
           try {
             partials[*chunk] = detail::process_chunk(
                 ctx, shards[*chunk].begin, shards[*chunk].end, scratch);
+            flusher.flush(scratch);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!failed.exchange(true)) first_error = std::current_exception();
@@ -86,10 +91,18 @@ PipelineResult ParallelPipeline::run(const sim::Simulator& simulator) const {
   r.system = system;
   r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
   r.physical_alert_counts.assign(ctx.num_categories, 0);
-  for (auto& part : partials) {
-    detail::merge_partial(r, std::move(part));
+  obs::Counter& chunks = detail::PipelineCounters::get().chunks;
+  {
+    obs::Span merge_span("pipeline_merge");
+    for (auto& part : partials) {
+      detail::merge_partial(r, std::move(part));
+      chunks.inc();
+    }
   }
-  detail::finalize_result(r);
+  {
+    obs::Span fin("finalize");
+    detail::finalize_result(r);
+  }
   return r;
 }
 

@@ -2,12 +2,26 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
 #include "parse/dispatch.hpp"
+#include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
 
 namespace wss::core {
 
 namespace detail {
+
+PipelineCounters& PipelineCounters::get() {
+  static PipelineCounters c{
+      obs::registry().counter("wss_pipeline_events_total"),
+      obs::registry().counter("wss_pipeline_bytes_total"),
+      obs::registry().counter("wss_pipeline_corrupted_source_lines_total"),
+      obs::registry().counter("wss_pipeline_invalid_timestamp_lines_total"),
+      obs::registry().counter("wss_pipeline_alerts_tagged_total"),
+      obs::registry().counter("wss_pipeline_chunks_total"),
+  };
+  return c;
+}
 
 PipelineResult make_partial(const ChunkContext& ctx) {
   PipelineResult r;
@@ -20,6 +34,9 @@ PipelineResult make_partial(const ChunkContext& ctx) {
 void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
                   std::string_view line, PipelineResult& r,
                   match::MatchScratch& scratch) {
+  PipelineCounters& obs = PipelineCounters::get();
+  obs.events.inc();
+  obs.bytes.inc(line.size() + 1);
   ++r.physical_messages;
   r.weighted_messages += e.weight;
   r.physical_bytes += line.size() + 1;  // trailing newline on disk
@@ -29,13 +46,20 @@ void process_line(const ChunkContext& ctx, const sim::SimEvent& e,
   // would advance it at log rollover boundaries.
   const parse::LogRecord rec =
       parse::parse_line(ctx.system, line, util::to_civil(e.time).year);
-  if (rec.source_corrupted) ++r.corrupted_source_lines;
-  if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
+  if (rec.source_corrupted) {
+    ++r.corrupted_source_lines;
+    obs.corrupted_sources.inc();
+  }
+  if (!rec.timestamp_valid) {
+    ++r.invalid_timestamp_lines;
+    obs.invalid_timestamps.inc();
+  }
 
   // Tag.
   const auto tagged = ctx.engine->tag(rec, scratch);
   r.tagging.add(tagged.has_value(), e.is_alert());
   if (tagged) {
+    obs.alerts_tagged.inc();
     filter::Alert a;
     // Trust the parsed timestamp when valid; otherwise fall back to
     // stream position (ground-truth time), as an operator reading a
@@ -141,12 +165,22 @@ PipelineResult run_pipeline(const sim::Simulator& simulator,
   r.weighted_alert_counts.assign(ctx.num_categories, 0.0);
   r.physical_alert_counts.assign(ctx.num_categories, 0);
   match::MatchScratch scratch;  // reused across every line of the pass
-  for (std::size_t begin = 0; begin < n; begin += chunk) {
-    detail::merge_partial(r, detail::process_chunk(
-                                 ctx, begin, std::min(begin + chunk, n),
-                                 scratch));
+  tag::TagMetricsFlusher flusher;
+  obs::Counter& chunks = detail::PipelineCounters::get().chunks;
+  {
+    obs::Span pass("pipeline_serial");
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      detail::merge_partial(r, detail::process_chunk(
+                                   ctx, begin, std::min(begin + chunk, n),
+                                   scratch));
+      chunks.inc();
+      flusher.flush(scratch);
+    }
   }
-  detail::finalize_result(r);
+  {
+    obs::Span fin("finalize");
+    detail::finalize_result(r);
+  }
   return r;
 }
 

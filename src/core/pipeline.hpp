@@ -24,6 +24,7 @@
 
 #include "filter/alert.hpp"
 #include "match/scratch.hpp"
+#include "obs/metrics.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
 #include "tag/evaluate.hpp"
@@ -128,6 +129,23 @@ PipelineResult process_chunk(const ChunkContext& ctx, std::size_t begin,
 /// Folds `part` into `acc`. MUST be called in chunk-index order --
 /// the merge order is what the determinism guarantee hangs on.
 void merge_partial(PipelineResult& acc, PipelineResult&& part);
+
+/// Cached handles for the per-event pipeline counters. process_line
+/// increments these (relaxed striped adds), so the same names track
+/// the same per-event semantics in the serial, parallel, and streaming
+/// paths -- which is what makes the wss_pipeline_* counters
+/// thread-count- and batch/stream-invariant. `chunks` is incremented
+/// by whoever performs a chunk merge (run_pipeline, ParallelPipeline,
+/// StreamStudyState::merge_open_chunk).
+struct PipelineCounters {
+  obs::Counter& events;
+  obs::Counter& bytes;
+  obs::Counter& corrupted_sources;
+  obs::Counter& invalid_timestamps;
+  obs::Counter& alerts_tagged;
+  obs::Counter& chunks;
+  static PipelineCounters& get();
+};
 
 /// Final pass after all chunks are merged: categories_observed and the
 /// canonical alert sort.

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.hpp"
 
 namespace wss::filter {
 
@@ -28,12 +31,51 @@ bool SimultaneousFilter::admit(const Alert& a) {
   if (a.category >= table_.size()) {
     table_.resize(static_cast<std::size_t>(a.category) + 1);
   }
+  if (a.category >= offered_by_cat_.size()) {
+    offered_by_cat_.resize(static_cast<std::size_t>(a.category) + 1, 0);
+    admitted_by_cat_.resize(static_cast<std::size_t>(a.category) + 1, 0);
+  }
   Entry& e = table_[a.category];
   const bool redundant =
       e.epoch == epoch_ && a.time - e.time < threshold_;
   e.epoch = epoch_;
   e.time = a.time;
+  ++offered_;
+  ++offered_by_cat_[a.category];
+  if (!redundant) {
+    ++admitted_;
+    ++admitted_by_cat_[a.category];
+  }
   return !redundant;
+}
+
+void SimultaneousFilter::publish_metrics() {
+  auto& reg = obs::registry();
+  const std::uint64_t d_offered = offered_ - published_offered_;
+  const std::uint64_t d_admitted = admitted_ - published_admitted_;
+  reg.counter("wss_filter_offered_total").inc(d_offered);
+  reg.counter("wss_filter_admitted_total").inc(d_admitted);
+  reg.counter("wss_filter_suppressed_total").inc(d_offered - d_admitted);
+  published_offered_ = offered_;
+  published_admitted_ = admitted_;
+  published_offered_by_cat_.resize(offered_by_cat_.size(), 0);
+  published_admitted_by_cat_.resize(admitted_by_cat_.size(), 0);
+  for (std::size_t c = 0; c < offered_by_cat_.size(); ++c) {
+    if (const auto d = offered_by_cat_[c] - published_offered_by_cat_[c]) {
+      obs::labeled_counter("wss_filter_offered_by_category_total", "category",
+                           c)
+          .inc(d);
+    }
+    if (const auto d = admitted_by_cat_[c] - published_admitted_by_cat_[c]) {
+      obs::labeled_counter("wss_filter_admitted_by_category_total", "category",
+                           c)
+          .inc(d);
+    }
+    published_offered_by_cat_[c] = offered_by_cat_[c];
+    published_admitted_by_cat_[c] = admitted_by_cat_[c];
+  }
+  reg.gauge("wss_filter_table_live_entries")
+      .set(static_cast<std::int64_t>(table_size()));
 }
 
 void SimultaneousFilter::reset() {
@@ -72,7 +114,9 @@ std::vector<Alert> apply_simultaneous_parallel(const std::vector<Alert>& in,
   const auto starts = quiet_gap_segments(in, threshold_us);
   if (num_threads <= 1 || starts.size() <= 1) {
     SimultaneousFilter f(threshold_us, use_clear_optimization);
-    return apply_filter(f, in);
+    auto out = apply_filter(f, in);
+    f.publish_metrics();
+    return out;
   }
 
   // One output slot per segment; workers claim segments with an atomic
@@ -90,6 +134,7 @@ std::vector<Alert> apply_simultaneous_parallel(const std::vector<Alert>& in,
         if (f.admit(in[i])) kept[s].push_back(in[i]);
       }
     }
+    f.publish_metrics();  // once per worker, after its last segment
   };
 
   const int workers = std::min<int>(num_threads,

@@ -75,10 +75,21 @@ class MatchScratch {
   std::unique_ptr<DfaCacheBase> dfa;
   std::uint64_t dfa_owner = 0;
 
-  // ---- Diagnostics (tests and the tagging bench read these) ----
+  // ---- Diagnostics (tests and the tagging bench read these; the
+  // obs layer publishes them via tag::TagMetricsFlusher) ----
   std::uint64_t dfa_scans = 0;            ///< lines decided by the lazy DFA
   std::uint64_t pike_fallback_scans = 0;  ///< lines decided by the Pike VM
   std::uint64_t dfa_flushes = 0;          ///< cache blowups (state evictions)
+  // Per-line tag-path tallies, maintained by TagEngine::tag_line as
+  // plain increments (the miss path cannot afford per-line atomics;
+  // these are delta-flushed to obs counters at chunk boundaries).
+  // tag_lines and tag_hits are per-line functions of the input, so
+  // their process totals are identical at any thread count;
+  // prefilter_rejects additionally depends on the engine mode (always
+  // 0 in naive mode).
+  std::uint64_t tag_lines = 0;          ///< lines offered to tag_line
+  std::uint64_t tag_hits = 0;           ///< lines some rule tagged
+  std::uint64_t prefilter_rejects = 0;  ///< lines the literal scan rejected
 };
 
 /// Bitset helpers over the word vectors above.

@@ -1,0 +1,33 @@
+// Snapshot serialization: JSON (schema "wss.obs.v1") and Prometheus
+// text exposition format.
+//
+// JSON carries everything (counters, gauges, histograms, spans) and is
+// the machine-readable attachment for BENCH records and test
+// assertions. Prometheus text carries counters, gauges, and histograms
+// in scrape format; spans are flattened to a pair of counters per path
+// (`wss_span_hits_total` / `wss_span_nanoseconds_total` with a
+// path="..." label) so a scraper sees them too.
+//
+// Metric names may already embed one label (`name{key="value"}` --
+// see obs::labeled_counter); the Prometheus emitter splits it back out
+// and merges it with `le` for histogram buckets.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace wss::obs {
+
+/// One-line-per-metric JSON object, schema "wss.obs.v1".
+std::string to_json(const MetricsSnapshot& s);
+
+/// Prometheus text exposition format (# TYPE comments included).
+std::string to_prometheus(const MetricsSnapshot& s);
+
+/// Snapshots the global registry and writes it to `path`: Prometheus
+/// text when the path ends in ".prom", JSON otherwise. Throws
+/// std::runtime_error when the file cannot be written.
+void write_metrics_file(const std::string& path);
+
+}  // namespace wss::obs

@@ -26,8 +26,11 @@
 namespace wss::stream {
 
 /// Format tag written at the head of every checkpoint file.
+/// v2: adds the obs registry counter/gauge tables and the filter's
+/// per-category tallies + eviction count (restore-and-finish reports
+/// the same --metrics snapshot as an uninterrupted run).
 inline constexpr std::uint32_t kCheckpointMagic = 0x57535343u;  // "WSSC"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Little-endian fixed-width field writer.
 class CheckpointWriter {

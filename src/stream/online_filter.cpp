@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace wss::stream {
 
@@ -33,11 +36,19 @@ bool OnlineSimultaneousFilter::offer(const filter::Alert& a) {
   if (a.category >= table_.size()) {
     table_.resize(static_cast<std::size_t>(a.category) + 1);
   }
+  if (a.category >= offered_by_cat_.size()) {
+    offered_by_cat_.resize(static_cast<std::size_t>(a.category) + 1, 0);
+    admitted_by_cat_.resize(static_cast<std::size_t>(a.category) + 1, 0);
+  }
   Entry& e = table_[a.category];
   const bool redundant = e.epoch == epoch_ && a.time - e.time < threshold_;
   e.epoch = epoch_;
   e.time = a.time;
-  if (!redundant) ++admitted_;
+  ++offered_by_cat_[a.category];
+  if (!redundant) {
+    ++admitted_;
+    ++admitted_by_cat_[a.category];
+  }
   return !redundant;
 }
 
@@ -47,6 +58,7 @@ void OnlineSimultaneousFilter::evict_stale() {
     if (e.epoch != 0 &&
         (e.epoch != epoch_ || watermark_ - e.time >= threshold_)) {
       e = Entry{};  // unobservable: future times are >= watermark
+      ++evicted_entries_;
     }
   }
 }
@@ -59,6 +71,38 @@ std::size_t OnlineSimultaneousFilter::live_entries() const {
   return live;
 }
 
+void OnlineSimultaneousFilter::publish_metrics() {
+  auto& reg = obs::registry();
+  const std::uint64_t d_offered = offered_ - published_offered_;
+  const std::uint64_t d_admitted = admitted_ - published_admitted_;
+  reg.counter("wss_filter_offered_total").inc(d_offered);
+  reg.counter("wss_filter_admitted_total").inc(d_admitted);
+  reg.counter("wss_filter_suppressed_total").inc(d_offered - d_admitted);
+  reg.counter("wss_stream_filter_evicted_entries_total")
+      .inc(evicted_entries_ - published_evicted_);
+  published_offered_ = offered_;
+  published_admitted_ = admitted_;
+  published_evicted_ = evicted_entries_;
+  published_offered_by_cat_.resize(offered_by_cat_.size(), 0);
+  published_admitted_by_cat_.resize(admitted_by_cat_.size(), 0);
+  for (std::size_t c = 0; c < offered_by_cat_.size(); ++c) {
+    if (const auto d = offered_by_cat_[c] - published_offered_by_cat_[c]) {
+      obs::labeled_counter("wss_filter_offered_by_category_total", "category",
+                           c)
+          .inc(d);
+    }
+    if (const auto d = admitted_by_cat_[c] - published_admitted_by_cat_[c]) {
+      obs::labeled_counter("wss_filter_admitted_by_category_total", "category",
+                           c)
+          .inc(d);
+    }
+    published_offered_by_cat_[c] = offered_by_cat_[c];
+    published_admitted_by_cat_[c] = admitted_by_cat_[c];
+  }
+  reg.gauge("wss_filter_table_live_entries")
+      .set(static_cast<std::int64_t>(live_entries()));
+}
+
 void OnlineSimultaneousFilter::save(CheckpointWriter& w) const {
   w.i64(threshold_);
   w.boolean(strict_);
@@ -68,6 +112,10 @@ void OnlineSimultaneousFilter::save(CheckpointWriter& w) const {
   w.u32(epoch_);
   w.u64(offered_);
   w.u64(admitted_);
+  w.u64(evicted_entries_);
+  w.u64(offered_by_cat_.size());
+  for (const std::uint64_t v : offered_by_cat_) w.u64(v);
+  for (const std::uint64_t v : admitted_by_cat_) w.u64(v);
   w.u64(table_.size());
   for (const Entry& e : table_) {
     w.u32(e.epoch);
@@ -84,6 +132,15 @@ void OnlineSimultaneousFilter::load(CheckpointReader& r) {
   epoch_ = r.u32();
   offered_ = r.u64();
   admitted_ = r.u64();
+  evicted_entries_ = r.u64();
+  const std::uint64_t cats = r.u64();
+  if (cats > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible category count");
+  }
+  offered_by_cat_.assign(static_cast<std::size_t>(cats), 0);
+  admitted_by_cat_.assign(static_cast<std::size_t>(cats), 0);
+  for (auto& v : offered_by_cat_) v = r.u64();
+  for (auto& v : admitted_by_cat_) v = r.u64();
   const std::uint64_t n = r.u64();
   if (n > (1u << 20)) {
     throw std::runtime_error("checkpoint: implausible filter table size");
@@ -93,6 +150,13 @@ void OnlineSimultaneousFilter::load(CheckpointReader& r) {
     e.epoch = r.u32();
     e.time = r.i64();
   }
+  // The restored registry (checkpoint v2) already holds everything
+  // published before save(); re-base so nothing is double-counted.
+  published_offered_ = offered_;
+  published_admitted_ = admitted_;
+  published_evicted_ = evicted_entries_;
+  published_offered_by_cat_ = offered_by_cat_;
+  published_admitted_by_cat_ = admitted_by_cat_;
 }
 
 }  // namespace wss::stream

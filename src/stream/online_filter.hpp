@@ -69,7 +69,18 @@ class OnlineSimultaneousFilter {
   std::uint64_t admitted() const { return admitted_; }
   std::uint64_t suppressed() const { return offered_ - admitted_; }
 
+  /// Table entries dropped by evict_stale() so far.
+  std::uint64_t evicted_entries() const { return evicted_entries_; }
+
   util::TimeUs threshold() const { return threshold_; }
+
+  /// Publishes tally growth since the last publish to the same
+  /// wss_filter_* counters the batch filter uses (the decision
+  /// sequences are identical, so the totals agree between batch and
+  /// stream runs of the same alerts), plus the stream-only eviction
+  /// counter and the live-entry gauge. Call at cold points (chunk
+  /// boundary, finish, save); idempotent.
+  void publish_metrics();
 
   void save(CheckpointWriter& w) const;
   void load(CheckpointReader& r);
@@ -89,6 +100,18 @@ class OnlineSimultaneousFilter {
   std::vector<Entry> table_;  ///< indexed by category id
   std::uint64_t offered_ = 0;
   std::uint64_t admitted_ = 0;
+  std::uint64_t evicted_entries_ = 0;
+  std::vector<std::uint64_t> offered_by_cat_;   ///< indexed by category id
+  std::vector<std::uint64_t> admitted_by_cat_;  ///< indexed by category id
+
+  // Publish baselines (NOT checkpointed: save() publishes pending
+  // deltas first, and load() re-bases on the loaded tallies because
+  // the restored registry already contains everything published).
+  std::uint64_t published_offered_ = 0;
+  std::uint64_t published_admitted_ = 0;
+  std::uint64_t published_evicted_ = 0;
+  std::vector<std::uint64_t> published_offered_by_cat_;
+  std::vector<std::uint64_t> published_admitted_by_cat_;
 };
 
 }  // namespace wss::stream

@@ -1,11 +1,33 @@
 #include "stream/pipeline.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "parse/dispatch.hpp"
 #include "sim/spec.hpp"
 
 namespace wss::stream {
+
+namespace {
+
+/// Cached handles for the stream-side metrics (registration is cold;
+/// these are touched per event).
+struct StreamObs {
+  obs::Counter& events;
+  obs::Gauge& watermark;
+  obs::Histogram& latency;
+  static StreamObs& get() {
+    static StreamObs s{
+        obs::registry().counter("wss_stream_events_total"),
+        obs::registry().gauge("wss_stream_watermark_us"),
+        obs::registry().histogram("wss_stream_ingest_latency_seconds",
+                                  obs::latency_bounds_seconds()),
+    };
+    return s;
+  }
+};
+
+}  // namespace
 
 StreamPipeline::StreamPipeline(parse::SystemId system,
                                StreamPipelineOptions opts)
@@ -30,11 +52,17 @@ void StreamPipeline::offer(const filter::Alert& a) {
 }
 
 void StreamPipeline::ingest(const sim::SimEvent& e, std::string_view line) {
+#ifndef WSS_OBS_OFF
+  const bool sampled = (latency_tick_++ % 16) == 0;
+  const auto t0 = sampled ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+#endif
   // Reduce into the open chunk partial with the shared batch reducer,
   // then let the study state advance chunk bookkeeping (it merges the
   // partial at every chunk_events boundary, exactly like run_pipeline).
   core::detail::process_line(ctx_, e, line, study_.partial(), scratch_);
   study_.on_event(e, line);
+  StreamObs::get().events.inc();
 
   if (e.is_alert()) {
     // The ground-truth alert, constructed exactly as
@@ -50,11 +78,20 @@ void StreamPipeline::ingest(const sim::SimEvent& e, std::string_view line) {
     offer(a);
   }
 
-  // Chunk boundary: shed filter entries the watermark proves dead.
-  if (opts_.strict_order &&
-      study_.events() % opts_.study.chunk_events == 0) {
-    filter_.evict_stale();
+  if (study_.events() % opts_.study.chunk_events == 0) {
+    // Chunk boundary: shed filter entries the watermark proves dead,
+    // and publish the cold-path metric deltas.
+    if (opts_.strict_order) filter_.evict_stale();
+    flusher_.flush(scratch_);
+    StreamObs::get().watermark.set(study_.watermark());
   }
+#ifndef WSS_OBS_OFF
+  if (sampled) {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    StreamObs::get().latency.observe(dt.count());
+  }
+#endif
 }
 
 std::uint32_t StreamPipeline::intern(const std::string& name) {
@@ -64,6 +101,11 @@ std::uint32_t StreamPipeline::intern(const std::string& name) {
 }
 
 void StreamPipeline::ingest_line(std::string_view line) {
+#ifndef WSS_OBS_OFF
+  const bool sampled = (latency_tick_++ % 16) == 0;
+  const auto t0 = sampled ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+#endif
   study_.mark_no_ground_truth();
 
   // Year-rollover inference, as logio::read_log does it: peek the
@@ -79,12 +121,21 @@ void StreamPipeline::ingest_line(std::string_view line) {
   // Mirrors core::detail::process_line except for the tagger scoring
   // (meaningless without ground truth, left at zero).
   core::PipelineResult& r = study_.partial();
+  core::detail::PipelineCounters& pc = core::detail::PipelineCounters::get();
+  pc.events.inc();
+  pc.bytes.inc(line.size() + 1);
   ++r.physical_messages;
   r.weighted_messages += 1.0;
   r.physical_bytes += line.size() + 1;
   r.weighted_bytes += static_cast<double>(line.size() + 1);
-  if (rec.source_corrupted) ++r.corrupted_source_lines;
-  if (!rec.timestamp_valid) ++r.invalid_timestamp_lines;
+  if (rec.source_corrupted) {
+    ++r.corrupted_source_lines;
+    pc.corrupted_sources.inc();
+  }
+  if (!rec.timestamp_valid) {
+    ++r.invalid_timestamp_lines;
+    pc.invalid_timestamps.inc();
+  }
 
   sim::SimEvent e;
   e.time = rec.timestamp_valid ? rec.time : study_.watermark();
@@ -94,6 +145,7 @@ void StreamPipeline::ingest_line(std::string_view line) {
   const auto tagged = engine_.tag(rec, scratch_);
   filter::Alert a;
   if (tagged) {
+    pc.alerts_tagged.inc();
     e.category = static_cast<std::int32_t>(tagged->category);
     if (tagged->category < r.weighted_alert_counts.size()) {
       r.weighted_alert_counts[tagged->category] += 1.0;
@@ -116,12 +168,37 @@ void StreamPipeline::ingest_line(std::string_view line) {
   }
 
   study_.on_event(e, line);
+  StreamObs::get().events.inc();
   if (tagged) offer(a);
+
+  if (study_.events() % opts_.study.chunk_events == 0) {
+    flusher_.flush(scratch_);
+    StreamObs::get().watermark.set(study_.watermark());
+  }
+#ifndef WSS_OBS_OFF
+  if (sampled) {
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    StreamObs::get().latency.observe(dt.count());
+  }
+#endif
 }
 
-void StreamPipeline::finish() { study_.finish(); }
+void StreamPipeline::publish_metrics() {
+  flusher_.flush(scratch_);
+  filter_.publish_metrics();
+  StreamObs::get().watermark.set(study_.watermark());
+}
 
-void StreamPipeline::save(std::ostream& os) const {
+void StreamPipeline::finish() {
+  publish_metrics();
+  study_.finish();
+}
+
+void StreamPipeline::save(std::ostream& os) {
+  // Publish first: the serialized registry must already contain every
+  // pending delta, so restore can simply re-base the flushers.
+  publish_metrics();
   CheckpointWriter w(os);
   w.header();
   w.u8(static_cast<std::uint8_t>(system_));
@@ -148,6 +225,21 @@ void StreamPipeline::save(std::ostream& os) const {
   for (const auto& [name, id] : source_ids_) {
     w.str(name);
     w.u32(id);
+  }
+
+  // v2: the obs registry's counter/gauge tables. Histograms and spans
+  // measure this process's wall time and are deliberately absent.
+  const auto counters = obs::registry().counter_values();
+  w.u64(counters.size());
+  for (const auto& [name, value] : counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  const auto gauges = obs::registry().gauge_values();
+  w.u64(gauges.size());
+  for (const auto& [name, value] : gauges) {
+    w.str(name);
+    w.i64(value);
   }
   if (!w.ok()) throw std::runtime_error("checkpoint: write failed");
 }
@@ -195,6 +287,29 @@ void StreamPipeline::restore(std::istream& is) {
     const std::uint32_t id = r.u32();
     source_ids_[std::move(name)] = id;
   }
+
+  // v2: restore the obs registry, then re-base the tag flusher on the
+  // (transient, possibly non-zero) scratch so future flushes publish
+  // only post-restore growth.
+  const std::uint64_t counters = r.u64();
+  if (counters > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible counter count");
+  }
+  for (std::uint64_t i = 0; i < counters; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    obs::registry().set_counter(name, value);
+  }
+  const std::uint64_t gauges = r.u64();
+  if (gauges > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible gauge count");
+  }
+  for (std::uint64_t i = 0; i < gauges; ++i) {
+    std::string name = r.str();
+    const std::int64_t value = r.i64();
+    obs::registry().set_gauge(name, value);
+  }
+  flusher_.rebase(scratch_);
 }
 
 }  // namespace wss::stream

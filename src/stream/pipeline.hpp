@@ -40,6 +40,7 @@
 #include "stream/online_filter.hpp"
 #include "stream/study_state.hpp"
 #include "tag/engine.hpp"
+#include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
 
 namespace wss::stream {
@@ -89,12 +90,21 @@ class StreamPipeline {
   const StreamPipelineOptions& options() const { return opts_; }
   int year_rollovers() const { return year_.rollovers(); }
 
-  /// Serializes the full engine state. Throws std::runtime_error on a
-  /// write failure.
-  void save(std::ostream& os) const;
+  /// Publishes every pending metric delta (tag tallies, filter
+  /// tallies, watermark gauge) to the obs registry. Idempotent; called
+  /// by finish() and save(), and by the CLI before writing --metrics.
+  void publish_metrics();
+
+  /// Serializes the full engine state, including the obs registry's
+  /// counter/gauge tables (checkpoint v2) -- restore-and-finish then
+  /// reports the same --metrics counters as an uninterrupted run.
+  /// Publishes pending metric deltas first (hence non-const). Throws
+  /// std::runtime_error on a write failure.
+  void save(std::ostream& os);
 
   /// Restores a checkpoint written by save() for the same system.
-  /// Replaces options and all accumulator state; the sink is kept.
+  /// Replaces options, all accumulator state, and the process-wide obs
+  /// counters/gauges; the sink is kept.
   void restore(std::istream& is);
 
  private:
@@ -120,6 +130,15 @@ class StreamPipeline {
   // Purely transient (cleared at the start of each tag call), so it is
   // deliberately NOT part of save()/restore().
   match::MatchScratch scratch_;
+
+  // Delta-flusher for the scratch's tag tallies (flushed at chunk
+  // boundaries and publish points; re-based on restore because the
+  // restored registry already holds everything published).
+  tag::TagMetricsFlusher flusher_;
+
+  // Every 16th ingest is latency-sampled (wall-clock; never
+  // checkpointed -- it measures this process, not the stream).
+  std::uint64_t latency_tick_ = 0;
 };
 
 }  // namespace wss::stream

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace wss::stream {
 
 IngestRing::IngestRing(std::size_t capacity_hint, BackpressurePolicy policy)
@@ -16,7 +18,11 @@ bool IngestRing::push(StreamItem item) {
   const std::size_t evicted = queue_.push_evicting(std::move(item));
   if (evicted == core::MpmcQueue<StreamItem>::kClosed) return false;
   if (evicted > 0) {
-    dropped_.fetch_add(evicted, std::memory_order_relaxed);
+    // Exactness lives in the queue's lock-protected total (see
+    // dropped()); this counter is the observability mirror.
+    static obs::Counter& dropped_counter =
+        obs::registry().counter("wss_stream_ring_dropped_total");
+    dropped_counter.inc(evicted);
   }
   return true;
 }

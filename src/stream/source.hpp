@@ -15,7 +15,6 @@
 // push_evicting() path enabled by policy.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -64,15 +63,16 @@ class IngestRing {
   std::size_t size() const { return queue_.size(); }
   BackpressurePolicy policy() const { return policy_; }
 
-  /// Exact number of items evicted under kDropOldest so far.
-  std::uint64_t dropped() const {
-    return dropped_.load(std::memory_order_relaxed);
-  }
+  /// Exact number of items evicted under kDropOldest so far. Reads the
+  /// queue's own lock-protected total, so the invariant
+  /// popped + dropped() + resident == pushed holds at every instant
+  /// (an external tally bumped after push_evicting returned would lag
+  /// the queue between the eviction and the add).
+  std::uint64_t dropped() const { return queue_.evicted_total(); }
 
  private:
   core::MpmcQueue<StreamItem> queue_;
   BackpressurePolicy policy_;
-  std::atomic<std::uint64_t> dropped_{0};
 };
 
 }  // namespace wss::stream

@@ -108,6 +108,9 @@ void StreamStudyState::merge_open_chunk() {
   core::detail::merge_partial(total_, std::move(partial_));
   partial_ = fresh_partial(system_, num_categories_);
   events_in_partial_ = 0;
+  // Same chunk-merge accounting as the batch run/merge loops; NOT in
+  // merge_partial itself, because snapshot() merges a copy.
+  core::detail::PipelineCounters::get().chunks.inc();
 }
 
 void StreamStudyState::finish() {

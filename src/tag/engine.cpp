@@ -104,8 +104,11 @@ std::optional<TagResult> TagEngine::tag_line_scan(
 
 std::optional<TagResult> TagEngine::tag_line(
     std::string_view line, match::MatchScratch& scratch) const {
+  ++scratch.tag_lines;
   if (mode_ == TagEngineMode::kNaive) {
-    return tag_line_scan(line, scratch, nullptr);
+    const auto r = tag_line_scan(line, scratch, nullptr);
+    if (r) ++scratch.tag_hits;
+    return r;
   }
 
   // 1. One Aho–Corasick pass over the line: which required literals
@@ -117,7 +120,10 @@ std::optional<TagResult> TagEngine::tag_line(
   // the scan alone.
   std::uint64_t found_any = 0;
   for (const std::uint64_t w : scratch.found) found_any |= w;
-  if (found_any == 0 && !has_ungated_rule_) return std::nullopt;
+  if (found_any == 0 && !has_ungated_rule_) {
+    ++scratch.prefilter_rejects;
+    return std::nullopt;
+  }
   const std::size_t rule_words = (plans_.size() + 63) / 64;
   match::bitset_clear(scratch.candidates, rule_words);
   bool any_candidate = false;
@@ -133,10 +139,15 @@ std::optional<TagResult> TagEngine::tag_line(
       any_candidate = true;
     }
   }
-  if (!any_candidate) return std::nullopt;  // the chatter fast path
+  if (!any_candidate) {
+    ++scratch.prefilter_rejects;
+    return std::nullopt;  // the chatter fast path
+  }
 
   if (mode_ == TagEngineMode::kPrefilter) {
-    return tag_line_scan(line, scratch, scratch.candidates.data());
+    const auto r = tag_line_scan(line, scratch, scratch.candidates.data());
+    if (r) ++scratch.tag_hits;
+    return r;
   }
 
   // 2. One set-matching pass decides every whole-line term of every
@@ -179,7 +190,10 @@ std::optional<TagResult> TagEngine::tag_line(
         break;
       }
     }
-    if (ok) return TagResult{static_cast<std::uint16_t>(i), plan.type};
+    if (ok) {
+      ++scratch.tag_hits;
+      return TagResult{static_cast<std::uint16_t>(i), plan.type};
+    }
   }
   return std::nullopt;
 }

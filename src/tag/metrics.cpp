@@ -1,0 +1,34 @@
+#include "tag/metrics.hpp"
+
+namespace wss::tag {
+
+TagMetricsFlusher::TagMetricsFlusher()
+    : lines_(&obs::registry().counter("wss_tag_lines_total")),
+      hits_(&obs::registry().counter("wss_tag_hits_total")),
+      prefilter_rejects_(
+          &obs::registry().counter("wss_tag_prefilter_rejects_total")),
+      dfa_scans_(&obs::registry().counter("wss_tag_dfa_scans_total")),
+      pike_fallbacks_(
+          &obs::registry().counter("wss_tag_pike_fallbacks_total")),
+      dfa_flushes_(&obs::registry().counter("wss_tag_dfa_flushes_total")) {}
+
+void TagMetricsFlusher::flush(const match::MatchScratch& s) {
+  lines_->inc(s.tag_lines - last_lines_);
+  hits_->inc(s.tag_hits - last_hits_);
+  prefilter_rejects_->inc(s.prefilter_rejects - last_prefilter_rejects_);
+  dfa_scans_->inc(s.dfa_scans - last_dfa_scans_);
+  pike_fallbacks_->inc(s.pike_fallback_scans - last_pike_fallbacks_);
+  dfa_flushes_->inc(s.dfa_flushes - last_dfa_flushes_);
+  rebase(s);
+}
+
+void TagMetricsFlusher::rebase(const match::MatchScratch& s) {
+  last_lines_ = s.tag_lines;
+  last_hits_ = s.tag_hits;
+  last_prefilter_rejects_ = s.prefilter_rejects;
+  last_dfa_scans_ = s.dfa_scans;
+  last_pike_fallbacks_ = s.pike_fallback_scans;
+  last_dfa_flushes_ = s.dfa_flushes;
+}
+
+}  // namespace wss::tag

@@ -1,0 +1,175 @@
+// Negative-path CLI sweep: every malformed invocation must exit
+// non-zero with a single-line diagnostic on stderr -- never a silent
+// default, never a crash, never a page of usage for a typo.
+//
+// Exit-code convention: 2 for usage errors (bad flags/values), 1 for
+// runtime I/O failures (missing input, unwritable output).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "cli/commands.hpp"
+
+namespace wss::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+Args make_args(std::vector<std::string> tokens) {
+  std::vector<const char*> argv = {"wss"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+class CliNegativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wss_neg_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_tokens(std::vector<std::string> tokens) {
+    out_.str("");
+    err_.str("");
+    return run(make_args(std::move(tokens)), out_, err_);
+  }
+
+  /// The error contract: exactly one line, newline-terminated,
+  /// containing `needle`.
+  void expect_one_line_error(const std::string& needle) {
+    const std::string msg = err_.str();
+    ASSERT_FALSE(msg.empty());
+    EXPECT_EQ(msg.back(), '\n');
+    EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1)
+        << "expected a one-line diagnostic, got:\n" << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "diagnostic missing '" << needle << "':\n" << msg;
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(CliNegativeTest, UnknownFlagRejectedByEveryCommand) {
+  const std::string x = (dir_ / "x").string();
+  const std::vector<std::vector<std::string>> cases = {
+      {"generate", "--system", "liberty", "--out", x, "--bogus", "1"},
+      {"analyze", "--system", "liberty", "--in", x, "--bogus", "1"},
+      {"anonymize", "--in", x, "--out", x + "2", "--bogus", "1"},
+      {"mine", "--in", x, "--bogus", "1"},
+      {"tables", "--which", "1", "--bogus", "1"},
+      {"study", "--system", "liberty", "--bogus", "1"},
+      {"stream", "--system", "liberty", "--bogus", "1"},
+  };
+  for (const auto& tokens : cases) {
+    SCOPED_TRACE(tokens.front());
+    EXPECT_EQ(run_tokens(tokens), 2);
+    expect_one_line_error("unknown flag --bogus");
+  }
+}
+
+TEST_F(CliNegativeTest, ThreadsZeroRejected) {
+  // 0 used to mean "all cores"; that spelling is now 'auto', and 0 is
+  // a loud error (a zero-thread pipeline is always a mistake).
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--threads", "0"}),
+            2);
+  expect_one_line_error("--threads must be >= 1");
+  EXPECT_EQ(run_tokens({"tables", "--which", "1", "--threads", "0"}), 2);
+  expect_one_line_error("--threads must be >= 1");
+}
+
+TEST_F(CliNegativeTest, ThreadsNegativeRejected) {
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--threads", "-4"}),
+            2);
+  expect_one_line_error("--threads");
+}
+
+TEST_F(CliNegativeTest, ThreadsNonNumericRejected) {
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--threads", "two"}),
+            2);
+  expect_one_line_error("'two' is not a thread count");
+}
+
+TEST_F(CliNegativeTest, ThreadsAutoAccepted) {
+  // Positive control: the documented spelling for "all cores" works.
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--threads", "auto",
+                        "--cap", "200", "--chatter", "1000"}),
+            0);
+  EXPECT_TRUE(err_.str().empty()) << err_.str();
+}
+
+TEST_F(CliNegativeTest, EmptyMetricsPathRejected) {
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--metrics="}), 2);
+  expect_one_line_error("--metrics requires a file path");
+}
+
+TEST_F(CliNegativeTest, UnwritableMetricsPathFails) {
+  const std::string path = (dir_ / "no-such-dir" / "m.json").string();
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--cap", "200",
+                        "--chatter", "1000", "--metrics", path}),
+            1);
+  expect_one_line_error("metrics: cannot open");
+}
+
+TEST_F(CliNegativeTest, CheckpointRestoreSamePathRejected) {
+  const std::string ckpt = (dir_ / "state.ckpt").string();
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--checkpoint",
+                        ckpt, "--restore", ckpt}),
+            2);
+  expect_one_line_error("--checkpoint and --restore");
+}
+
+TEST_F(CliNegativeTest, StreamRejectsBadPolicyAndQueue) {
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--policy", "lifo"}),
+            2);
+  expect_one_line_error("--policy must be block or drop-oldest");
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--queue", "0"}), 2);
+  expect_one_line_error("--queue");
+}
+
+TEST_F(CliNegativeTest, StreamRestoreFromMissingFileFails) {
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--restore",
+                        (dir_ / "nope.ckpt").string()}),
+            1);
+  expect_one_line_error("cannot open");
+}
+
+TEST_F(CliNegativeTest, StudyRejectsUnknownSystemAndBadThreshold) {
+  EXPECT_EQ(run_tokens({"study", "--system", "nope"}), 2);
+  expect_one_line_error("unknown system 'nope'");
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--threshold", "0"}),
+            2);
+  expect_one_line_error("--threshold must be positive");
+}
+
+TEST_F(CliNegativeTest, TablesRejectsWhichOutOfRange) {
+  EXPECT_EQ(run_tokens({"tables", "--which", "7"}), 2);
+  expect_one_line_error("--which must be 1..6");
+}
+
+TEST_F(CliNegativeTest, NonNumericValueBecomesOneLineCommandError) {
+  // A stray throw inside a command must surface as "<cmd>: <what>",
+  // one line, exit 2 -- the run() catch-all contract.
+  EXPECT_EQ(run_tokens({"study", "--system", "liberty", "--seed", "abc"}), 2);
+  const std::string msg = err_.str();
+  EXPECT_EQ(msg.rfind("study: ", 0), 0u) << msg;
+  EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1) << msg;
+}
+
+TEST_F(CliNegativeTest, MissingInputFileIsOneLineError) {
+  EXPECT_EQ(run_tokens({"analyze", "--system", "liberty", "--in",
+                        (dir_ / "nope.log").string()}),
+            1);
+  const std::string msg = err_.str();
+  EXPECT_EQ(msg.rfind("analyze: ", 0), 0u) << msg;
+  EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1) << msg;
+}
+
+}  // namespace
+}  // namespace wss::cli

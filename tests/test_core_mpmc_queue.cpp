@@ -70,6 +70,52 @@ TEST(MpmcQueue, PushEvictingDropsOldestWhenFull) {
   EXPECT_EQ(q.push_evicting(5), MpmcQueue<int>::kClosed);
 }
 
+TEST(MpmcQueue, EvictedTotalCountsExactly) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(q.push_evicting(i), MpmcQueue<int>::kClosed);
+  }
+  // 8 fit, pushes 8..19 each evicted exactly one.
+  EXPECT_EQ(q.evicted_total(), 12u);
+  for (int i = 12; i < 20; ++i) EXPECT_EQ(q.pop(), i);
+  // Popping is not evicting.
+  EXPECT_EQ(q.evicted_total(), 12u);
+}
+
+TEST(MpmcQueue, EvictedTotalConservesUnderContention) {
+  // Regression: the eviction counter used to be bumped outside the
+  // queue lock, so concurrent evictors could lose increments and
+  // popped + evicted would undercount the offered total.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  MpmcQueue<int> q(16);
+  std::atomic<std::uint64_t> popped{0};
+  {
+    std::vector<std::jthread> consumers;
+    for (int c = 0; c < 2; ++c) {
+      consumers.emplace_back([&] {
+        while (q.pop().has_value()) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            EXPECT_NE(q.push_evicting(i), MpmcQueue<int>::kClosed);
+          }
+        });
+      }
+    }  // producers join
+    q.close();
+  }  // consumers drain and join
+  // Every offered item was either delivered or evicted -- exactly once.
+  EXPECT_EQ(popped.load() + q.evicted_total(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
 TEST(MpmcQueue, BackpressureBlocksProducerUntilPop) {
   MpmcQueue<int> q(2);
   EXPECT_TRUE(q.push(1));
