@@ -1,6 +1,8 @@
 #include "cli/commands.hpp"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -10,6 +12,10 @@
 #include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
+#include "dist/manifest.hpp"
+#include "dist/merge.hpp"
+#include "dist/split.hpp"
+#include "dist/worker.hpp"
 #include "filter/simultaneous.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
@@ -132,6 +138,19 @@ void print_usage(std::ostream& os) {
         "             simulations and print a per-system summary\n"
         "             [--system NAME|all] [--threads N|auto]\n"
         "             [--threshold SEC] [--seed N] [--cap N] [--chatter N]\n"
+        "             [--split-by system|category|time --num-splits N\n"
+        "              --manifest-dir DIR]  plan a distributed study:\n"
+        "             write claimable assignment manifests instead of\n"
+        "             running the pipeline\n"
+        "  worker     claim one assignment from a manifest directory,\n"
+        "             compute its chunk partials, publish them atomically\n"
+        "             wss worker <id> --manifest-dir DIR\n"
+        "             [--stale-after SEC] [--threads N|auto]\n"
+        "             exit 3 when the assignment is held by a live worker\n"
+        "  merge      validate + fold every assignment's partial and\n"
+        "             write the study's tables/figure data; byte-identical\n"
+        "             to a single-process run\n"
+        "             --manifest-dir DIR [--out DIR]\n"
         "  stream     run the online pipeline over a live event stream\n"
         "             --system NAME; source: simulated replay (default;\n"
         "             [--seed N] [--cap N] [--chatter N] [--speed N]) or\n"
@@ -645,6 +664,17 @@ int cmd_study(const Args& args, std::ostream& out, std::ostream& err) {
   sopts.category_cap = static_cast<std::uint64_t>(args.get_int("cap", 20000));
   sopts.chatter_events =
       static_cast<std::uint64_t>(args.get_int("chatter", 50000));
+
+  // Distributed planning mode: --split-by switches `study` from
+  // running the pipeline to emitting a claimable manifest.
+  const auto split_by = args.get("split-by");
+  const std::int64_t num_splits = args.get_int("num-splits", 4);
+  const auto manifest_dir = args.get("manifest-dir");
+  if (!split_by && (args.has("num-splits") || manifest_dir)) {
+    err << "study: --num-splits/--manifest-dir require --split-by\n";
+    return 2;
+  }
+
   std::optional<std::string> metrics;
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
@@ -659,6 +689,53 @@ int cmd_study(const Args& args, std::ostream& out, std::ostream& err) {
       return 2;
     }
     systems.push_back(*system);
+  }
+
+  if (split_by) {
+    const auto axis = dist::parse_split_axis(*split_by);
+    if (!axis) {
+      err << "study: --split-by must be system, category, or time\n";
+      return 2;
+    }
+    if (num_splits < 1) {
+      err << "study: --num-splits must be >= 1\n";
+      return 2;
+    }
+    if (!manifest_dir || manifest_dir->empty()) {
+      err << "study: --split-by requires --manifest-dir\n";
+      return 2;
+    }
+    dist::SplitOptions split;
+    split.axis = *axis;
+    split.num_splits = static_cast<std::uint32_t>(num_splits);
+    split.study.sim = sopts;
+    split.study.sim.threshold_us =
+        static_cast<util::TimeUs>(threshold_s * 1e6);
+    split.systems = systems;
+    try {
+      obs::Span span("cmd_study_split");
+      const dist::StudyManifest manifest = dist::plan_split(split);
+      dist::write_manifest(manifest, *manifest_dir);
+      std::uint64_t chunks = 0;
+      for (const auto c : manifest.chunk_counts) chunks += c;
+      out << util::format(
+          "planned %u assignment(s) over %zu system(s), %llu chunks, split "
+          "by %s -> %s\n",
+          manifest.num_splits, manifest.systems.size(),
+          static_cast<unsigned long long>(chunks),
+          std::string(dist::split_axis_name(manifest.axis)).c_str(),
+          manifest_dir->c_str());
+      for (const dist::Assignment& a : manifest.assignments) {
+        std::uint64_t owned = 0;
+        for (const auto& slice : a.slices) owned += slice.chunk_count();
+        out << util::format("  assignment %u: %llu chunk(s)\n", a.id,
+                            static_cast<unsigned long long>(owned));
+      }
+    } catch (const std::exception& e) {
+      err << "study: " << e.what() << "\n";
+      return 1;
+    }
+    return write_metrics(metrics, "study", err);
   }
   const auto threshold_us = static_cast<util::TimeUs>(threshold_s * 1e6);
 
@@ -695,6 +772,132 @@ int cmd_study(const Args& args, std::ostream& out, std::ostream& err) {
   return write_metrics(metrics, "study", err);
 }
 
+int cmd_worker(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positional().empty()) {
+    err << "worker requires an assignment id (wss worker <id> "
+           "--manifest-dir DIR)\n";
+    return 2;
+  }
+  const std::string& id_token = args.positional().front();
+  std::uint64_t worker_id = 0;
+  {
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(id_token.c_str(), &end, 10);
+    if (errno != 0 || end == id_token.c_str() || *end != '\0' ||
+        id_token[0] == '-') {
+      err << "worker: '" << id_token << "' is not an assignment id\n";
+      return 2;
+    }
+    worker_id = v;
+  }
+  const auto manifest_dir = args.get("manifest-dir");
+  if (!manifest_dir || manifest_dir->empty()) {
+    err << "worker requires --manifest-dir\n";
+    return 2;
+  }
+  const double stale_after = args.get_double("stale-after", 300.0);
+  int threads = 1;
+  if (!parse_threads_flag(args, err, threads)) return 2;
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
+  const auto instance = args.get_or("instance", "");
+  if (reject_unused(args, err)) return 2;
+
+  dist::StudyManifest manifest;
+  try {
+    manifest = dist::load_manifest(*manifest_dir);
+  } catch (const std::exception& e) {
+    err << "worker: " << e.what() << "\n";
+    return 1;
+  }
+  if (worker_id >= manifest.num_splits) {
+    err << util::format("worker: id %llu out of range [0, %u)\n",
+                        static_cast<unsigned long long>(worker_id),
+                        manifest.num_splits);
+    return 2;
+  }
+
+  dist::WorkerOptions wopts;
+  wopts.manifest_dir = *manifest_dir;
+  wopts.worker_id = static_cast<std::uint32_t>(worker_id);
+  wopts.stale_after_s = stale_after;
+  wopts.threads = threads;
+  wopts.instance = instance;
+  dist::WorkerReport report;
+  try {
+    obs::Span span("cmd_worker");
+    report = dist::run_worker(manifest, wopts);
+  } catch (const std::exception& e) {
+    err << "worker: " << e.what() << "\n";
+    return 1;
+  }
+  switch (report.outcome) {
+    case dist::WorkerOutcome::kLostClaim:
+      err << util::format("worker: assignment %llu is held by %s\n",
+                          static_cast<unsigned long long>(worker_id),
+                          report.holder.c_str());
+      return 3;
+    case dist::WorkerOutcome::kAlreadyComplete:
+      out << util::format("assignment %llu already complete\n",
+                          static_cast<unsigned long long>(worker_id));
+      break;
+    case dist::WorkerOutcome::kCompleted:
+      out << util::format(
+          "assignment %llu: processed %llu chunk(s), %llu event(s) -> %s\n",
+          static_cast<unsigned long long>(worker_id),
+          static_cast<unsigned long long>(report.chunks),
+          static_cast<unsigned long long>(report.events),
+          dist::partial_path(*manifest_dir,
+                             static_cast<std::uint32_t>(worker_id))
+              .c_str());
+      break;
+  }
+  return write_metrics(metrics, "worker", err);
+}
+
+int cmd_merge(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto manifest_dir = args.get("manifest-dir");
+  if (!manifest_dir || manifest_dir->empty()) {
+    err << "merge requires --manifest-dir\n";
+    return 2;
+  }
+  const auto out_dir = args.get_or("out", "");
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
+  if (reject_unused(args, err)) return 2;
+
+  dist::StudyManifest manifest;
+  try {
+    manifest = dist::load_manifest(*manifest_dir);
+  } catch (const std::exception& e) {
+    err << "merge: " << e.what() << "\n";
+    return 1;
+  }
+  dist::MergeOptions mopts;
+  mopts.manifest_dir = *manifest_dir;
+  mopts.out_dir = out_dir;
+  dist::MergeReport report;
+  try {
+    obs::Span span("cmd_merge");
+    report = dist::run_merge(manifest, mopts);
+  } catch (const std::exception& e) {
+    err << "merge: " << e.what() << "\n";
+    return 1;
+  }
+  if (!report.ok()) {
+    err << report.describe_failure() << "\n";
+    return 1;
+  }
+  out << util::format(
+      "merged %zu assignment(s): %llu chunk(s) across %zu system(s) -> %s "
+      "(%zu artifact(s))\n",
+      manifest.assignments.size(),
+      static_cast<unsigned long long>(report.chunks), report.covered.size(),
+      report.out_dir.c_str(), report.artifacts);
+  return write_metrics(metrics, "merge", err);
+}
+
 int run(const Args& args, std::ostream& out, std::ostream& err) {
   const std::string& cmd = args.command();
   try {
@@ -705,6 +908,8 @@ int run(const Args& args, std::ostream& out, std::ostream& err) {
     if (cmd == "study") return cmd_study(args, out, err);
     if (cmd == "mine") return cmd_mine(args, out, err);
     if (cmd == "stream") return cmd_stream(args, out, err);
+    if (cmd == "worker") return cmd_worker(args, out, err);
+    if (cmd == "merge") return cmd_merge(args, out, err);
   } catch (const std::exception& e) {
     // Last-resort guard: no command may escape as an uncaught throw
     // (a stray exception would read as a crash, not a usage error).

@@ -9,6 +9,12 @@
 //   wss tables    [--which 1..6] [--threads N|auto]
 //   wss study     [--system NAME|all] [--threads N|auto]
 //                 [--threshold 5.0] [--seed N] [--cap N] [--chatter N]
+//                 [--split-by system|category|time --num-splits N
+//                  --manifest-dir DIR]  plan a distributed study
+//   wss worker    <id> --manifest-dir DIR [--stale-after SEC]
+//                 [--threads N|auto]  claim + compute one assignment
+//   wss merge     --manifest-dir DIR [--out DIR]  fold worker partials
+//                 into the single-process tables/figures
 //   wss stream    --system liberty [--speed N] [--threshold 5.0]
 //                 [--in log.txt | --seed N --cap N --chatter N]
 //                 [--policy block|drop-oldest] [--queue N]
@@ -40,6 +46,8 @@ int cmd_tables(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_study(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_mine(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stream(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_worker(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_merge(const Args& args, std::ostream& out, std::ostream& err);
 
 /// Prints usage.
 void print_usage(std::ostream& os);

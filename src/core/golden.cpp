@@ -159,52 +159,65 @@ StudyOptions golden_study_options() {
 
 const std::vector<GoldenArtifact>& golden_artifacts() {
   static const std::vector<GoldenArtifact> kArtifacts = [] {
+    const std::vector<parse::SystemId> all(parse::kAllSystems.begin(),
+                                           parse::kAllSystems.end());
     std::vector<GoldenArtifact> a;
     a.push_back({"table1.txt", "Table 1 system characteristics",
-                 [](Study&) { return render_table1(); }});
+                 [](Study&) { return render_table1(); },
+                 {}});
     a.push_back({"table2.csv", "Table 2 log characteristics",
-                 golden_table2});
+                 golden_table2, all});
     a.push_back({"table3.csv", "Table 3 alert type distribution",
-                 golden_table3});
+                 golden_table3, all});
     for (const auto id : parse::kAllSystems) {
       a.push_back({util::format("table4_%s.csv",
                                 std::string(parse::system_short_name(id))
                                     .c_str()),
                    util::format("Table 4 per-category counts (%s)",
                                 std::string(parse::system_name(id)).c_str()),
-                   [id](Study& s) { return golden_table4(s, id); }});
+                   [id](Study& s) { return golden_table4(s, id); },
+                   {id}});
     }
     a.push_back({"table5.csv", "Table 5 BG/L severity cross-tab",
-                 golden_table5});
+                 golden_table5,
+                 {parse::SystemId::kBlueGeneL}});
     a.push_back({"table6.csv", "Table 6 Red Storm severity cross-tab",
                  [](Study& s) {
                    return golden_severity(s, parse::SystemId::kRedStorm,
                                           /*syslog_names=*/true);
-                 }});
+                 },
+                 {parse::SystemId::kRedStorm}});
     a.push_back({"fig2a.csv", "Figure 2(a) Liberty hourly rate series",
-                 golden_fig2a});
+                 golden_fig2a,
+                 {parse::SystemId::kLiberty}});
     a.push_back({"fig2b.csv", "Figure 2(b) Liberty per-source counts",
-                 golden_fig2b});
+                 golden_fig2b,
+                 {parse::SystemId::kLiberty}});
     a.push_back({"fig5.csv", "Figure 5 ECC interarrivals and fits",
-                 golden_fig5});
+                 golden_fig5,
+                 {parse::SystemId::kThunderbird}});
     a.push_back({"fig6_bgl.csv", "Figure 6 BG/L interarrival histogram",
                  [](Study& s) {
                    return golden_fig6(s, parse::SystemId::kBlueGeneL);
-                 }});
+                 },
+                 {parse::SystemId::kBlueGeneL}});
     a.push_back({"fig6_spirit.csv", "Figure 6 Spirit interarrival histogram",
                  [](Study& s) {
                    return golden_fig6(s, parse::SystemId::kSpirit);
-                 }});
+                 },
+                 {parse::SystemId::kSpirit}});
     return a;
   }();
   return kArtifacts;
 }
 
-std::size_t write_goldens(const std::string& dir) {
+std::size_t write_artifacts(
+    Study& study, const std::string& dir,
+    const std::function<bool(const GoldenArtifact&)>& want) {
   std::filesystem::create_directories(dir);
-  Study study(golden_study_options());
   std::size_t written = 0;
   for (const auto& artifact : golden_artifacts()) {
+    if (want && !want(artifact)) continue;
     const std::string path = dir + "/" + artifact.file;
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os) throw std::runtime_error("golden: cannot open " + path);
@@ -213,6 +226,13 @@ std::size_t write_goldens(const std::string& dir) {
     ++written;
   }
   return written;
+}
+
+std::size_t write_goldens(const std::string& dir) {
+  Study study(golden_study_options());
+  return write_artifacts(study, dir, [](const GoldenArtifact&) {
+    return true;
+  });
 }
 
 }  // namespace wss::core

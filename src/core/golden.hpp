@@ -23,6 +23,11 @@ struct GoldenArtifact {
   std::string file;  ///< e.g. "table2.csv"
   std::string what;  ///< one-line description for test failure output
   std::function<std::string(Study&)> produce;
+  /// Systems whose pipeline results / simulators this artifact reads.
+  /// Empty = static data only. `wss merge` uses this to render exactly
+  /// the artifacts a partial-coverage study can produce without
+  /// silently recomputing uncovered systems locally.
+  std::vector<parse::SystemId> needs;
 };
 
 /// The fixed study configuration the goldens are generated with. Any
@@ -36,5 +41,13 @@ const std::vector<GoldenArtifact>& golden_artifacts();
 /// Renders every artifact and writes it to `dir` (created if needed).
 /// Returns the number of files written; throws on I/O failure.
 std::size_t write_goldens(const std::string& dir);
+
+/// Renders the artifacts selected by `want` from an existing Study and
+/// writes them to `dir` (created if needed). Returns the number of
+/// files written; throws on I/O failure. write_goldens is this with a
+/// fresh golden-options Study and an all-pass predicate.
+std::size_t write_artifacts(
+    Study& study, const std::string& dir,
+    const std::function<bool(const GoldenArtifact&)>& want);
 
 }  // namespace wss::core

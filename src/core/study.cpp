@@ -1,5 +1,7 @@
 #include "core/study.hpp"
 
+#include <stdexcept>
+
 #include "core/parallel.hpp"
 
 namespace wss::core {
@@ -35,6 +37,18 @@ const PipelineResult& Study::pipeline_result(parse::SystemId id) {
 
 const PipelineResult& Study::parallel_pipeline_result(parse::SystemId id) {
   return ensure_result(id, /*parallel=*/true);
+}
+
+void Study::adopt_result(parse::SystemId id, PipelineResult&& result) {
+  const auto i = static_cast<std::size_t>(id);
+  bool adopted = false;
+  std::call_once(result_once_[i], [&] {
+    results_[i] = std::make_unique<PipelineResult>(std::move(result));
+    adopted = true;
+  });
+  if (!adopted) {
+    throw std::logic_error("Study::adopt_result: result already computed");
+  }
 }
 
 }  // namespace wss::core

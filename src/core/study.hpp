@@ -71,6 +71,15 @@ class Study {
   /// The filtering threshold T (paper value: 5 s).
   util::TimeUs threshold() const { return opts_.sim.threshold_us; }
 
+  /// Distributed-merge hook: installs a pre-computed pipeline result
+  /// (deserialized from worker partials) into the cache, so later
+  /// pipeline_result() calls return it instead of recomputing. The
+  /// result must have been produced with these StudyOptions, or every
+  /// downstream table silently disagrees with a local run. Throws
+  /// std::logic_error if the result for `id` was already computed --
+  /// adopting after the fact would hide a split-brain study.
+  void adopt_result(parse::SystemId id, PipelineResult&& result);
+
  private:
   const PipelineResult& ensure_result(parse::SystemId id, bool parallel);
 

@@ -1,0 +1,128 @@
+#include "dist/claim.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::dist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_claim_file(const std::string& path, std::uint32_t worker_id,
+                      const std::string& instance) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("claim: cannot open " + path);
+  os << "wss-claim v1\n"
+     << "worker " << worker_id << "\n"
+     << "instance " << instance << "\n";
+  if (!os.flush()) throw std::runtime_error("claim: write failed: " + path);
+}
+
+}  // namespace
+
+std::string make_instance_token(std::uint32_t worker_id) {
+  static std::atomic<std::uint64_t> next{0};
+  const auto ticks = static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return util::format("w%u.p%d.%llu.%llu", worker_id,
+                      static_cast<int>(::getpid()),
+                      static_cast<unsigned long long>(
+                          next.fetch_add(1, std::memory_order_relaxed)),
+                      ticks);
+}
+
+ClaimResult try_claim(const std::string& claim_path, std::uint32_t worker_id,
+                      const std::string& instance, double stale_after_s) {
+  const fs::path claim(claim_path);
+  std::error_code ec;
+  fs::create_directories(claim.parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("claim: cannot create " +
+                             claim.parent_path().string() + ": " +
+                             ec.message());
+  }
+
+  // The claim body is staged in a per-instance tmp file and published
+  // with link(2): hard-link creation is the atomic compare-and-claim.
+  const std::string tmp_path = claim_path + "." + instance + ".tmp";
+  write_claim_file(tmp_path, worker_id, instance);
+
+  ClaimResult result;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    fs::create_hard_link(tmp_path, claim_path, ec);
+    if (!ec) {
+      fs::remove(tmp_path, ec);
+      result.outcome = ClaimOutcome::kClaimed;
+      heartbeat(claim_path);
+      return result;
+    }
+    if (ec != std::errc::file_exists) {
+      fs::remove(tmp_path, ec);
+      throw std::runtime_error("claim: cannot publish " + claim_path + ": " +
+                               ec.message());
+    }
+    const auto age = claim_age_seconds(claim_path);
+    if (!age) continue;  // holder vanished between link and stat; retry
+    if (*age < stale_after_s) {
+      result.outcome = ClaimOutcome::kHeldByLive;
+      result.holder = read_claim(claim_path);
+      fs::remove(tmp_path, ec);
+      return result;
+    }
+    // Heartbeat is dead: take over. remove+link is NOT atomic as a
+    // pair -- see the file comment for why the residual race is
+    // benign -- but the link itself still admits at most one winner
+    // per removal.
+    fs::remove(claim_path, ec);
+  }
+  result.outcome = ClaimOutcome::kHeldByLive;
+  result.holder = read_claim(claim_path);
+  fs::remove(tmp_path, ec);
+  return result;
+}
+
+void heartbeat(const std::string& claim_path) {
+  std::error_code ec;
+  fs::last_write_time(claim_path, fs::file_time_type::clock::now(), ec);
+}
+
+std::optional<ClaimInfo> read_claim(const std::string& claim_path) {
+  std::ifstream is(claim_path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::string magic;
+  if (!std::getline(is, magic) || magic != "wss-claim v1") return std::nullopt;
+  ClaimInfo info;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "worker") {
+      ls >> info.worker;
+    } else if (key == "instance") {
+      ls >> info.instance;
+    }
+  }
+  return info;
+}
+
+std::optional<double> claim_age_seconds(const std::string& claim_path) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(claim_path, ec);
+  if (ec) return std::nullopt;
+  const auto now = fs::file_time_type::clock::now();
+  const auto delta =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - mtime);
+  return delta.count();
+}
+
+}  // namespace wss::dist

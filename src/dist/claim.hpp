@@ -1,0 +1,67 @@
+// Filesystem claim protocol: at-most-one *live* worker per assignment.
+//
+// A worker claims assignment N by publishing DIR/claims/
+// assignment_NNN.claim. The initial claim uses hard-link creation
+// (link(2) fails with EEXIST if the target exists), which is atomic on
+// POSIX filesystems -- when two workers race, exactly one link call
+// succeeds and the loser backs off (exit 3 at the CLI). rename(2)
+// would NOT work here: it silently replaces an existing target, so
+// both racers would believe they won.
+//
+// Fault tolerance: the claim file's mtime is the worker's heartbeat,
+// refreshed between chunks. A claim whose mtime is older than
+// --stale-after is considered dead and may be taken over
+// (remove + link). Takeover has a documented residual race -- two
+// workers can both see a stale claim and both proceed -- but it is
+// benign: partial files are written via tmp + atomic rename, every
+// worker computes the identical bytes for the same assignment, and
+// the merger reads whichever complete partial landed last.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace wss::dist {
+
+/// Who holds a claim (parsed back from the claim file).
+struct ClaimInfo {
+  std::uint32_t worker = 0;
+  std::string instance;  ///< unique per worker process run
+};
+
+enum class ClaimOutcome : std::uint8_t {
+  kClaimed,     ///< we hold the claim; proceed
+  kHeldByLive,  ///< another worker's heartbeat is fresh; back off
+};
+
+struct ClaimResult {
+  ClaimOutcome outcome = ClaimOutcome::kHeldByLive;
+  std::optional<ClaimInfo> holder;  ///< set when kHeldByLive
+};
+
+/// A process-unique instance token ("w<id>.p<pid>.<nonce>") for claim
+/// file contents; lets diagnostics distinguish two runs of the same
+/// worker id.
+std::string make_instance_token(std::uint32_t worker_id);
+
+/// Attempts to claim `claim_path` for `worker_id`. `stale_after_s` is
+/// the heartbeat liveness window; <= 0 treats every existing claim as
+/// stale (useful for forced reruns). Creates the claims directory if
+/// needed; throws std::runtime_error on I/O errors that are not part
+/// of the protocol (unwritable directory, etc.).
+ClaimResult try_claim(const std::string& claim_path, std::uint32_t worker_id,
+                      const std::string& instance, double stale_after_s);
+
+/// Refreshes the heartbeat (bumps the claim file's mtime). Missing
+/// files are ignored: losing a takeover race mid-run is survivable
+/// because partial publication is atomic.
+void heartbeat(const std::string& claim_path);
+
+/// Parses the claim file; nullopt when absent or unreadable.
+std::optional<ClaimInfo> read_claim(const std::string& claim_path);
+
+/// Seconds since the claim's last heartbeat; nullopt when absent.
+std::optional<double> claim_age_seconds(const std::string& claim_path);
+
+}  // namespace wss::dist

@@ -1,0 +1,97 @@
+// Versioned study manifests for distributed execution.
+//
+// `wss study --split-by ... --manifest-dir DIR` plans a study once and
+// writes DIR/study.json (the shared configuration: format version,
+// split axis, sim options, per-system chunk counts) plus one
+// DIR/assignment_NNN.json per split describing exactly which
+// (system, chunk-range) slices that assignment covers. Workers and the
+// merger both reload the manifest from disk, so the manifest is the
+// *entire* coordination contract -- there is no network protocol, only
+// a shared directory.
+//
+// Work units are whole pipeline chunks (PipelineOptions::chunk_events
+// events), never individual events: the pipeline's determinism
+// contract says results are reproduced bit-exactly only when partials
+// are folded in chunk-index order over identical chunk boundaries
+// (see core/pipeline.hpp). Any partition of chunks -- by system, by
+// time range, by dominant category -- merges back to the
+// single-process bytes; a partition of *events* would not.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/study.hpp"
+#include "parse/record.hpp"
+
+namespace wss::dist {
+
+/// Format tag in every manifest file; loaders reject anything else
+/// with a one-line diagnostic (exit 1 at the CLI).
+inline constexpr std::string_view kManifestFormat = "wss.dist.v1";
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// How the (system, chunk) work-unit space is partitioned.
+enum class SplitAxis : std::uint8_t {
+  kSystem,    ///< whole systems round-robined across assignments
+  kCategory,  ///< chunks routed by dominant ground-truth category
+  kTime,      ///< each system's chunk sequence cut into contiguous runs
+};
+
+std::string_view split_axis_name(SplitAxis axis);
+std::optional<SplitAxis> parse_split_axis(std::string_view name);
+
+/// Half-open chunk-index range [begin, end) within one system.
+struct ChunkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// The chunk ranges of one system owned by one assignment. Ranges are
+/// ascending and non-overlapping.
+struct Slice {
+  parse::SystemId system = parse::SystemId::kBlueGeneL;
+  std::vector<ChunkRange> ranges;
+
+  std::uint64_t chunk_count() const;
+};
+
+/// One unit of claimable work: what a single `wss worker` run computes.
+struct Assignment {
+  std::uint32_t id = 0;
+  std::vector<Slice> slices;  ///< manifest system order; may be empty
+};
+
+/// The full plan: study.json plus every assignment.
+struct StudyManifest {
+  SplitAxis axis = SplitAxis::kTime;
+  std::uint32_t num_splits = 1;
+  core::StudyOptions options;
+  std::vector<parse::SystemId> systems;      ///< systems this study covers
+  std::vector<std::uint64_t> chunk_counts;   ///< parallel to `systems`
+  std::vector<Assignment> assignments;       ///< size == num_splits
+
+  /// Chunk count for one covered system; throws if not covered.
+  std::uint64_t chunks_of(parse::SystemId id) const;
+};
+
+// ---- Directory layout ----
+std::string study_json_path(const std::string& dir);
+std::string assignment_json_path(const std::string& dir, std::uint32_t id);
+std::string claim_path(const std::string& dir, std::uint32_t id);
+std::string partial_path(const std::string& dir, std::uint32_t id);
+
+/// Writes study.json + assignment_NNN.json into `dir` (created if
+/// needed). Throws std::runtime_error on I/O failure.
+void write_manifest(const StudyManifest& manifest, const std::string& dir);
+
+/// Loads and validates a manifest directory. Throws std::runtime_error
+/// with a one-line message on missing files, malformed JSON, unknown
+/// format/version, or internally inconsistent assignments (overlap,
+/// out-of-range chunks, wrong count).
+StudyManifest load_manifest(const std::string& dir);
+
+}  // namespace wss::dist

@@ -1,0 +1,53 @@
+// Merge: fold every assignment's partial back into one study and
+// render the paper artifacts.
+//
+// Completeness is checked before any folding: every assignment must
+// have a checksum-valid partial whose chunk set matches its manifest
+// slice exactly. Anything else -- a missing partial, a torn write, a
+// partial from a different plan -- is reported by assignment id in a
+// one-line diagnostic and nothing is written (exit 1 at the CLI).
+//
+// Determinism: for each system, chunk partials from all assignments
+// are folded in ascending global chunk-index order -- the same order
+// core::run_pipeline and core::ParallelPipeline fold -- so the merged
+// tables and figure data are byte-identical to a single-process run
+// regardless of how chunks were partitioned or which worker computed
+// them. Worker counter deltas are folded (in assignment order) into
+// the local obs registry, so --metrics reflects the whole study.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/manifest.hpp"
+
+namespace wss::dist {
+
+struct MergeOptions {
+  std::string manifest_dir;
+  /// Output directory for rendered artifacts; empty = DIR/merged.
+  std::string out_dir;
+};
+
+struct MergeReport {
+  std::vector<std::uint32_t> missing;  ///< assignments with no partial
+  std::vector<std::uint32_t> corrupt;  ///< invalid/mismatched partials
+  std::vector<parse::SystemId> covered;
+  std::uint64_t chunks = 0;      ///< chunk partials folded
+  std::size_t artifacts = 0;     ///< artifact files written
+  std::string out_dir;
+
+  bool ok() const { return missing.empty() && corrupt.empty(); }
+
+  /// One-line diagnostic naming the unfinished/corrupt assignments.
+  std::string describe_failure() const;
+};
+
+/// Validates, folds, and renders. When the partial set is incomplete
+/// the report's missing/corrupt lists are filled and nothing is
+/// written. Throws std::runtime_error only on I/O failure while
+/// writing output.
+MergeReport run_merge(const StudyManifest& manifest, const MergeOptions& opts);
+
+}  // namespace wss::dist

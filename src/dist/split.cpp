@@ -1,0 +1,120 @@
+#include "dist/split.hpp"
+
+#include <stdexcept>
+
+#include "sim/generator.hpp"
+#include "tag/rulesets.hpp"
+
+namespace wss::dist {
+
+namespace {
+
+/// Compresses an ascending chunk-id -> assignment routing into the
+/// per-assignment runs of contiguous chunks the manifest stores.
+std::vector<std::vector<ChunkRange>> ranges_by_assignment(
+    const std::vector<std::uint32_t>& route, std::uint32_t num_splits) {
+  std::vector<std::vector<ChunkRange>> out(num_splits);
+  std::uint64_t chunk = 0;
+  while (chunk < route.size()) {
+    const std::uint32_t owner = route[chunk];
+    std::uint64_t end = chunk + 1;
+    while (end < route.size() && route[end] == owner) ++end;
+    out[owner].push_back({chunk, end});
+    chunk = end;
+  }
+  return out;
+}
+
+/// The dominant ground-truth alert category of events [begin, end), or
+/// -1 when the range is pure chatter. Ties pick the smallest id, so
+/// the routing is a deterministic function of the event stream.
+std::int32_t dominant_category(const std::vector<sim::SimEvent>& events,
+                               std::size_t begin, std::size_t end,
+                               std::vector<std::uint64_t>& scratch) {
+  for (auto& c : scratch) c = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::int32_t cat = events[i].category;
+    if (cat >= 0 && static_cast<std::size_t>(cat) < scratch.size()) {
+      ++scratch[static_cast<std::size_t>(cat)];
+    }
+  }
+  std::int32_t best = -1;
+  std::uint64_t best_count = 0;
+  for (std::size_t c = 0; c < scratch.size(); ++c) {
+    if (scratch[c] > best_count) {
+      best_count = scratch[c];
+      best = static_cast<std::int32_t>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+StudyManifest plan_split(const SplitOptions& opts) {
+  if (opts.num_splits == 0) {
+    throw std::invalid_argument("split: num_splits must be >= 1");
+  }
+  StudyManifest m;
+  m.axis = opts.axis;
+  m.num_splits = opts.num_splits;
+  m.options = opts.study;
+  m.systems = opts.systems;
+  if (m.systems.empty()) {
+    m.systems.assign(parse::kAllSystems.begin(), parse::kAllSystems.end());
+  }
+
+  m.assignments.resize(m.num_splits);
+  for (std::uint32_t i = 0; i < m.num_splits; ++i) m.assignments[i].id = i;
+
+  const std::size_t chunk_events = m.options.pipeline.chunk_events;
+  for (std::size_t sys_idx = 0; sys_idx < m.systems.size(); ++sys_idx) {
+    const parse::SystemId id = m.systems[sys_idx];
+    const sim::Simulator sim(id, m.options.sim);
+    const auto shards = sim.event_shards(chunk_events);
+    const std::uint64_t num_chunks = shards.size();
+    m.chunk_counts.push_back(num_chunks);
+
+    // chunk -> owning assignment, then compressed into ranges.
+    std::vector<std::uint32_t> route(num_chunks, 0);
+    switch (m.axis) {
+      case SplitAxis::kSystem: {
+        const auto owner =
+            static_cast<std::uint32_t>(sys_idx % m.num_splits);
+        for (auto& r : route) r = owner;
+        break;
+      }
+      case SplitAxis::kTime: {
+        for (std::uint32_t i = 0; i < m.num_splits; ++i) {
+          const std::uint64_t begin = i * num_chunks / m.num_splits;
+          const std::uint64_t end = (i + 1ull) * num_chunks / m.num_splits;
+          for (std::uint64_t c = begin; c < end; ++c) route[c] = i;
+        }
+        break;
+      }
+      case SplitAxis::kCategory: {
+        const auto& events = sim.events();
+        std::vector<std::uint64_t> scratch(tag::categories_of(id).size(), 0);
+        for (std::uint64_t c = 0; c < num_chunks; ++c) {
+          const std::int32_t dom = dominant_category(
+              events, shards[c].begin, shards[c].end, scratch);
+          route[c] = static_cast<std::uint32_t>(
+              (static_cast<std::uint32_t>(dom + 1)) % m.num_splits);
+        }
+        break;
+      }
+    }
+
+    auto per_assignment = ranges_by_assignment(route, m.num_splits);
+    for (std::uint32_t a = 0; a < m.num_splits; ++a) {
+      if (per_assignment[a].empty()) continue;
+      Slice slice;
+      slice.system = id;
+      slice.ranges = std::move(per_assignment[a]);
+      m.assignments[a].slices.push_back(std::move(slice));
+    }
+  }
+  return m;
+}
+
+}  // namespace wss::dist

@@ -1,0 +1,49 @@
+// Study planning: cut the (system, chunk) work-unit space into N
+// claimable assignments along one axis.
+//
+// All three axes partition *chunks*, never events, because chunk
+// boundaries and fold order are the pipeline's determinism contract
+// (core/pipeline.hpp). The axes differ only in how chunks are routed:
+//
+//   system    whole systems, round-robin by position in the system
+//             list (assignment = index % N). Mirrors "one machine per
+//             supercomputer" operation.
+//   time      each system's chunk sequence [0, C) is cut into N
+//             contiguous runs [floor(i*C/N), floor((i+1)*C/N)).
+//             Chunks are time-ordered, so this is a wall-clock split
+//             of each log.
+//   category  each chunk is routed by its dominant ground-truth alert
+//             category: assignment = (dominant + 1) % N, where
+//             chatter-only chunks (dominant = -1) land on assignment 0
+//             and ties pick the smallest category id. Exercises an
+//             adversarial, content-dependent partition -- slices
+//             interleave at chunk granularity -- while remaining a
+//             pure function of the simulated stream.
+//
+// Every assignment 0..N-1 exists even when its slice set is empty
+// (e.g. --split-by system with N > #systems): workers still claim it
+// and publish an empty partial, so the merge completeness check stays
+// uniform.
+#pragma once
+
+#include <vector>
+
+#include "dist/manifest.hpp"
+
+namespace wss::dist {
+
+struct SplitOptions {
+  SplitAxis axis = SplitAxis::kTime;
+  std::uint32_t num_splits = 1;
+  core::StudyOptions study;
+  /// Systems to cover, in manifest order. Empty = all five.
+  std::vector<parse::SystemId> systems;
+};
+
+/// Builds the full plan. Instantiates each covered system's simulator
+/// (to count chunks and, for the category axis, to read per-chunk
+/// dominant categories). Throws std::invalid_argument on num_splits
+/// == 0.
+StudyManifest plan_split(const SplitOptions& opts);
+
+}  // namespace wss::dist

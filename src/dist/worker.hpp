@@ -1,0 +1,54 @@
+// One worker run: claim an assignment, compute its chunk partials,
+// publish them atomically.
+//
+// A worker is idempotent and restartable: if a checksum-valid partial
+// for its assignment already exists it exits immediately (the work
+// survived a previous run); if another worker's claim heartbeat is
+// fresh it backs off (exit 3 at the CLI); if the claim is stale it
+// takes over and reruns. Because chunk partials are pure functions of
+// the manifest options, any two runs of the same assignment publish
+// byte-identical partials -- which is what makes every race in the
+// claim protocol benign.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/manifest.hpp"
+
+namespace wss::dist {
+
+struct WorkerOptions {
+  std::string manifest_dir;
+  std::uint32_t worker_id = 0;
+  /// Claim heartbeats older than this are considered dead and may be
+  /// taken over; <= 0 treats every claim as stale (forced rerun).
+  double stale_after_s = 300.0;
+  /// Worker threads for chunk processing. 1 = serial; 0 = hardware
+  /// concurrency. Thread count never affects the published bytes.
+  int threads = 1;
+  /// Claim-file instance token; empty = generate (tests pass explicit
+  /// tokens to stage deterministic races).
+  std::string instance;
+};
+
+enum class WorkerOutcome : std::uint8_t {
+  kCompleted,        ///< partial computed and published
+  kAlreadyComplete,  ///< a valid partial already existed; nothing to do
+  kLostClaim,        ///< held by a live worker; backed off
+};
+
+struct WorkerReport {
+  WorkerOutcome outcome = WorkerOutcome::kCompleted;
+  std::uint64_t chunks = 0;  ///< chunks this run processed
+  std::uint64_t events = 0;  ///< events this run processed
+  std::string holder;        ///< "worker N (instance)" when kLostClaim
+};
+
+/// Runs worker `opts.worker_id` against a loaded manifest. Throws
+/// std::invalid_argument when the id is out of range and
+/// std::runtime_error on I/O failure.
+WorkerReport run_worker(const StudyManifest& manifest,
+                        const WorkerOptions& opts);
+
+}  // namespace wss::dist

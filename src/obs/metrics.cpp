@@ -174,6 +174,14 @@ void Registry::set_gauge(std::string_view name, std::int64_t v) {
   gauge(name).restore(v);
 }
 
+void Registry::add_counter(std::string_view name, std::uint64_t delta) {
+  // value()+set() rather than inc(): inc() compiles out under
+  // WSS_OBS_OFF, but folded worker deltas must land regardless. Only
+  // meaningful at quiescence (the merge path is single-threaded).
+  Counter& c = counter(name);
+  c.set(c.value() + delta);
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->set(0);

@@ -263,6 +263,12 @@ class Registry {
   void set_counter(std::string_view name, std::uint64_t v);
   void set_gauge(std::string_view name, std::int64_t v);
 
+  /// Distributed-merge fold: registers the counter if needed and adds a
+  /// worker's delta to it (compiled in even under WSS_OBS_OFF, so a
+  /// merged study reports the same totals as a batch run regardless of
+  /// the merge binary's instrumentation mode).
+  void add_counter(std::string_view name, std::uint64_t delta);
+
   /// Zeroes every counter, gauge, histogram, and span node in place.
   /// Registrations and handles survive. Call only at quiescence (no
   /// concurrent writers, no open spans) -- tests use this to isolate

@@ -80,4 +80,56 @@ void CheckpointReader::header() {
   }
 }
 
+void write_counter_table(
+    CheckpointWriter& w,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  w.u64(counters.size());
+  for (const auto& [name, value] : counters) {
+    w.str(name);
+    w.u64(value);
+  }
+}
+
+void write_gauge_table(
+    CheckpointWriter& w,
+    const std::vector<std::pair<std::string, std::int64_t>>& gauges) {
+  w.u64(gauges.size());
+  for (const auto& [name, value] : gauges) {
+    w.str(name);
+    w.i64(value);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> read_counter_table(
+    CheckpointReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible counter count");
+  }
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::uint64_t value = r.u64();
+    out.emplace_back(std::move(name), value);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> read_gauge_table(
+    CheckpointReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible gauge count");
+  }
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.str();
+    const std::int64_t value = r.i64();
+    out.emplace_back(std::move(name), value);
+  }
+  return out;
+}
+
 }  // namespace wss::stream

@@ -22,6 +22,8 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace wss::stream {
 
@@ -77,5 +79,27 @@ class CheckpointReader {
   void raw(void* p, std::size_t n);
   std::istream& is_;
 };
+
+// ---- Shared metric-table serialization (checkpoint v2 payloads) ----
+//
+// The obs registry's counter/gauge tables travel in two places: stream
+// checkpoints (so a restored run reports the same --metrics snapshot)
+// and distributed partial-result files (so `wss merge` can fold each
+// worker's deltas back into one registry). Both use this one format:
+// u64 count, then (str name, u64/i64 value) pairs in sorted-name order.
+
+void write_counter_table(
+    CheckpointWriter& w,
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+void write_gauge_table(
+    CheckpointWriter& w,
+    const std::vector<std::pair<std::string, std::int64_t>>& gauges);
+
+/// Readers validate the count against a sanity bound (1M entries) and
+/// throw std::runtime_error on implausible tables or truncation.
+std::vector<std::pair<std::string, std::uint64_t>> read_counter_table(
+    CheckpointReader& r);
+std::vector<std::pair<std::string, std::int64_t>> read_gauge_table(
+    CheckpointReader& r);
 
 }  // namespace wss::stream

@@ -229,18 +229,8 @@ void StreamPipeline::save(std::ostream& os) {
 
   // v2: the obs registry's counter/gauge tables. Histograms and spans
   // measure this process's wall time and are deliberately absent.
-  const auto counters = obs::registry().counter_values();
-  w.u64(counters.size());
-  for (const auto& [name, value] : counters) {
-    w.str(name);
-    w.u64(value);
-  }
-  const auto gauges = obs::registry().gauge_values();
-  w.u64(gauges.size());
-  for (const auto& [name, value] : gauges) {
-    w.str(name);
-    w.i64(value);
-  }
+  write_counter_table(w, obs::registry().counter_values());
+  write_gauge_table(w, obs::registry().gauge_values());
   if (!w.ok()) throw std::runtime_error("checkpoint: write failed");
 }
 
@@ -291,22 +281,10 @@ void StreamPipeline::restore(std::istream& is) {
   // v2: restore the obs registry, then re-base the tag flusher on the
   // (transient, possibly non-zero) scratch so future flushes publish
   // only post-restore growth.
-  const std::uint64_t counters = r.u64();
-  if (counters > (1u << 20)) {
-    throw std::runtime_error("checkpoint: implausible counter count");
-  }
-  for (std::uint64_t i = 0; i < counters; ++i) {
-    std::string name = r.str();
-    const std::uint64_t value = r.u64();
+  for (const auto& [name, value] : read_counter_table(r)) {
     obs::registry().set_counter(name, value);
   }
-  const std::uint64_t gauges = r.u64();
-  if (gauges > (1u << 20)) {
-    throw std::runtime_error("checkpoint: implausible gauge count");
-  }
-  for (std::uint64_t i = 0; i < gauges; ++i) {
-    std::string name = r.str();
-    const std::int64_t value = r.i64();
+  for (const auto& [name, value] : read_gauge_table(r)) {
     obs::registry().set_gauge(name, value);
   }
   flusher_.rebase(scratch_);

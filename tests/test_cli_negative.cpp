@@ -171,5 +171,95 @@ TEST_F(CliNegativeTest, MissingInputFileIsOneLineError) {
   EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1) << msg;
 }
 
+// ---- Distributed study commands (study --split-by, worker, merge) ----
+
+TEST_F(CliNegativeTest, StudySplitRejectsZeroSplits) {
+  EXPECT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits", "0",
+                        "--manifest-dir", (dir_ / "m").string()}),
+            2);
+  expect_one_line_error("--num-splits must be >= 1");
+}
+
+TEST_F(CliNegativeTest, StudySplitRejectsUnknownAxis) {
+  EXPECT_EQ(run_tokens({"study", "--split-by", "hostname", "--manifest-dir",
+                        (dir_ / "m").string()}),
+            2);
+  expect_one_line_error("--split-by must be system, category, or time");
+}
+
+TEST_F(CliNegativeTest, StudySplitRequiresManifestDir) {
+  EXPECT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits", "2"}),
+            2);
+  expect_one_line_error("--split-by requires --manifest-dir");
+}
+
+TEST_F(CliNegativeTest, StudySplitFlagsWithoutSplitByRejected) {
+  EXPECT_EQ(run_tokens({"study", "--num-splits", "2"}), 2);
+  expect_one_line_error("require --split-by");
+  EXPECT_EQ(run_tokens({"study", "--manifest-dir", (dir_ / "m").string()}),
+            2);
+  expect_one_line_error("require --split-by");
+}
+
+TEST_F(CliNegativeTest, WorkerRequiresAssignmentIdAndManifestDir) {
+  EXPECT_EQ(run_tokens({"worker", "--manifest-dir", (dir_ / "m").string()}),
+            2);
+  expect_one_line_error("worker requires an assignment id");
+  EXPECT_EQ(run_tokens({"worker", "0"}), 2);
+  expect_one_line_error("worker requires --manifest-dir");
+}
+
+TEST_F(CliNegativeTest, WorkerRejectsNonNumericId) {
+  EXPECT_EQ(run_tokens({"worker", "zero", "--manifest-dir",
+                        (dir_ / "m").string()}),
+            2);
+  expect_one_line_error("not an assignment id");
+}
+
+TEST_F(CliNegativeTest, WorkerIdOutOfRangeIsUsageError) {
+  // A real (tiny) manifest with 2 assignments; id 5 must be a loud
+  // usage error, not an I/O failure.
+  const std::string mdir = (dir_ / "m").string();
+  ASSERT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits", "2",
+                        "--manifest-dir", mdir, "--system", "bgl", "--cap",
+                        "200", "--chatter", "500"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(run_tokens({"worker", "5", "--manifest-dir", mdir}), 2);
+  expect_one_line_error("id 5 out of range [0, 2)");
+}
+
+TEST_F(CliNegativeTest, WorkerMissingManifestDirectoryIsIoError) {
+  EXPECT_EQ(run_tokens({"worker", "0", "--manifest-dir",
+                        (dir_ / "nope").string()}),
+            1);
+  expect_one_line_error("cannot open");
+}
+
+TEST_F(CliNegativeTest, MergeRequiresManifestDir) {
+  EXPECT_EQ(run_tokens({"merge"}), 2);
+  expect_one_line_error("merge requires --manifest-dir");
+}
+
+TEST_F(CliNegativeTest, MergeMissingManifestDirectoryIsIoError) {
+  EXPECT_EQ(run_tokens({"merge", "--manifest-dir", (dir_ / "nope").string()}),
+            1);
+  expect_one_line_error("cannot open");
+}
+
+TEST_F(CliNegativeTest, DistCommandsRejectUnknownFlags) {
+  const std::string mdir = (dir_ / "m").string();
+  EXPECT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir, "--bogus",
+                        "1"}),
+            2);
+  expect_one_line_error("unknown flag --bogus");
+  EXPECT_EQ(run_tokens({"merge", "--manifest-dir", mdir, "--bogus", "1"}), 2);
+  expect_one_line_error("unknown flag --bogus");
+  EXPECT_EQ(run_tokens({"study", "--split-by", "time", "--manifest-dir",
+                        mdir, "--bogus", "1"}),
+            2);
+  expect_one_line_error("unknown flag --bogus");
+}
+
 }  // namespace
 }  // namespace wss::cli

@@ -1,0 +1,168 @@
+// Distributed split -> workers -> merge must be byte-identical to a
+// single-process study.
+//
+// Every round plans an all-five-system study at the golden
+// configuration (cap 2500 / chatter 15000 / seed 42), runs every
+// assignment through the in-process CLI, merges, and byte-compares
+// each rendered artifact against the checked-in goldens in
+// WSS_GOLDEN_DIR -- the same files test_golden_tables.cpp holds the
+// single-process pipeline to. The matrix covers each --split-by axis
+// at N in {1, 2, 5}: N=1 is the degenerate one-worker study, N=2
+// splits mid-stream, and N=5 exercises one-system-per-assignment
+// (system axis) and maximally interleaved chunk routing (category
+// axis). Thread counts are varied per round to re-assert that worker
+// threading never leaks into the bytes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "core/golden.hpp"
+
+namespace wss {
+namespace {
+
+namespace fs = std::filesystem;
+
+cli::Args make_args(std::vector<std::string> tokens) {
+  std::vector<const char*> argv = {"wss"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+/// First differing offset, for a readable failure message.
+std::string first_diff(const std::string& a, const std::string& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      return "first difference at byte " + std::to_string(i);
+    }
+  }
+  return "sizes differ: " + std::to_string(a.size()) + " vs " +
+         std::to_string(b.size());
+}
+
+class DistEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wss_dist_eq_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_tokens(std::vector<std::string> tokens) {
+    out_.str("");
+    err_.str("");
+    return cli::run(make_args(std::move(tokens)), out_, err_);
+  }
+
+  /// One full round: plan, run all N workers, merge, compare every
+  /// artifact byte-for-byte against the checked-in goldens.
+  void run_round(const std::string& axis, int num_splits) {
+    SCOPED_TRACE("axis=" + axis + " N=" + std::to_string(num_splits));
+    const fs::path mdir = dir_ / (axis + "_" + std::to_string(num_splits));
+    ASSERT_EQ(run_tokens({"study", "--split-by", axis, "--num-splits",
+                          std::to_string(num_splits), "--manifest-dir",
+                          mdir.string(), "--cap", "2500", "--chatter",
+                          "15000"}),
+              0)
+        << err_.str();
+    for (int id = 0; id < num_splits; ++id) {
+      // Alternate worker thread counts: the published partials (and so
+      // the merged bytes) must not depend on them.
+      const std::string threads = (id % 2 == 0) ? "1" : "2";
+      ASSERT_EQ(run_tokens({"worker", std::to_string(id), "--manifest-dir",
+                            mdir.string(), "--threads", threads}),
+                0)
+          << err_.str();
+    }
+    ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 0)
+        << err_.str();
+
+    const fs::path merged = mdir / "merged";
+    std::size_t compared = 0;
+    for (const auto& artifact : core::golden_artifacts()) {
+      const fs::path got_path = merged / artifact.file;
+      ASSERT_TRUE(fs::exists(got_path))
+          << artifact.file << " missing from merge output";
+      const std::string got = read_file(got_path);
+      const std::string want =
+          read_file(fs::path(WSS_GOLDEN_DIR) / artifact.file);
+      ASSERT_FALSE(want.empty()) << artifact.file;
+      EXPECT_EQ(got, want) << artifact.what << ": merged bytes diverge from "
+                           << "the single-process goldens ("
+                           << first_diff(got, want) << ")";
+      ++compared;
+    }
+    // A full five-system study renders the complete artifact set.
+    EXPECT_EQ(compared, core::golden_artifacts().size());
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST_F(DistEquivalenceTest, SystemAxisMatchesGoldens) {
+  for (const int n : {1, 2, 5}) run_round("system", n);
+}
+
+TEST_F(DistEquivalenceTest, TimeAxisMatchesGoldens) {
+  for (const int n : {1, 2, 5}) run_round("time", n);
+}
+
+TEST_F(DistEquivalenceTest, CategoryAxisMatchesGoldens) {
+  for (const int n : {1, 2, 5}) run_round("category", n);
+}
+
+TEST_F(DistEquivalenceTest, SingleSystemStudyRendersOnlyCoverableArtifacts) {
+  // A BGL-only plan must render exactly the artifacts whose `needs`
+  // are covered -- never silently recompute the other four systems.
+  const fs::path mdir = dir_ / "bgl_only";
+  ASSERT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits", "2",
+                        "--manifest-dir", mdir.string(), "--system", "bgl",
+                        "--cap", "2500", "--chatter", "15000"}),
+            0)
+      << err_.str();
+  for (int id = 0; id < 2; ++id) {
+    ASSERT_EQ(run_tokens({"worker", std::to_string(id), "--manifest-dir",
+                          mdir.string()}),
+              0)
+        << err_.str();
+  }
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 0)
+      << err_.str();
+  const fs::path merged = mdir / "merged";
+  const std::vector<std::string> expected = {"table1.txt", "table4_bgl.csv",
+                                             "table5.csv", "fig6_bgl.csv"};
+  for (const auto& file : expected) {
+    ASSERT_TRUE(fs::exists(merged / file)) << file;
+    EXPECT_EQ(read_file(merged / file),
+              read_file(fs::path(WSS_GOLDEN_DIR) / file))
+        << file;
+  }
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(merged)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, expected.size())
+      << "merge rendered artifacts needing uncovered systems";
+}
+
+}  // namespace
+}  // namespace wss

@@ -1,0 +1,333 @@
+// Fault injection for the distributed study subsystem: torn partial
+// writes, duplicate claim races, stale-heartbeat takeover, corrupt
+// manifests, and incomplete merges. Every failure mode must be
+// detected loudly (one-line diagnostic, correct exit code) and every
+// recovery path must converge back to the single-process bytes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/commands.hpp"
+#include "dist/claim.hpp"
+#include "dist/manifest.hpp"
+#include "dist/partial.hpp"
+
+namespace wss {
+namespace {
+
+namespace fs = std::filesystem;
+
+cli::Args make_args(std::vector<std::string> tokens) {
+  std::vector<const char*> argv = {"wss"};
+  for (const auto& t : tokens) argv.push_back(t.c_str());
+  return cli::Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return std::move(ss).str();
+}
+
+void write_file(const fs::path& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os) << path;
+  os << content;
+}
+
+class DistFaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("wss_dist_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_tokens(std::vector<std::string> tokens) {
+    out_.str("");
+    err_.str("");
+    return cli::run(make_args(std::move(tokens)), out_, err_);
+  }
+
+  void expect_one_line_error(const std::string& needle) {
+    const std::string msg = err_.str();
+    ASSERT_FALSE(msg.empty());
+    EXPECT_EQ(msg.back(), '\n');
+    EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1)
+        << "expected a one-line diagnostic, got:\n" << msg;
+    EXPECT_NE(msg.find(needle), std::string::npos)
+        << "diagnostic missing '" << needle << "':\n" << msg;
+  }
+
+  /// Plans a small, fast BGL-only manifest (N assignments, time axis).
+  fs::path plan_small(int num_splits) {
+    const fs::path mdir = dir_ / "manifest";
+    EXPECT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits",
+                          std::to_string(num_splits), "--manifest-dir",
+                          mdir.string(), "--system", "bgl", "--cap", "300",
+                          "--chatter", "1500"}),
+              0)
+        << err_.str();
+    return mdir;
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+// ---- Torn writes ----------------------------------------------------
+
+TEST_F(DistFaultsTest, TruncatedPartialRejectedReclaimedAndRerunToGoldenBytes) {
+  // Golden-volume BGL study: the recovery path must land on the exact
+  // golden bytes, not merely "a" result.
+  const fs::path mdir = dir_ / "m";
+  ASSERT_EQ(run_tokens({"study", "--split-by", "time", "--num-splits", "2",
+                        "--manifest-dir", mdir.string(), "--system", "bgl",
+                        "--cap", "2500", "--chatter", "15000"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  ASSERT_EQ(run_tokens({"worker", "1", "--manifest-dir", mdir.string()}), 0);
+
+  // Kill worker 0 "mid-write": truncate its published partial to half,
+  // as a crash between write and rename (or a torn rename) would.
+  const std::string ppath = dist::partial_path(mdir.string(), 0);
+  const std::string bytes = read_file(ppath);
+  ASSERT_GT(bytes.size(), 64u);
+  write_file(ppath, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(dist::partial_is_valid(ppath, 0));
+
+  // Merge must refuse, naming the corrupt assignment, and write
+  // nothing.
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("corrupt partials [0]");
+  EXPECT_FALSE(fs::exists(mdir / "merged"));
+
+  // Reclaim (the dead worker's claim file is still there; stale-after
+  // 0 treats it as dead) and rerun. The rerun recomputes because the
+  // surviving partial fails validation.
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string(),
+                        "--stale-after", "0"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 0)
+      << err_.str();
+
+  for (const std::string file :
+       {"table1.txt", "table4_bgl.csv", "table5.csv", "fig6_bgl.csv"}) {
+    EXPECT_EQ(read_file(mdir / "merged" / file),
+              read_file(fs::path(WSS_GOLDEN_DIR) / file))
+        << file << " diverges from the single-process goldens after "
+        << "truncate -> reclaim -> rerun";
+  }
+}
+
+TEST_F(DistFaultsTest, FlippedByteFailsChecksum) {
+  const fs::path mdir = plan_small(1);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  const std::string ppath = dist::partial_path(mdir.string(), 0);
+  std::string bytes = read_file(ppath);
+  bytes[bytes.size() / 3] ^= 0x40;  // payload corruption, size intact
+  write_file(ppath, bytes);
+  EXPECT_FALSE(dist::partial_is_valid(ppath, 0));
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("corrupt partials [0]");
+}
+
+// ---- Claim protocol -------------------------------------------------
+
+TEST_F(DistFaultsTest, DuplicateClaimRaceHasExactlyOneWinner) {
+  // Two claimants race on the same assignment repeatedly; link(2)
+  // semantics must admit exactly one winner every time.
+  for (int round = 0; round < 50; ++round) {
+    const std::string cpath =
+        (dir_ / ("claims_" + std::to_string(round)) / "a.claim").string();
+    std::atomic<int> winners{0};
+    std::atomic<int> losers{0};
+    std::thread a([&] {
+      const auto r = dist::try_claim(cpath, 0, "instance-a", 300.0);
+      (r.outcome == dist::ClaimOutcome::kClaimed ? winners : losers)
+          .fetch_add(1);
+    });
+    std::thread b([&] {
+      const auto r = dist::try_claim(cpath, 1, "instance-b", 300.0);
+      (r.outcome == dist::ClaimOutcome::kClaimed ? winners : losers)
+          .fetch_add(1);
+    });
+    a.join();
+    b.join();
+    ASSERT_EQ(winners.load(), 1) << "round " << round;
+    ASSERT_EQ(losers.load(), 1) << "round " << round;
+    // The surviving claim names the winner.
+    const auto holder = dist::read_claim(cpath);
+    ASSERT_TRUE(holder.has_value());
+    EXPECT_TRUE(holder->instance == "instance-a" ||
+                holder->instance == "instance-b");
+  }
+}
+
+TEST_F(DistFaultsTest, LiveClaimBlocksSecondWorker) {
+  const std::string cpath = (dir_ / "claims" / "a.claim").string();
+  const auto first = dist::try_claim(cpath, 0, "first-instance", 300.0);
+  ASSERT_EQ(first.outcome, dist::ClaimOutcome::kClaimed);
+  const auto second = dist::try_claim(cpath, 1, "second-instance", 300.0);
+  ASSERT_EQ(second.outcome, dist::ClaimOutcome::kHeldByLive);
+  ASSERT_TRUE(second.holder.has_value());
+  EXPECT_EQ(second.holder->worker, 0u);
+  EXPECT_EQ(second.holder->instance, "first-instance");
+}
+
+TEST_F(DistFaultsTest, StaleHeartbeatIsReclaimable) {
+  const std::string cpath = (dir_ / "claims" / "a.claim").string();
+  ASSERT_EQ(dist::try_claim(cpath, 0, "dead-instance", 300.0).outcome,
+            dist::ClaimOutcome::kClaimed);
+  // Age the heartbeat well past the liveness window.
+  fs::last_write_time(cpath, fs::file_time_type::clock::now() -
+                                 std::chrono::minutes(10));
+  const auto age = dist::claim_age_seconds(cpath);
+  ASSERT_TRUE(age.has_value());
+  EXPECT_GT(*age, 500.0);
+
+  const auto takeover = dist::try_claim(cpath, 1, "new-instance", 60.0);
+  ASSERT_EQ(takeover.outcome, dist::ClaimOutcome::kClaimed);
+  const auto holder = dist::read_claim(cpath);
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(holder->worker, 1u);
+  EXPECT_EQ(holder->instance, "new-instance");
+}
+
+TEST_F(DistFaultsTest, HeartbeatKeepsClaimFresh) {
+  const std::string cpath = (dir_ / "claims" / "a.claim").string();
+  ASSERT_EQ(dist::try_claim(cpath, 0, "live-instance", 300.0).outcome,
+            dist::ClaimOutcome::kClaimed);
+  fs::last_write_time(cpath, fs::file_time_type::clock::now() -
+                                 std::chrono::minutes(10));
+  dist::heartbeat(cpath);
+  const auto age = dist::claim_age_seconds(cpath);
+  ASSERT_TRUE(age.has_value());
+  EXPECT_LT(*age, 60.0);
+}
+
+TEST_F(DistFaultsTest, WorkerBacksOffWithExit3WhenClaimHeld) {
+  const fs::path mdir = plan_small(1);
+  // Another (live) worker holds assignment 0.
+  ASSERT_EQ(dist::try_claim(dist::claim_path(mdir.string(), 0), 0,
+                            "other-live-worker", 300.0)
+                .outcome,
+            dist::ClaimOutcome::kClaimed);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 3);
+  expect_one_line_error("held by");
+  EXPECT_FALSE(fs::exists(dist::partial_path(mdir.string(), 0)));
+}
+
+TEST_F(DistFaultsTest, WorkerRerunIsIdempotent) {
+  const fs::path mdir = plan_small(2);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  const std::string ppath = dist::partial_path(mdir.string(), 0);
+  const std::string first = read_file(ppath);
+  // Second run short-circuits on the valid partial -- no reclaim, no
+  // recompute, bytes untouched.
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  EXPECT_NE(out_.str().find("already complete"), std::string::npos)
+      << out_.str();
+  EXPECT_EQ(read_file(ppath), first);
+}
+
+// ---- Manifest validation --------------------------------------------
+
+TEST_F(DistFaultsTest, GarbageManifestIsExit1OneLine) {
+  const fs::path mdir = dir_ / "m";
+  fs::create_directories(mdir);
+  write_file(mdir / "study.json", "this is not json {{{");
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("study.json");
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("study.json");
+}
+
+TEST_F(DistFaultsTest, UnknownManifestVersionIsExit1OneLine) {
+  const fs::path mdir = plan_small(1);
+  std::string study = read_file(mdir / "study.json");
+  const auto pos = study.find("\"version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  study.replace(pos, std::string("\"version\": 1").size(), "\"version\": 99");
+  write_file(mdir / "study.json", study);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("unsupported version 99");
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("unsupported version 99");
+}
+
+TEST_F(DistFaultsTest, UnknownManifestFormatIsExit1OneLine) {
+  const fs::path mdir = plan_small(1);
+  std::string study = read_file(mdir / "study.json");
+  const auto pos = study.find("wss.dist.v1");
+  ASSERT_NE(pos, std::string::npos);
+  study.replace(pos, std::string("wss.dist.v1").size(), "acme.plan.v7");
+  write_file(mdir / "study.json", study);
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("unknown format");
+}
+
+TEST_F(DistFaultsTest, TamperedAssignmentPartitionIsRejected) {
+  const fs::path mdir = plan_small(2);
+  // Hand-edit assignment 1 to drop its chunks: the union no longer
+  // tiles the chunk space, which the loader must catch up front.
+  write_file(mdir / "assignment_001.json",
+             "{\"format\": \"wss.dist.v1\", \"version\": 1, \"id\": 1, "
+             "\"slices\": []}\n");
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("assignments cover 1 of 2 bgl chunks");
+}
+
+// ---- Merge completeness ---------------------------------------------
+
+TEST_F(DistFaultsTest, MergeOnIncompleteSetNamesMissingAssignments) {
+  const fs::path mdir = plan_small(3);
+  // Only assignment 1 completes.
+  ASSERT_EQ(run_tokens({"worker", "1", "--manifest-dir", mdir.string()}), 0);
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("missing assignments [0 2]");
+  EXPECT_FALSE(fs::exists(mdir / "merged"));
+}
+
+TEST_F(DistFaultsTest, MergeReportsMissingAndCorruptTogether) {
+  const fs::path mdir = plan_small(3);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  ASSERT_EQ(run_tokens({"worker", "1", "--manifest-dir", mdir.string()}), 0);
+  const std::string ppath = dist::partial_path(mdir.string(), 1);
+  write_file(ppath, read_file(ppath).substr(0, 10));
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("missing assignments [2]");
+  EXPECT_NE(err_.str().find("corrupt partials [1]"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(DistFaultsTest, PartialFromDifferentPlanIsCorrupt) {
+  // A partial copied from another assignment parses fine but covers
+  // the wrong chunk set; merge must refuse to fold it.
+  const fs::path mdir = plan_small(2);
+  ASSERT_EQ(run_tokens({"worker", "0", "--manifest-dir", mdir.string()}), 0);
+  fs::create_directories(fs::path(dist::partial_path(mdir.string(), 1))
+                             .parent_path());
+  fs::copy_file(dist::partial_path(mdir.string(), 0),
+                dist::partial_path(mdir.string(), 1));
+  ASSERT_EQ(run_tokens({"merge", "--manifest-dir", mdir.string()}), 1);
+  expect_one_line_error("corrupt partials [1]");
+}
+
+}  // namespace
+}  // namespace wss
