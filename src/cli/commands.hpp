@@ -20,6 +20,18 @@
 //                 [--policy block|drop-oldest] [--queue N]
 //                 [--checkpoint PATH] [--restore PATH] [--max-events N]
 //                 [--emit PATH] [--refresh N] [--window SEC]
+//                 SIGINT/SIGTERM drain gracefully (checkpoint + report)
+//   wss serve     --tcp PORT[:TENANT],... [--udp PORT:TENANT,...]
+//                 [--tenant NAME:SYSTEM[:YEAR],...] [--http PORT]
+//                 [--bind HOST] [--queue N] [--threshold SEC]
+//                 [--window SEC] [--checkpoint-dir DIR] [--max-frame N]
+//                 [--drain-grace SEC]  multi-tenant network ingest
+//                 server; SIGTERM drains, SIGHUP re-exports --metrics
+//
+// `wss generate` additionally accepts --sink udp://H:P|tcp://H:P to
+// send the replayed stream over the network instead of to a file
+// ([--tenant NAME] [--framing nl|len] [--loss-base P]
+//  [--loss-contention P] [--lossless] [--loss-seed N]).
 //
 // Every command additionally accepts --metrics FILE (observability
 // snapshot on exit: Prometheus text for .prom, JSON otherwise).
@@ -46,6 +58,7 @@ int cmd_tables(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_study(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_mine(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_stream(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_worker(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_merge(const Args& args, std::ostream& out, std::ostream& err);
 

@@ -1,0 +1,80 @@
+#include "net/client.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::net {
+
+namespace {
+
+void append_be32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>(v & 0xff));
+}
+
+}  // namespace
+
+SinkClient::SinkClient(const SinkOptions& opts)
+    : endpoint_(opts.endpoint),
+      framing_(opts.framing),
+      loss_(opts.udp),
+      rng_(opts.seed),
+      lossless_udp_(opts.lossless_udp) {
+  to_ = resolve_ipv4(endpoint_.host, endpoint_.port);
+  if (endpoint_.transport == Transport::kTcp) {
+    fd_ = connect_tcp(to_);
+    if (!opts.tenant.empty()) {
+      // The handshake is always a newline-terminated line, even when
+      // the data framing is len-prefix: the server switches decoders
+      // after routing (see net/server.cpp).
+      std::string hs = "tenant=" + opts.tenant;
+      if (!opts.system_short.empty()) hs += " system=" + opts.system_short;
+      if (opts.start_year != 0) {
+        hs += util::format(" year=%d", opts.start_year);
+      }
+      if (framing_ == Framing::kLenPrefix) hs += " framing=len";
+      hs += '\n';
+      write_all(fd_.get(), hs.data(), hs.size());
+    }
+  } else {
+    fd_ = udp_socket();
+  }
+}
+
+SinkClient::~SinkClient() { close(); }
+
+void SinkClient::send(util::TimeUs t, const std::string& line) {
+  ++stats_.offered;
+  if (endpoint_.transport == Transport::kTcp) {
+    scratch_.clear();
+    if (framing_ == Framing::kLenPrefix) {
+      append_be32(scratch_, static_cast<std::uint32_t>(line.size()));
+      scratch_ += line;
+    } else {
+      scratch_ = line;
+      scratch_ += '\n';
+    }
+    write_all(fd_.get(), scratch_.data(), scratch_.size());
+    ++stats_.delivered;
+    return;
+  }
+
+  // UDP: the contention model decides first (a modeled drop is never
+  // sent), then the kernel gets a veto (ENOBUFS etc.).
+  if (!lossless_udp_ && loss_.offer_drops(t, rng_)) {
+    ++stats_.dropped;
+    return;
+  }
+  if (send_dgram(fd_.get(), to_, line.data(), line.size())) {
+    ++stats_.delivered;
+  } else {
+    ++stats_.dropped;
+  }
+}
+
+void SinkClient::close() { fd_.reset(); }
+
+}  // namespace wss::net

@@ -1,0 +1,122 @@
+#include "net/framing.hpp"
+
+namespace wss::net {
+
+namespace {
+
+std::uint32_t read_be32(const char* p) {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+}
+
+}  // namespace
+
+void FrameDecoder::compact() {
+  // Reclaim the consumed prefix once it dominates the buffer; amortized
+  // O(1) per byte, keeps buffered() == live bytes between calls.
+  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+bool FrameDecoder::next(std::string& frame) {
+  if (error_) return false;
+  if (mode_ == Framing::kNewline) {
+    for (;;) {
+      const auto nl = buf_.find('\n', pos_);
+      if (nl == std::string::npos) {
+        // No terminator buffered. If the partial already exceeds the
+        // cap, switch to discard mode and drop what we hold -- the
+        // frame is oversized no matter what follows.
+        if (!discarding_ && buf_.size() - pos_ > max_frame_) {
+          discarding_ = true;
+          ++oversized_;
+        }
+        if (discarding_) {
+          buf_.clear();
+          pos_ = 0;
+        }
+        compact();
+        return false;
+      }
+      if (discarding_) {
+        // The terminator of the oversized line: resume at the next one.
+        pos_ = nl + 1;
+        discarding_ = false;
+        continue;
+      }
+      std::size_t len = nl - pos_;
+      if (len > max_frame_) {
+        ++oversized_;
+        pos_ = nl + 1;
+        continue;
+      }
+      if (len > 0 && buf_[pos_ + len - 1] == '\r') --len;
+      frame.assign(buf_, pos_, len);
+      pos_ = nl + 1;
+      compact();
+      return true;
+    }
+  }
+
+  // kLenPrefix.
+  if (buf_.size() - pos_ < 4) {
+    compact();
+    return false;
+  }
+  const std::uint32_t len = read_be32(buf_.data() + pos_);
+  if (len > max_frame_) {
+    // The announced frame cannot be honored and skipping it wholesale
+    // would still mean buffering `len` bytes we refuse to hold; the
+    // stream position is unrecoverable.
+    ++oversized_;
+    error_ = true;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  if (buf_.size() - pos_ - 4 < len) {
+    compact();
+    return false;
+  }
+  frame.assign(buf_, pos_ + 4, len);
+  pos_ += 4 + len;
+  compact();
+  return true;
+}
+
+std::string FrameDecoder::take_rest() {
+  std::string rest = buf_.substr(pos_);
+  buf_.clear();
+  pos_ = 0;
+  discarding_ = false;
+  return rest;
+}
+
+bool FrameDecoder::finish(std::string& frame) {
+  if (mode_ != Framing::kNewline || error_) return false;
+  if (discarding_) {
+    discarding_ = false;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  if (buf_.size() == pos_) return false;
+  std::size_t len = buf_.size() - pos_;
+  if (len > max_frame_) {
+    ++oversized_;
+    buf_.clear();
+    pos_ = 0;
+    return false;
+  }
+  if (buf_[pos_ + len - 1] == '\r') --len;
+  frame.assign(buf_, pos_, len);
+  buf_.clear();
+  pos_ = 0;
+  return !frame.empty() || len > 0;
+}
+
+}  // namespace wss::net

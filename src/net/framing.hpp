@@ -1,0 +1,87 @@
+// Incremental TCP frame decoding for the ingest server.
+//
+// A TCP byte stream carries log lines in one of two framings:
+//
+//   * kNewline (default, syslog-style): frames are '\n'-terminated; a
+//     single trailing '\r' is stripped (liberal in what we accept). At
+//     EOF an unterminated non-empty tail is delivered as a final frame
+//     -- the same contract std::getline gives `wss stream --in`.
+//   * kLenPrefix: each frame is a 4-byte big-endian length followed by
+//     that many payload bytes. Binary-safe (payloads may contain '\n').
+//
+// The decoder is push-based and allocation-frugal: feed() appends a
+// received segment, and next() yields complete frames until it returns
+// false -- so partial frames (a segment ending mid-line) and coalesced
+// frames (many lines in one segment) both fall out of the same loop.
+//
+// Oversized frames are NEVER silently truncated or dropped: a newline
+// frame longer than max_frame enters discard mode until its
+// terminator, a length prefix larger than max_frame is a protocol
+// error (the connection is unrecoverable -- the stream position is
+// lost), and both are counted so every lost frame is visible in
+// /metrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wss::net {
+
+enum class Framing : std::uint8_t {
+  kNewline = 0,
+  kLenPrefix = 1,
+};
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(Framing mode = Framing::kNewline,
+                        std::size_t max_frame = 1 << 20)
+      : mode_(mode), max_frame_(max_frame) {}
+
+  /// Appends a received segment to the decode buffer.
+  void feed(std::string_view bytes) { buf_.append(bytes); }
+
+  /// Extracts the next complete frame into `frame` (overwritten).
+  /// Returns false when no complete frame remains buffered. After a
+  /// protocol error (kLenPrefix length > max_frame) it always returns
+  /// false -- check error() and drop the connection.
+  bool next(std::string& frame);
+
+  /// End-of-stream flush (kNewline only): moves an unterminated
+  /// non-empty tail into `frame`. Returns false when there is nothing
+  /// to flush or the tail is oversized (counted, not delivered).
+  bool finish(std::string& frame);
+
+  /// Frames skipped because they exceeded max_frame.
+  std::uint64_t oversized() const { return oversized_; }
+
+  /// Set once a kLenPrefix frame announces an impossible length; the
+  /// byte stream can no longer be re-synchronized.
+  bool error() const { return error_; }
+
+  /// Bytes currently buffered (tests; also a memory bound check).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// Removes and returns all undecoded bytes, leaving the decoder
+  /// empty. Used when a handshake switches a connection's framing: the
+  /// remainder is re-fed to the replacement decoder.
+  std::string take_rest();
+
+  std::size_t max_frame() const { return max_frame_; }
+  Framing mode() const { return mode_; }
+
+ private:
+  void compact();
+
+  Framing mode_;
+  std::size_t max_frame_;
+  std::string buf_;
+  std::size_t pos_ = 0;       ///< consumed prefix of buf_
+  bool discarding_ = false;   ///< newline mode: inside an oversized line
+  std::uint64_t oversized_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace wss::net

@@ -1,0 +1,76 @@
+#include "net/http.hpp"
+
+#include "util/strings.hpp"
+
+namespace wss::net {
+
+namespace {
+
+constexpr std::size_t kMaxHead = 8 * 1024;
+
+const char* reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+bool HttpRequestParser::feed(std::string_view bytes) {
+  if (complete_ || error_) return complete_;
+  buf_.append(bytes);
+  if (buf_.size() > kMaxHead) {
+    error_ = true;
+    complete_ = true;
+    return true;
+  }
+  // The head ends at the first blank line; tolerate bare-LF clients.
+  const auto crlf = buf_.find("\r\n\r\n");
+  const auto lf = buf_.find("\n\n");
+  if (crlf == std::string::npos && lf == std::string::npos) return false;
+  complete_ = true;
+  parse_head();
+  return true;
+}
+
+void HttpRequestParser::parse_head() {
+  const auto eol = buf_.find_first_of("\r\n");
+  if (eol == std::string::npos) {
+    error_ = true;
+    return;
+  }
+  const std::string line = buf_.substr(0, eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    error_ = true;
+    return;
+  }
+  req_.method = line.substr(0, sp1);
+  req_.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req_.method.empty() || req_.path.empty() || req_.path[0] != '/') {
+    error_ = true;
+  }
+}
+
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body) {
+  std::string out = util::format(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %.*s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      status, reason(status), static_cast<int>(content_type.size()),
+      content_type.data(), body.size());
+  out.append(body);
+  return out;
+}
+
+}  // namespace wss::net

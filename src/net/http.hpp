@@ -1,0 +1,46 @@
+// Minimal HTTP/1.1 request parsing and response building -- just
+// enough for `curl http://host:port/metrics` and `/status` against the
+// ingest server. One request per connection (Connection: close), GET
+// only, headers ignored beyond the terminating blank line.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wss::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+/// Incremental request accumulator: feed bytes until complete() --
+/// i.e. the header-terminating blank line arrived. Oversize guards a
+/// hostile peer (the server closes the connection on error()).
+class HttpRequestParser {
+ public:
+  /// Returns true once the request head is complete (idempotent).
+  bool feed(std::string_view bytes);
+
+  bool complete() const { return complete_; }
+  /// True when the peer sent something that is not parseable HTTP or
+  /// exceeded the 8 KiB head limit.
+  bool error() const { return error_; }
+
+  /// Valid once complete() && !error().
+  const HttpRequest& request() const { return req_; }
+
+ private:
+  void parse_head();
+
+  std::string buf_;
+  HttpRequest req_;
+  bool complete_ = false;
+  bool error_ = false;
+};
+
+/// Serializes a full response (status line, minimal headers, body).
+std::string http_response(int status, std::string_view content_type,
+                          std::string_view body);
+
+}  // namespace wss::net

@@ -1,0 +1,933 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/http.hpp"
+#include "net/signal.hpp"
+#include "net/socket.hpp"
+#include "obs/export.hpp"
+#include "parse/record.hpp"
+#include "util/strings.hpp"
+
+namespace wss::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kMaxDatagramsPerWake = 1024;
+
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<parse::SystemId> system_from_short(std::string_view name) {
+  for (const auto id : parse::kAllSystems) {
+    if (parse::system_short_name(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+/// Parsed `tenant=NAME [system=SHORT] [framing=nl|len] [year=N]`
+/// handshake line.
+struct Handshake {
+  std::string tenant;
+  std::optional<parse::SystemId> system;
+  std::optional<Framing> framing;
+  std::optional<int> year;
+  std::string error;  ///< non-empty = reject the connection
+
+  static Handshake parse(const std::string& line);
+};
+
+Handshake Handshake::parse(const std::string& line) {
+  Handshake h;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      h.error = util::format("handshake token without '=': %s", tok.c_str());
+      return h;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (key == "tenant") {
+      h.tenant = val;
+    } else if (key == "system") {
+      h.system = system_from_short(val);
+      if (!h.system) {
+        h.error = util::format("handshake names unknown system '%s'",
+                               val.c_str());
+        return h;
+      }
+    } else if (key == "framing") {
+      if (val == "nl") {
+        h.framing = Framing::kNewline;
+      } else if (val == "len") {
+        h.framing = Framing::kLenPrefix;
+      } else {
+        h.error = util::format("handshake framing must be nl|len, got '%s'",
+                               val.c_str());
+        return h;
+      }
+    } else if (key == "year") {
+      h.year = std::atoi(val.c_str());
+    } else {
+      h.error = util::format("unknown handshake key '%s'", key.c_str());
+      return h;
+    }
+  }
+  if (!valid_tenant_name(h.tenant)) {
+    h.error = util::format("handshake tenant name invalid: '%s'",
+                           h.tenant.c_str());
+  }
+  return h;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::format(
+              "\\u%04x", static_cast<unsigned>(static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  enum class TagKind : std::uint8_t {
+    kTcpListener,
+    kUdpListener,
+    kHttpListener,
+    kConn,
+    kWake,
+    kSignal,
+  };
+
+  struct Conn;
+
+  struct Tag {
+    TagKind kind;
+    std::size_t index = 0;  ///< listener index for the listener kinds
+    Conn* conn = nullptr;
+  };
+
+  struct Conn {
+    Fd fd;
+    Tag tag;
+    bool http = false;
+
+    // ---- Ingest connections ----
+    FrameDecoder decoder;
+    Tenant* tenant = nullptr;    ///< resolved routing target
+    Tenant* fallback = nullptr;  ///< the listener's port-keyed tenant
+    bool awaiting_first = true;  ///< first line may be a handshake
+    bool paused = false;         ///< EPOLLIN withdrawn: tenant ring full
+    bool eof = false;            ///< peer finished; tail flush may be pending
+    std::uint64_t published_oversized = 0;
+
+    // ---- HTTP connections ----
+    HttpRequestParser parser;
+    std::string out;
+    std::size_t out_off = 0;
+    bool writing = false;
+  };
+
+  explicit Impl(ServeOptions o)
+      : opts(std::move(o)),
+        connections_ctr(obs::registry().counter("wss_net_connections_total")),
+        http_requests_ctr(
+            obs::registry().counter("wss_net_http_requests_total")),
+        protocol_errors_ctr(
+            obs::registry().counter("wss_net_protocol_errors_total")),
+        oversized_ctr(obs::registry().counter("wss_net_oversized_total")),
+        active_gauge(obs::registry().gauge("wss_net_active_connections")) {}
+
+  ServeOptions opts;
+
+  struct BoundTcp {
+    Fd fd;
+    Tag tag{TagKind::kTcpListener};
+    std::uint16_t port = 0;
+    Tenant* tenant = nullptr;  ///< null = handshake-routed
+  };
+  struct BoundUdp {
+    Fd fd;
+    Tag tag{TagKind::kUdpListener};
+    std::uint16_t port = 0;
+    Tenant* tenant = nullptr;
+  };
+
+  std::vector<std::unique_ptr<BoundTcp>> tcp;
+  std::vector<std::unique_ptr<BoundUdp>> udp;
+  Fd http_fd;
+  Tag http_tag{TagKind::kHttpListener};
+  std::uint16_t http_port = 0;
+
+  mutable std::mutex tenants_mu;  ///< guards tenants + by_name
+  std::vector<std::unique_ptr<Tenant>> tenants;
+  std::unordered_map<std::string, Tenant*> by_name;
+
+  Fd epoll;
+  Fd wake_r, wake_w;
+  Tag wake_tag{TagKind::kWake};
+  Tag signal_tag{TagKind::kSignal};
+
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+  bool bound = false;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> draining{false};
+  std::chrono::steady_clock::time_point drain_deadline{};
+  std::atomic<std::size_t> active{0};
+
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> http_requests_total{0};
+  std::atomic<std::uint64_t> protocol_errors_total{0};
+  std::atomic<std::uint64_t> oversized_total{0};
+
+  obs::Counter& connections_ctr;
+  obs::Counter& http_requests_ctr;
+  obs::Counter& protocol_errors_ctr;
+  obs::Counter& oversized_ctr;
+  obs::Gauge& active_gauge;
+
+  // ---- Setup ----
+
+  Tenant* find_tenant(const std::string& name) {
+    std::lock_guard<std::mutex> lock(tenants_mu);
+    const auto it = by_name.find(name);
+    return it == by_name.end() ? nullptr : it->second;
+  }
+
+  Tenant* add_tenant(const TenantConfig& cfg) {
+    auto t = std::make_unique<Tenant>(cfg);
+    Tenant* raw = t.get();
+    raw->start();
+    std::lock_guard<std::mutex> lock(tenants_mu);
+    tenants.push_back(std::move(t));
+    by_name.emplace(cfg.name, raw);
+    return raw;
+  }
+
+  void epoll_add(int fd, std::uint32_t events, Tag* tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = tag;
+    if (epoll_ctl(epoll.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      throw std::runtime_error(
+          util::format("epoll_ctl(ADD): %s", std::strerror(errno)));
+    }
+  }
+
+  void epoll_mod(int fd, std::uint32_t events, Tag* tag) {
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.ptr = tag;
+    if (epoll_ctl(epoll.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+      throw std::runtime_error(
+          util::format("epoll_ctl(MOD): %s", std::strerror(errno)));
+    }
+  }
+
+  void epoll_del(int fd) { epoll_ctl(epoll.get(), EPOLL_CTL_DEL, fd, nullptr); }
+
+  void bind_all() {
+    if (bound) throw std::runtime_error("Server::bind() called twice");
+
+    for (const auto& cfg : opts.tenants) {
+      if (!valid_tenant_name(cfg.name)) {
+        throw std::runtime_error(
+            util::format("invalid tenant name '%s' (use [A-Za-z0-9_.-])",
+                         cfg.name.c_str()));
+      }
+      if (find_tenant(cfg.name) != nullptr) {
+        throw std::runtime_error(
+            util::format("duplicate tenant '%s'", cfg.name.c_str()));
+      }
+      add_tenant(cfg);
+    }
+
+    epoll = Fd(epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll.valid()) {
+      throw std::runtime_error(
+          util::format("epoll_create1: %s", std::strerror(errno)));
+    }
+
+    int pipefd[2];
+    if (pipe(pipefd) != 0) {
+      throw std::runtime_error(
+          util::format("pipe: %s", std::strerror(errno)));
+    }
+    wake_r = Fd(pipefd[0]);
+    wake_w = Fd(pipefd[1]);
+    set_nonblocking(wake_r.get());
+    set_nonblocking(wake_w.get());
+    epoll_add(wake_r.get(), EPOLLIN, &wake_tag);
+
+    if (opts.watch_shutdown_signal) {
+      epoll_add(ShutdownSignal::fd(), EPOLLIN, &signal_tag);
+    }
+
+    for (std::size_t i = 0; i < opts.tcp.size(); ++i) {
+      const auto& spec = opts.tcp[i];
+      auto l = std::make_unique<BoundTcp>();
+      if (!spec.tenant.empty()) {
+        l->tenant = find_tenant(spec.tenant);
+        if (l->tenant == nullptr) {
+          throw std::runtime_error(util::format(
+              "tcp listener %u routes to undeclared tenant '%s'",
+              unsigned{spec.port}, spec.tenant.c_str()));
+        }
+      }
+      l->fd = listen_tcp(resolve_ipv4(opts.bind_host, spec.port));
+      l->port = bound_port(l->fd.get());
+      l->tag.index = i;
+      epoll_add(l->fd.get(), EPOLLIN, &l->tag);
+      tcp.push_back(std::move(l));
+    }
+
+    for (std::size_t i = 0; i < opts.udp.size(); ++i) {
+      const auto& spec = opts.udp[i];
+      auto l = std::make_unique<BoundUdp>();
+      l->tenant = find_tenant(spec.tenant);
+      if (l->tenant == nullptr) {
+        throw std::runtime_error(util::format(
+            "udp listener %u requires a declared tenant (got '%s')",
+            unsigned{spec.port}, spec.tenant.c_str()));
+      }
+      l->fd = bind_udp(resolve_ipv4(opts.bind_host, spec.port), 1 << 20);
+      l->port = bound_port(l->fd.get());
+      l->tag.index = i;
+      epoll_add(l->fd.get(), EPOLLIN, &l->tag);
+      udp.push_back(std::move(l));
+    }
+
+    if (opts.http_enabled) {
+      http_fd = listen_tcp(resolve_ipv4(opts.bind_host, opts.http_port));
+      http_port = bound_port(http_fd.get());
+      epoll_add(http_fd.get(), EPOLLIN, &http_tag);
+    }
+
+    if (tcp.empty() && udp.empty()) {
+      throw std::runtime_error("no ingest listeners configured");
+    }
+    bound = true;
+  }
+
+  // ---- Connection lifecycle ----
+
+  void accept_loop(Fd& listener, bool http, Tenant* fallback) {
+    for (;;) {
+      const int fd = accept4(listener.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        throw std::runtime_error(
+            util::format("accept: %s", std::strerror(errno)));
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = Fd(fd);
+      conn->http = http;
+      conn->fallback = fallback;
+      conn->tenant = nullptr;
+      conn->decoder = FrameDecoder(Framing::kNewline, opts.max_frame);
+      conn->tag = Tag{TagKind::kConn, 0, conn.get()};
+      epoll_add(fd, EPOLLIN, &conn->tag);
+      conns.emplace(fd, std::move(conn));
+      connections_total.fetch_add(1, std::memory_order_relaxed);
+      connections_ctr.inc();
+      active.store(conns.size(), std::memory_order_relaxed);
+      active_gauge.set(static_cast<std::int64_t>(conns.size()));
+    }
+  }
+
+  void publish_oversized(Conn& c) {
+    const std::uint64_t total = c.decoder.oversized();
+    if (total > c.published_oversized) {
+      const std::uint64_t fresh = total - c.published_oversized;
+      oversized_total.fetch_add(fresh, std::memory_order_relaxed);
+      oversized_ctr.inc(fresh);
+      c.published_oversized = total;
+    }
+  }
+
+  void protocol_error(Conn& c, const std::string& why) {
+    protocol_errors_total.fetch_add(1, std::memory_order_relaxed);
+    protocol_errors_ctr.inc();
+    if (opts.log != nullptr) {
+      *opts.log << "wss serve: protocol error: " << why << "\n";
+    }
+    close_conn(c);
+  }
+
+  void close_conn(Conn& c) {
+    publish_oversized(c);
+    const int fd = c.fd.get();
+    epoll_del(fd);
+    conns.erase(fd);  // destroys c
+    active.store(conns.size(), std::memory_order_relaxed);
+    active_gauge.set(static_cast<std::int64_t>(conns.size()));
+  }
+
+  /// First line of an ingest connection: a `tenant=` handshake, or --
+  /// on a port-keyed listener -- plain data. Returns false when the
+  /// connection was closed (routing failure).
+  bool route_first(Conn& c, const std::string& frame) {
+    c.awaiting_first = false;
+    if (frame.rfind("tenant=", 0) != 0) {
+      if (c.fallback == nullptr) {
+        protocol_error(
+            c, "first line is not a tenant= handshake on a shared listener");
+        return false;
+      }
+      c.tenant = c.fallback;
+      c.tenant->enqueue(frame);
+      return true;
+    }
+
+    const Handshake h = Handshake::parse(frame);
+    if (!h.error.empty()) {
+      protocol_error(c, h.error);
+      return false;
+    }
+    Tenant* t = find_tenant(h.tenant);
+    if (t != nullptr) {
+      if (h.system && *h.system != t->system()) {
+        protocol_error(
+            c, util::format("handshake system does not match tenant '%s'",
+                            h.tenant.c_str()));
+        return false;
+      }
+    } else {
+      if (!opts.allow_handshake_tenants ||
+          draining.load(std::memory_order_relaxed)) {
+        protocol_error(c, util::format("unknown tenant '%s'",
+                                       h.tenant.c_str()));
+        return false;
+      }
+      TenantConfig cfg = opts.tenant_defaults;
+      cfg.name = h.tenant;
+      if (h.system) cfg.system = *h.system;
+      if (h.year) cfg.start_year = *h.year;
+      t = add_tenant(cfg);
+    }
+    c.tenant = t;
+    if (h.framing && *h.framing != c.decoder.mode()) {
+      FrameDecoder next(*h.framing, opts.max_frame);
+      next.feed(c.decoder.take_rest());
+      c.decoder = std::move(next);
+    }
+    return true;
+  }
+
+  void pause_conn(Conn& c) {
+    if (c.paused) return;
+    c.paused = true;
+    epoll_mod(c.fd.get(), 0, &c.tag);
+  }
+
+  void resume_conn(Conn& c) {
+    if (!c.paused) return;
+    c.paused = false;
+    epoll_mod(c.fd.get(), EPOLLIN, &c.tag);
+  }
+
+  /// True when the tenant's ring has emptied enough to resume a paused
+  /// connection (hysteresis: resume at half, pause at full, so a
+  /// borderline ring doesn't flap every frame).
+  static bool resume_ready(const Tenant& t) {
+    return t.ring_size() <= t.ring_capacity() / 2;
+  }
+
+  /// Flushes the EOF tail (if any) and closes. Returns false when the
+  /// tail must wait for ring room (connection stays, paused).
+  bool finish_ingest(Conn& c) {
+    std::string tail;
+    if (c.decoder.finish(tail)) {
+      if (c.awaiting_first) {
+        if (!route_first(c, tail)) return true;  // closed
+        close_conn(c);
+        return true;
+      }
+      if (c.tenant != nullptr) {
+        if (!c.tenant->has_room()) {
+          // Put the tail back and wait: EOF data is still data.
+          c.decoder.feed(tail);
+          c.decoder.feed("\n");
+          pause_conn(c);
+          return false;
+        }
+        c.tenant->enqueue(tail);
+      }
+    } else if (c.decoder.mode() == Framing::kLenPrefix &&
+               c.decoder.buffered() > 0) {
+      protocol_error(c, "connection closed mid length-prefixed frame");
+      return true;
+    }
+    close_conn(c);
+    return true;
+  }
+
+  /// Drives one ingest connection: decode buffered frames (pausing on
+  /// a full tenant ring), then read more until would-block or EOF.
+  void pump_ingest(Conn& c) {
+    for (;;) {
+      std::string frame;
+      for (;;) {
+        if (c.tenant != nullptr && !c.tenant->has_room()) {
+          publish_oversized(c);
+          pause_conn(c);
+          return;
+        }
+        if (!c.decoder.next(frame)) break;
+        if (c.awaiting_first) {
+          if (!route_first(c, frame)) return;  // closed
+        } else {
+          c.tenant->enqueue(frame);
+        }
+      }
+      if (c.decoder.error()) {
+        protocol_error(c, "length-prefixed frame exceeds --max-frame");
+        return;
+      }
+      publish_oversized(c);
+
+      if (c.eof) {
+        finish_ingest(c);
+        return;
+      }
+
+      char buf[kReadChunk];
+      std::size_t got = 0;
+      const IoStatus st = read_some(c.fd.get(), buf, sizeof buf, got);
+      if (st == IoStatus::kWouldBlock) return;
+      if (st == IoStatus::kClosed) {
+        c.eof = true;
+        continue;  // one more decode pass, then finish_ingest
+      }
+      c.decoder.feed(std::string_view(buf, got));
+    }
+  }
+
+  // ---- UDP ----
+
+  void pump_udp(BoundUdp& l) {
+    char buf[64 * 1024];
+    for (int i = 0; i < kMaxDatagramsPerWake; ++i) {
+      std::size_t got = 0;
+      const IoStatus st = recv_dgram(l.fd.get(), buf, sizeof buf, got);
+      if (st != IoStatus::kOk) return;
+      // One datagram carries one or more newline-separated lines (a
+      // lone trailing newline does not make an empty final line --
+      // same contract as reading a file).
+      std::size_t start = 0;
+      while (start < got) {
+        std::size_t end = start;
+        while (end < got && buf[end] != '\n') ++end;
+        std::size_t len = end - start;
+        if (len > 0 && buf[start + len - 1] == '\r') --len;
+        if (len <= opts.max_frame) {
+          l.tenant->enqueue(std::string(buf + start, len));
+        } else {
+          oversized_total.fetch_add(1, std::memory_order_relaxed);
+          oversized_ctr.inc();
+        }
+        start = end + 1;
+      }
+      if (got == 0) l.tenant->enqueue(std::string());
+    }
+  }
+
+  // ---- HTTP ----
+
+  void pump_http_read(Conn& c) {
+    for (;;) {
+      char buf[4096];
+      std::size_t got = 0;
+      const IoStatus st = read_some(c.fd.get(), buf, sizeof buf, got);
+      if (st == IoStatus::kWouldBlock) return;
+      if (st == IoStatus::kClosed) {
+        close_conn(c);
+        return;
+      }
+      if (c.parser.feed(std::string_view(buf, got))) {
+        start_http_response(c);
+        return;
+      }
+    }
+  }
+
+  void start_http_response(Conn& c) {
+    http_requests_total.fetch_add(1, std::memory_order_relaxed);
+    http_requests_ctr.inc();
+    c.out = build_http_response(c);
+    c.out_off = 0;
+    c.writing = true;
+    epoll_mod(c.fd.get(), EPOLLOUT, &c.tag);
+    pump_http_write(c);
+  }
+
+  std::string build_http_response(Conn& c) {
+    if (c.parser.error()) {
+      return http_response(400, "text/plain", "bad request\n");
+    }
+    const HttpRequest& req = c.parser.request();
+    if (req.method != "GET") {
+      return http_response(405, "text/plain", "method not allowed\n");
+    }
+    if (req.path == "/metrics") {
+      publish_all_ring_drops();
+      return http_response(200, "text/plain; version=0.0.4",
+                           obs::to_prometheus(obs::registry().snapshot()));
+    }
+    if (req.path == "/metrics.json") {
+      publish_all_ring_drops();
+      return http_response(200, "application/json",
+                           obs::to_json(obs::registry().snapshot()));
+    }
+    if (req.path == "/status") {
+      publish_all_ring_drops();
+      return http_response(200, "application/json", status_json());
+    }
+    return http_response(404, "text/plain", "not found\n");
+  }
+
+  void pump_http_write(Conn& c) {
+    while (c.out_off < c.out.size()) {
+      const std::size_t n = write_some(c.fd.get(), c.out.data() + c.out_off,
+                                       c.out.size() - c.out_off);
+      if (n == kPeerGone) {
+        close_conn(c);
+        return;
+      }
+      if (n == 0) return;  // would block; EPOLLOUT re-arms us
+      c.out_off += n;
+    }
+    close_conn(c);
+  }
+
+  // ---- Periodic work ----
+
+  void publish_all_ring_drops() {
+    std::lock_guard<std::mutex> lock(tenants_mu);
+    for (const auto& t : tenants) t->take_ring_drops();
+  }
+
+  void tick() {
+    publish_all_ring_drops();
+    // Paused connections resume when their tenant's ring has drained to
+    // half; collect first (pump may close and erase conns mid-walk).
+    std::vector<Conn*> ready;
+    for (const auto& [fd, conn] : conns) {
+      if (conn->paused && conn->tenant != nullptr &&
+          resume_ready(*conn->tenant)) {
+        ready.push_back(conn.get());
+      }
+    }
+    for (Conn* c : ready) {
+      resume_conn(*c);
+      pump_ingest(*c);
+    }
+  }
+
+  void handle_signal_fd() {
+    ShutdownSignal::drain_fd();
+    if (ShutdownSignal::take_hup() && !opts.metrics_path.empty()) {
+      try {
+        publish_all_ring_drops();
+        obs::write_metrics_file(opts.metrics_path);
+        if (opts.log != nullptr) {
+          *opts.log << "wss serve: metrics re-exported to "
+                    << opts.metrics_path << "\n";
+        }
+      } catch (const std::exception& e) {
+        if (opts.log != nullptr) {
+          *opts.log << "wss serve: metrics export failed: " << e.what()
+                    << "\n";
+        }
+      }
+    }
+    if (ShutdownSignal::stop_requested()) {
+      stop.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  void drain_wake_pipe() {
+    char buf[64];
+    while (read(wake_r.get(), buf, sizeof buf) > 0) {
+    }
+  }
+
+  void begin_drain() {
+    draining.store(true, std::memory_order_relaxed);
+    drain_deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(opts.drain_grace_ms);
+    for (auto& l : tcp) {
+      epoll_del(l->fd.get());
+      l->fd.reset();
+    }
+    for (auto& l : udp) {
+      // Final sweep: anything already queued in the kernel buffer is
+      // data the sender believes delivered.
+      pump_udp(*l);
+      epoll_del(l->fd.get());
+      l->fd.reset();
+    }
+    if (http_fd.valid()) {
+      epoll_del(http_fd.get());
+      http_fd.reset();
+    }
+  }
+
+  /// Past the grace deadline: flush what each connection already
+  /// buffered (ring evictions are accounted) and close it.
+  void force_close_all() {
+    while (!conns.empty()) {
+      Conn& c = *conns.begin()->second;
+      if (!c.http && c.tenant != nullptr) {
+        std::string frame;
+        while (c.decoder.next(frame)) c.tenant->enqueue(frame);
+        if (c.decoder.finish(frame)) c.tenant->enqueue(frame);
+      }
+      close_conn(c);
+    }
+  }
+
+  // ---- The loop ----
+
+  ServeReport run_loop() {
+    if (!bound) throw std::runtime_error("Server::run() before bind()");
+
+    std::array<epoll_event, 64> events{};
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed) &&
+          !draining.load(std::memory_order_relaxed)) {
+        begin_drain();
+      }
+      if (draining.load(std::memory_order_relaxed)) {
+        if (conns.empty()) break;
+        if (std::chrono::steady_clock::now() >= drain_deadline) {
+          force_close_all();
+          break;
+        }
+      }
+
+      const int n =
+          epoll_wait(epoll.get(), events.data(),
+                     static_cast<int>(events.size()), opts.poll_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(
+            util::format("epoll_wait: %s", std::strerror(errno)));
+      }
+      for (int i = 0; i < n; ++i) {
+        auto* tag = static_cast<Tag*>(events[static_cast<std::size_t>(i)]
+                                          .data.ptr);
+        switch (tag->kind) {
+          case TagKind::kTcpListener: {
+            auto& l = *tcp[tag->index];
+            if (l.fd.valid()) accept_loop(l.fd, false, l.tenant);
+            break;
+          }
+          case TagKind::kUdpListener:
+            if (udp[tag->index]->fd.valid()) pump_udp(*udp[tag->index]);
+            break;
+          case TagKind::kHttpListener:
+            if (http_fd.valid()) accept_loop(http_fd, true, nullptr);
+            break;
+          case TagKind::kConn: {
+            Conn& c = *tag->conn;
+            if (c.http) {
+              if (c.writing) {
+                pump_http_write(c);
+              } else {
+                pump_http_read(c);
+              }
+            } else {
+              pump_ingest(c);
+            }
+            break;
+          }
+          case TagKind::kWake:
+            drain_wake_pipe();
+            break;
+          case TagKind::kSignal:
+            handle_signal_fd();
+            break;
+        }
+      }
+      tick();
+    }
+
+    return drain_tenants();
+  }
+
+  ServeReport drain_tenants() {
+    ServeReport report;
+    report.connections = connections_total.load(std::memory_order_relaxed);
+    report.http_requests =
+        http_requests_total.load(std::memory_order_relaxed);
+    report.protocol_errors =
+        protocol_errors_total.load(std::memory_order_relaxed);
+    report.oversized = oversized_total.load(std::memory_order_relaxed);
+
+    std::vector<Tenant*> order;
+    {
+      std::lock_guard<std::mutex> lock(tenants_mu);
+      for (const auto& t : tenants) order.push_back(t.get());
+    }
+    std::sort(order.begin(), order.end(), [](const Tenant* a, const Tenant* b) {
+      return a->name() < b->name();
+    });
+
+    for (Tenant* t : order) {
+      t->close_and_join();
+      ServeTenantReport tr;
+      tr.name = t->name();
+      tr.system = std::string(parse::system_short_name(t->system()));
+      tr.delivered = t->enqueued();
+      tr.dropped = t->ring_dropped();
+      tr.ingested = t->ingested();
+      tr.admitted = t->admitted();
+      tr.table = t->render_final();
+      report.tenants.push_back(std::move(tr));
+
+      if (!opts.checkpoint_dir.empty()) {
+        std::filesystem::create_directories(opts.checkpoint_dir);
+        const std::string path =
+            (std::filesystem::path(opts.checkpoint_dir) / (t->name() + ".ckpt"))
+                .string();
+        std::ofstream out(path, std::ios::binary);
+        if (out) {
+          t->save_checkpoint(out);
+          report.checkpoints.push_back(path);
+        } else if (opts.log != nullptr) {
+          *opts.log << "wss serve: cannot write checkpoint " << path << "\n";
+        }
+      }
+    }
+    return report;
+  }
+
+  std::string build_status_json() const {
+    std::string out = "{\"schema\":\"wss.serve.v1\",\"tenants\":[";
+    {
+      std::lock_guard<std::mutex> lock(tenants_mu);
+      std::vector<const Tenant*> order;
+      for (const auto& t : tenants) order.push_back(t.get());
+      std::sort(order.begin(), order.end(),
+                [](const Tenant* a, const Tenant* b) {
+                  return a->name() < b->name();
+                });
+      bool first = true;
+      for (const Tenant* t : order) {
+        if (!first) out += ",";
+        first = false;
+        out += util::format(
+            "{\"name\":\"%s\",\"system\":\"%s\",\"delivered\":%llu,"
+            "\"dropped\":%llu,\"ingested\":%llu,\"admitted\":%llu,"
+            "\"queue\":%zu,\"queue_capacity\":%zu,\"watermark_us\":%lld}",
+            json_escape(t->name()).c_str(),
+            std::string(parse::system_short_name(t->system())).c_str(),
+            static_cast<unsigned long long>(t->enqueued()),
+            static_cast<unsigned long long>(t->ring_dropped()),
+            static_cast<unsigned long long>(t->ingested()),
+            static_cast<unsigned long long>(t->admitted()), t->ring_size(),
+            t->ring_capacity(),
+            static_cast<long long>(t->watermark_us()));
+      }
+    }
+    out += util::format(
+        "],\"connections_total\":%llu,\"active_connections\":%zu,"
+        "\"http_requests_total\":%llu,\"protocol_errors_total\":%llu,"
+        "\"oversized_total\":%llu,\"draining\":%s}",
+        static_cast<unsigned long long>(
+            connections_total.load(std::memory_order_relaxed)),
+        active.load(std::memory_order_relaxed),
+        static_cast<unsigned long long>(
+            http_requests_total.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            protocol_errors_total.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            oversized_total.load(std::memory_order_relaxed)),
+        draining.load(std::memory_order_relaxed) ? "true" : "false");
+    return out;
+  }
+
+  std::string status_json() const { return build_status_json(); }
+};
+
+Server::Server(ServeOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts))) {}
+
+Server::~Server() = default;
+
+void Server::bind() { impl_->bind_all(); }
+
+std::uint16_t Server::tcp_port(std::size_t i) const {
+  return impl_->tcp.at(i)->port;
+}
+
+std::uint16_t Server::udp_port(std::size_t i) const {
+  return impl_->udp.at(i)->port;
+}
+
+std::uint16_t Server::http_port() const { return impl_->http_port; }
+
+ServeReport Server::run() { return impl_->run_loop(); }
+
+void Server::request_stop() {
+  impl_->stop.store(true, std::memory_order_relaxed);
+  if (impl_->wake_w.valid()) {
+    const char b = 1;
+    [[maybe_unused]] const auto n = write(impl_->wake_w.get(), &b, 1);
+  }
+}
+
+std::string Server::status_json() const { return impl_->status_json(); }
+
+}  // namespace wss::net

@@ -1,0 +1,110 @@
+#include "net/signal.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace wss::net {
+
+namespace {
+
+// All handler-touched state is async-signal-safe: plain volatile
+// sig_atomic_t flags plus a pipe write. The pipe is created once per
+// process and reused across install/uninstall cycles.
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_hup = 0;
+int g_pipe[2] = {-1, -1};
+bool g_installed = false;
+struct sigaction g_prev_int, g_prev_term, g_prev_hup, g_prev_pipe;
+
+void handler(int sig) {
+  if (sig == SIGHUP) {
+    g_hup = 1;
+  } else {
+    if (g_stop) {
+      // Second stop request: the graceful drain is taking too long for
+      // the operator -- exit with the conventional fatal-signal code.
+      _exit(128 + sig);
+    }
+    g_stop = 1;
+  }
+  if (g_pipe[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] const ssize_t n = ::write(g_pipe[1], &b, 1);
+  }
+}
+
+void ensure_pipe() {
+  if (g_pipe[0] >= 0) return;
+  if (::pipe(g_pipe) != 0) {
+    throw std::runtime_error(std::string("signal: pipe: ") +
+                             std::strerror(errno));
+  }
+  for (const int fd : g_pipe) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+}
+
+}  // namespace
+
+void ShutdownSignal::install() {
+  ensure_pipe();
+  reset();
+  if (g_installed) return;
+  struct sigaction sa{};
+  sa.sa_handler = handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking reads must wake up
+  ::sigaction(SIGINT, &sa, &g_prev_int);
+  ::sigaction(SIGTERM, &sa, &g_prev_term);
+  ::sigaction(SIGHUP, &sa, &g_prev_hup);
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  ::sigaction(SIGPIPE, &ign, &g_prev_pipe);
+  g_installed = true;
+}
+
+void ShutdownSignal::uninstall() {
+  if (!g_installed) return;
+  ::sigaction(SIGINT, &g_prev_int, nullptr);
+  ::sigaction(SIGTERM, &g_prev_term, nullptr);
+  ::sigaction(SIGHUP, &g_prev_hup, nullptr);
+  ::sigaction(SIGPIPE, &g_prev_pipe, nullptr);
+  g_installed = false;
+}
+
+bool ShutdownSignal::stop_requested() { return g_stop != 0; }
+
+bool ShutdownSignal::take_hup() {
+  if (g_hup == 0) return false;
+  g_hup = 0;
+  return true;
+}
+
+int ShutdownSignal::fd() {
+  ensure_pipe();
+  return g_pipe[0];
+}
+
+void ShutdownSignal::drain_fd() {
+  if (g_pipe[0] < 0) return;
+  char buf[64];
+  while (::read(g_pipe[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+void ShutdownSignal::reset() {
+  g_stop = 0;
+  g_hup = 0;
+  drain_fd();
+}
+
+}  // namespace wss::net

@@ -1,0 +1,49 @@
+// Shared SIGINT/SIGTERM/SIGHUP handling for the long-running commands.
+//
+// `wss stream` and `wss serve` both need the same drain contract: the
+// first SIGINT/SIGTERM requests a graceful stop (finish in-flight
+// work, checkpoint, report), a second one force-exits (the operator
+// means it), and SIGHUP asks for a metrics re-export without stopping.
+//
+// The handler itself does only async-signal-safe work: set a
+// sig_atomic_t flag and write one byte to a self-pipe. Event-loop
+// consumers add fd() to their poll set; loop-based consumers poll
+// stop_requested() between items. install()/uninstall() save and
+// restore the previous dispositions so in-process tests (and the
+// gtest binary as a whole) are left untouched.
+#pragma once
+
+namespace wss::net {
+
+class ShutdownSignal {
+ public:
+  /// Installs handlers for SIGINT, SIGTERM, SIGHUP (idempotent) and
+  /// clears any stale flags. Also ignores SIGPIPE while installed --
+  /// a peer hanging up mid-write must surface as EPIPE, not kill the
+  /// server.
+  static void install();
+
+  /// Restores the dispositions saved by install(). No-op when not
+  /// installed.
+  static void uninstall();
+
+  /// True once SIGINT or SIGTERM has been received.
+  static bool stop_requested();
+
+  /// Returns-and-clears the SIGHUP flag (re-export request).
+  static bool take_hup();
+
+  /// Read end of the self-pipe: readable whenever a signal has fired
+  /// since the last drain_fd(). Add to epoll/poll sets.
+  static int fd();
+
+  /// Consumes pending wake-up bytes (call after the fd polls
+  /// readable).
+  static void drain_fd();
+
+  /// Clears the stop/hup flags (tests; also used between command
+  /// invocations in one process).
+  static void reset();
+};
+
+}  // namespace wss::net

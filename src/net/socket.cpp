@@ -1,0 +1,198 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(
+      util::format("%s: %s", what, std::strerror(errno)));
+}
+
+sockaddr_in to_sockaddr(const Ipv4& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = a.addr_be;
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Ipv4 resolve_ipv4(const std::string& host, std::uint16_t port) {
+  Ipv4 out;
+  out.port = port;
+  const std::string h = host.empty() || host == "localhost"
+                            ? std::string("127.0.0.1")
+                            : host;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, h.c_str(), &addr) != 1) {
+    throw std::runtime_error(util::format(
+        "net: '%s' is not an IPv4 address (use a dotted quad or "
+        "'localhost')",
+        host.c_str()));
+  }
+  out.addr_be = addr.s_addr;
+  return out;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("net: fcntl(O_NONBLOCK)");
+  }
+}
+
+Fd listen_tcp(const Ipv4& at, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("net: socket(tcp)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = to_sockaddr(at);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) <
+      0) {
+    throw_errno("net: bind(tcp)");
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("net: listen");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd bind_udp(const Ipv4& at, int rcvbuf_bytes) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) throw_errno("net: socket(udp)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (rcvbuf_bytes > 0) {
+    // Best effort: the kernel clamps to rmem_max. A bigger buffer only
+    // narrows the (accounted) kernel-drop window for bursts.
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  const sockaddr_in sa = to_sockaddr(at);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) <
+      0) {
+    throw_errno("net: bind(udp)");
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+std::uint16_t bound_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    throw_errno("net: getsockname");
+  }
+  return ntohs(sa.sin_port);
+}
+
+Fd connect_tcp(const Ipv4& to) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("net: socket(tcp)");
+  const sockaddr_in sa = to_sockaddr(to);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa),
+                sizeof(sa)) < 0) {
+    throw_errno("net: connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Fd udp_socket() {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) throw_errno("net: socket(udp)");
+  return fd;
+}
+
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t& got) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, cap);
+    if (n > 0) {
+      got = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    throw_errno("net: read");
+  }
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("net: send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t write_some(int fd, const char* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EPIPE || errno == ECONNRESET) return kPeerGone;
+    throw_errno("net: send");
+  }
+}
+
+bool send_dgram(int fd, const Ipv4& to, const char* data, std::size_t len) {
+  const sockaddr_in sa = to_sockaddr(to);
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd, data, len, 0, reinterpret_cast<const sockaddr*>(&sa),
+                 sizeof(sa));
+    if (n >= 0) return true;
+    if (errno == EINTR) continue;
+    // A full local send buffer (or a transient ENOBUFS) is a drop the
+    // caller accounts for -- UDP promises nothing more.
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS ||
+        errno == ECONNREFUSED) {
+      return false;
+    }
+    throw_errno("net: sendto");
+  }
+}
+
+IoStatus recv_dgram(int fd, char* buf, std::size_t cap, std::size_t& got) {
+  for (;;) {
+    const ssize_t n = ::recvfrom(fd, buf, cap, 0, nullptr, nullptr);
+    if (n >= 0) {
+      got = static_cast<std::size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    throw_errno("net: recvfrom");
+  }
+}
+
+}  // namespace wss::net

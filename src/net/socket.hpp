@@ -1,0 +1,108 @@
+// Thin POSIX socket layer for the ingest server and its clients.
+//
+// Everything the `wss serve` event loop and the `wss generate --sink`
+// client need, and nothing more: an RAII fd, IPv4 endpoint resolution
+// (numeric dotted quads plus "localhost"), bound TCP/UDP listeners,
+// blocking client connects, and non-blocking I/O helpers that report
+// would-block distinctly from error. All failures throw
+// std::runtime_error carrying the errno text -- callers at the CLI
+// boundary translate them into one-line diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace wss::net {
+
+/// Owning file descriptor. Move-only; close() on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor now (idempotent).
+  void reset();
+  /// Releases ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Resolved IPv4 address + port. Host must be a dotted quad or
+/// "localhost" (no DNS -- the tool serves loopback and lab networks,
+/// and a resolver dependency would drag in blocking lookups).
+struct Ipv4 {
+  std::uint32_t addr_be = 0;  ///< network byte order
+  std::uint16_t port = 0;
+};
+
+/// Parses "127.0.0.1" / "localhost" / "0.0.0.0" into an Ipv4 with the
+/// given port. Throws std::runtime_error on anything else.
+Ipv4 resolve_ipv4(const std::string& host, std::uint16_t port);
+
+/// Marks the descriptor non-blocking (O_NONBLOCK).
+void set_nonblocking(int fd);
+
+/// Bound, listening TCP socket (SO_REUSEADDR, non-blocking). Port 0
+/// binds an ephemeral port; bound_port() reports the real one.
+Fd listen_tcp(const Ipv4& at, int backlog = 128);
+
+/// Bound UDP socket (non-blocking). `rcvbuf_bytes` > 0 requests a
+/// receive buffer large enough to absorb bursts (best effort).
+Fd bind_udp(const Ipv4& at, int rcvbuf_bytes = 0);
+
+/// The locally bound port of a socket (resolves port-0 binds).
+std::uint16_t bound_port(int fd);
+
+/// Blocking TCP client connect.
+Fd connect_tcp(const Ipv4& to);
+
+/// Unconnected UDP client socket.
+Fd udp_socket();
+
+/// Result of a non-blocking read/accept probe.
+enum class IoStatus : std::uint8_t {
+  kOk = 0,        ///< bytes/connection delivered
+  kWouldBlock,    ///< EAGAIN -- try again after the next readiness event
+  kClosed,        ///< orderly EOF (reads) -- peer finished
+};
+
+/// Non-blocking read. On kOk, `got` is the byte count (> 0).
+IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t& got);
+
+/// Blocking full write; throws on error (client side).
+void write_all(int fd, const char* data, std::size_t len);
+
+/// Non-blocking write; returns bytes written (possibly 0 on
+/// would-block). Throws on hard errors other than EPIPE/ECONNRESET,
+/// which return npos to signal "peer is gone".
+inline constexpr std::size_t kPeerGone = static_cast<std::size_t>(-1);
+std::size_t write_some(int fd, const char* data, std::size_t len);
+
+/// sendto() for the UDP sink; returns false when the kernel refused
+/// the datagram with a transient error (counted by the caller as a
+/// local drop), throws on hard errors.
+bool send_dgram(int fd, const Ipv4& to, const char* data, std::size_t len);
+
+/// recvfrom(); kOk fills `got` (a zero-length datagram yields kOk with
+/// got == 0).
+IoStatus recv_dgram(int fd, char* buf, std::size_t cap, std::size_t& got);
+
+}  // namespace wss::net

@@ -1,0 +1,108 @@
+#include "net/tenant.hpp"
+
+#include <chrono>
+
+#include "util/strings.hpp"
+#include "stream/report.hpp"
+
+namespace wss::net {
+
+namespace {
+
+obs::Counter& tenant_counter(const char* base, const std::string& tenant) {
+  return obs::registry().counter(
+      util::format("%s{tenant=\"%s\"}", base, tenant.c_str()));
+}
+
+stream::StreamPipelineOptions pipeline_options(const TenantConfig& cfg) {
+  stream::StreamPipelineOptions popts;
+  popts.study.threshold_us =
+      static_cast<util::TimeUs>(cfg.threshold_s * 1e6);
+  popts.study.window_us = static_cast<util::TimeUs>(cfg.window_s * 1e6);
+  // Network lines are parsed real logs: same semantics as
+  // `wss stream --in` (that equivalence is the round-trip proof).
+  popts.strict_order = false;
+  popts.start_year = cfg.start_year;
+  return popts;
+}
+
+}  // namespace
+
+Tenant::Tenant(const TenantConfig& cfg)
+    : cfg_(cfg),
+      ring_(cfg.queue_capacity, stream::BackpressurePolicy::kDropOldest),
+      pipeline_(cfg.system, pipeline_options(cfg)),
+      delivered_ctr_(tenant_counter("wss_net_delivered_total", cfg.name)),
+      dropped_ctr_(tenant_counter("wss_net_dropped_total", cfg.name)),
+      ingested_ctr_(tenant_counter("wss_net_ingested_total", cfg.name)) {
+  pipeline_.set_alert_sink([this](const filter::Alert&) {
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+Tenant::~Tenant() { close_and_join(); }
+
+void Tenant::start() {
+  consumer_ = std::thread([this] { consume(); });
+}
+
+void Tenant::enqueue(std::string line) {
+  stream::StreamItem item;
+  item.index = item_index_++;
+  item.line = std::move(line);
+  ring_.push(std::move(item));
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
+  delivered_ctr_.inc();
+}
+
+std::uint64_t Tenant::take_ring_drops() {
+  const std::uint64_t total = ring_.dropped();
+  const std::uint64_t fresh = total - published_ring_drops_;
+  if (fresh > 0) {
+    dropped_ctr_.inc(fresh);
+    published_ring_drops_ = total;
+  }
+  return fresh;
+}
+
+void Tenant::consume() {
+  std::uint64_t n = 0;
+  while (auto item = ring_.pop()) {
+    if (cfg_.ingest_delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(cfg_.ingest_delay_us));
+    }
+    pipeline_.ingest_line(item->line);
+    ingested_.fetch_add(1, std::memory_order_relaxed);
+    ingested_ctr_.inc();
+    watermark_.store(pipeline_.watermark(), std::memory_order_relaxed);
+    // Periodic publish keeps /metrics scrapes fresh to within a few
+    // chunks even on an endless stream (finish() publishes the rest).
+    if (++n % 65536 == 0) pipeline_.publish_metrics();
+  }
+  pipeline_.finish();
+}
+
+void Tenant::close_and_join() {
+  if (joined_) return;
+  ring_.close();
+  if (consumer_.joinable()) consumer_.join();
+  joined_ = true;
+  // Late evictions (none should occur after close, but the accounting
+  // must balance regardless).
+  take_ring_drops();
+}
+
+stream::StreamSnapshot Tenant::final_snapshot() const {
+  auto snap = pipeline_.snapshot();
+  snap.dropped = ring_.dropped();
+  return snap;
+}
+
+std::string Tenant::render_final() const {
+  return stream::render_snapshot(final_snapshot());
+}
+
+void Tenant::save_checkpoint(std::ostream& os) { pipeline_.save(os); }
+
+}  // namespace wss::net

@@ -1,0 +1,137 @@
+// Per-tenant stream engines for the ingest server.
+//
+// A tenant is one customer's log stream: its own tag ruleset (via the
+// tenant's SystemId), its own stream::StreamPipeline, its own bounded
+// stream::IngestRing, and its own consumer thread. Tenants share
+// nothing but the process -- two tenants' tables can never cross
+// because no object is reachable from both (the isolation test pins
+// this end to end).
+//
+// Threading contract:
+//   * enqueue()/has_room()/take_ring_drops() are called only by the
+//     server's event-loop thread.
+//   * The consumer thread owns the pipeline exclusively until
+//     close_and_join() returns.
+//   * The live stats (ingested/admitted/watermark) are relaxed atomics
+//     maintained by the consumer, readable from any thread -- they
+//     feed /status while ingest is running.
+//
+// Backpressure is the IngestRing's accounted drop-oldest policy: the
+// event loop must never block, so a stalled tenant degrades to a
+// sampled stream with an exact drop count (and TCP connections are
+// paused *before* pushing once the ring is full, so TCP traffic into
+// a healthy tenant is lossless -- see server.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/source.hpp"
+
+namespace wss::net {
+
+struct TenantConfig {
+  std::string name;
+  parse::SystemId system = parse::SystemId::kLiberty;
+  int start_year = 0;            ///< 0 = the system spec's start year
+  double threshold_s = 5.0;      ///< filter T
+  double window_s = 3600.0;      ///< live-rate window
+  std::size_t queue_capacity = 4096;
+
+  /// Chaos/test knob: the consumer sleeps this long per ingested line,
+  /// turning the tenant into a deterministic slow consumer for the
+  /// backpressure suite (0 in production).
+  std::uint64_t ingest_delay_us = 0;
+};
+
+class Tenant {
+ public:
+  explicit Tenant(const TenantConfig& cfg);
+  ~Tenant();
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  /// Spawns the consumer thread. Call once.
+  void start();
+
+  // ---- Event-loop side ----
+
+  /// True while the ring has room for one more line; a false return is
+  /// the TCP pause-read signal (pushing anyway would evict).
+  bool has_room() const { return ring_.size() < ring_.capacity(); }
+
+  /// Hands one decoded line to the consumer. Never blocks; a full ring
+  /// evicts oldest-first with the eviction counted (take_ring_drops).
+  void enqueue(std::string line);
+
+  /// Ring evictions since the last call (event-loop thread only); the
+  /// caller publishes them to the tenant's dropped counter.
+  std::uint64_t take_ring_drops();
+
+  // ---- Drain ----
+
+  /// Closes the ring, joins the consumer (which finishes the
+  /// pipeline), and publishes final metrics. Idempotent.
+  void close_and_join();
+
+  /// Final snapshot (valid after close_and_join); `dropped` carries
+  /// the ring's total eviction count.
+  stream::StreamSnapshot final_snapshot() const;
+
+  /// The final per-tenant report table -- byte-identical to what
+  /// `wss stream --in <same delivered lines>` prints.
+  std::string render_final() const;
+
+  /// Serializes the drained pipeline (valid after close_and_join).
+  void save_checkpoint(std::ostream& os);
+
+  // ---- Live stats (any thread) ----
+  std::uint64_t enqueued() const {
+    return enqueued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ingested() const {
+    return ingested_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  std::int64_t watermark_us() const {
+    return watermark_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ring_dropped() const { return ring_.dropped(); }
+  std::size_t ring_size() const { return ring_.size(); }
+  std::size_t ring_capacity() const { return ring_.capacity(); }
+
+  const std::string& name() const { return cfg_.name; }
+  parse::SystemId system() const { return cfg_.system; }
+  const TenantConfig& config() const { return cfg_; }
+
+ private:
+  void consume();
+
+  TenantConfig cfg_;
+  stream::IngestRing ring_;
+  stream::StreamPipeline pipeline_;
+  std::thread consumer_;
+  bool joined_ = false;
+
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> ingested_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::int64_t> watermark_{0};
+
+  std::uint64_t published_ring_drops_ = 0;  ///< event-loop thread only
+  std::uint64_t item_index_ = 0;            ///< event-loop thread only
+
+  // Cached per-tenant metric handles (registration is cold).
+  obs::Counter& delivered_ctr_;
+  obs::Counter& dropped_ctr_;
+  obs::Counter& ingested_ctr_;
+};
+
+}  // namespace wss::net

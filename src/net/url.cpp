@@ -1,0 +1,50 @@
+#include "net/url.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace wss::net {
+
+std::string Endpoint::to_string() const {
+  return util::format("%s://%s:%u",
+                      transport == Transport::kUdp ? "udp" : "tcp",
+                      host.c_str(), static_cast<unsigned>(port));
+}
+
+Endpoint parse_endpoint(const std::string& url) {
+  const auto fail = [&url](const char* why) -> Endpoint {
+    throw std::invalid_argument(util::format(
+        "'%s' is not a udp://host:port or tcp://host:port endpoint (%s)",
+        url.c_str(), why));
+  };
+
+  Endpoint ep;
+  std::string rest;
+  if (url.rfind("udp://", 0) == 0) {
+    ep.transport = Transport::kUdp;
+    rest = url.substr(6);
+  } else if (url.rfind("tcp://", 0) == 0) {
+    ep.transport = Transport::kTcp;
+    rest = url.substr(6);
+  } else {
+    return fail("unknown scheme");
+  }
+
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0) return fail("missing port");
+  ep.host = rest.substr(0, colon);
+  const std::string port_str = rest.substr(colon + 1);
+  if (port_str.empty()) return fail("missing port");
+  long port = 0;
+  for (const char ch : port_str) {
+    if (ch < '0' || ch > '9') return fail("port is not a number");
+    port = port * 10 + (ch - '0');
+    if (port > 65535) return fail("port out of range");
+  }
+  if (port < 1) return fail("port out of range");
+  ep.port = static_cast<std::uint16_t>(port);
+  return ep;
+}
+
+}  // namespace wss::net

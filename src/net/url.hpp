@@ -1,0 +1,29 @@
+// `udp://host:port` / `tcp://host:port` endpoint notation, shared by
+// the `wss generate --sink` client and the serve CLI diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wss::net {
+
+enum class Transport : std::uint8_t {
+  kUdp = 0,
+  kTcp = 1,
+};
+
+struct Endpoint {
+  Transport transport = Transport::kUdp;
+  std::string host;         ///< as written ("localhost" preserved)
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+};
+
+/// Parses "udp://host:port" or "tcp://host:port". The host may be a
+/// dotted quad or "localhost"; the port must be 1..65535. Throws
+/// std::invalid_argument with a one-line reason on anything else
+/// (unknown scheme, missing port, junk).
+Endpoint parse_endpoint(const std::string& url);
+
+}  // namespace wss::net

@@ -28,15 +28,31 @@ std::size_t Replayer::run(const Visitor& visit) const {
   const util::TimeUs t0 = events[begin_].time;
   const auto wall0 = std::chrono::steady_clock::now();
 
+  const auto cancelled = [this] {
+    return opts_.cancel != nullptr &&
+           opts_.cancel->load(std::memory_order_relaxed);
+  };
+
   std::size_t delivered = 0;
   for (std::size_t i = begin_; i < end_; ++i) {
+    if (cancelled()) break;
     const SimEvent& e = events[i];
     if (opts_.speed > 0.0) {
       const double sim_elapsed_us = static_cast<double>(e.time - t0);
       const auto wall_target =
           wall0 + std::chrono::microseconds(static_cast<std::int64_t>(
                       sim_elapsed_us / opts_.speed));
-      std::this_thread::sleep_until(wall_target);
+      // Sleep in bounded slices so a cancellation request (operator
+      // Ctrl-C during a long simulated gap) is honored promptly.
+      for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= wall_target || cancelled()) break;
+        const auto remaining = wall_target - now;
+        std::this_thread::sleep_for(
+            std::min<std::chrono::steady_clock::duration>(
+                remaining, std::chrono::milliseconds(100)));
+      }
+      if (cancelled()) break;
     }
     std::string line = sim_->renderer().render(e, i);
     ++delivered;

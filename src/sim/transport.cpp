@@ -5,30 +5,34 @@
 
 namespace wss::sim {
 
+bool UdpLossModel::offer_drops(util::TimeUs t, util::Rng& rng) {
+  ++stats_.offered;
+  while (!window_.empty() && t - window_.front() > cfg_.rate_window_us) {
+    window_.pop_front();
+  }
+  window_.push_back(t);
+  const double contention =
+      cfg_.contention_loss_per_k * static_cast<double>(window_.size()) /
+      1000.0;
+  const double p = std::min(0.9, cfg_.base_loss + contention);
+  if (rng.bernoulli(p)) {
+    ++stats_.dropped;
+    return true;
+  }
+  ++stats_.delivered;
+  return false;
+}
+
 std::vector<SimEvent> apply_udp_loss(const std::vector<SimEvent>& sorted,
                                      const UdpConfig& cfg, util::Rng& rng,
                                      TransportStats* stats) {
   std::vector<SimEvent> out;
   out.reserve(sorted.size());
-  TransportStats st;
-  std::deque<util::TimeUs> window;  // offered-message times in the window
+  UdpLossModel model(cfg);
   for (const SimEvent& e : sorted) {
-    ++st.offered;
-    while (!window.empty() && e.time - window.front() > cfg.rate_window_us) {
-      window.pop_front();
-    }
-    window.push_back(e.time);
-    const double contention =
-        cfg.contention_loss_per_k * static_cast<double>(window.size()) / 1000.0;
-    const double p = std::min(0.9, cfg.base_loss + contention);
-    if (rng.bernoulli(p)) {
-      ++st.dropped;
-    } else {
-      ++st.delivered;
-      out.push_back(e);
-    }
+    if (!model.offer_drops(e.time, rng)) out.push_back(e);
   }
-  if (stats != nullptr) *stats = st;
+  if (stats != nullptr) *stats = model.stats();
   return out;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/process.hpp"
@@ -39,6 +40,28 @@ struct TransportStats {
                         : static_cast<double>(dropped) /
                               static_cast<double>(offered);
   }
+};
+
+/// Incremental form of the UDP loss model: one drop decision per
+/// offered message, in time order. apply_udp_loss() is this class run
+/// over a vector; `wss generate --sink udp://...` runs it client-side,
+/// one datagram at a time, so the generator's delivered/dropped
+/// accounting is the exact same model the transport ablation uses.
+class UdpLossModel {
+ public:
+  explicit UdpLossModel(const UdpConfig& cfg) : cfg_(cfg) {}
+
+  /// Decides the fate of a message offered at time `t` (times must be
+  /// non-decreasing). Returns true when the message is DROPPED; always
+  /// updates the offered/delivered/dropped stats.
+  bool offer_drops(util::TimeUs t, util::Rng& rng);
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  UdpConfig cfg_;
+  TransportStats stats_;
+  std::deque<util::TimeUs> window_;  ///< offered times inside rate_window_us
 };
 
 /// Applies UDP loss to a time-sorted stream; returns the survivors.

@@ -1,0 +1,164 @@
+// FrameDecoder: newline and length-prefix framing over arbitrary
+// segment boundaries -- partial frames, coalesced frames, CRLF,
+// oversized handling, EOF tails.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+
+namespace wss::net {
+namespace {
+
+std::vector<std::string> drain(FrameDecoder& d) {
+  std::vector<std::string> frames;
+  std::string f;
+  while (d.next(f)) frames.push_back(f);
+  return frames;
+}
+
+std::string be32(std::uint32_t v) {
+  std::string s;
+  s.push_back(static_cast<char>((v >> 24) & 0xff));
+  s.push_back(static_cast<char>((v >> 16) & 0xff));
+  s.push_back(static_cast<char>((v >> 8) & 0xff));
+  s.push_back(static_cast<char>(v & 0xff));
+  return s;
+}
+
+TEST(NetFraming, CoalescedNewlineFrames) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("alpha\nbeta\ngamma\n");
+  EXPECT_EQ(drain(d), (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(NetFraming, PartialFrameAcrossManyFeeds) {
+  FrameDecoder d(Framing::kNewline);
+  const std::string line = "one long syslog line with fields";
+  for (const char c : line) {
+    d.feed(std::string_view(&c, 1));
+    std::string f;
+    EXPECT_FALSE(d.next(f));
+  }
+  d.feed("\n");
+  EXPECT_EQ(drain(d), std::vector<std::string>{line});
+}
+
+TEST(NetFraming, StripsSingleTrailingCarriageReturn) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("crlf line\r\nbare cr \r\r\n");
+  EXPECT_EQ(drain(d),
+            (std::vector<std::string>{"crlf line", "bare cr \r"}));
+}
+
+TEST(NetFraming, EmptyLinesAreFrames) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("\n\nx\n");
+  EXPECT_EQ(drain(d), (std::vector<std::string>{"", "", "x"}));
+}
+
+TEST(NetFraming, FinishFlushesUnterminatedTail) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("done\npartial tail");
+  EXPECT_EQ(drain(d), std::vector<std::string>{"done"});
+  std::string f;
+  ASSERT_TRUE(d.finish(f));
+  EXPECT_EQ(f, "partial tail");
+  EXPECT_FALSE(d.finish(f));  // flushed once
+}
+
+TEST(NetFraming, FinishOnCleanStreamIsEmpty) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("done\n");
+  drain(d);
+  std::string f;
+  EXPECT_FALSE(d.finish(f));
+}
+
+TEST(NetFraming, OversizedNewlineLineIsCountedNotDelivered) {
+  FrameDecoder d(Framing::kNewline, 8);
+  d.feed("tiny\n");
+  d.feed(std::string(100, 'x'));  // exceeds cap mid-line
+  d.feed("yyy\nafter\n");
+  EXPECT_EQ(drain(d), (std::vector<std::string>{"tiny", "after"}));
+  EXPECT_EQ(d.oversized(), 1u);
+  EXPECT_FALSE(d.error());  // newline mode re-synchronizes
+}
+
+TEST(NetFraming, OversizedCompleteLineInOneFeed) {
+  FrameDecoder d(Framing::kNewline, 8);
+  d.feed(std::string(20, 'a') + "\nok\n");
+  EXPECT_EQ(drain(d), std::vector<std::string>{"ok"});
+  EXPECT_EQ(d.oversized(), 1u);
+}
+
+TEST(NetFraming, OversizedTailAtEof) {
+  FrameDecoder d(Framing::kNewline, 8);
+  d.feed(std::string(20, 'b'));
+  drain(d);
+  std::string f;
+  EXPECT_FALSE(d.finish(f));
+  EXPECT_EQ(d.oversized(), 1u);
+}
+
+TEST(NetFraming, LenPrefixRoundTrip) {
+  using namespace std::string_literals;
+  FrameDecoder d(Framing::kLenPrefix);
+  const std::string payload = "binary \n payload \0 with newline"s;
+  d.feed(be32(static_cast<std::uint32_t>(payload.size())) + payload);
+  d.feed(be32(0));  // empty frame
+  std::string f;
+  ASSERT_TRUE(d.next(f));
+  EXPECT_EQ(f, payload);
+  ASSERT_TRUE(d.next(f));
+  EXPECT_EQ(f, "");
+  EXPECT_FALSE(d.next(f));
+}
+
+TEST(NetFraming, LenPrefixSplitAcrossFeeds) {
+  FrameDecoder d(Framing::kLenPrefix);
+  const std::string msg = be32(5) + "hello" + be32(5) + "world";
+  for (const char c : msg) d.feed(std::string_view(&c, 1));
+  EXPECT_EQ(drain(d), (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(NetFraming, LenPrefixOverflowIsUnrecoverable) {
+  FrameDecoder d(Framing::kLenPrefix, 16);
+  d.feed(be32(1u << 30));
+  std::string f;
+  EXPECT_FALSE(d.next(f));
+  EXPECT_TRUE(d.error());
+  EXPECT_EQ(d.oversized(), 1u);
+  d.feed(be32(3) + "abc");  // too late: the stream position is lost
+  EXPECT_FALSE(d.next(f));
+  EXPECT_FALSE(d.finish(f));
+}
+
+TEST(NetFraming, TakeRestHandsOffUndecodedBytes) {
+  FrameDecoder d(Framing::kNewline);
+  d.feed("handshake line\n" + be32(2) + "ok");
+  std::string f;
+  ASSERT_TRUE(d.next(f));
+  EXPECT_EQ(f, "handshake line");
+  FrameDecoder len(Framing::kLenPrefix);
+  len.feed(d.take_rest());
+  EXPECT_EQ(d.buffered(), 0u);
+  ASSERT_TRUE(len.next(f));
+  EXPECT_EQ(f, "ok");
+}
+
+TEST(NetFraming, CompactionKeepsLongStreamsBounded) {
+  FrameDecoder d(Framing::kNewline);
+  std::string f;
+  for (int i = 0; i < 20000; ++i) {
+    d.feed("some log line payload\n");
+    ASSERT_TRUE(d.next(f));
+    ASSERT_FALSE(d.next(f));
+    ASSERT_LT(d.buffered(), 16u * 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace wss::net

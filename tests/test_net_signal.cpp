@@ -1,0 +1,99 @@
+// ShutdownSignal: self-pipe wake-up, stop/hup flags, restore-on-
+// uninstall. All signals are raised at this process with the handler
+// installed, which is safe: install() saves the previous dispositions
+// and uninstall() restores them, so gtest's environment is untouched.
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include <sys/select.h>
+#include <sys/time.h>
+
+#include "net/signal.hpp"
+
+namespace wss::net {
+namespace {
+
+bool fd_readable(int fd, int timeout_ms) {
+  fd_set rfds;
+  FD_ZERO(&rfds);
+  FD_SET(fd, &rfds);
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  return ::select(fd + 1, &rfds, nullptr, nullptr, &tv) == 1;
+}
+
+class NetSignal : public ::testing::Test {
+ protected:
+  void SetUp() override { ShutdownSignal::install(); }
+  void TearDown() override {
+    ShutdownSignal::reset();
+    ShutdownSignal::uninstall();
+  }
+};
+
+TEST_F(NetSignal, StartsClear) {
+  EXPECT_FALSE(ShutdownSignal::stop_requested());
+  EXPECT_FALSE(ShutdownSignal::take_hup());
+  EXPECT_FALSE(fd_readable(ShutdownSignal::fd(), 0));
+}
+
+TEST_F(NetSignal, SigtermSetsStopAndWakesPipe) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_TRUE(ShutdownSignal::stop_requested());
+  EXPECT_FALSE(ShutdownSignal::take_hup());
+  EXPECT_TRUE(fd_readable(ShutdownSignal::fd(), 1000));
+  ShutdownSignal::drain_fd();
+  EXPECT_FALSE(fd_readable(ShutdownSignal::fd(), 0));
+  // The flag is level-triggered; draining the pipe does not clear it.
+  EXPECT_TRUE(ShutdownSignal::stop_requested());
+}
+
+TEST_F(NetSignal, SigintSetsStop) {
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_TRUE(ShutdownSignal::stop_requested());
+}
+
+TEST_F(NetSignal, SighupIsTakeOnce) {
+  ASSERT_EQ(::raise(SIGHUP), 0);
+  EXPECT_FALSE(ShutdownSignal::stop_requested());
+  EXPECT_TRUE(ShutdownSignal::take_hup());
+  EXPECT_FALSE(ShutdownSignal::take_hup());  // consumed
+  ShutdownSignal::drain_fd();
+}
+
+TEST_F(NetSignal, ResetClearsFlags) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  ASSERT_EQ(::raise(SIGHUP), 0);
+  ShutdownSignal::reset();
+  EXPECT_FALSE(ShutdownSignal::stop_requested());
+  EXPECT_FALSE(ShutdownSignal::take_hup());
+}
+
+TEST_F(NetSignal, ReinstallClearsStaleState) {
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  ShutdownSignal::install();  // idempotent + clears stale flags
+  EXPECT_FALSE(ShutdownSignal::stop_requested());
+}
+
+TEST(NetSignalLifecycle, UninstallRestoresPreviousDisposition) {
+  // With our handler gone, SIGHUP must fall back to whatever was saved
+  // at install time. Set an ignoring disposition first so raising after
+  // uninstall is harmless and observable.
+  struct sigaction ign {};
+  ign.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGHUP, &ign, nullptr), 0);
+
+  ShutdownSignal::install();
+  ShutdownSignal::uninstall();
+
+  struct sigaction cur {};
+  ASSERT_EQ(::sigaction(SIGHUP, nullptr, &cur), 0);
+  EXPECT_EQ(cur.sa_handler, SIG_IGN);
+  ASSERT_EQ(::raise(SIGHUP), 0);  // ignored, does not set our flag
+  EXPECT_FALSE(ShutdownSignal::take_hup());
+}
+
+}  // namespace
+}  // namespace wss::net

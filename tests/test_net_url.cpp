@@ -1,0 +1,51 @@
+// udp://host:port / tcp://host:port endpoint parsing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/url.hpp"
+
+namespace wss::net {
+namespace {
+
+TEST(NetUrl, ParsesUdp) {
+  const Endpoint e = parse_endpoint("udp://127.0.0.1:5514");
+  EXPECT_EQ(e.transport, Transport::kUdp);
+  EXPECT_EQ(e.host, "127.0.0.1");
+  EXPECT_EQ(e.port, 5514);
+}
+
+TEST(NetUrl, ParsesTcpLocalhost) {
+  const Endpoint e = parse_endpoint("tcp://localhost:65535");
+  EXPECT_EQ(e.transport, Transport::kTcp);
+  EXPECT_EQ(e.host, "localhost");
+  EXPECT_EQ(e.port, 65535);
+}
+
+TEST(NetUrl, RoundTripsThroughToString) {
+  for (const char* url : {"udp://10.0.0.7:514", "tcp://localhost:9000"}) {
+    EXPECT_EQ(parse_endpoint(url).to_string(), url);
+  }
+}
+
+TEST(NetUrl, RejectsMalformed) {
+  for (const char* url : {
+           "",
+           "udp://",
+           "http://127.0.0.1:80",     // unknown scheme
+           "127.0.0.1:514",           // no scheme
+           "udp//127.0.0.1:514",      // missing colon
+           "udp://127.0.0.1",         // missing port
+           "udp://127.0.0.1:",        // empty port
+           "udp://:514",              // empty host
+           "udp://127.0.0.1:0",       // port out of range
+           "udp://127.0.0.1:65536",   // port out of range
+           "udp://127.0.0.1:12ab",    // junk port
+           "tcp://127.0.0.1:514x",    // trailing junk
+       }) {
+    EXPECT_THROW(parse_endpoint(url), std::invalid_argument) << url;
+  }
+}
+
+}  // namespace
+}  // namespace wss::net
