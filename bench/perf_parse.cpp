@@ -4,11 +4,18 @@
 // magnitude faster than arrival.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "logio/input.hpp"
 #include "parse/dispatch.hpp"
 #include "sim/generator.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/split.hpp"
 
 namespace {
 
@@ -62,6 +69,197 @@ void BM_ParseRedStorm(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseRedStorm);
 
+/// Times `pass` (already warmed) and returns the best-of-`reps`
+/// duration in seconds.
+template <typename F>
+double best_of(int reps, F&& pass) {
+  double best_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    pass();
+    const auto t1 = std::chrono::steady_clock::now();
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best_s;
+}
+
+void append_simd_row(const std::string& json) {
+  std::ofstream os("BENCH_simd.json", std::ios::app);
+  if (os) os << json << "\n";
+}
+
+/// Layer-by-layer SIMD ablation below the tag engine: the newline
+/// splitter, the whitespace field splitter, and the full per-format
+/// parse, each timed at every supported WSS_SIMD level on the same
+/// Spirit corpus. Results are cross-checked across levels (line and
+/// field counts must be bit-identical) and appended as one JSON-lines
+/// object per layer to BENCH_simd.json.
+void emit_simd_layer_ablation(int reps = 3) {
+  const simd::Level restore = simd::active_level();
+  const auto& lines = [] {
+    static const std::vector<std::string> c = corpus(parse::SystemId::kSpirit);
+    return c;
+  }();
+  std::string text;
+  for (const auto& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  const double n_lines = static_cast<double>(lines.size());
+  const double n_bytes = static_cast<double>(text.size());
+
+  struct Layer {
+    const char* name;
+    std::function<std::size_t()> pass;  ///< returns a cross-check count
+    double per_sec_scale;               ///< lines or bytes per pass
+    const char* unit;
+  };
+  std::vector<std::string_view> fields;
+  parse::LogRecord rec;
+  parse::ParseScratch scratch;
+  const Layer layers[] = {
+      {"split",
+       [&] {
+         std::size_t count = 0;
+         simd::for_each_line(text, [&](std::string_view) { ++count; });
+         return count;
+       },
+       n_bytes, "bytes"},
+      {"fields",
+       [&] {
+         std::size_t count = 0;
+         for (const auto& l : lines) {
+           fields.clear();
+           util::split_fields(l, fields);
+           count += fields.size();
+         }
+         return count;
+       },
+       n_lines, "lines"},
+      {"parse",
+       [&] {
+         std::size_t valid = 0;
+         for (const auto& l : lines) {
+           parse::parse_line_into(parse::SystemId::kSpirit, l, 2005, rec,
+                                  scratch);
+           valid += rec.timestamp_valid ? 1 : 0;
+         }
+         return valid;
+       },
+       n_lines, "lines"},
+  };
+
+  std::cout << "\n==== SIMD layer ablation (spirit, " << lines.size()
+            << " lines) ====\n";
+  for (const Layer& layer : layers) {
+    std::size_t scalar_count = 0;
+    double scalar_ps = 0.0;
+    std::string json = util::format(
+        "{\"bench\":\"perf_parse\",\"layer\":\"%s\",\"workload\":"
+        "\"spirit cap=3000 chatter=20000\",\"lines\":%zu,\"levels\":[",
+        layer.name, lines.size());
+    bool first = true;
+    for (const simd::Level level : simd::supported_levels()) {
+      simd::set_level(level);
+      const std::size_t count = layer.pass();  // warm-up at this level
+      if (first) {
+        scalar_count = count;
+      } else if (count != scalar_count) {
+        std::cerr << "FATAL: layer " << layer.name << " at level "
+                  << simd::level_name(level) << " counts " << count
+                  << ", scalar counts " << scalar_count << "\n";
+        std::abort();
+      }
+      const double best_s = best_of(reps, [&] {
+        benchmark::DoNotOptimize(layer.pass());
+      });
+      const double per_sec = layer.per_sec_scale / best_s;
+      if (first) scalar_ps = per_sec;
+      const double speedup = scalar_ps > 0 ? per_sec / scalar_ps : 1.0;
+      std::cout << util::format("  %-6s  %-7s  %12.0f %s/sec  (%.2fx scalar)\n",
+                                layer.name, simd::level_name(level), per_sec,
+                                layer.unit, speedup);
+      json += util::format(
+          "%s{\"level\":\"%s\",\"%s_per_sec\":%.1f,"
+          "\"speedup_vs_scalar\":%.3f}",
+          first ? "" : ",", simd::level_name(level), layer.unit, per_sec,
+          speedup);
+      first = false;
+    }
+    json += "]}";
+    append_simd_row(json);
+  }
+  simd::set_level(restore);
+  std::cout << "(appended to BENCH_simd.json)\n";
+}
+
+/// Input-route ablation: the same file drained via the mmap'd
+/// zero-copy route and the read() fallback, full split included, so
+/// the row isolates what the page-cache copy costs. Byte counts are
+/// cross-checked; one JSON-lines row goes to BENCH_simd.json.
+void emit_input_ablation(int reps = 3) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> lines = corpus(parse::SystemId::kSpirit);
+  std::string text;
+  for (const auto& l : lines) {
+    text += l;
+    text += '\n';
+  }
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("wss_perf_parse_" + std::to_string(::getpid()) + ".log");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+  }
+
+  const auto drain = [&](bool use_mmap) {
+    if (use_mmap) {
+      ::unsetenv("WSS_MMAP");
+    } else {
+      ::setenv("WSS_MMAP", "0", 1);
+    }
+    const logio::InputBuffer in = logio::InputBuffer::open(path);
+    std::size_t bytes = 0;
+    simd::for_each_line(in.view(),
+                        [&](std::string_view l) { bytes += l.size(); });
+    return bytes;
+  };
+
+  std::cout << "\n==== Input route ablation (spirit, " << text.size()
+            << " bytes) ====\n";
+  std::string json = util::format(
+      "{\"bench\":\"perf_parse\",\"layer\":\"input\",\"workload\":"
+      "\"spirit cap=3000 chatter=20000\",\"bytes\":%zu,\"routes\":[",
+      text.size());
+  const std::size_t expect = drain(true);  // warm the page cache
+  double read_ps = 0.0;
+  const struct {
+    const char* name;
+    bool use_mmap;
+  } routes[] = {{"read", false}, {"mmap", true}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double best_s = best_of(reps, [&] {
+      if (drain(routes[i].use_mmap) != expect) std::abort();
+    });
+    const double per_sec = static_cast<double>(text.size()) / best_s;
+    if (i == 0) read_ps = per_sec;
+    const double speedup = read_ps > 0 ? per_sec / read_ps : 1.0;
+    std::cout << util::format("  %-4s  %12.0f bytes/sec  (%.2fx read)\n",
+                              routes[i].name, per_sec, speedup);
+    json += util::format(
+        "%s{\"route\":\"%s\",\"bytes_per_sec\":%.1f,\"speedup_vs_read\":"
+        "%.3f}",
+        i == 0 ? "" : ",", routes[i].name, per_sec, speedup);
+  }
+  json += "]}";
+  append_simd_row(json);
+  ::unsetenv("WSS_MMAP");
+  std::error_code ec;
+  fs::remove(path, ec);
+  std::cout << "(appended to BENCH_simd.json)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,5 +267,7 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   wss::bench::emit_pipeline_threads_sweep("perf_parse");
+  emit_simd_layer_ablation();
+  emit_input_ablation();
   return 0;
 }

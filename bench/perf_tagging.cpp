@@ -21,6 +21,7 @@
 #include "match/scratch.hpp"
 #include "obs/export.hpp"
 #include "sim/generator.hpp"
+#include "simd/dispatch.hpp"
 #include "tag/engine.hpp"
 #include "tag/metrics.hpp"
 #include "tag/rulesets.hpp"
@@ -206,6 +207,77 @@ void emit_tagging_ablation(const char* workload, const Corpus& c,
   std::cout << "(appended to BENCH_tagging.json)\n";
 }
 
+/// SIMD-level ablation of the tagging hot path: the same multi-mode
+/// engine, timed once per supported WSS_SIMD level (the vector block
+/// skip in LiteralScanner and the vectorized delimiter scans react to
+/// simd::set_level at runtime). Tag counts are cross-checked across
+/// levels -- a disagreement is a correctness bug, not a perf result --
+/// and each row records its speedup over the scalar baseline. Appended
+/// as JSON-lines to BENCH_simd.json.
+void emit_simd_ablation(const char* workload, const Corpus& c, int reps = 3) {
+  const simd::Level restore = simd::active_level();
+  const auto lines = static_cast<double>(c.lines.size());
+  const tag::TagEngine& engine = engine_for(tag::TagEngineMode::kMulti);
+
+  struct Row {
+    simd::Level level;
+    double lines_per_sec = 0.0;
+    std::size_t hits = 0;
+  };
+  std::vector<Row> rows;
+  for (const simd::Level level : simd::supported_levels()) {
+    rows.push_back({level});
+  }
+
+  std::cout << "\n==== SIMD ablation (multi engine, " << workload << ", "
+            << c.lines.size() << " lines) ====\n";
+  for (Row& row : rows) {
+    simd::set_level(row.level);
+    match::MatchScratch scratch;
+    row.hits = tag_pass(c, engine, scratch);  // warm-up at this level
+    double best_s = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::size_t hits = tag_pass(c, engine, scratch);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (hits != row.hits) std::abort();
+      best_s =
+          std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+    }
+    row.lines_per_sec = lines / best_s;
+    if (row.hits != rows[0].hits) {
+      std::cerr << "FATAL: level " << simd::level_name(row.level)
+                << " tags " << row.hits << " lines, scalar tags "
+                << rows[0].hits << "\n";
+      std::abort();
+    }
+  }
+  simd::set_level(restore);
+
+  const double scalar_lps = rows[0].lines_per_sec;
+  std::string json = util::format(
+      "{\"bench\":\"perf_tagging\",\"layer\":\"tagging\",\"workload\":\"%s\","
+      "\"lines\":%zu,\"tagged\":%zu,\"levels\":[",
+      workload, c.lines.size(), rows[0].hits);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const double speedup =
+        scalar_lps > 0 ? row.lines_per_sec / scalar_lps : 1.0;
+    std::cout << util::format("  %-7s  %10.0f lines/sec  (%.2fx scalar)\n",
+                              simd::level_name(row.level), row.lines_per_sec,
+                              speedup);
+    json += util::format(
+        "%s{\"level\":\"%s\",\"lines_per_sec\":%.1f,"
+        "\"speedup_vs_scalar\":%.3f}",
+        i == 0 ? "" : ",", simd::level_name(row.level), row.lines_per_sec,
+        speedup);
+  }
+  json += "]}";
+  std::ofstream os("BENCH_simd.json", std::ios::app);
+  if (os) os << json << "\n";
+  std::cout << "(appended to BENCH_simd.json)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,6 +288,8 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   emit_tagging_ablation("bgl mixed cap=2000 chatter=30000", mixed_corpus());
   emit_tagging_ablation("bgl miss-path (untagged lines only)", miss_corpus());
+  emit_simd_ablation("bgl miss-path (untagged lines only)", miss_corpus());
+  emit_simd_ablation("bgl mixed cap=2000 chatter=30000", mixed_corpus());
   // Attach the obs registry snapshot (wss_tag_* totals across every
   // ablation pass) as a machine-readable sibling of BENCH_tagging.json.
   obs::write_metrics_file("BENCH_tagging_metrics.json");

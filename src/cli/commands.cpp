@@ -22,9 +22,11 @@
 #include "obs/export.hpp"
 #include "obs/span.hpp"
 #include "logio/anonymize.hpp"
+#include "logio/input.hpp"
 #include "mine/templates.hpp"
 #include "logio/reader.hpp"
 #include "logio/writer.hpp"
+#include "simd/split.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/signal.hpp"
@@ -504,9 +506,9 @@ int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
-  std::string text;
+  logio::InputBuffer input;
   try {
-    text = logio::read_log_text(*in_path);
+    input = logio::InputBuffer::open(*in_path);
   } catch (const std::exception& e) {
     err << "anonymize: " << e.what() << "\n";
     return 1;
@@ -516,13 +518,11 @@ int cmd_anonymize(const Args& args, std::ostream& out, std::ostream& err) {
     err << "anonymize: cannot open " << *out_path << "\n";
     return 1;
   }
-  std::istringstream in(text);
-  std::string line;
   std::size_t lines = 0;
-  while (std::getline(in, line)) {
+  simd::for_each_line(input.view(), [&](std::string_view line) {
     os << anon.anonymize(line) << '\n';
     ++lines;
-  }
+  });
   out << util::format("anonymized %zu lines -> %s\n", lines,
                       out_path->c_str());
   return write_metrics(metrics, "anonymize", err);
@@ -584,24 +584,22 @@ int cmd_mine(const Args& args, std::ostream& out, std::ostream& err) {
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
 
-  std::string text;
+  logio::InputBuffer input;
   try {
-    text = logio::read_log_text(*in_path);
+    input = logio::InputBuffer::open(*in_path);
   } catch (const std::exception& e) {
     err << "mine: " << e.what() << "\n";
     return 1;
   }
   mine::TemplateMiner miner(opts);
-  std::istringstream pass1(text);
-  std::string line;
   std::size_t lines = 0;
-  while (std::getline(pass1, line)) {
+  simd::for_each_line(input.view(), [&](std::string_view line) {
     miner.learn(line);
     ++lines;
-  }
+  });
   miner.freeze();
-  std::istringstream pass2(text);
-  while (std::getline(pass2, line)) miner.digest(line);
+  simd::for_each_line(input.view(),
+                      [&](std::string_view line) { miner.digest(line); });
 
   const auto templates = miner.templates();
   out << util::format("%zu lines -> %zu templates (support >= %zu)\n", lines,
@@ -771,21 +769,24 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
       producer.join();
     } else {
       // File source: line-delimited log, optionally stdin ("-").
-      std::string text;
-      if (*in_path == "-") {
-        std::ostringstream buf;
-        buf << std::cin.rdbuf();
-        text = buf.str();
-      } else {
-        text = logio::read_log_text(*in_path);
-      }
-      producer = std::thread([&ring, &resume, text = std::move(text)] {
-        std::istringstream is(text);
-        std::string line;
+      // InputBuffer mmaps plain files (zero-copy; WSS_MMAP=0 forces
+      // the read() path) and drains pipes via read().
+      logio::InputBuffer input = *in_path == "-"
+                                     ? logio::InputBuffer::from_fd(0)
+                                     : logio::InputBuffer::open(*in_path);
+      producer = std::thread([&ring, &resume, input = std::move(input)] {
+        const std::string_view text = input.view();
+        const char* p = text.data();
+        const char* const end = p + text.size();
         std::uint64_t index = 0;
-        while (std::getline(is, line)) {
+        // Manual split (not for_each_line) so a closed ring can stop
+        // the scan early; getline semantics otherwise.
+        while (p != end) {
+          const char* nl = simd::find_byte(p, end, '\n');
+          const std::string_view line(p, static_cast<std::size_t>(nl - p));
+          p = nl == end ? end : nl + 1;
           if (index++ < resume) continue;  // checkpoint resume skip
-          if (!ring.push({index - 1, sim::SimEvent{}, std::move(line)})) {
+          if (!ring.push({index - 1, sim::SimEvent{}, std::string(line)})) {
             break;
           }
         }

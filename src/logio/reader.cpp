@@ -1,9 +1,8 @@
 #include "logio/reader.hpp"
 
-#include <sstream>
-
-#include "logio/writer.hpp"
+#include "logio/input.hpp"
 #include "parse/dispatch.hpp"
+#include "simd/split.hpp"
 #include "util/time.hpp"
 
 namespace wss::logio {
@@ -24,13 +23,18 @@ int YearTracker::on_month(int month) {
 ReadStats read_log(const std::filesystem::path& path, parse::SystemId system,
                    int start_year,
                    const std::function<void(const parse::LogRecord&)>& fn) {
-  const std::string text = read_log_text(path);
+  // Zero-copy batch path: mmap (or read-fallback) the whole input and
+  // split lines with the vectorized scanner; views point into the
+  // buffer, and one record + scratch are reused for every line so the
+  // steady-state loop performs no heap allocation
+  // (tests/test_tag_alloc.cpp).
+  const InputBuffer input = InputBuffer::open(path);
   ReadStats stats;
   YearTracker years(start_year);
+  parse::LogRecord rec;
+  parse::ParseScratch scratch;
 
-  std::istringstream in(text);
-  std::string line;
-  while (std::getline(in, line)) {
+  simd::for_each_line(input.view(), [&](std::string_view line) {
     ++stats.lines;
     // Peek the month from the stamp to drive year inference. BG/L and
     // event-router stamps carry the year themselves; parse_month
@@ -39,11 +43,11 @@ ReadStats read_log(const std::filesystem::path& path, parse::SystemId system,
     if (line.size() >= 3) month = util::parse_month_abbrev(line.substr(0, 3));
     const int year = month > 0 ? years.on_month(month) : years.year();
 
-    const parse::LogRecord rec = parse::parse_line(system, line, year);
+    parse::parse_line_into(system, line, year, rec, scratch);
     if (rec.source_corrupted) ++stats.corrupted_sources;
     if (!rec.timestamp_valid) ++stats.invalid_timestamps;
     fn(rec);
-  }
+  });
   stats.year_rollovers = years.rollovers();
   return stats;
 }

@@ -173,11 +173,14 @@ LiteralScanner::LiteralScanner(std::vector<std::string> literals)
           (static_cast<std::uint32_t>(b0) << 8) |
           static_cast<unsigned char>(lit[1]);
       pair_start_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      simd::pair_tables_add_pair(pair_tables_, b0,
+                                 static_cast<unsigned char>(lit[1]));
     } else {
       for (std::uint32_t b1 = 0; b1 < 256; ++b1) {
         const std::uint32_t idx = (static_cast<std::uint32_t>(b0) << 8) | b1;
         pair_start_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
       }
+      simd::pair_tables_add_single(pair_tables_, b0);
     }
   }
 }
@@ -188,30 +191,25 @@ void LiteralScanner::scan(std::string_view text, std::uint64_t* found) const {
   const std::size_t n = text.size();
   const std::uint16_t* trans = trans_.data();
   const std::uint64_t* pair_start = pair_start_.data();
+  const simd::Level level = simd::active_level();
   std::uint32_t s = 0;
   std::size_t p = 0;
   while (p < n) {
     if (s == 0) {
       // Root fast path: no literal can start at position p unless
-      // pair_start_ has the bit for (d[p], d[p+1]), so skip every
-      // position whose bit is clear. State 0 carries no active
-      // prefix, so no occurrence can span a skipped position. The
-      // bitmap tests are independent across positions (unlike the
-      // automaton's dependent state chain), so the 4-wide unroll
-      // runs at full ILP.
-      const auto can_start = [&](std::size_t at) {
-        const std::uint32_t idx =
-            (static_cast<std::uint32_t>(d[at]) << 8) | d[at + 1];
-        return (pair_start[idx >> 6] >> (idx & 63)) & 1;
-      };
-      while (p + 5 <= n) {
-        if (can_start(p) | can_start(p + 1) | can_start(p + 2) |
-            can_start(p + 3)) {
-          break;
-        }
-        p += 4;
-      }
-      while (p + 1 < n && !can_start(p)) ++p;
+      // pair_start_ has the bit for (d[p], d[p+1]), so skip straight
+      // to the first position whose bit is set. State 0 carries no
+      // active prefix, so no occurrence can span a skipped position.
+      // pair_find prunes via the bucketed nibble approximation at the
+      // vector levels and re-checks this exact bitmap on every
+      // candidate, so every level stops at the same position.
+      p = static_cast<std::size_t>(
+          simd::pair_find(level, reinterpret_cast<const char*>(d + p),
+                          reinterpret_cast<const char*>(d + n), pair_tables_,
+                          pair_start) -
+          reinterpret_cast<const char*>(d));
+      // pair_find never inspects the final byte (it has no pair);
+      // consume it here when it cannot leave the root.
       if (p + 1 == n && root_stay_[d[p]]) ++p;
       if (p == n) break;
     }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "match/scratch.hpp"
+#include "simd/scan.hpp"
 
 namespace wss::match {
 
@@ -75,6 +76,12 @@ class LiteralScanner {
   /// (the exact two-byte prefixes of length >= 2 literals, plus every
   /// pair whose b0 is a one-byte literal). 1024 words = 8 KiB.
   std::vector<std::uint64_t> pair_start_;
+  /// Bucketed nibble-table approximation of the same prefix model,
+  /// probed by the vectorized root skip (simd::pair_find) 16-32
+  /// positions at a time; candidates it yields are re-checked against
+  /// pair_start_ inside pair_find, so the skip stops at the same
+  /// position as the scalar twin at every level.
+  simd::PairTables pair_tables_;
   std::uint32_t num_classes_ = 0;
   std::uint32_t shift_ = 0;    ///< log2 of the padded row stride
   std::uint32_t out_min_ = 0;  ///< first accepting state id

@@ -1,97 +1,146 @@
 #include "net/framing.hpp"
 
+#include <algorithm>
+#include <cstring>
+
+#include "simd/scan.hpp"
+
 namespace wss::net {
 
-namespace {
-
-std::uint32_t read_be32(const char* p) {
-  const auto b = [p](int i) {
-    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
-  };
-  return (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+void FrameDecoder::ensure(std::size_t need) {
+  const std::size_t cap = ring_.size();
+  if (need <= cap) return;
+  std::size_t ncap = cap != 0 ? cap : 4096;
+  while (ncap < need) ncap <<= 1;
+  std::vector<char> nring(ncap);
+  if (size_ > 0) {
+    // Linearize the live bytes at the front of the new ring.
+    const std::size_t first = std::min(size_, cap - head_);
+    std::memcpy(nring.data(), ring_.data() + head_, first);
+    std::memcpy(nring.data() + first, ring_.data(), size_ - first);
+  }
+  ring_ = std::move(nring);
+  head_ = 0;
 }
 
-}  // namespace
+void FrameDecoder::feed(std::string_view bytes) {
+  if (bytes.empty()) return;
+  ensure(size_ + bytes.size());
+  const std::size_t mask = ring_.size() - 1;
+  const std::size_t tail = (head_ + size_) & mask;
+  const std::size_t first = std::min(bytes.size(), ring_.size() - tail);
+  std::memcpy(ring_.data() + tail, bytes.data(), first);
+  std::memcpy(ring_.data(), bytes.data() + first, bytes.size() - first);
+  size_ += bytes.size();
+}
 
-void FrameDecoder::compact() {
-  // Reclaim the consumed prefix once it dominates the buffer; amortized
-  // O(1) per byte, keeps buffered() == live bytes between calls.
-  if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
-    buf_.erase(0, pos_);
-    pos_ = 0;
+void FrameDecoder::consume(std::size_t n) {
+  head_ = (head_ + n) & (ring_.size() - 1);
+  size_ -= n;
+}
+
+void FrameDecoder::clear_bytes() {
+  head_ = 0;
+  size_ = 0;
+  scanned_ = 0;
+}
+
+std::size_t FrameDecoder::find_newline() {
+  // Resume where the last search stopped: bytes [0, scanned_) hold no
+  // '\n', so a line delivered in thousands of 1-byte segments is still
+  // scanned O(length) total, not O(length^2).
+  const std::size_t cap = ring_.size();
+  std::size_t off = scanned_;
+  while (off < size_) {
+    const std::size_t idx = (head_ + off) & (cap - 1);
+    const std::size_t chunk = std::min(size_ - off, cap - idx);
+    const char* base = ring_.data() + idx;
+    const char* hit = simd::find_byte(base, base + chunk, '\n');
+    if (hit != base + chunk) return off + static_cast<std::size_t>(hit - base);
+    off += chunk;
   }
+  scanned_ = size_;
+  return kNpos;
+}
+
+void FrameDecoder::copy_out(std::string& frame, std::size_t offset,
+                            std::size_t len) const {
+  if (len == 0) {
+    frame.clear();
+    return;
+  }
+  const std::size_t cap = ring_.size();
+  const std::size_t idx = (head_ + offset) & (cap - 1);
+  const std::size_t first = std::min(len, cap - idx);
+  frame.assign(ring_.data() + idx, first);
+  frame.append(ring_.data(), len - first);
 }
 
 bool FrameDecoder::next(std::string& frame) {
   if (error_) return false;
   if (mode_ == Framing::kNewline) {
     for (;;) {
-      const auto nl = buf_.find('\n', pos_);
-      if (nl == std::string::npos) {
+      const std::size_t nl = find_newline();
+      if (nl == kNpos) {
         // No terminator buffered. If the partial already exceeds the
         // cap, switch to discard mode and drop what we hold -- the
         // frame is oversized no matter what follows.
-        if (!discarding_ && buf_.size() - pos_ > max_frame_) {
+        if (!discarding_ && size_ > max_frame_) {
           discarding_ = true;
           ++oversized_;
         }
-        if (discarding_) {
-          buf_.clear();
-          pos_ = 0;
-        }
-        compact();
+        if (discarding_) clear_bytes();
         return false;
       }
       if (discarding_) {
         // The terminator of the oversized line: resume at the next one.
-        pos_ = nl + 1;
+        consume(nl + 1);
+        scanned_ = 0;
         discarding_ = false;
         continue;
       }
-      std::size_t len = nl - pos_;
+      std::size_t len = nl;
       if (len > max_frame_) {
         ++oversized_;
-        pos_ = nl + 1;
+        consume(nl + 1);
+        scanned_ = 0;
         continue;
       }
-      if (len > 0 && buf_[pos_ + len - 1] == '\r') --len;
-      frame.assign(buf_, pos_, len);
-      pos_ = nl + 1;
-      compact();
+      if (len > 0 && byte_at(len - 1) == '\r') --len;
+      copy_out(frame, 0, len);
+      consume(nl + 1);
+      scanned_ = 0;
       return true;
     }
   }
 
-  // kLenPrefix.
-  if (buf_.size() - pos_ < 4) {
-    compact();
-    return false;
-  }
-  const std::uint32_t len = read_be32(buf_.data() + pos_);
+  // kLenPrefix. byte_at assembles the header wrap-aware: the 4 bytes
+  // may straddle the ring's wrap point when the previous frame ended
+  // near the top.
+  if (size_ < 4) return false;
+  const std::uint32_t len = (static_cast<std::uint32_t>(byte_at(0)) << 24) |
+                            (static_cast<std::uint32_t>(byte_at(1)) << 16) |
+                            (static_cast<std::uint32_t>(byte_at(2)) << 8) |
+                            static_cast<std::uint32_t>(byte_at(3));
   if (len > max_frame_) {
     // The announced frame cannot be honored and skipping it wholesale
     // would still mean buffering `len` bytes we refuse to hold; the
     // stream position is unrecoverable.
     ++oversized_;
     error_ = true;
-    buf_.clear();
-    pos_ = 0;
+    clear_bytes();
     return false;
   }
-  if (buf_.size() - pos_ - 4 < len) {
-    compact();
-    return false;
-  }
-  frame.assign(buf_, pos_ + 4, len);
-  pos_ += 4 + len;
-  compact();
+  if (size_ - 4 < len) return false;
+  copy_out(frame, 4, len);
+  consume(4 + len);
   return true;
 }
 
 std::string FrameDecoder::take_rest() {
-  std::string rest = buf_.substr(pos_);
-  buf_.clear();
-  pos_ = 0;
+  std::string rest;
+  copy_out(rest, 0, size_);
+  clear_bytes();
   discarding_ = false;
   return rest;
 }
@@ -100,23 +149,21 @@ bool FrameDecoder::finish(std::string& frame) {
   if (mode_ != Framing::kNewline || error_) return false;
   if (discarding_) {
     discarding_ = false;
-    buf_.clear();
-    pos_ = 0;
+    clear_bytes();
     return false;
   }
-  if (buf_.size() == pos_) return false;
-  std::size_t len = buf_.size() - pos_;
+  if (size_ == 0) return false;
+  std::size_t len = size_;
   if (len > max_frame_) {
     ++oversized_;
-    buf_.clear();
-    pos_ = 0;
+    clear_bytes();
     return false;
   }
-  if (buf_[pos_ + len - 1] == '\r') --len;
-  frame.assign(buf_, pos_, len);
-  buf_.clear();
-  pos_ = 0;
-  return !frame.empty() || len > 0;
+  if (byte_at(len - 1) == '\r') --len;
+  copy_out(frame, 0, len);
+  clear_bytes();
+  // A tail of exactly "\r" strips to nothing: cleared, not delivered.
+  return len > 0;
 }
 
 }  // namespace wss::net

@@ -14,6 +14,15 @@
 // false -- so partial frames (a segment ending mid-line) and coalesced
 // frames (many lines in one segment) both fall out of the same loop.
 //
+// Storage is a growable power-of-two ring: feed() never shifts bytes,
+// the newline search runs the vectorized simd::find_byte over the (at
+// most two) contiguous segments and remembers how far it has scanned,
+// so a line arriving in many small segments is scanned once, not
+// re-scanned per segment. A length-prefix header whose 4 bytes
+// straddle the ring's wrap point is assembled byte-by-byte and decodes
+// identically to a contiguous header (regression-tested in
+// tests/test_net_framing.cpp).
+//
 // Oversized frames are NEVER silently truncated or dropped: a newline
 // frame longer than max_frame enters discard mode until its
 // terminator, a length prefix larger than max_frame is a protocol
@@ -26,6 +35,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace wss::net {
 
@@ -40,8 +50,8 @@ class FrameDecoder {
                         std::size_t max_frame = 1 << 20)
       : mode_(mode), max_frame_(max_frame) {}
 
-  /// Appends a received segment to the decode buffer.
-  void feed(std::string_view bytes) { buf_.append(bytes); }
+  /// Appends a received segment to the decode ring.
+  void feed(std::string_view bytes);
 
   /// Extracts the next complete frame into `frame` (overwritten).
   /// Returns false when no complete frame remains buffered. After a
@@ -62,7 +72,7 @@ class FrameDecoder {
   bool error() const { return error_; }
 
   /// Bytes currently buffered (tests; also a memory bound check).
-  std::size_t buffered() const { return buf_.size() - pos_; }
+  std::size_t buffered() const { return size_; }
 
   /// Removes and returns all undecoded bytes, leaving the decoder
   /// empty. Used when a handshake switches a connection's framing: the
@@ -73,12 +83,27 @@ class FrameDecoder {
   Framing mode() const { return mode_; }
 
  private:
-  void compact();
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Live byte at logical offset `i` (wrap-aware; the length-prefix
+  /// header reader).
+  unsigned char byte_at(std::size_t i) const {
+    return static_cast<unsigned char>(
+        ring_[(head_ + i) & (ring_.size() - 1)]);
+  }
+
+  void ensure(std::size_t need);
+  void consume(std::size_t n);
+  void clear_bytes();
+  std::size_t find_newline();
+  void copy_out(std::string& frame, std::size_t offset, std::size_t len) const;
 
   Framing mode_;
   std::size_t max_frame_;
-  std::string buf_;
-  std::size_t pos_ = 0;       ///< consumed prefix of buf_
+  std::vector<char> ring_;    ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;      ///< ring index of the first live byte
+  std::size_t size_ = 0;      ///< live bytes
+  std::size_t scanned_ = 0;   ///< newline mode: prefix known '\n'-free
   bool discarding_ = false;   ///< newline mode: inside an oversized line
   std::uint64_t oversized_ = 0;
   bool error_ = false;

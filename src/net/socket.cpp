@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -141,10 +142,31 @@ IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t& got) {
   }
 }
 
+namespace {
+
+// WSS_NET_WRITE_BYTES=N caps each send() to N bytes. A test/CI knob
+// (the alignment-stress job): forcing 1-byte writes makes every
+// receiver-side frame boundary straddle a recv, exercising the frame
+// decoder's partial-header and ring-wrap paths under real sockets.
+std::size_t max_write_chunk() {
+  static const std::size_t chunk = [] {
+    const char* env = std::getenv("WSS_NET_WRITE_BYTES");
+    if (env == nullptr || *env == '\0') return std::size_t{0};
+    const long v = std::atol(env);
+    return v > 0 ? static_cast<std::size_t>(v) : std::size_t{0};
+  }();
+  return chunk;
+}
+
+}  // namespace
+
 void write_all(int fd, const char* data, std::size_t len) {
+  const std::size_t cap = max_write_chunk();
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    std::size_t want = len - off;
+    if (cap != 0 && want > cap) want = cap;
+    const ssize_t n = ::send(fd, data + off, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_errno("net: send");

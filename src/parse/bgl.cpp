@@ -18,17 +18,19 @@ bool plausible_bgl_location(std::string_view s) {
   return s.find('-') != std::string_view::npos;
 }
 
-LogRecord parse_bgl_line(std::string_view line) {
-  LogRecord rec;
+void parse_bgl_line_into(std::string_view line, LogRecord& rec,
+                         ParseScratch& scratch) {
+  rec.reset();
   rec.system = SystemId::kBlueGeneL;
-  rec.raw = std::string(line);
+  rec.raw.assign(line);
 
-  const auto fields = util::split_fields(line);
+  util::split_fields(line, scratch.fields);
+  const auto& fields = scratch.fields;
   // epoch date loc timestamp loc RAS FACILITY SEVERITY body...
   if (fields.size() < 9) {
     rec.source_corrupted = true;
-    rec.body = std::string(util::trim(line));
-    return rec;
+    rec.body.assign(util::trim(line));
+    return;
   }
 
   if (const auto t = parse_bgl_timestamp(fields[3])) {
@@ -41,12 +43,12 @@ LogRecord parse_bgl_line(std::string_view line) {
   }
 
   if (plausible_bgl_location(fields[2])) {
-    rec.source = std::string(fields[2]);
+    rec.source.assign(fields[2]);
   } else {
     rec.source_corrupted = true;
   }
 
-  rec.program = std::string(fields[6]);  // FACILITY (KERNEL, APP, ...)
+  rec.program.assign(fields[6]);  // FACILITY (KERNEL, APP, ...)
   if (const auto sev = parse_severity(fields[7])) {
     rec.severity = *sev;
   }
@@ -54,7 +56,13 @@ LogRecord parse_bgl_line(std::string_view line) {
   // Body: everything after the severity token.
   const char* body_start = fields[7].data() + fields[7].size();
   const auto offset = static_cast<std::size_t>(body_start - line.data());
-  rec.body = std::string(util::trim(line.substr(offset)));
+  rec.body.assign(util::trim(line.substr(offset)));
+}
+
+LogRecord parse_bgl_line(std::string_view line) {
+  LogRecord rec;
+  ParseScratch scratch;
+  parse_bgl_line_into(line, rec, scratch);
   return rec;
 }
 

@@ -17,12 +17,17 @@
 
 #include <string_view>
 
+#include "parse/dispatch.hpp"
 #include "parse/record.hpp"
 
 namespace wss::parse {
 
 /// Parses one BG/L RAS line; never throws. `raw` is always preserved.
 LogRecord parse_bgl_line(std::string_view line);
+
+/// Capacity-reusing form (see parse_line_into).
+void parse_bgl_line_into(std::string_view line, LogRecord& rec,
+                         ParseScratch& scratch);
 
 /// True if `s` looks like a BG/L location code (e.g. "R02-M1-N0-C:J12-U11"
 /// or "R63-M0-NF"). Used to flag corrupted source fields.

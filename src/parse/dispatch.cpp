@@ -6,21 +6,31 @@
 
 namespace wss::parse {
 
-LogRecord parse_line(SystemId system, std::string_view line, int base_year) {
+void parse_line_into(SystemId system, std::string_view line, int base_year,
+                     LogRecord& rec, ParseScratch& scratch) {
   switch (system) {
     case SystemId::kBlueGeneL:
-      return parse_bgl_line(line);
+      parse_bgl_line_into(line, rec, scratch);
+      return;
     case SystemId::kRedStorm:
-      return parse_redstorm_line(line, base_year);
+      parse_redstorm_line_into(line, base_year, rec, scratch);
+      return;
     case SystemId::kThunderbird:
     case SystemId::kSpirit:
     case SystemId::kLiberty:
-      return parse_syslog_line(system, line, base_year);
+      parse_syslog_line_into(system, line, base_year, rec, scratch);
+      return;
   }
-  LogRecord rec;
+  rec.reset();
   rec.system = system;
-  rec.raw = std::string(line);
+  rec.raw.assign(line);
   rec.source_corrupted = true;
+}
+
+LogRecord parse_line(SystemId system, std::string_view line, int base_year) {
+  LogRecord rec;
+  ParseScratch scratch;
+  parse_line_into(system, line, base_year, rec, scratch);
   return rec;
 }
 

@@ -1,16 +1,34 @@
 // Per-system parser dispatch.
 #pragma once
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "parse/record.hpp"
 
 namespace wss::parse {
+
+/// Reusable scratch for the zero-allocation parse path: the field
+/// vector and a staging string the Red Storm re-parse needs. One per
+/// reader/thread, like match::MatchScratch; warm after the first few
+/// lines, then no parser allocates on any path (pinned by
+/// tests/test_tag_alloc.cpp).
+struct ParseScratch {
+  std::vector<std::string_view> fields;
+  std::string tmp;
+};
 
 /// Parses one line with the parser appropriate to `system`.
 /// `base_year` supplies the year for syslog stamps (which lack one);
 /// callers that iterate multi-year logs adjust it at year boundaries.
 /// Never throws on malformed input; quality is in the record's flags.
 LogRecord parse_line(SystemId system, std::string_view line, int base_year);
+
+/// Same result, written into `rec` (capacity-reusing: rec.reset() +
+/// assign, never fresh strings). The hot-path form under
+/// logio::read_log and the stream pipeline.
+void parse_line_into(SystemId system, std::string_view line, int base_year,
+                     LogRecord& rec, ParseScratch& scratch);
 
 }  // namespace wss::parse

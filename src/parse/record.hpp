@@ -77,6 +77,20 @@ struct LogRecord {
 
   bool timestamp_valid = false;   ///< time could be parsed
   bool source_corrupted = false;  ///< source field garbled / missing
+
+  /// Returns the record to its default state while KEEPING the string
+  /// capacities, so the reusing caller (parse_line_into) allocates
+  /// nothing once the strings have grown to the corpus's line sizes.
+  void reset() {
+    time = 0;
+    severity = Severity::kNone;
+    source.clear();
+    program.clear();
+    body.clear();
+    raw.clear();
+    timestamp_valid = false;
+    source_corrupted = false;
+  }
 };
 
 }  // namespace wss::parse

@@ -9,26 +9,29 @@ namespace wss::parse {
 namespace {
 
 /// Parses the RAS event-router shape; returns false if `line` is not
-/// that shape (caller falls back to syslog).
-bool parse_event_router(std::string_view line, LogRecord& rec) {
+/// that shape (caller falls back to syslog). Expects a freshly reset
+/// `rec` with raw already assigned.
+bool parse_event_router(std::string_view line, LogRecord& rec,
+                        ParseScratch& scratch) {
   if (line.size() < 20) return false;
   const auto t = parse_iso_timestamp(line.substr(0, 19));
   if (!t) return false;
   rec.time = *t;
   rec.timestamp_valid = true;
 
-  const auto fields = util::split_fields(line.substr(19));
+  util::split_fields(line.substr(19), scratch.fields);
+  const auto& fields = scratch.fields;
   if (fields.empty()) {
     rec.source_corrupted = true;
     return true;
   }
-  rec.program = std::string(fields[0]);  // event class, e.g. ec_heartbeat_stop
+  rec.program.assign(fields[0]);  // event class, e.g. ec_heartbeat_stop
   bool have_src = false;
   for (const auto f : fields) {
     if (util::starts_with(f, "src:::")) {
       const std::string_view node = f.substr(6);
       if (plausible_redstorm_node(node)) {
-        rec.source = std::string(node);
+        rec.source.assign(node);
         have_src = true;
       }
       break;
@@ -39,7 +42,7 @@ bool parse_event_router(std::string_view line, LogRecord& rec) {
   // Body: everything after the event-class token.
   const char* body_start = fields[0].data() + fields[0].size();
   const auto offset = static_cast<std::size_t>(body_start - line.data());
-  rec.body = std::string(util::trim(line.substr(offset)));
+  rec.body.assign(util::trim(line.substr(offset)));
   return true;
 }
 
@@ -57,47 +60,56 @@ bool plausible_redstorm_node(std::string_view s) {
   return (s[0] >= 'a' && s[0] <= 'z');
 }
 
-LogRecord parse_redstorm_line(std::string_view line, int base_year) {
-  LogRecord rec;
+void parse_redstorm_line_into(std::string_view line, int base_year,
+                              LogRecord& rec, ParseScratch& scratch) {
+  rec.reset();
   rec.system = SystemId::kRedStorm;
-  rec.raw = std::string(line);
-  if (parse_event_router(line, rec)) return rec;
+  rec.raw.assign(line);
+  if (parse_event_router(line, rec, scratch)) return;
 
   // syslog-with-priority: after host there may be a "facility.severity"
   // token; split it off and reuse the base syslog parser.
-  rec = parse_syslog_line(SystemId::kRedStorm, line, base_year);
+  parse_syslog_line_into(SystemId::kRedStorm, line, base_year, rec, scratch);
   // The base parser left "kern.crit kernel: body" as the unparsed
   // remainder if the priority token blocked the program detection; the
   // priority token ends up at the front of the body. Pull it out.
-  const auto fields = util::split_fields(rec.body);
-  if (!fields.empty()) {
-    const std::string_view tok = fields[0];
+  util::split_fields(rec.body, scratch.fields);
+  if (!scratch.fields.empty()) {
+    const std::string_view tok = scratch.fields[0];
     const std::size_t dot = tok.find('.');
     if (dot != std::string_view::npos && dot > 0 && dot + 1 < tok.size() &&
         tok.find(':') == std::string_view::npos) {
       if (const auto sev = parse_severity(tok.substr(dot + 1))) {
         rec.severity = *sev;
-        // Re-parse the remainder for program/body.
+        // Re-parse the remainder for program/body. The remainder
+        // aliases rec.body, so stage it in scratch.tmp before the
+        // assignments below overwrite the storage it views.
         const char* after = tok.data() + tok.size();
         const auto offset = static_cast<std::size_t>(after - rec.body.data());
-        std::string rest(util::trim(
-            std::string_view(rec.body).substr(offset)));
+        scratch.tmp.assign(
+            util::trim(std::string_view(rec.body).substr(offset)));
+        const std::string_view rest = scratch.tmp;
         const std::size_t colon = rest.find(": ");
-        if (colon != std::string::npos &&
-            rest.substr(0, colon).find(' ') == std::string::npos) {
-          std::string prog = rest.substr(0, colon);
+        if (colon != std::string_view::npos &&
+            rest.substr(0, colon).find(' ') == std::string_view::npos) {
+          std::string_view prog = rest.substr(0, colon);
           const std::size_t bracket = prog.find('[');
-          if (bracket != std::string::npos) prog.resize(bracket);
-          rec.program = prog;
-          rec.body = std::string(
-              util::trim(std::string_view(rest).substr(colon + 2)));
+          if (bracket != std::string_view::npos) prog = prog.substr(0, bracket);
+          rec.program.assign(prog);
+          rec.body.assign(util::trim(rest.substr(colon + 2)));
         } else {
           rec.program.clear();
-          rec.body = rest;
+          rec.body.assign(rest);
         }
       }
     }
   }
+}
+
+LogRecord parse_redstorm_line(std::string_view line, int base_year) {
+  LogRecord rec;
+  ParseScratch scratch;
+  parse_redstorm_line_into(line, base_year, rec, scratch);
   return rec;
 }
 

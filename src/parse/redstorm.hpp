@@ -16,12 +16,17 @@
 
 #include <string_view>
 
+#include "parse/dispatch.hpp"
 #include "parse/record.hpp"
 
 namespace wss::parse {
 
 /// Parses one Red Storm line, auto-detecting the path by shape.
 LogRecord parse_redstorm_line(std::string_view line, int base_year);
+
+/// Capacity-reusing form (see parse_line_into).
+void parse_redstorm_line_into(std::string_view line, int base_year,
+                              LogRecord& rec, ParseScratch& scratch);
 
 /// True if `s` looks like a Cray XT node name ("c12-3c1s4n0") or an
 /// administrative host.

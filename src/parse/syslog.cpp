@@ -23,11 +23,12 @@ bool plausible_hostname(std::string_view s) {
   return true;
 }
 
-LogRecord parse_syslog_line(SystemId system, std::string_view line,
-                            int base_year) {
-  LogRecord rec;
+void parse_syslog_line_into(SystemId system, std::string_view line,
+                            int base_year, LogRecord& rec,
+                            ParseScratch& scratch) {
+  rec.reset();
   rec.system = system;
-  rec.raw = std::string(line);
+  rec.raw.assign(line);
 
   // Timestamp: fixed-width first 15 bytes.
   std::string_view rest = line;
@@ -43,9 +44,9 @@ LogRecord parse_syslog_line(SystemId system, std::string_view line,
   if (!rec.timestamp_valid) {
     // Corrupted stamp: resync on the first space-delimited boundary
     // after three tokens (Mon, dd, time) so we can still attribute.
-    const auto fields = util::split_fields(line);
-    if (fields.size() >= 4) {
-      const char* after = fields[2].data() + fields[2].size();
+    util::split_fields(line, scratch.fields);
+    if (scratch.fields.size() >= 4) {
+      const char* after = scratch.fields[2].data() + scratch.fields[2].size();
       rest = line.substr(static_cast<std::size_t>(after - line.data()));
     } else {
       rest = {};
@@ -58,7 +59,7 @@ LogRecord parse_syslog_line(SystemId system, std::string_view line,
   const std::string_view host =
       host_end == std::string_view::npos ? rest : rest.substr(0, host_end);
   if (plausible_hostname(host)) {
-    rec.source = std::string(host);
+    rec.source.assign(host);
   } else {
     rec.source_corrupted = true;
   }
@@ -72,19 +73,26 @@ LogRecord parse_syslog_line(SystemId system, std::string_view line,
   if (colon != std::string_view::npos && colon > 0 &&
       rest.substr(0, colon).find(' ') == std::string_view::npos) {
     tag = rest.substr(0, colon);
-    rec.body = std::string(util::trim(rest.substr(colon + 2)));
+    rec.body.assign(util::trim(rest.substr(colon + 2)));
   } else if (!rest.empty() && rest.back() == ':' &&
              rest.find(' ') == std::string_view::npos) {
     tag = rest.substr(0, rest.size() - 1);
   } else {
-    rec.body = std::string(util::trim(rest));
+    rec.body.assign(util::trim(rest));
   }
   if (!tag.empty()) {
     const std::size_t bracket = tag.find('[');
-    rec.program = std::string(bracket == std::string_view::npos
-                                  ? tag
-                                  : tag.substr(0, bracket));
+    rec.program.assign(bracket == std::string_view::npos
+                           ? tag
+                           : tag.substr(0, bracket));
   }
+}
+
+LogRecord parse_syslog_line(SystemId system, std::string_view line,
+                            int base_year) {
+  LogRecord rec;
+  ParseScratch scratch;
+  parse_syslog_line_into(system, line, base_year, rec, scratch);
   return rec;
 }
 

@@ -12,6 +12,7 @@
 
 #include <string_view>
 
+#include "parse/dispatch.hpp"
 #include "parse/record.hpp"
 
 namespace wss::parse {
@@ -20,6 +21,11 @@ namespace wss::parse {
 /// lacks. The returned record always carries `raw` = `line`.
 LogRecord parse_syslog_line(SystemId system, std::string_view line,
                             int base_year);
+
+/// Capacity-reusing form (see parse_line_into).
+void parse_syslog_line_into(SystemId system, std::string_view line,
+                            int base_year, LogRecord& rec,
+                            ParseScratch& scratch);
 
 /// True if `s` looks like a legitimate hostname: nonempty, starts with
 /// an alphanumeric, and contains only [A-Za-z0-9._-]. The corrupted-

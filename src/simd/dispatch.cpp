@@ -1,0 +1,127 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wss::simd {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::optional<Level> parse_level(std::string_view name) {
+  const auto eq = [&](std::string_view want) {
+    if (name.size() != want.size()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i] >= 'A' && name[i] <= 'Z'
+                         ? static_cast<char>(name[i] - 'A' + 'a')
+                         : name[i];
+      if (c != want[i]) return false;
+    }
+    return true;
+  };
+  if (eq("scalar")) return Level::kScalar;
+  if (eq("sse2")) return Level::kSse2;
+  if (eq("avx2")) return Level::kAvx2;
+  if (eq("neon")) return Level::kNeon;
+  return std::nullopt;
+}
+
+bool level_supported(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      // The 128-bit kernels use SSE2 loads/compares plus SSSE3 pshufb
+      // for the nibble tables; pre-SSSE3 x86-64 (last shipped ~2005)
+      // runs scalar.
+      return __builtin_cpu_supports("ssse3") != 0;
+#else
+      return false;
+#endif
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Level::kNeon:
+#if defined(__aarch64__)
+      return true;  // AdvSIMD is baseline on AArch64
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Level detected_level() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (level_supported(Level::kAvx2)) return Level::kAvx2;
+  if (level_supported(Level::kSse2)) return Level::kSse2;
+  return Level::kScalar;
+#elif defined(__aarch64__)
+  return Level::kNeon;
+#else
+  return Level::kScalar;
+#endif
+}
+
+std::vector<Level> supported_levels() {
+  std::vector<Level> out;
+  for (const Level l :
+       {Level::kScalar, Level::kSse2, Level::kAvx2, Level::kNeon}) {
+    if (level_supported(l)) out.push_back(l);
+  }
+  return out;
+}
+
+namespace {
+
+Level resolve_initial_level() {
+  const char* env = std::getenv("WSS_SIMD");
+  if (env == nullptr || *env == '\0') return detected_level();
+  const auto parsed = parse_level(env);
+  if (!parsed) {
+    std::fprintf(stderr, "wss: WSS_SIMD=%s is not a level, using %s\n", env,
+                 level_name(detected_level()));
+    return detected_level();
+  }
+  if (!level_supported(*parsed)) {
+    std::fprintf(stderr, "wss: WSS_SIMD=%s unsupported on this CPU, using %s\n",
+                 env, level_name(detected_level()));
+    return detected_level();
+  }
+  return *parsed;
+}
+
+std::atomic<Level>& active_slot() {
+  static std::atomic<Level> slot{resolve_initial_level()};
+  return slot;
+}
+
+}  // namespace
+
+Level active_level() {
+  return active_slot().load(std::memory_order_relaxed);
+}
+
+bool set_level(Level level) {
+  if (!level_supported(level)) return false;
+  active_slot().store(level, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace wss::simd

@@ -1,0 +1,222 @@
+// InputBuffer fallback-path contract: whatever route the bytes take
+// -- mmap'd pages, read() into an owned buffer, a pipe, a .wsc
+// decompression -- the view is byte-identical and everything built on
+// it (read_log) behaves identically. The mmap path snapshots the size
+// at open; the read() path is the one a concurrent truncation can
+// race, so that case is tested deterministically there.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "compress/codec.hpp"
+#include "logio/input.hpp"
+#include "logio/reader.hpp"
+
+namespace wss::logio {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("wss_input_test_" + std::to_string(::getpid()));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  fs::path file(const std::string& name) const { return path_ / name; }
+
+ private:
+  fs::path path_;
+};
+
+void write_file(const fs::path& p, std::string_view content) {
+  std::ofstream os(p, std::ios::binary);
+  os.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+class MmapGuard {
+ public:
+  ~MmapGuard() { ::unsetenv("WSS_MMAP"); }
+  void disable() { ::setenv("WSS_MMAP", "0", 1); }
+};
+
+std::string sample_log() {
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "Jun  3 15:42:" + std::string(i % 60 < 10 ? "0" : "") +
+            std::to_string(i % 60) + " sn" + std::to_string(i) +
+            " kernel: event " + std::to_string(i) + "\n";
+  }
+  return text;
+}
+
+/// Digest of a full read_log pass: every record field folded in, so
+/// two passes are equal iff the record streams are byte-identical.
+std::string read_digest(const fs::path& p, ReadStats* stats_out = nullptr) {
+  std::string digest;
+  const ReadStats stats =
+      read_log(p, parse::SystemId::kThunderbird, 2005,
+               [&](const parse::LogRecord& rec) {
+                 digest += rec.source;
+                 digest += '|';
+                 digest += rec.program;
+                 digest += '|';
+                 digest += rec.body;
+                 digest += '|';
+                 digest += std::to_string(rec.time);
+                 digest += '\n';
+               });
+  if (stats_out != nullptr) *stats_out = stats;
+  return digest;
+}
+
+TEST(LogioInput, MmapAndReadPathsAreByteIdentical) {
+  const TempDir dir;
+  MmapGuard guard;
+  const std::string text = sample_log();
+  write_file(dir.file("log.txt"), text);
+
+  const InputBuffer mapped = InputBuffer::open(dir.file("log.txt"));
+  EXPECT_EQ(mapped.source(), InputBuffer::Source::kMmap);
+  EXPECT_EQ(mapped.view(), text);
+
+  guard.disable();
+  const InputBuffer readback = InputBuffer::open(dir.file("log.txt"));
+  EXPECT_EQ(readback.source(), InputBuffer::Source::kRead);
+  EXPECT_EQ(readback.view(), text);
+}
+
+TEST(LogioInput, ReadLogIdenticalUnderBothPaths) {
+  const TempDir dir;
+  MmapGuard guard;
+  write_file(dir.file("log.txt"), sample_log());
+
+  ReadStats mmap_stats;
+  const std::string mmap_digest = read_digest(dir.file("log.txt"), &mmap_stats);
+  guard.disable();
+  ReadStats read_stats;
+  const std::string read_digest_s =
+      read_digest(dir.file("log.txt"), &read_stats);
+
+  EXPECT_EQ(mmap_digest, read_digest_s);
+  EXPECT_EQ(mmap_stats.lines, read_stats.lines);
+  EXPECT_EQ(mmap_stats.lines, 500u);
+}
+
+TEST(LogioInput, EmptyFileTakesReadPathAndYieldsNothing) {
+  const TempDir dir;
+  write_file(dir.file("empty.log"), "");
+  const InputBuffer b = InputBuffer::open(dir.file("empty.log"));
+  // mmap(len=0) is invalid; the empty file must take the read() path.
+  EXPECT_EQ(b.source(), InputBuffer::Source::kRead);
+  EXPECT_TRUE(b.view().empty());
+
+  const ReadStats stats = read_log(dir.file("empty.log"),
+                                   parse::SystemId::kSpirit, 2005,
+                                   [](const parse::LogRecord&) { FAIL(); });
+  EXPECT_EQ(stats.lines, 0u);
+}
+
+TEST(LogioInput, MissingTrailingNewlineDeliversTail) {
+  const TempDir dir;
+  write_file(dir.file("tail.log"), "Jun  3 15:42:50 sn1 kernel: a\nrest");
+  std::size_t lines = 0;
+  std::string last;
+  read_log(dir.file("tail.log"), parse::SystemId::kSpirit, 2005,
+           [&](const parse::LogRecord& rec) {
+             ++lines;
+             last = rec.raw;
+           });
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(last, "rest");
+}
+
+TEST(LogioInput, PipeTakesReadPath) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = sample_log();
+  std::thread writer([&] {
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t n =
+          ::write(fds[1], payload.data() + off, payload.size() - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    ::close(fds[1]);
+  });
+  const InputBuffer b = InputBuffer::from_fd(fds[0]);
+  writer.join();
+  ::close(fds[0]);
+  EXPECT_EQ(b.source(), InputBuffer::Source::kRead);
+  EXPECT_EQ(b.view(), payload);
+}
+
+// A concurrent writer truncating the file mid-read: the read() path
+// simply sees EOF early and yields the bytes that remain -- no error,
+// no stale size. (The mmap path snapshots the size at open and never
+// re-reads, so only the read() path can observe the race; this pins
+// the deterministic equivalent: shrink between open and drain.)
+TEST(LogioInput, TruncatedWhileReadingYieldsRemainingBytes) {
+  const TempDir dir;
+  const std::string text(1 << 20, 'z');
+  write_file(dir.file("big.log"), text);
+
+  const int fd = ::open(dir.file("big.log").c_str(), O_RDONLY);
+  ASSERT_GE(fd, 0);
+  // "Concurrent writer" truncates after the reader opened the file.
+  fs::resize_file(dir.file("big.log"), 1000);
+  const InputBuffer b = InputBuffer::from_fd(fd);
+  ::close(fd);
+  EXPECT_EQ(b.view().size(), 1000u);
+  EXPECT_EQ(b.view(), std::string_view(text).substr(0, 1000));
+}
+
+TEST(LogioInput, WscFilesDecompressToIdenticalBytes) {
+  const TempDir dir;
+  const std::string text = sample_log();
+  write_file(dir.file("log.wsc"), compress::compress(text));
+  const InputBuffer b = InputBuffer::open(dir.file("log.wsc"));
+  EXPECT_EQ(b.source(), InputBuffer::Source::kDecompressed);
+  EXPECT_EQ(b.view(), text);
+
+  // And read_log over the .wsc matches read_log over the plain file.
+  write_file(dir.file("log.txt"), text);
+  EXPECT_EQ(read_digest(dir.file("log.wsc")), read_digest(dir.file("log.txt")));
+}
+
+TEST(LogioInput, MissingFileThrows) {
+  EXPECT_THROW(InputBuffer::open("/nonexistent/definitely/missing.log"),
+               std::runtime_error);
+}
+
+TEST(LogioInput, MoveTransfersOwnership) {
+  const TempDir dir;
+  const std::string text = sample_log();
+  write_file(dir.file("log.txt"), text);
+  InputBuffer a = InputBuffer::open(dir.file("log.txt"));
+  const InputBuffer b = std::move(a);
+  EXPECT_EQ(b.view(), text);
+  EXPECT_TRUE(a.view().empty());  // NOLINT(bugprone-use-after-move)
+
+  InputBuffer c = InputBuffer::from_string(text);
+  const InputBuffer d = std::move(c);
+  EXPECT_EQ(d.view(), text);
+}
+
+}  // namespace
+}  // namespace wss::logio

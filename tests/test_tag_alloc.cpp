@@ -10,13 +10,19 @@
 // exactly the tag loop.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <new>
 #include <string>
 #include <vector>
 
+#include "logio/reader.hpp"
 #include "match/scratch.hpp"
+#include "parse/dispatch.hpp"
 #include "sim/generator.hpp"
 #include "tag/engine.hpp"
 #include "tag/metrics.hpp"
@@ -99,6 +105,67 @@ TEST_P(TagAllocTest, SteadyStateTaggingAllocatesNothing) {
   EXPECT_EQ(after - before, 0u)
       << (after - before) << " allocations across " << lines.size()
       << " steady-state lines";
+}
+
+// End-to-end miss-path contract: read (mmap) -> split -> parse ->
+// tag, the whole chain, allocates nothing per line in steady state.
+// Direct before/after counting cannot separate warm-up (string
+// capacities, scratch vectors, lazy-DFA states grow DURING the first
+// pass), so the pin is differential: a file with the corpus once and
+// a file with it twice incur IDENTICAL allocation counts -- every
+// allocation is per-pass setup or high-water growth, and the extra
+// N lines of the doubled file add exactly zero.
+TEST(TagAllocEndToEnd, DoubledCorpusAddsZeroAllocations) {
+  const std::vector<std::string> lines = corpus();
+  std::string text;
+  for (const auto& line : lines) {
+    text += line;
+    text += '\n';
+  }
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("wss_alloc_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const fs::path once = dir / "once.log";
+  const fs::path twice = dir / "twice.log";
+  {
+    std::ofstream(once, std::ios::binary) << text;
+    std::ofstream(twice, std::ios::binary) << text << text;
+  }
+
+  const TagEngine engine(build_ruleset(parse::SystemId::kBlueGeneL),
+                         TagEngineMode::kMulti);
+  const auto pass = [&](const fs::path& p) -> std::pair<std::uint64_t,
+                                                        std::size_t> {
+    match::MatchScratch scratch;
+    std::size_t hits = 0;
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+    logio::read_log(p, parse::SystemId::kBlueGeneL, 2005,
+                    [&](const parse::LogRecord& rec) {
+                      hits += engine.tag_line(rec.raw, scratch).has_value()
+                                  ? 1
+                                  : 0;
+                    });
+    const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+    return {after - before, hits};
+  };
+
+  // Prime the engine's lazy caches (DFA states are engine-owned, not
+  // per-pass) so both measured passes see the same engine state.
+  pass(once);
+
+  const auto [allocs_once, hits_once] = pass(once);
+  const auto [allocs_twice, hits_twice] = pass(twice);
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  EXPECT_GT(hits_once, 0u);
+  EXPECT_EQ(hits_twice, 2 * hits_once);
+  EXPECT_EQ(allocs_twice, allocs_once)
+      << "the doubled corpus cost " << (allocs_twice - allocs_once)
+      << " extra allocations across " << lines.size() << " extra lines";
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModes, TagAllocTest,
