@@ -204,9 +204,12 @@ void print_usage(std::ostream& os) {
         "             [--sink udp://H:P|tcp://H:P]  send the replayed\n"
         "             stream to a wss serve instance instead of a file\n"
         "             ([--tenant NAME] [--framing nl|len] [--loss-base P]\n"
-        "              [--loss-contention P] [--lossless] [--loss-seed N];\n"
+        "              [--loss-contention P] [--lossless] [--loss-seed N]\n"
+        "              [--stamp-latency] [--send-batch BYTES];\n"
         "             udp runs the paper's contention loss model\n"
-        "             client-side and prints exact delivered/dropped)\n"
+        "             client-side and prints exact delivered/dropped;\n"
+        "             tcp can stamp 1-in-16 lines for the server's\n"
+        "             ingest-latency histogram and coalesce writes)\n"
         "  analyze    parse, tag, and filter a log file; print a summary\n"
         "             --system NAME --in PATH [--year Y] [--threshold SEC]\n"
         "  anonymize  pseudonymize IPs/users/paths in a log file\n"
@@ -255,6 +258,8 @@ void print_usage(std::ostream& os) {
         "             [--bind HOST] [--queue N] [--threshold SEC]\n"
         "             [--window SEC] [--checkpoint-dir DIR]\n"
         "             [--max-frame BYTES] [--drain-grace SEC]\n"
+        "             [--loop-shards N|auto]  SO_REUSEPORT event-loop\n"
+        "             shards (default 1; auto = hardware threads <= 8)\n"
         "             SIGTERM/SIGINT drain + checkpoint each tenant;\n"
         "             SIGHUP re-exports --metrics without stopping\n"
         "\n"
@@ -327,6 +332,19 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
         sink.udp.contention_loss_per_k < 0.0) {
       err << "generate: --loss-base must be in [0,1], --loss-contention "
              ">= 0\n";
+      return 2;
+    }
+    sink.stamp_latency = args.has("stamp-latency");
+    const int batch = args.get_int("send-batch", 0);
+    if (batch < 0) {
+      err << "generate: --send-batch wants a byte count >= 0\n";
+      return 2;
+    }
+    sink.send_batch_bytes = static_cast<std::size_t>(batch);
+    if ((sink.stamp_latency || batch > 0) &&
+        sink.endpoint.transport != net::Transport::kTcp) {
+      err << "generate: --stamp-latency/--send-batch require a tcp:// "
+             "sink\n";
       return 2;
     }
   }
@@ -859,6 +877,7 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   const std::int64_t queue_cap = args.get_int("queue", 4096);
   const std::int64_t max_frame = args.get_int("max-frame", 1 << 20);
   const double drain_grace_s = args.get_double("drain-grace", 5.0);
+  const std::string loop_shards = args.get_or("loop-shards", "1");
   sopts.checkpoint_dir = args.get_or("checkpoint-dir", "");
   const auto tenant_spec = args.get("tenant");
   const auto tcp_spec = args.get("tcp");
@@ -875,6 +894,16 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   if (queue_cap < 1 || max_frame < 1 || drain_grace_s < 0.0) {
     err << "--queue and --max-frame must be >= 1, --drain-grace >= 0\n";
     return 2;
+  }
+  if (loop_shards == "auto") {
+    sopts.loop_shards = 0;  // the server sizes to the machine
+  } else {
+    sopts.loop_shards = std::atoi(loop_shards.c_str());
+    if (sopts.loop_shards < 1 || sopts.loop_shards > 64) {
+      err << "--loop-shards wants 1..64 or auto, got '" << loop_shards
+          << "'\n";
+      return 2;
+    }
   }
   if (!tcp_spec && !udp_spec) {
     err << "serve requires at least one listener (--tcp and/or --udp)\n";

@@ -73,6 +73,78 @@ class MpmcQueue {
     return true;
   }
 
+  /// Non-evicting bulk push: admits items[from..to) into the queue
+  /// until it is full and returns how many were accepted (0 when
+  /// full). Never blocks and never evicts -- admission happens under
+  /// the queue's own lock, so concurrent producers cannot both observe
+  /// "one slot left" and overfill (the race a has-room probe followed
+  /// by a separate push would reintroduce). A closed queue discards
+  /// the remainder and reports it accepted: the stream is over and
+  /// retrying is pointless, which matches push()'s drop-on-closed.
+  ///
+  /// Admission SWAPS rather than moves: the caller's slot receives
+  /// whatever the ring slot held -- for T with heap payloads (e.g. a
+  /// StreamItem's line string) that is a retired buffer a pop_many_swap
+  /// consumer parked there, so a producer that reuses its batch
+  /// elements in place gets its allocations back instead of paying a
+  /// malloc per item and leaving a cross-thread free to the consumer.
+  std::size_t try_push_many(std::vector<T>& items, std::size_t from,
+                            std::size_t to) {
+    std::size_t n = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        for (std::size_t i = from; i < to; ++i) items[i] = T();
+        return to - from;
+      }
+      n = std::min(capacity_ - size_, to - from);
+      for (std::size_t i = 0; i < n; ++i) {
+        using std::swap;
+        swap(ring_[(head_ + size_) & mask_], items[from + i]);
+        ++size_;
+      }
+    }
+    if (n > 0) not_empty_.notify_one();
+    return n;
+  }
+
+  std::size_t try_push_many(std::vector<T>& items, std::size_t from) {
+    return try_push_many(items, from, items.size());
+  }
+
+  /// Bulk push_evicting: every item in items[from..to) enters the
+  /// queue; the oldest residents are evicted to make room (a batch
+  /// larger than the capacity evicts its own head -- still
+  /// drop-oldest). Returns the eviction count (kClosed when closed;
+  /// nothing is pushed or evicted). One lock acquisition per batch.
+  /// Swaps on admission, like try_push_many.
+  std::size_t push_evicting_many(std::vector<T>& items, std::size_t from,
+                                 std::size_t to) {
+    std::size_t evicted = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return kClosed;
+      for (std::size_t i = from; i < to; ++i) {
+        while (size_ >= capacity_) {
+          ring_[head_] = T();
+          head_ = (head_ + 1) & mask_;
+          --size_;
+          ++evicted;
+        }
+        using std::swap;
+        swap(ring_[(head_ + size_) & mask_], items[i]);
+        ++size_;
+      }
+      evicted_total_ += evicted;
+    }
+    not_empty_.notify_one();
+    return evicted;
+  }
+
+  std::size_t push_evicting_many(std::vector<T>& items, std::size_t from) {
+    return push_evicting_many(items, from, items.size());
+  }
+
   /// Never blocks: while the queue is full, evicts the oldest item to
   /// make room (drop-oldest backpressure). Returns the number of items
   /// evicted (0 when there was room), or kClosed if the queue was
@@ -113,6 +185,51 @@ class MpmcQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Bulk pop: blocks while empty, then appends up to `max` items to
+  /// `out` under one lock. Returns the count; 0 means closed AND
+  /// drained (the end-of-stream signal). One wait + one lock per
+  /// batch amortizes the queue synchronization the same way the batch
+  /// pipeline's chunking does.
+  std::size_t pop_many(std::vector<T>& out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    const std::size_t n = std::min(size_, max);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(ring_[head_]));
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    lock.unlock();
+    // A batch frees many slots at once: wake every blocked producer.
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
+  /// Recycling bulk pop: blocks while empty, then swaps up to `max`
+  /// items into out[0..n) under one lock (out is grown to `max` first
+  /// if needed; elements beyond n are untouched). Returns n; 0 means
+  /// closed AND drained. The consumer's previously-processed elements
+  /// land in the vacated ring slots, where the next try_push_many /
+  /// push_evicting_many hands their heap buffers back to a producer --
+  /// the other half of the allocation-recycling loop. A consumer that
+  /// keeps one vector alive across calls therefore reaches a steady
+  /// state with no per-item allocation on either side of the ring.
+  std::size_t pop_many_swap(std::vector<T>& out, std::size_t max) {
+    if (out.size() < max) out.resize(max);
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    const std::size_t n = std::min(size_, max);
+    for (std::size_t i = 0; i < n; ++i) {
+      using std::swap;
+      swap(out[i], ring_[head_]);
+      head_ = (head_ + 1) & mask_;
+      --size_;
+    }
+    lock.unlock();
+    if (n > 0) not_full_.notify_all();
+    return n;
   }
 
   /// Non-blocking pop: nullopt when the queue is currently empty

@@ -185,13 +185,15 @@ LiteralScanner::LiteralScanner(std::vector<std::string> literals)
   }
 }
 
-void LiteralScanner::scan(std::string_view text, std::uint64_t* found) const {
-  if (literals_.empty()) return;
+std::uint64_t LiteralScanner::scan(std::string_view text,
+                                   std::uint64_t* found) const {
+  if (literals_.empty()) return 0;
   const auto* d = reinterpret_cast<const unsigned char*>(text.data());
   const std::size_t n = text.size();
   const std::uint16_t* trans = trans_.data();
   const std::uint64_t* pair_start = pair_start_.data();
   const simd::Level level = simd::active_level();
+  std::uint64_t any = 0;
   std::uint32_t s = 0;
   std::size_t p = 0;
   while (p < n) {
@@ -215,12 +217,14 @@ void LiteralScanner::scan(std::string_view text, std::uint64_t* found) const {
     }
     s = trans[(s << shift_) | byte_class_[d[p++]]];
     if (s >= out_min_) {
+      any = 1;
       const std::uint32_t k = s - out_min_;
       for (std::uint32_t j = out_offsets_[k]; j < out_offsets_[k + 1]; ++j) {
         bitset_set(found, out_ids_[j]);
       }
     }
   }
+  return any;
 }
 
 }  // namespace wss::match

@@ -54,7 +54,18 @@ class LiteralScanner {
   /// Sets bit i of `found` for every literal i occurring anywhere in
   /// `text`. `found` must hold bitset_words() zeroed words; bits are
   /// only ever set, so a caller may accumulate across fragments.
-  void scan(std::string_view text, std::uint64_t* found) const;
+  /// Returns nonzero iff any literal occurred -- the "found any" OR
+  /// falls out of the accept branch for free, so callers don't re-walk
+  /// the bitset to learn a line is pure chatter.
+  std::uint64_t scan(std::string_view text, std::uint64_t* found) const;
+
+  /// Per-line form: sizes and zeroes `found` to bitset_words(), then
+  /// scans. Same return as scan().
+  std::uint64_t scan_fresh(std::string_view text,
+                           std::vector<std::uint64_t>& found) const {
+    found.assign(bitset_words(), 0);
+    return scan(text, found.data());
+  }
 
   // ---- Diagnostics ----
   /// Number of automaton states.

@@ -51,6 +51,27 @@ struct DfaCacheBase {
   virtual ~DfaCacheBase() = default;
 };
 
+/// Memoized prefilter derivations for one TagEngine: literal-found
+/// bitset -> candidate-rule bitset. Real logs repeat a handful of
+/// literal combinations millions of times, so the per-line mask walk
+/// (rules x literal words) collapses to a short key compare on the hot
+/// combinations. Keyed by the engine's unique instance id (the
+/// dfa_owner pattern -- never an address); a different engine resets
+/// the cache. Capacity is a few slots with round-robin overwrite:
+/// overwrite assigns into same-sized vectors, so a warmed cache never
+/// allocates again even when distinct combinations exceed capacity.
+struct CandidateCache {
+  static constexpr std::size_t kSlots = 16;
+  struct Entry {
+    std::vector<std::uint64_t> key;         ///< literal-found bitset
+    std::vector<std::uint64_t> candidates;  ///< derived candidate rules
+    bool any = false;                       ///< candidate set non-empty
+  };
+  std::uint64_t owner = 0;  ///< owning engine's instance id; 0 = empty
+  std::vector<Entry> entries;
+  std::uint32_t next_evict = 0;
+};
+
 /// All per-line mutable state for the match/tag stack. Default
 /// constructible; buffers grow to their steady-state sizes within the
 /// first few lines and are never shrunk.
@@ -74,6 +95,10 @@ class MatchScratch {
   /// different owner resets it. 0 = no cache yet.
   std::unique_ptr<DfaCacheBase> dfa;
   std::uint64_t dfa_owner = 0;
+
+  /// Prefilter memoization for the owning TagEngine (see
+  /// CandidateCache).
+  CandidateCache candidate_cache;
 
   // ---- Diagnostics (tests and the tagging bench read these; the
   // obs layer publishes them via tag::TagMetricsFlusher) ----

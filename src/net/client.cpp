@@ -1,5 +1,7 @@
 #include "net/client.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
 #include "util/strings.hpp"
@@ -15,6 +17,12 @@ void append_be32(std::string& out, std::uint32_t v) {
   out.push_back(static_cast<char>(v & 0xff));
 }
 
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 SinkClient::SinkClient(const SinkOptions& opts)
@@ -22,7 +30,13 @@ SinkClient::SinkClient(const SinkOptions& opts)
       framing_(opts.framing),
       loss_(opts.udp),
       rng_(opts.seed),
-      lossless_udp_(opts.lossless_udp) {
+      lossless_udp_(opts.lossless_udp),
+      stamp_latency_(opts.stamp_latency &&
+                     opts.endpoint.transport == Transport::kTcp &&
+                     !opts.tenant.empty()),
+      batch_bytes_(opts.endpoint.transport == Transport::kTcp
+                       ? opts.send_batch_bytes
+                       : 0) {
   to_ = resolve_ipv4(endpoint_.host, endpoint_.port);
   if (endpoint_.transport == Transport::kTcp) {
     fd_ = connect_tcp(to_);
@@ -36,6 +50,7 @@ SinkClient::SinkClient(const SinkOptions& opts)
         hs += util::format(" year=%d", opts.start_year);
       }
       if (framing_ == Framing::kLenPrefix) hs += " framing=len";
+      if (stamp_latency_) hs += " stamp=us";
       hs += '\n';
       write_all(fd_.get(), hs.data(), hs.size());
     }
@@ -49,15 +64,33 @@ SinkClient::~SinkClient() { close(); }
 void SinkClient::send(util::TimeUs t, const std::string& line) {
   ++stats_.offered;
   if (endpoint_.transport == Transport::kTcp) {
-    scratch_.clear();
+    if (batch_bytes_ == 0) scratch_.clear();
+    char stamp[32];
+    std::size_t stamp_len = 0;
+    // Sampled 1-in-16: the consumer samples stamped items 1-in-16
+    // again, and stamping every line (a clock read + an itoa + ~16
+    // wire bytes each) costs more than every other per-line step of
+    // the client combined.
+    if (stamp_latency_ && (sent_++ & 15) == 0) {
+      stamp_len = static_cast<std::size_t>(std::snprintf(
+          stamp, sizeof stamp, "@%lld ",
+          static_cast<long long>(wall_now_us())));
+    }
     if (framing_ == Framing::kLenPrefix) {
-      append_be32(scratch_, static_cast<std::uint32_t>(line.size()));
+      append_be32(scratch_,
+                  static_cast<std::uint32_t>(stamp_len + line.size()));
+      scratch_.append(stamp, stamp_len);
       scratch_ += line;
     } else {
-      scratch_ = line;
+      scratch_.append(stamp, stamp_len);
+      scratch_ += line;
       scratch_ += '\n';
     }
-    write_all(fd_.get(), scratch_.data(), scratch_.size());
+    if (batch_bytes_ == 0) {
+      write_all(fd_.get(), scratch_.data(), scratch_.size());
+    } else if (scratch_.size() >= batch_bytes_) {
+      flush();
+    }
     ++stats_.delivered;
     return;
   }
@@ -75,6 +108,15 @@ void SinkClient::send(util::TimeUs t, const std::string& line) {
   }
 }
 
-void SinkClient::close() { fd_.reset(); }
+void SinkClient::flush() {
+  if (batch_bytes_ == 0 || scratch_.empty() || !fd_.valid()) return;
+  write_all(fd_.get(), scratch_.data(), scratch_.size());
+  scratch_.clear();
+}
+
+void SinkClient::close() {
+  flush();
+  fd_.reset();
+}
 
 }  // namespace wss::net

@@ -44,6 +44,21 @@ struct SinkOptions {
   /// Disables the loss model: every UDP line is offered to the kernel
   /// (kernel refusals still count as drops).
   bool lossless_udp = false;
+
+  /// TCP only: announce `stamp=us` in the handshake and prefix a
+  /// sampled 1-in-16 of payload lines with `@<wall-us> ` at send
+  /// time. The server strips the stamp and feeds client-send ->
+  /// engine-consume latency into
+  /// wss_net_ingest_latency_seconds{tenant=...}.
+  bool stamp_latency = false;
+
+  /// TCP only: coalesce framed lines client-side and write once this
+  /// many bytes have accumulated (plus a final flush at close()).
+  /// 0 = write every line immediately -- the legacy behavior, and the
+  /// right one for interactive senders. Real shippers batch: one
+  /// write() per line caps a loopback blaster near the syscall rate,
+  /// which measures the client, not the server.
+  std::size_t send_batch_bytes = 0;
 };
 
 class SinkClient {
@@ -55,6 +70,10 @@ class SinkClient {
   /// Offers one rendered line (no trailing newline). `t` is the
   /// event's simulated time -- the loss model's clock.
   void send(util::TimeUs t, const std::string& line);
+
+  /// Writes any coalesced-but-unsent bytes now (TCP batching only;
+  /// no-op otherwise).
+  void flush();
 
   /// Flushes and closes the socket (TCP: orderly FIN so the server
   /// flushes any unterminated tail). Idempotent; the destructor calls
@@ -76,6 +95,9 @@ class SinkClient {
   sim::UdpLossModel loss_;
   util::Rng rng_;
   bool lossless_udp_;
+  bool stamp_latency_ = false;
+  std::uint64_t sent_ = 0;  ///< stamp-sampling counter
+  std::size_t batch_bytes_ = 0;
   sim::TransportStats stats_;
   std::string scratch_;
 };

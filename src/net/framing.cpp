@@ -1,82 +1,53 @@
 #include "net/framing.hpp"
 
-#include <algorithm>
 #include <cstring>
 
 #include "simd/scan.hpp"
 
 namespace wss::net {
 
-void FrameDecoder::ensure(std::size_t need) {
-  const std::size_t cap = ring_.size();
-  if (need <= cap) return;
-  std::size_t ncap = cap != 0 ? cap : 4096;
-  while (ncap < need) ncap <<= 1;
-  std::vector<char> nring(ncap);
-  if (size_ > 0) {
-    // Linearize the live bytes at the front of the new ring.
-    const std::size_t first = std::min(size_, cap - head_);
-    std::memcpy(nring.data(), ring_.data() + head_, first);
-    std::memcpy(nring.data() + first, ring_.data(), size_ - first);
+char* FrameDecoder::write_window(std::size_t min_bytes) {
+  if (min_bytes == 0) min_bytes = 1;
+  const std::size_t cap = buf_.size();
+  if (cap - head_ - size_ < min_bytes) {
+    if (size_ + min_bytes <= cap) {
+      // Compact the carry (a partial frame straddling the last read) to
+      // the front. This is the only copy a straddling frame ever pays.
+      std::memmove(buf_.data(), buf_.data() + head_, size_);
+      head_ = 0;
+    } else {
+      std::size_t ncap = cap != 0 ? cap : 4096;
+      while (ncap < size_ + min_bytes) ncap <<= 1;
+      std::vector<char> nbuf(ncap);
+      if (size_ > 0) std::memcpy(nbuf.data(), buf_.data() + head_, size_);
+      buf_ = std::move(nbuf);
+      head_ = 0;
+    }
   }
-  ring_ = std::move(nring);
-  head_ = 0;
+  return buf_.data() + head_ + size_;
 }
 
 void FrameDecoder::feed(std::string_view bytes) {
   if (bytes.empty()) return;
-  ensure(size_ + bytes.size());
-  const std::size_t mask = ring_.size() - 1;
-  const std::size_t tail = (head_ + size_) & mask;
-  const std::size_t first = std::min(bytes.size(), ring_.size() - tail);
-  std::memcpy(ring_.data() + tail, bytes.data(), first);
-  std::memcpy(ring_.data(), bytes.data() + first, bytes.size() - first);
-  size_ += bytes.size();
-}
-
-void FrameDecoder::consume(std::size_t n) {
-  head_ = (head_ + n) & (ring_.size() - 1);
-  size_ -= n;
-}
-
-void FrameDecoder::clear_bytes() {
-  head_ = 0;
-  size_ = 0;
-  scanned_ = 0;
+  char* dst = write_window(bytes.size());
+  std::memcpy(dst, bytes.data(), bytes.size());
+  commit(bytes.size());
 }
 
 std::size_t FrameDecoder::find_newline() {
   // Resume where the last search stopped: bytes [0, scanned_) hold no
   // '\n', so a line delivered in thousands of 1-byte segments is still
   // scanned O(length) total, not O(length^2).
-  const std::size_t cap = ring_.size();
-  std::size_t off = scanned_;
-  while (off < size_) {
-    const std::size_t idx = (head_ + off) & (cap - 1);
-    const std::size_t chunk = std::min(size_ - off, cap - idx);
-    const char* base = ring_.data() + idx;
-    const char* hit = simd::find_byte(base, base + chunk, '\n');
-    if (hit != base + chunk) return off + static_cast<std::size_t>(hit - base);
-    off += chunk;
+  const char* base = head();
+  const char* hit = simd::find_byte(base + scanned_, base + size_, '\n');
+  if (hit == base + size_) {
+    scanned_ = size_;
+    return kNpos;
   }
-  scanned_ = size_;
-  return kNpos;
+  return static_cast<std::size_t>(hit - base);
 }
 
-void FrameDecoder::copy_out(std::string& frame, std::size_t offset,
-                            std::size_t len) const {
-  if (len == 0) {
-    frame.clear();
-    return;
-  }
-  const std::size_t cap = ring_.size();
-  const std::size_t idx = (head_ + offset) & (cap - 1);
-  const std::size_t first = std::min(len, cap - idx);
-  frame.assign(ring_.data() + idx, first);
-  frame.append(ring_.data(), len - first);
-}
-
-bool FrameDecoder::next(std::string& frame) {
+bool FrameDecoder::next_view(std::string_view& frame) {
   if (error_) return false;
   if (mode_ == Framing::kNewline) {
     for (;;) {
@@ -106,22 +77,24 @@ bool FrameDecoder::next(std::string& frame) {
         scanned_ = 0;
         continue;
       }
-      if (len > 0 && byte_at(len - 1) == '\r') --len;
-      copy_out(frame, 0, len);
+      if (len > 0 && head()[len - 1] == '\r') --len;
+      frame = std::string_view(head(), len);
+      // consume() only advances indices; the bytes stay put until the
+      // next write_window() compacts or grows, so the view holds.
       consume(nl + 1);
       scanned_ = 0;
       return true;
     }
   }
 
-  // kLenPrefix. byte_at assembles the header wrap-aware: the 4 bytes
-  // may straddle the ring's wrap point when the previous frame ended
-  // near the top.
+  // kLenPrefix: 4-byte big-endian header, contiguous in the linear
+  // buffer.
   if (size_ < 4) return false;
-  const std::uint32_t len = (static_cast<std::uint32_t>(byte_at(0)) << 24) |
-                            (static_cast<std::uint32_t>(byte_at(1)) << 16) |
-                            (static_cast<std::uint32_t>(byte_at(2)) << 8) |
-                            static_cast<std::uint32_t>(byte_at(3));
+  const auto* h = reinterpret_cast<const unsigned char*>(head());
+  const std::uint32_t len = (static_cast<std::uint32_t>(h[0]) << 24) |
+                            (static_cast<std::uint32_t>(h[1]) << 16) |
+                            (static_cast<std::uint32_t>(h[2]) << 8) |
+                            static_cast<std::uint32_t>(h[3]);
   if (len > max_frame_) {
     // The announced frame cannot be honored and skipping it wholesale
     // would still mean buffering `len` bytes we refuse to hold; the
@@ -132,20 +105,27 @@ bool FrameDecoder::next(std::string& frame) {
     return false;
   }
   if (size_ - 4 < len) return false;
-  copy_out(frame, 4, len);
+  frame = std::string_view(head() + 4, len);
   consume(4 + len);
+  return true;
+}
+
+bool FrameDecoder::next(std::string& frame) {
+  std::string_view v;
+  if (!next_view(v)) return false;
+  frame.assign(v.data(), v.size());
   return true;
 }
 
 std::string FrameDecoder::take_rest() {
   std::string rest;
-  copy_out(rest, 0, size_);
+  if (size_ > 0) rest.assign(head(), size_);
   clear_bytes();
   discarding_ = false;
   return rest;
 }
 
-bool FrameDecoder::finish(std::string& frame) {
+bool FrameDecoder::finish_view(std::string_view& frame) {
   if (mode_ != Framing::kNewline || error_) return false;
   if (discarding_) {
     discarding_ = false;
@@ -159,11 +139,20 @@ bool FrameDecoder::finish(std::string& frame) {
     clear_bytes();
     return false;
   }
-  if (byte_at(len - 1) == '\r') --len;
-  copy_out(frame, 0, len);
+  if (head()[len - 1] == '\r') --len;
+  frame = std::string_view(head(), len);
+  // Index reset, not a memory write: the returned view stays valid
+  // until the next write_window()/feed().
   clear_bytes();
   // A tail of exactly "\r" strips to nothing: cleared, not delivered.
   return len > 0;
+}
+
+bool FrameDecoder::finish(std::string& frame) {
+  std::string_view v;
+  if (!finish_view(v)) return false;
+  frame.assign(v.data(), v.size());
+  return true;
 }
 
 }  // namespace wss::net

@@ -10,18 +10,27 @@
 //     that many payload bytes. Binary-safe (payloads may contain '\n').
 //
 // The decoder is push-based and allocation-frugal: feed() appends a
-// received segment, and next() yields complete frames until it returns
-// false -- so partial frames (a segment ending mid-line) and coalesced
-// frames (many lines in one segment) both fall out of the same loop.
+// received segment, and next()/next_view() yield complete frames until
+// they return false -- so partial frames (a segment ending mid-line)
+// and coalesced frames (many lines in one segment) both fall out of
+// the same loop.
 //
-// Storage is a growable power-of-two ring: feed() never shifts bytes,
-// the newline search runs the vectorized simd::find_byte over the (at
-// most two) contiguous segments and remembers how far it has scanned,
-// so a line arriving in many small segments is scanned once, not
-// re-scanned per segment. A length-prefix header whose 4 bytes
-// straddle the ring's wrap point is assembled byte-by-byte and decodes
-// identically to a contiguous header (regression-tested in
-// tests/test_net_framing.cpp).
+// Storage is a compacting linear buffer sized to a power of two. This
+// is the zero-copy recv path: the event loop reads straight into the
+// buffer's writable tail (write_window()/commit()), and next_view()
+// slices each complete frame out as a std::string_view -- no copy
+// between the socket and the frame. Only a frame straddling a read
+// boundary pays a memmove when the carry is compacted to the front to
+// make tail room (the same carry discipline as simd::ChunkSplitter's
+// arena, without the second allocation). The newline search runs the
+// vectorized simd::find_byte over the live bytes and remembers how far
+// it has scanned, so a line arriving in many small segments is scanned
+// once, not re-scanned per segment.
+//
+// View lifetime: a view returned by next_view()/finish_view() points
+// into the buffer and stays valid until the next write_window(),
+// feed(), or take_rest() call -- consume frames (or copy them) before
+// reading more bytes.
 //
 // Oversized frames are NEVER silently truncated or dropped: a newline
 // frame longer than max_frame enters discard mode until its
@@ -50,18 +59,36 @@ class FrameDecoder {
                         std::size_t max_frame = 1 << 20)
       : mode_(mode), max_frame_(max_frame) {}
 
-  /// Appends a received segment to the decode ring.
+  /// Appends a received segment (copies it in). The zero-copy
+  /// alternative is write_window() + commit().
   void feed(std::string_view bytes);
 
+  /// Ensures at least `min_bytes` of contiguous writable space after
+  /// the live bytes -- compacting the carry to the front or growing
+  /// the buffer as needed -- and returns the write pointer for a
+  /// recv() to land on directly. Invalidates outstanding views.
+  char* write_window(std::size_t min_bytes);
+
+  /// Marks `n` bytes at the last write_window() pointer as received.
+  void commit(std::size_t n) { size_ += n; }
+
+  /// Slices the next complete frame out of the buffer without copying.
+  /// Returns false when no complete frame remains buffered (and after
+  /// a protocol error -- check error()). The view is valid until the
+  /// next write_window()/feed()/take_rest().
+  bool next_view(std::string_view& frame);
+
   /// Extracts the next complete frame into `frame` (overwritten).
-  /// Returns false when no complete frame remains buffered. After a
-  /// protocol error (kLenPrefix length > max_frame) it always returns
-  /// false -- check error() and drop the connection.
+  /// Copying twin of next_view(), same contract.
   bool next(std::string& frame);
 
-  /// End-of-stream flush (kNewline only): moves an unterminated
-  /// non-empty tail into `frame`. Returns false when there is nothing
-  /// to flush or the tail is oversized (counted, not delivered).
+  /// End-of-stream flush (kNewline only): yields an unterminated
+  /// non-empty tail without copying. Returns false when there is
+  /// nothing to flush or the tail is oversized (counted, not
+  /// delivered). Same view lifetime as next_view().
+  bool finish_view(std::string_view& frame);
+
+  /// Copying twin of finish_view().
   bool finish(std::string& frame);
 
   /// Frames skipped because they exceeded max_frame.
@@ -85,24 +112,24 @@ class FrameDecoder {
  private:
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
-  /// Live byte at logical offset `i` (wrap-aware; the length-prefix
-  /// header reader).
-  unsigned char byte_at(std::size_t i) const {
-    return static_cast<unsigned char>(
-        ring_[(head_ + i) & (ring_.size() - 1)]);
-  }
+  const char* head() const { return buf_.data() + head_; }
 
-  void ensure(std::size_t need);
-  void consume(std::size_t n);
-  void clear_bytes();
+  void consume(std::size_t n) {
+    head_ += n;
+    size_ -= n;
+  }
+  void clear_bytes() {
+    head_ = 0;
+    size_ = 0;
+    scanned_ = 0;
+  }
   std::size_t find_newline();
-  void copy_out(std::string& frame, std::size_t offset, std::size_t len) const;
 
   Framing mode_;
   std::size_t max_frame_;
-  std::vector<char> ring_;    ///< power-of-two capacity (or empty)
-  std::size_t head_ = 0;      ///< ring index of the first live byte
-  std::size_t size_ = 0;      ///< live bytes
+  std::vector<char> buf_;     ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;      ///< offset of the first live byte
+  std::size_t size_ = 0;      ///< live bytes at [head_, head_ + size_)
   std::size_t scanned_ = 0;   ///< newline mode: prefix known '\n'-free
   bool discarding_ = false;   ///< newline mode: inside an oversized line
   std::uint64_t oversized_ = 0;

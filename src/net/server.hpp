@@ -1,13 +1,28 @@
 // `wss serve`: the multi-tenant network ingest server.
 //
-// One epoll-driven, non-blocking event-loop thread owns every socket:
-// TCP listeners (length- or newline-framed log lines, routed to a
-// tenant by the listener's binding or by a `tenant=` handshake line),
-// UDP listeners (syslog-over-UDP datagrams, port-keyed), and an
-// optional HTTP listener serving GET /metrics (Prometheus text),
-// /metrics.json (the wss.obs.v1 snapshot), and /status (live
-// per-tenant JSON). Each tenant runs its own stream engine on its own
-// consumer thread behind its own accounted IngestRing (net/tenant.hpp).
+// N epoll-driven, non-blocking event-loop shards (--loop-shards, default
+// 1) share each listening port via SO_REUSEPORT: every shard binds its
+// own listener socket and the kernel spreads incoming connections across
+// them by 4-tuple hash, so accept, read, decode, and ring hand-off all
+// scale without a dispatch hop or any shard-to-shard locking. A shard
+// owns its accepted connections end to end -- the only cross-thread
+// touch points are the tenants' rings (their own locks, taken once per
+// batch) and relaxed stats atomics. Socket kinds per shard: TCP
+// listeners (length- or newline-framed log lines, routed to a tenant by
+// the listener's binding or by a `tenant=` handshake line) and UDP
+// listeners (syslog-over-UDP datagrams, port-keyed; one sender's
+// datagrams always hash to one shard, preserving per-sender order).
+// Shard 0 additionally owns the optional HTTP listener serving GET
+// /metrics (Prometheus text), /metrics.json (the wss.obs.v1 snapshot),
+// and /status (live per-tenant JSON), plus the shutdown-signal fd. Each
+// tenant runs its own stream engine on its own consumer thread behind
+// its own accounted IngestRing (net/tenant.hpp).
+//
+// The hot path is batched and copy-light: a readiness callback decodes
+// frames as string_views sliced straight out of the recv buffer
+// (FrameDecoder::write_window/next_view), copies each once into a
+// StreamItem, and publishes up to 256 items per ring lock instead of
+// one.
 //
 // Backpressure, per transport:
 //   * TCP: before a decoded frame is pushed, the loop checks the
@@ -74,6 +89,11 @@ struct ServeOptions {
   std::size_t max_frame = 1 << 20;  ///< mirrors the reader's line guard
   int drain_grace_ms = 5000;        ///< connection EOF budget at shutdown
   int poll_ms = 50;                 ///< event-loop tick (pause/resume scan)
+
+  /// Event-loop shards sharing every ingest port via SO_REUSEPORT.
+  /// 1 = the classic single loop; 0 = auto (hardware threads, capped
+  /// at 8); explicit values are capped at 64.
+  int loop_shards = 1;
 
   /// Per-tenant checkpoints written here at drain (<dir>/<name>.ckpt);
   /// empty disables.

@@ -64,11 +64,21 @@ void set_nonblocking(int fd) {
   }
 }
 
-Fd listen_tcp(const Ipv4& at, int backlog) {
+Fd listen_tcp(const Ipv4& at, int backlog, bool reuseport) {
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("net: socket(tcp)");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+    // Listener sharding: every event-loop shard binds its own listener
+    // to the same port and the kernel spreads incoming connections
+    // across them by 4-tuple hash. Must be set before bind(), on every
+    // socket in the group (including the first).
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0) {
+      throw_errno("net: setsockopt(SO_REUSEPORT)");
+    }
+  }
   const sockaddr_in sa = to_sockaddr(at);
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) <
       0) {
@@ -79,11 +89,19 @@ Fd listen_tcp(const Ipv4& at, int backlog) {
   return fd;
 }
 
-Fd bind_udp(const Ipv4& at, int rcvbuf_bytes) {
+Fd bind_udp(const Ipv4& at, int rcvbuf_bytes, bool reuseport) {
   Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
   if (!fd.valid()) throw_errno("net: socket(udp)");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+    // Same sharding as TCP: datagrams from one sender (one 4-tuple)
+    // always hash to the same socket, so per-sender order holds.
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof(one)) < 0) {
+      throw_errno("net: setsockopt(SO_REUSEPORT)");
+    }
+  }
   if (rcvbuf_bytes > 0) {
     // Best effort: the kernel clamps to rmem_max. A bigger buffer only
     // narrows the (accounted) kernel-drop window for bursts.

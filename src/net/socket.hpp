@@ -61,12 +61,17 @@ Ipv4 resolve_ipv4(const std::string& host, std::uint16_t port);
 void set_nonblocking(int fd);
 
 /// Bound, listening TCP socket (SO_REUSEADDR, non-blocking). Port 0
-/// binds an ephemeral port; bound_port() reports the real one.
-Fd listen_tcp(const Ipv4& at, int backlog = 128);
+/// binds an ephemeral port; bound_port() reports the real one. With
+/// `reuseport`, SO_REUSEPORT is set before bind so several listeners
+/// (one per event-loop shard) can share the port and the kernel
+/// spreads accepts across them.
+Fd listen_tcp(const Ipv4& at, int backlog = 128, bool reuseport = false);
 
 /// Bound UDP socket (non-blocking). `rcvbuf_bytes` > 0 requests a
 /// receive buffer large enough to absorb bursts (best effort).
-Fd bind_udp(const Ipv4& at, int rcvbuf_bytes = 0);
+/// `reuseport` shards the port like listen_tcp (datagrams from one
+/// sender always land on the same socket).
+Fd bind_udp(const Ipv4& at, int rcvbuf_bytes = 0, bool reuseport = false);
 
 /// The locally bound port of a socket (resolves port-0 binds).
 std::uint16_t bound_port(int fd);

@@ -8,8 +8,13 @@
 // this end to end).
 //
 // Threading contract:
-//   * enqueue()/has_room()/take_ring_drops() are called only by the
-//     server's event-loop thread.
+//   * The enqueue side (next_index/try_enqueue_batch/
+//     enqueue_batch_evicting/enqueue/take_ring_drops) may be called
+//     from ANY event-loop shard concurrently: admission happens under
+//     the ring's own lock, the index and drop-publication counters are
+//     atomics. No shard-to-shard lock is added -- the ring's existing
+//     queue lock is the only synchronization point, taken once per
+//     batch.
 //   * The consumer thread owns the pipeline exclusively until
 //     close_and_join() returns.
 //   * The live stats (ingested/admitted/watermark) are relaxed atomics
@@ -20,13 +25,17 @@
 // event loop must never block, so a stalled tenant degrades to a
 // sampled stream with an exact drop count (and TCP connections are
 // paused *before* pushing once the ring is full, so TCP traffic into
-// a healthy tenant is lossless -- see server.cpp).
+// a healthy tenant is lossless -- see server.cpp). TCP batches go
+// through the non-evicting try_enqueue_batch, whose room check and
+// insert share the ring lock, so two shards racing for the last slots
+// can never evict.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "stream/pipeline.hpp"
@@ -59,18 +68,43 @@ class Tenant {
   /// Spawns the consumer thread. Call once.
   void start();
 
-  // ---- Event-loop side ----
+  // ---- Event-loop side (any shard) ----
 
-  /// True while the ring has room for one more line; a false return is
-  /// the TCP pause-read signal (pushing anyway would evict).
+  /// True while the ring has room for one more line. Advisory only
+  /// under sharding (another shard may take the slot); the lossless
+  /// admission decision is try_enqueue_batch's return value.
   bool has_room() const { return ring_.size() < ring_.capacity(); }
 
-  /// Hands one decoded line to the consumer. Never blocks; a full ring
-  /// evicts oldest-first with the eviction counted (take_ring_drops).
+  /// Next per-tenant stream index for a StreamItem under construction.
+  std::uint64_t next_index() {
+    return item_index_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Lossless bulk hand-off (the TCP path): swaps items[from..to) into
+  /// the ring until it is full and returns how many were accepted --
+  /// never evicts. A short count is the pause-read signal; the caller
+  /// keeps the remainder and retries after the ring drains. Admitted
+  /// elements get retired line buffers swapped back (see
+  /// IngestRing::try_push_batch), so callers reusing their batch
+  /// storage in place allocate nothing per line at steady state.
+  std::size_t try_enqueue_batch(std::vector<stream::StreamItem>& items,
+                                std::size_t from, std::size_t to);
+
+  /// Lossy bulk hand-off (UDP datagrams, drain-deadline flushes):
+  /// every item in [from..to) enters, oldest residents are evicted
+  /// with each eviction counted (take_ring_drops publishes them).
+  void enqueue_batch_evicting(std::vector<stream::StreamItem>& items,
+                              std::size_t from, std::size_t to);
+
+  /// Hands one decoded line to the consumer (evicting path). Batch
+  /// callers should prefer the bulk forms above -- one ring lock per
+  /// batch instead of per line.
   void enqueue(std::string line);
 
-  /// Ring evictions since the last call (event-loop thread only); the
-  /// caller publishes them to the tenant's dropped counter.
+  /// Ring evictions since the last publication, pushed to the
+  /// tenant's dropped counter. Safe from any shard concurrently (the
+  /// publication watermark is advanced by CAS, so each eviction is
+  /// published exactly once).
   std::uint64_t take_ring_drops();
 
   // ---- Drain ----
@@ -125,13 +159,19 @@ class Tenant {
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::int64_t> watermark_{0};
 
-  std::uint64_t published_ring_drops_ = 0;  ///< event-loop thread only
-  std::uint64_t item_index_ = 0;            ///< event-loop thread only
+  /// Published-drop watermark; advanced by CAS so concurrent shards
+  /// (or an HTTP scrape racing a tick) never double-publish.
+  std::atomic<std::uint64_t> published_ring_drops_{0};
+  std::atomic<std::uint64_t> item_index_{0};
 
   // Cached per-tenant metric handles (registration is cold).
   obs::Counter& delivered_ctr_;
   obs::Counter& dropped_ctr_;
   obs::Counter& ingested_ctr_;
+  /// Client-stamp -> engine-consume ingest latency, observed by the
+  /// consumer for stamped lines (sampled 1-in-16; observe() is a
+  /// bucket scan and the consumer is the throughput-critical side).
+  obs::Histogram& ingest_latency_;
 };
 
 }  // namespace wss::net

@@ -446,6 +446,11 @@ const char* pair_find_neon(const char* p, const char* end,
 // scans until sub-block ranges were routed straight to the scalar
 // twin. Results are identical by construction (the vector loops are
 // pure prefilters over the same exact predicate).
+//
+// The same reasoning applies one level up: a 16-31 byte range at kAvx2
+// enters the avx2 kernel only to fail its own 32-byte guard and hop to
+// sse2 -- an extra call on exactly the token lengths log fields favor.
+// The dispatcher routes that band straight to the sse2 twin.
 
 const char* find_byte(Level level, const char* p, const char* end,
                       unsigned char c) {
@@ -453,6 +458,7 @@ const char* find_byte(Level level, const char* p, const char* end,
   switch (level) {
 #ifdef WSS_SIMD_X86
     case Level::kAvx2:
+      if (end - p < 32) return find_byte_sse2(p, end, c);
       return find_byte_avx2(p, end, c);
     case Level::kSse2:
       return find_byte_sse2(p, end, c);
@@ -473,6 +479,7 @@ const char* find_in_set(Level level, const char* p, const char* end,
   switch (level) {
 #ifdef WSS_SIMD_X86
     case Level::kAvx2:
+      if (end - p < 32) return find_in_set_sse2(p, end, s);
       return find_in_set_avx2(p, end, s);
     case Level::kSse2:
       return find_in_set_sse2(p, end, s);
@@ -493,6 +500,7 @@ const char* find_not_in_set(Level level, const char* p, const char* end,
   switch (level) {
 #ifdef WSS_SIMD_X86
     case Level::kAvx2:
+      if (end - p < 32) return find_not_in_set_sse2(p, end, s);
       return find_not_in_set_avx2(p, end, s);
     case Level::kSse2:
       return find_not_in_set_sse2(p, end, s);
@@ -513,6 +521,8 @@ const char* pair_find(Level level, const char* p, const char* end,
   switch (level) {
 #ifdef WSS_SIMD_X86
     case Level::kAvx2:
+      // The avx2 pair kernel needs 33 bytes (32 positions + lookahead).
+      if (end - p < 33) return pair_find_sse2(p, end, t, pair_start);
       return pair_find_avx2(p, end, t, pair_start);
     case Level::kSse2:
       return pair_find_sse2(p, end, t, pair_start);

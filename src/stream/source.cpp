@@ -27,4 +27,22 @@ bool IngestRing::push(StreamItem item) {
   return true;
 }
 
+std::size_t IngestRing::push_batch_evicting(std::vector<StreamItem>& items,
+                                            std::size_t from) {
+  return push_batch_evicting(items, from, items.size());
+}
+
+std::size_t IngestRing::push_batch_evicting(std::vector<StreamItem>& items,
+                                            std::size_t from,
+                                            std::size_t to) {
+  const std::size_t evicted = queue_.push_evicting_many(items, from, to);
+  if (evicted == core::MpmcQueue<StreamItem>::kClosed) return 0;
+  if (evicted > 0) {
+    static obs::Counter& dropped_counter =
+        obs::registry().counter("wss_stream_ring_dropped_total");
+    dropped_counter.inc(evicted);
+  }
+  return evicted;
+}
+
 }  // namespace wss::stream

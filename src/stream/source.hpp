@@ -31,6 +31,11 @@ struct StreamItem {
   std::uint64_t index = 0;  ///< position in the source stream
   sim::SimEvent event;
   std::string line;
+  /// Wall-clock send stamp (microseconds since epoch) carried by a
+  /// latency-stamping network client; 0 = unstamped. The consumer
+  /// subtracts it from its own clock to observe end-to-end ingest
+  /// latency (net/tenant.cpp).
+  std::int64_t client_us = 0;
 };
 
 /// What to do when the ring is full and the producer has a new item.
@@ -50,8 +55,49 @@ class IngestRing {
   /// ring was closed (the item is discarded, not counted as dropped).
   bool push(StreamItem item);
 
+  /// Non-evicting bulk admission: swaps items[from..to) in until the
+  /// ring is full, returning how many were accepted. The check and the
+  /// insert share the queue's lock, so concurrent producers can never
+  /// overfill (the lossless-TCP admission path -- policy-independent
+  /// because nothing is ever evicted here). A closed ring discards the
+  /// rest and reports it accepted. Admitted elements receive retired
+  /// ring-slot payloads back (see MpmcQueue::try_push_many), so
+  /// producers that reuse their batch storage skip the per-line
+  /// allocation.
+  std::size_t try_push_batch(std::vector<StreamItem>& items,
+                             std::size_t from, std::size_t to) {
+    return queue_.try_push_many(items, from, to);
+  }
+  std::size_t try_push_batch(std::vector<StreamItem>& items,
+                             std::size_t from) {
+    return queue_.try_push_many(items, from);
+  }
+
+  /// Evicting bulk push (kDropOldest semantics regardless of policy):
+  /// every item enters; evictions are counted exactly and mirrored to
+  /// the stream drop counter. Returns the eviction count (0 when the
+  /// ring was closed -- nothing entered, nothing dropped).
+  std::size_t push_batch_evicting(std::vector<StreamItem>& items,
+                                  std::size_t from);
+  std::size_t push_batch_evicting(std::vector<StreamItem>& items,
+                                  std::size_t from, std::size_t to);
+
   /// Consumer side: blocks while empty, nullopt at end-of-stream.
   std::optional<StreamItem> pop() { return queue_.pop(); }
+
+  /// Bulk consumer: blocks while empty, then appends up to `max` items
+  /// to `out` under one lock. 0 = closed and drained.
+  std::size_t pop_many(std::vector<StreamItem>& out, std::size_t max) {
+    return queue_.pop_many(out, max);
+  }
+
+  /// Recycling bulk consumer: swaps up to `max` items into out[0..n),
+  /// parking the caller's processed elements in the vacated slots so
+  /// the next batch admission hands their line buffers back to a
+  /// producer (MpmcQueue::pop_many_swap). 0 = closed and drained.
+  std::size_t pop_many_swap(std::vector<StreamItem>& out, std::size_t max) {
+    return queue_.pop_many_swap(out, max);
+  }
 
   /// Non-blocking consumer probe (empty != end-of-stream).
   std::optional<StreamItem> try_pop() { return queue_.try_pop(); }

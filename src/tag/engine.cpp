@@ -1,5 +1,6 @@
 #include "tag/engine.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <map>
@@ -15,6 +16,11 @@ match::MatchScratch& thread_local_scratch() {
   return scratch;
 }
 
+std::uint64_t next_engine_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 TagEngineMode TagEngine::mode_from_env() {
@@ -26,7 +32,9 @@ TagEngineMode TagEngine::mode_from_env() {
 }
 
 TagEngine::TagEngine(RuleSet rules, TagEngineMode mode)
-    : rules_(std::move(rules)), mode_(mode) {
+    : rules_(std::move(rules)),
+      mode_(mode),
+      instance_id_(next_engine_instance_id()) {
   // Compile the rule plans: every whole-line term becomes a pattern of
   // the combined set matcher; every non-negated term with a provable
   // required literal contributes to the Aho–Corasick prefilter. (A
@@ -102,31 +110,26 @@ std::optional<TagResult> TagEngine::tag_line_scan(
   return std::nullopt;
 }
 
-std::optional<TagResult> TagEngine::tag_line(
-    std::string_view line, match::MatchScratch& scratch) const {
-  ++scratch.tag_lines;
-  if (mode_ == TagEngineMode::kNaive) {
-    const auto r = tag_line_scan(line, scratch, nullptr);
-    if (r) ++scratch.tag_hits;
-    return r;
+const std::uint64_t* TagEngine::candidate_set(match::MatchScratch& scratch,
+                                              bool& any_candidate) const {
+  match::CandidateCache& cache = scratch.candidate_cache;
+  if (cache.owner != instance_id_) {
+    cache.owner = instance_id_;
+    cache.entries.clear();
+    cache.next_evict = 0;
+  }
+  // Linear probe: the cache is a handful of entries and the keys are a
+  // few words, so this is cheaper than any hashing on the hit path.
+  for (const match::CandidateCache::Entry& e : cache.entries) {
+    if (e.key == scratch.found) {
+      any_candidate = e.any;
+      return e.candidates.data();
+    }
   }
 
-  // 1. One Aho–Corasick pass over the line: which required literals
-  //    occur? From that, which rules are still candidates?
-  match::bitset_clear(scratch.found, literals_->bitset_words());
-  literals_->scan(line, scratch.found.data());
-  // Typical chatter contains no required literal at all; unless some
-  // rule is ungated (no provable literal), such a line is decided by
-  // the scan alone.
-  std::uint64_t found_any = 0;
-  for (const std::uint64_t w : scratch.found) found_any |= w;
-  if (found_any == 0 && !has_ungated_rule_) {
-    ++scratch.prefilter_rejects;
-    return std::nullopt;
-  }
   const std::size_t rule_words = (plans_.size() + 63) / 64;
   match::bitset_clear(scratch.candidates, rule_words);
-  bool any_candidate = false;
+  any_candidate = false;
   for (std::size_t i = 0; i < plans_.size(); ++i) {
     if (plans_[i].never) continue;
     const std::uint64_t* mask = lit_masks_.data() + i * lit_words_;
@@ -139,13 +142,54 @@ std::optional<TagResult> TagEngine::tag_line(
       any_candidate = true;
     }
   }
+
+  if (cache.entries.size() < match::CandidateCache::kSlots) {
+    cache.entries.push_back(
+        {scratch.found, scratch.candidates, any_candidate});
+    return cache.entries.back().candidates.data();
+  }
+  // Round-robin overwrite into same-sized vectors: no allocation once
+  // the cache is warm, whatever the working set of combinations.
+  match::CandidateCache::Entry& e = cache.entries[cache.next_evict];
+  cache.next_evict =
+      (cache.next_evict + 1) % match::CandidateCache::kSlots;
+  e.key = scratch.found;
+  e.candidates = scratch.candidates;
+  e.any = any_candidate;
+  return e.candidates.data();
+}
+
+std::optional<TagResult> TagEngine::tag_line(
+    std::string_view line, match::MatchScratch& scratch) const {
+  ++scratch.tag_lines;
+  if (mode_ == TagEngineMode::kNaive) {
+    const auto r = tag_line_scan(line, scratch, nullptr);
+    if (r) ++scratch.tag_hits;
+    return r;
+  }
+
+  // 1. One Aho–Corasick pass over the line: which required literals
+  //    occur? From that, which rules are still candidates? The scan
+  //    sizes/zeroes the bitset and reports "found any" itself, so the
+  //    chatter rejection costs no extra pass over the words.
+  const std::uint64_t found_any =
+      literals_->scan_fresh(line, scratch.found);
+  // Typical chatter contains no required literal at all; unless some
+  // rule is ungated (no provable literal), such a line is decided by
+  // the scan alone.
+  if (found_any == 0 && !has_ungated_rule_) {
+    ++scratch.prefilter_rejects;
+    return std::nullopt;
+  }
+  bool any_candidate = false;
+  const std::uint64_t* candidates = candidate_set(scratch, any_candidate);
   if (!any_candidate) {
     ++scratch.prefilter_rejects;
     return std::nullopt;  // the chatter fast path
   }
 
   if (mode_ == TagEngineMode::kPrefilter) {
-    const auto r = tag_line_scan(line, scratch, scratch.candidates.data());
+    const auto r = tag_line_scan(line, scratch, candidates);
     if (r) ++scratch.tag_hits;
     return r;
   }
@@ -154,7 +198,7 @@ std::optional<TagResult> TagEngine::tag_line(
   //    candidate rule at once.
   match::bitset_clear(scratch.interesting, multi_->bitset_words());
   for (std::size_t i = 0; i < plans_.size(); ++i) {
-    if (!match::bitset_test(scratch.candidates.data(), i)) continue;
+    if (!match::bitset_test(candidates, i)) continue;
     const auto& mask = rule_pids_[i];
     for (std::size_t w = 0; w < mask.size(); ++w) {
       scratch.interesting[w] |= mask[w];
@@ -165,7 +209,7 @@ std::optional<TagResult> TagEngine::tag_line(
   // 3. First match wins, by rule index -- identical to the naive loop.
   bool fields_ready = false;
   for (std::size_t i = 0; i < plans_.size(); ++i) {
-    if (!match::bitset_test(scratch.candidates.data(), i)) continue;
+    if (!match::bitset_test(candidates, i)) continue;
     const RulePlan& plan = plans_[i];
     bool ok = true;
     for (const TermPlan& t : plan.terms) {

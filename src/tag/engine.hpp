@@ -109,8 +109,18 @@ class TagEngine {
                                          match::MatchScratch& scratch,
                                          const std::uint64_t* candidates) const;
 
+  /// Computes (or fetches from the scratch's CandidateCache) the
+  /// candidate-rule bitset for the current literal-found bitset.
+  /// Returns a pointer valid until the scratch's next tag_line call;
+  /// `any_candidate` reports whether the set is non-empty.
+  const std::uint64_t* candidate_set(match::MatchScratch& scratch,
+                                     bool& any_candidate) const;
+
   RuleSet rules_;
   TagEngineMode mode_;
+  /// Unique per-engine id guarding scratch-resident caches (the
+  /// dfa_owner pattern; an address could be reused after destruction).
+  std::uint64_t instance_id_ = 0;
   std::vector<RulePlan> plans_;
   /// True if some rule has no provable literal (it is always a
   /// candidate, so a literal-free line cannot be rejected early).

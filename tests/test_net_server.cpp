@@ -196,8 +196,8 @@ TEST_F(NetServerTest, UdpDatagramIngest) {
   const Ipv4 to = resolve_ipv4("127.0.0.1", server_->udp_port(0));
   // Two lines in one datagram (trailing empty segment is not a line),
   // a bare line with no terminator, and a CRLF-terminated line.
-  for (const std::string gram : {std::string("a\nb\n"), std::string("c"),
-                                 std::string("d\r\n")}) {
+  for (const char* gram_cstr : {"a\nb\n", "c", "d\r\n"}) {
+    const std::string gram(gram_cstr);
     ASSERT_TRUE(send_dgram(tx.get(), to, gram.data(), gram.size()));
   }
   wait_status_contains("\"name\":\"u\",\"system\":\"liberty\",\"delivered\":4");

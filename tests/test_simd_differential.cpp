@@ -12,6 +12,7 @@
 // detected level on exit so ordering cannot leak between tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <string>
@@ -239,6 +240,71 @@ TEST(SimdDifferential, PairFindMatchesScalarAtEveryLevel) {
         }
         if (ref == end || ref + 1 == end) break;
         ps = ref + 1;
+      }
+    }
+  }
+}
+
+// The 16-31 byte band (and 17-32 for pair_find, whose kernels need one
+// byte of lookahead) is where the avx2 dispatcher hands off to the
+// sse2 twin instead of letting the avx2 kernel fail its own 32-byte
+// guard and hop. Token lengths in real log fields live exactly here,
+// so this band gets its own exhaustive sweep: every length across the
+// handoff boundaries, every alignment offset 0..15, needle at every
+// position plus absent, at every supported level.
+TEST(SimdDifferential, ShortRangeBandMatchesScalarAtEveryLevel) {
+  const LevelGuard guard;
+  const auto levels = vector_levels();
+  const NibbleSet ws = make_nibble_set(" \t\n\r\f\v");
+  PairTables t;
+  pair_tables_add_pair(t, 'K', 'E');
+  std::vector<std::uint64_t> bitmap(1024, 0);
+  const std::uint32_t idx = (std::uint32_t{'K'} << 8) | 'E';
+  bitmap[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+
+  // Backing buffer padded so every (offset, len) slice is in bounds
+  // and the bytes after `end` are non-matching (kernels must not read
+  // conclusions from them even if they over-read within the page).
+  std::mt19937 rng(0xBAD5EED);
+  for (std::size_t len = 14; len <= 36; ++len) {
+    for (std::size_t off = 0; off < 16; ++off) {
+      std::string buf(off + len + 64, 'q');
+      for (char& ch : buf) {
+        ch = static_cast<char>('a' + rng() % 26);
+      }
+      char* const begin = buf.data() + off;
+      char* const end = begin + len;
+      // `pos == len` leaves the needle absent entirely.
+      for (std::size_t pos = 0; pos <= len; ++pos) {
+        const std::string saved(begin, len);
+        if (pos < len) begin[pos] = '\n';
+        if (pos + 1 < len) begin[pos + 1] = ' ';
+        const char* ref = find_byte(Level::kScalar, begin, end, '\n');
+        const char* ref_set = find_in_set(Level::kScalar, begin, end, ws);
+        const char* ref_not = find_not_in_set(Level::kScalar, begin, end, ws);
+        for (const Level l : levels) {
+          ASSERT_EQ(find_byte(l, begin, end, '\n'), ref)
+              << level_name(l) << " len=" << len << " off=" << off
+              << " pos=" << pos;
+          ASSERT_EQ(find_in_set(l, begin, end, ws), ref_set)
+              << level_name(l) << " len=" << len << " off=" << off;
+          ASSERT_EQ(find_not_in_set(l, begin, end, ws), ref_not)
+              << level_name(l) << " len=" << len << " off=" << off;
+        }
+        // pair_find with the 'KE' prefix planted at `pos` (needs two
+        // bytes, so cap at len-1); also covers the absent case.
+        if (pos + 1 < len) {
+          begin[pos] = 'K';
+          begin[pos + 1] = 'E';
+        }
+        const char* ref_pair =
+            pair_find(Level::kScalar, begin, end, t, bitmap.data());
+        for (const Level l : levels) {
+          ASSERT_EQ(pair_find(l, begin, end, t, bitmap.data()), ref_pair)
+              << level_name(l) << " len=" << len << " off=" << off
+              << " pos=" << pos;
+        }
+        std::copy(saved.begin(), saved.end(), begin);
       }
     }
   }
