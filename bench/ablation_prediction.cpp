@@ -6,15 +6,52 @@
 // Protocol: per system, train on the first 60% of the collection
 // window (fit precursor pairs, periodicity, and the ensemble routing),
 // evaluate on the remaining 40% against ground-truth failure onsets.
+//
+// A second, online section replays the same protocol through
+// stream::StreamPipeline with the prediction stage enabled (the
+// `wss stream --predict` path): train_alerts is sized by a pre-pass so
+// the stage fits at the same 60% time boundary, and per-system
+// precision / recall / median lead time land in BENCH_prediction.json
+// (JSON-lines, like BENCH_stream.json) for the cross-PR trajectory.
 #include "bench_common.hpp"
 
+#include "obs/metrics.hpp"
 #include "predict/ensemble.hpp"
 #include "predict/periodic.hpp"
 #include "predict/precursor.hpp"
 #include "predict/rate_burst.hpp"
+#include "stream/pipeline.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Median of a fixed-bucket histogram delta, linearly interpolated
+/// inside the median bucket (+Inf bucket reports the last bound --
+/// lead times above 4h saturate the operational scale anyway).
+double bucket_median(const std::vector<double>& bounds,
+                     const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  const double target = static_cast<double>(total) / 2.0;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (static_cast<double>(cum) >= target) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : bounds.back();
+      const double frac =
+          (target - static_cast<double>(cum - counts[i])) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds.back();
+}
+
+}  // namespace
 
 int main() {
   using namespace wss;
@@ -86,6 +123,116 @@ int main() {
   }
   bench::end_csv("prediction");
   std::cout << "\n" << t.render();
+
+  // ---- Online section: the same protocol through the streaming
+  // prediction stage (`wss stream --predict`). ----
+#ifndef WSS_PREDICT_OFF
+  std::cout << "\n==== Online: StreamPipeline --predict ====\n";
+  util::Table ot({"System", "Issued", "Precision", "Recall(test)",
+                  "MedLead(s)", "Rules", "Incidents"});
+  obs::Histogram& lead_hist = obs::registry().histogram(
+      "wss_predict_lead_time_seconds", obs::lead_time_bounds_seconds());
+  std::string json = util::format(
+      "{\"bench\":\"ablation_prediction\",\"mode\":\"online\","
+      "\"workload\":\"cap=%zu chatter=%zu\",\"systems\":[",
+      bench::standard_options().sim.category_cap,
+      bench::standard_options().sim.chatter_events);
+  bool json_first = true;
+  for (const auto id : parse::kAllSystems) {
+    const auto& simulator = study.simulator(id);
+    const auto& events = simulator.events();
+    if (events.empty()) continue;
+    const auto& spec = sim::system_spec(id);
+    const util::TimeUs split =
+        spec.start_time() + (spec.end_time() - spec.start_time()) * 6 / 10;
+
+    // Pre-pass: how many raw alerts does the pipeline itself offer
+    // before the 60% boundary? That count, as train_alerts, makes the
+    // online stage fit at the batch protocol's train/test cut.
+    std::uint64_t train_alerts = 0;
+    {
+      stream::StreamPipeline pre(id);
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i].time >= split) break;
+        pre.ingest(events[i], simulator.line(i));
+      }
+      pre.finish();
+      train_alerts = pre.snapshot().alerts_offered;
+    }
+    if (train_alerts == 0) continue;
+
+    const auto lead_before = lead_hist.bucket_counts();
+    stream::StreamPipelineOptions popts;
+    popts.predict.enabled = true;
+    popts.predict.train_alerts = train_alerts;
+    stream::StreamPipeline pipeline(id, popts);
+    std::uint64_t incidents_at_fit = 0;
+    bool seen_fit = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      pipeline.ingest(events[i], simulator.line(i));
+      if (!seen_fit && pipeline.predict_stage()->fitted()) {
+        seen_fit = true;
+        incidents_at_fit = pipeline.predict_stage()->stats().incidents;
+      }
+    }
+    pipeline.finish();
+    const auto snap = pipeline.snapshot();
+    const auto lead_after = lead_hist.bucket_counts();
+    std::vector<std::uint64_t> lead_delta(lead_after.size(), 0);
+    for (std::size_t i = 0; i < lead_after.size(); ++i) {
+      lead_delta[i] = lead_after[i] - lead_before[i];
+    }
+    const double median_lead =
+        bucket_median(lead_hist.bounds(), lead_delta);
+
+    // Pre-fit incidents are unpredictable by construction (the stage
+    // is still training), so test recall excludes them; precision is
+    // over issued predictions, all of which are post-fit.
+    const std::uint64_t issued = snap.predict_issued;
+    const std::uint64_t test_incidents =
+        snap.predict_incidents - incidents_at_fit;
+    const double precision =
+        issued == 0 ? 0.0
+                    : static_cast<double>(issued - snap.predict_false_alarms) /
+                          static_cast<double>(issued);
+    const double recall =
+        test_incidents == 0
+            ? 0.0
+            : static_cast<double>(snap.predict_hits) /
+                  static_cast<double>(test_incidents);
+
+    ot.add_row({std::string(parse::system_name(id)), std::to_string(issued),
+                util::format("%.2f", precision), util::format("%.2f", recall),
+                util::format("%.0f", median_lead),
+                std::to_string(snap.predict_rules),
+                std::to_string(snap.predict_incidents)});
+    json += util::format(
+        "%s{\"system\":\"%s\",\"train_alerts\":%llu,\"issued\":%llu,"
+        "\"hits\":%llu,\"misses\":%llu,\"false_alarms\":%llu,"
+        "\"incidents\":%llu,\"test_incidents\":%llu,\"rules\":%zu,"
+        "\"precision\":%.4f,\"recall\":%.4f,\"lead_time_median_s\":%.1f}",
+        json_first ? "" : ",",
+        std::string(parse::system_short_name(id)).c_str(),
+        static_cast<unsigned long long>(train_alerts),
+        static_cast<unsigned long long>(issued),
+        static_cast<unsigned long long>(snap.predict_hits),
+        static_cast<unsigned long long>(snap.predict_misses),
+        static_cast<unsigned long long>(snap.predict_false_alarms),
+        static_cast<unsigned long long>(snap.predict_incidents),
+        static_cast<unsigned long long>(test_incidents), snap.predict_rules,
+        precision, recall, median_lead);
+    json_first = false;
+  }
+  json += "]}";
+  std::cout << ot.render();
+  {
+    std::ofstream os("BENCH_prediction.json", std::ios::app);
+    if (os) os << json << "\n";
+  }
+  std::cout << "(appended to BENCH_prediction.json)\n";
+#else
+  std::cout << "\n(online section skipped: WSS_PREDICT_OFF build)\n";
+#endif
   std::cout << util::format(
       "\nEnsemble within 15%% of the best hindsight-chosen single\n"
       "predictor on every system, without knowing which feature works\n"

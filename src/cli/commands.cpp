@@ -102,6 +102,47 @@ bool parse_metrics_flag(const Args& args, std::ostream& err,
   return true;
 }
 
+/// Shared --predict flag family (stream and serve). The satellite
+/// flags are usage errors without --predict, and bad values are loud
+/// (exit 2), matching the --threads convention.
+bool parse_predict_flags(const Args& args, std::ostream& err,
+                         stream::PredictOptions& predict) {
+  predict.enabled = args.has("predict");
+  const bool has_train = args.has("predict-train");
+  const bool has_horizon = args.has("predict-horizon");
+  if (!predict.enabled && (has_train || has_horizon)) {
+    err << "--predict-train/--predict-horizon require --predict\n";
+    return false;
+  }
+  if (has_train) {
+    std::int64_t n = 0;
+    try {
+      n = args.get_int("predict-train", 0);
+    } catch (const std::exception&) {
+      n = 0;
+    }
+    if (n < 1) {
+      err << "--predict-train wants a training alert count >= 1\n";
+      return false;
+    }
+    predict.train_alerts = static_cast<std::size_t>(n);
+  }
+  if (has_horizon) {
+    double s = 0.0;
+    try {
+      s = args.get_double("predict-horizon", 0.0);
+    } catch (const std::exception&) {
+      s = 0.0;
+    }
+    if (s <= 0.0) {
+      err << "--predict-horizon wants a window in seconds > 0\n";
+      return false;
+    }
+    predict.horizon_us = static_cast<util::TimeUs>(s * 1e6);
+  }
+  return true;
+}
+
 /// Snapshots the registry to `path` (JSON, or Prometheus text for
 /// .prom). Returns the command's exit code contribution: 0, or 1 on an
 /// I/O failure.
@@ -245,6 +286,11 @@ void print_usage(std::ostream& os) {
         "             [--policy block|drop-oldest] [--refresh N]\n"
         "             [--checkpoint PATH] [--restore PATH]\n"
         "             [--max-events N] [--emit PATH]\n"
+        "             [--predict]  online failure prediction: mines\n"
+        "             episode rules + runs the predictor ensemble over\n"
+        "             the alert stream ([--predict-train N] alerts of\n"
+        "             self-training, [--predict-horizon SEC] window);\n"
+        "             predictions ride --emit as 'P' lines\n"
         "             SIGINT/SIGTERM drain gracefully: finish in-flight\n"
         "             events, checkpoint (with --checkpoint), report\n"
         "  serve      multi-tenant network ingest server: one stream\n"
@@ -260,6 +306,9 @@ void print_usage(std::ostream& os) {
         "             [--max-frame BYTES] [--drain-grace SEC]\n"
         "             [--loop-shards N|auto]  SO_REUSEPORT event-loop\n"
         "             shards (default 1; auto = hardware threads <= 8)\n"
+        "             [--predict] [--predict-train N]\n"
+        "             [--predict-horizon SEC]  per-tenant online failure\n"
+        "             prediction (wss_predict_* in /metrics and /status)\n"
         "             SIGTERM/SIGINT drain + checkpoint each tenant;\n"
         "             SIGHUP re-exports --metrics without stopping\n"
         "\n"
@@ -674,6 +723,8 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
            "checkpoint would overwrite the state being restored)\n";
     return 2;
   }
+  stream::PredictOptions predict;
+  if (!parse_predict_flags(args, err, predict)) return 2;
   std::optional<std::string> metrics;
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
@@ -683,7 +734,15 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
   popts.study.window_us = static_cast<util::TimeUs>(window_s * 1e6);
   popts.strict_order = !in_path.has_value();
   popts.start_year = year;
-  stream::StreamPipeline pipeline(*system, popts);
+  popts.predict = predict;
+  std::optional<stream::StreamPipeline> pipeline_storage;
+  try {
+    pipeline_storage.emplace(*system, popts);
+  } catch (const std::exception& e) {
+    err << "stream: " << e.what() << "\n";
+    return 1;
+  }
+  stream::StreamPipeline& pipeline = *pipeline_storage;
 
   if (restore_path) {
     std::ifstream is(*restore_path, std::ios::binary);
@@ -709,6 +768,13 @@ int cmd_stream(const Args& args, std::ostream& out, std::ostream& err) {
     pipeline.set_alert_sink([&emit](const filter::Alert& a) {
       emit << util::format_iso(a.time) << ' ' << a.category << ' '
            << filter::alert_type_letter(a.type) << ' ' << a.source << '\n';
+    });
+    // Predicted-alert events ride the same channel, marked 'P':
+    // issue time, predicted category, and the expected window.
+    pipeline.set_prediction_sink([&emit](const predict::Prediction& p) {
+      emit << "P " << util::format_iso(p.issued_at) << ' ' << p.category
+           << ' ' << util::format_iso(p.window_begin) << ' '
+           << util::format_iso(p.window_end) << '\n';
     });
   }
 
@@ -883,6 +949,8 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   const auto tcp_spec = args.get("tcp");
   const auto udp_spec = args.get("udp");
   const auto http_spec = args.get("http");
+  stream::PredictOptions predict;
+  if (!parse_predict_flags(args, err, predict)) return 2;
   std::optional<std::string> metrics;
   if (!parse_metrics_flag(args, err, metrics)) return 2;
   if (reject_unused(args, err)) return 2;
@@ -914,6 +982,11 @@ int cmd_serve(const Args& args, std::ostream& out, std::ostream& err) {
   sopts.tenant_defaults.window_s = window_s;
   sopts.tenant_defaults.queue_capacity =
       static_cast<std::size_t>(queue_cap);
+  // The --predict family applies to every tenant (explicit --tenant
+  // entries copy the defaults below; handshake tenants clone them too).
+  sopts.tenant_defaults.predict = predict.enabled;
+  sopts.tenant_defaults.predict_train = predict.train_alerts;
+  sopts.tenant_defaults.predict_horizon_us = predict.horizon_us;
   sopts.max_frame = static_cast<std::size_t>(max_frame);
   sopts.drain_grace_ms = static_cast<int>(drain_grace_s * 1000.0);
   if (metrics) sopts.metrics_path = *metrics;

@@ -1,0 +1,168 @@
+#include "mine/episodes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wss::mine {
+
+EpisodeMiner::EpisodeMiner(EpisodeOptions opts) : opts_(opts) {
+  if (opts_.window_us <= 0) {
+    throw std::invalid_argument("episode miner: window must be positive");
+  }
+  if (opts_.incident_gap_us <= 0) {
+    throw std::invalid_argument("episode miner: incident gap must be positive");
+  }
+  if (opts_.max_candidates == 0) {
+    throw std::invalid_argument("episode miner: max_candidates must be >= 1");
+  }
+}
+
+void EpisodeMiner::grow(std::size_t category) {
+  if (category >= kMaxEpisodeCategories) {
+    throw std::invalid_argument("episode miner: category id out of range");
+  }
+  if (category < last_alert_.size()) return;
+  const std::size_t n = category + 1;
+  alert_seen_.resize(n, 0);
+  last_alert_.resize(n, 0);
+  start_seen_.resize(n, 0);
+  last_start_.resize(n, 0);
+  incident_count_.resize(n, 0);
+}
+
+bool EpisodeMiner::is_banned(std::uint32_t key) const {
+  if (banned_.empty()) return false;
+  return (banned_[key >> 6] >> (key & 63)) & 1;
+}
+
+void EpisodeMiner::ban(std::uint32_t key) {
+  if (banned_.empty()) banned_.resize(kBanWords, 0);
+  banned_[key >> 6] |= std::uint64_t{1} << (key & 63);
+  ++bans_;
+}
+
+void EpisodeMiner::credit(std::uint32_t key, util::TimeUs a_start,
+                          util::TimeUs delay) {
+  auto it = candidates_.find(key);
+  if (it == candidates_.end()) {
+    if (is_banned(key)) return;
+    if (candidates_.size() >= opts_.max_candidates) {
+      // Full table: evict the lowest-support resident iff its support
+      // is 1 (first key in order breaks ties); a resident with
+      // support >= 2 has more evidence than the newcomer's single
+      // occurrence, so the newcomer is refused instead. Either way the
+      // loser is banned permanently, preserving the invariant that
+      // every *tracked* pair has been counted since its first
+      // occurrence (exactness vs the unbounded reference).
+      auto victim = candidates_.begin();
+      for (auto cand = candidates_.begin(); cand != candidates_.end();
+           ++cand) {
+        if (cand->second.support < victim->second.support) victim = cand;
+      }
+      if (victim->second.support <= 1) {
+        ban(victim->first);
+        candidates_.erase(victim);
+        ++evictions_;
+      } else {
+        ban(key);
+        return;
+      }
+    }
+    it = candidates_.emplace(key, Candidate{}).first;
+    it->second.delay_min_us = delay;
+    it->second.delay_max_us = delay;
+  }
+  Candidate& c = it->second;
+  if (c.support > 0 && c.last_credited_start == a_start) return;
+  c.last_credited_start = a_start;
+  ++c.support;
+  // Welford update on the first-successor delay.
+  const double x = static_cast<double>(delay);
+  const double d = x - c.delay_mean_us;
+  c.delay_mean_us += d / static_cast<double>(c.support);
+  c.delay_m2_us += d * (x - c.delay_mean_us);
+  if (delay < c.delay_min_us) c.delay_min_us = delay;
+  if (delay > c.delay_max_us) c.delay_max_us = delay;
+}
+
+bool EpisodeMiner::observe(const filter::Alert& a) {
+  const std::size_t b = a.category;
+  grow(b);
+  const bool fresh =
+      !alert_seen_[b] || a.time - last_alert_[b] >= opts_.incident_gap_us;
+  alert_seen_[b] = 1;
+  last_alert_[b] = a.time;
+  if (!fresh) return false;
+
+  ++incident_count_[b];
+  ++incidents_total_;
+  // Credit every category whose most recent incident start falls
+  // inside (t - window, t). Ascending category order keeps table
+  // mutation deterministic.
+  for (std::size_t cat = 0; cat < last_start_.size(); ++cat) {
+    if (cat == b || !start_seen_[cat]) continue;
+    const util::TimeUs delay = a.time - last_start_[cat];
+    if (delay <= 0 || delay > opts_.window_us) continue;
+    credit(pair_key(cat, b), last_start_[cat], delay);
+  }
+  start_seen_[b] = 1;
+  last_start_[b] = a.time;
+  return true;
+}
+
+EpisodeRule EpisodeMiner::to_rule(std::uint32_t key,
+                                  const Candidate& c) const {
+  EpisodeRule r;
+  r.predecessor = static_cast<std::uint16_t>(key / kMaxEpisodeCategories);
+  r.successor = static_cast<std::uint16_t>(key % kMaxEpisodeCategories);
+  r.support = c.support;
+  r.incidents = incident_count_[r.predecessor];
+  r.confidence = r.incidents == 0
+                     ? 0.0
+                     : static_cast<double>(r.support) /
+                           static_cast<double>(r.incidents);
+  r.delay_mean_s = c.delay_mean_us / 1e6;
+  r.delay_stddev_s =
+      c.support < 2 ? 0.0
+                    : std::sqrt(c.delay_m2_us /
+                                static_cast<double>(c.support - 1)) /
+                          1e6;
+  r.delay_min_s = static_cast<double>(c.delay_min_us) / 1e6;
+  r.delay_max_s = static_cast<double>(c.delay_max_us) / 1e6;
+  return r;
+}
+
+std::vector<EpisodeRule> EpisodeMiner::rules() const {
+  std::vector<EpisodeRule> out;
+  for (const auto& [key, c] : candidates_) {
+    const EpisodeRule r = to_rule(key, c);
+    if (r.support < opts_.min_support) continue;
+    if (r.confidence < opts_.min_confidence) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<EpisodeRule> EpisodeMiner::rules_from(
+    std::uint16_t predecessor) const {
+  std::vector<EpisodeRule> out;
+  const std::uint32_t lo = pair_key(predecessor, 0);
+  const std::uint32_t hi = pair_key(predecessor + 1, 0);
+  for (auto it = candidates_.lower_bound(lo);
+       it != candidates_.end() && it->first < hi; ++it) {
+    const EpisodeRule r = to_rule(it->first, it->second);
+    if (r.support < opts_.min_support) continue;
+    if (r.confidence < opts_.min_confidence) continue;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void EpisodeMiner::clear_streaming_state() {
+  std::fill(alert_seen_.begin(), alert_seen_.end(), 0);
+  std::fill(last_alert_.begin(), last_alert_.end(), 0);
+  std::fill(start_seen_.begin(), start_seen_.end(), 0);
+  std::fill(last_start_.begin(), last_start_.end(), 0);
+}
+
+}  // namespace wss::mine

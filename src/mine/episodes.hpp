@@ -1,0 +1,236 @@
+// Online episode mining: timed event-correlation rules under bounded
+// state.
+//
+// The paper's Figure 3 (GM_PAR -> GM_LANAI) and Figure 4
+// (PBS_CHK -> PBS_BFD) are exactly the "A predicts B shortly after"
+// relationships that LogMaster-style systems mine as frequent episodes
+// with timing. The batch PrecursorPredictor already estimates
+// P(B | A) on a materialized training vector; this miner keeps the
+// same quantity -- support, confidence, and the inter-event delay
+// distribution of predecessor->successor incident pairs -- live over
+// an unbounded stream, with two hard memory bounds:
+//
+//   1. *The candidate table never exceeds max_candidates entries.*
+//      When a never-seen pair arrives at a full table, either the
+//      lowest-support (support == 1) candidate is evicted to make
+//      room, or -- if every resident has support >= 2 -- the incoming
+//      pair is refused. Ties break on key order, so eviction is fully
+//      deterministic.
+//   2. *Evicted or refused pairs are permanently banned* in a
+//      fixed-size bitset (kMaxEpisodeCategories^2 bits = 128 KiB,
+//      allocated lazily on the first ban). A banned pair is never
+//      re-admitted and never emitted.
+//
+// Together these give the correctness property the differential-fuzz
+// suite pins: every rule the bounded miner emits has been tracked
+// since the pair's first occurrence, so its support and confidence are
+// bit-identical to an unbounded reference over the same stream. The
+// bound trades *recall* (banned pairs are lost), never *correctness*.
+//
+// Incident detection matches predict::PrecursorPredictor: an alert
+// begins a new incident of its category when the previous alert of
+// that category is at least incident_gap_us old. On a B-incident start
+// at time t, every category A whose most recent incident start t_A
+// satisfies 0 < t - t_A <= window_us is credited once per A-start
+// (a second B-start inside the same window does not double-count),
+// and the first-B-after-A delay t - t_A feeds the pair's streaming
+// delay moments (Welford) and min/max.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "filter/alert.hpp"
+#include "util/time.hpp"
+
+namespace wss::mine {
+
+/// Category-id ceiling for episode pairs, matching the tag layer's
+/// kMaxRules guard (tag/rule.hpp): pair keys are a*1024+b, and the ban
+/// bitset is sized for the full 1024^2 universe -- 128 KiB, the
+/// miner's worst-case footprint beyond the candidate table itself.
+inline constexpr std::size_t kMaxEpisodeCategories = 1024;
+
+/// Knobs for EpisodeMiner.
+struct EpisodeOptions {
+  /// A successor incident counts when it starts within this window
+  /// after the predecessor's incident start.
+  util::TimeUs window_us = 10 * util::kUsPerMin;
+  /// Incident detection gap (same default as the batch predictors).
+  util::TimeUs incident_gap_us = 30 * util::kUsPerSec;
+  /// Hard cap on tracked candidate pairs (bound 1 above).
+  std::size_t max_candidates = 4096;
+  /// rules() floors: drop pairs below this support / confidence.
+  std::uint64_t min_support = 4;
+  double min_confidence = 0.4;
+};
+
+/// One mined rule: "an incident of `predecessor` is followed by an
+/// incident of `successor` within the window, with this frequency and
+/// delay distribution".
+struct EpisodeRule {
+  std::uint16_t predecessor = 0;
+  std::uint16_t successor = 0;
+  std::uint64_t support = 0;    ///< predecessor starts followed by successor
+  std::uint64_t incidents = 0;  ///< total predecessor incident starts
+  double confidence = 0.0;      ///< support / incidents
+  double delay_mean_s = 0.0;    ///< first-successor delay, seconds
+  double delay_stddev_s = 0.0;  ///< sample stddev (0 when support < 2)
+  double delay_min_s = 0.0;
+  double delay_max_s = 0.0;
+};
+
+/// Bounded-state online miner of timed predecessor->successor rules.
+class EpisodeMiner {
+ public:
+  explicit EpisodeMiner(EpisodeOptions opts = {});
+
+  /// Consumes one alert (time-ordered stream). Returns true iff the
+  /// alert began a new incident of its category.
+  bool observe(const filter::Alert& a);
+
+  /// Rules passing the min_support/min_confidence floors, in
+  /// (predecessor, successor) key order.
+  std::vector<EpisodeRule> rules() const;
+
+  /// Rules with `predecessor` as the predecessor, floors applied --
+  /// the per-incident lookup the episode predictor uses (one map range
+  /// scan, not a full-table walk).
+  std::vector<EpisodeRule> rules_from(std::uint16_t predecessor) const;
+
+  /// Forgets the per-category last-alert / last-start times (the
+  /// streaming position) while keeping every mined count -- the
+  /// predict::Predictor::reset() contract.
+  void clear_streaming_state();
+
+  const EpisodeOptions& options() const { return opts_; }
+  std::size_t candidate_count() const { return candidates_.size(); }
+  std::uint64_t incident_count() const { return incidents_total_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t bans() const { return bans_; }
+
+  /// Checkpoint serialization (templated: the mine layer does not link
+  /// the stream layer; stream::CheckpointWriter/Reader satisfy the
+  /// shape). Field order is the format -- keep save/load mirrored.
+  template <class Writer>
+  void save(Writer& w) const {
+    w.u64(static_cast<std::uint64_t>(last_alert_.size()));
+    for (std::size_t c = 0; c < last_alert_.size(); ++c) {
+      w.u8(alert_seen_[c]);
+      w.i64(last_alert_[c]);
+      w.u8(start_seen_[c]);
+      w.i64(last_start_[c]);
+      w.u64(incident_count_[c]);
+    }
+    w.u64(incidents_total_);
+    w.u64(evictions_);
+    w.u64(bans_);
+    w.u64(static_cast<std::uint64_t>(candidates_.size()));
+    for (const auto& [key, c] : candidates_) {
+      w.u32(key);
+      w.u64(c.support);
+      w.i64(c.last_credited_start);
+      w.f64(c.delay_mean_us);
+      w.f64(c.delay_m2_us);
+      w.i64(c.delay_min_us);
+      w.i64(c.delay_max_us);
+    }
+    w.boolean(!banned_.empty());
+    if (!banned_.empty()) {
+      for (const std::uint64_t word : banned_) w.u64(word);
+    }
+  }
+
+  template <class Reader>
+  void load(Reader& r) {
+    const std::uint64_t cats = r.u64();
+    if (cats > kMaxEpisodeCategories) {
+      throw std::runtime_error("episode miner: implausible category count");
+    }
+    grow(cats == 0 ? 0 : static_cast<std::size_t>(cats) - 1);
+    for (std::size_t c = 0; c < cats; ++c) {
+      alert_seen_[c] = r.u8();
+      last_alert_[c] = r.i64();
+      start_seen_[c] = r.u8();
+      last_start_[c] = r.i64();
+      incident_count_[c] = r.u64();
+    }
+    incidents_total_ = r.u64();
+    evictions_ = r.u64();
+    bans_ = r.u64();
+    const std::uint64_t n = r.u64();
+    if (n > opts_.max_candidates) {
+      throw std::runtime_error("episode miner: candidate table over cap");
+    }
+    candidates_.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint32_t key = r.u32();
+      Candidate c;
+      c.support = r.u64();
+      c.last_credited_start = r.i64();
+      c.delay_mean_us = r.f64();
+      c.delay_m2_us = r.f64();
+      c.delay_min_us = r.i64();
+      c.delay_max_us = r.i64();
+      candidates_.emplace(key, c);
+    }
+    banned_.clear();
+    if (r.boolean()) {
+      banned_.resize(kBanWords);
+      for (std::size_t i = 0; i < kBanWords; ++i) banned_[i] = r.u64();
+    }
+  }
+
+ private:
+  struct Candidate {
+    std::uint64_t support = 0;
+    /// Predecessor start already credited (dedupes multiple successor
+    /// starts inside one window; start times strictly increase per
+    /// category, so equality identifies the start).
+    util::TimeUs last_credited_start = 0;
+    // Streaming Welford moments + extrema of the first-successor
+    // delay, in microseconds.
+    double delay_mean_us = 0.0;
+    double delay_m2_us = 0.0;
+    util::TimeUs delay_min_us = 0;
+    util::TimeUs delay_max_us = 0;
+  };
+
+  static constexpr std::size_t kBanWords =
+      kMaxEpisodeCategories * kMaxEpisodeCategories / 64;
+
+  static std::uint32_t pair_key(std::size_t a, std::size_t b) {
+    return static_cast<std::uint32_t>(a * kMaxEpisodeCategories + b);
+  }
+
+  void grow(std::size_t category);
+  bool is_banned(std::uint32_t key) const;
+  void ban(std::uint32_t key);
+  void credit(std::uint32_t key, util::TimeUs a_start, util::TimeUs delay);
+  EpisodeRule to_rule(std::uint32_t key, const Candidate& c) const;
+
+  EpisodeOptions opts_;
+
+  // Per-category state, indexed by category id; vectors grow to the
+  // largest category seen (<= kMaxEpisodeCategories).
+  std::vector<std::uint8_t> alert_seen_;
+  std::vector<util::TimeUs> last_alert_;   ///< last alert time (gap test)
+  std::vector<std::uint8_t> start_seen_;
+  std::vector<util::TimeUs> last_start_;   ///< last incident start
+  std::vector<std::uint64_t> incident_count_;
+
+  std::uint64_t incidents_total_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t bans_ = 0;
+
+  /// key = predecessor * 1024 + successor; std::map so iteration,
+  /// eviction tie-breaks, and serialization are all in key order.
+  std::map<std::uint32_t, Candidate> candidates_;
+
+  /// Permanent pair bans (bound 2 above); empty until the first ban.
+  std::vector<std::uint64_t> banned_;
+};
+
+}  // namespace wss::mine

@@ -1116,7 +1116,7 @@ struct Server::Impl {
         out += util::format(
             "{\"name\":\"%s\",\"system\":\"%s\",\"delivered\":%llu,"
             "\"dropped\":%llu,\"ingested\":%llu,\"admitted\":%llu,"
-            "\"queue\":%zu,\"queue_capacity\":%zu,\"watermark_us\":%lld}",
+            "\"queue\":%zu,\"queue_capacity\":%zu,\"watermark_us\":%lld",
             json_escape(t->name()).c_str(),
             std::string(parse::system_short_name(t->system())).c_str(),
             static_cast<unsigned long long>(t->enqueued()),
@@ -1125,6 +1125,17 @@ struct Server::Impl {
             static_cast<unsigned long long>(t->admitted()), t->ring_size(),
             t->ring_capacity(),
             static_cast<long long>(t->watermark_us()));
+        if (t->predict_enabled()) {
+          out += util::format(
+              ",\"predict\":{\"issued\":%llu,\"hits\":%llu,\"misses\":%llu,"
+              "\"false_alarms\":%llu,\"incidents\":%llu}",
+              static_cast<unsigned long long>(t->predict_issued()),
+              static_cast<unsigned long long>(t->predict_hits()),
+              static_cast<unsigned long long>(t->predict_misses()),
+              static_cast<unsigned long long>(t->predict_false_alarms()),
+              static_cast<unsigned long long>(t->predict_incidents()));
+        }
+        out += "}";
       }
     }
     out += util::format("],\"loop_shards\":%zu,\"shards\":[", shards.size());

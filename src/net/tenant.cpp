@@ -38,6 +38,9 @@ stream::StreamPipelineOptions pipeline_options(const TenantConfig& cfg) {
   // `wss stream --in` (that equivalence is the round-trip proof).
   popts.strict_order = false;
   popts.start_year = cfg.start_year;
+  popts.predict.enabled = cfg.predict;
+  popts.predict.train_alerts = cfg.predict_train;
+  popts.predict.horizon_us = cfg.predict_horizon_us;
   return popts;
 }
 
@@ -54,6 +57,15 @@ Tenant::Tenant(const TenantConfig& cfg)
   pipeline_.set_alert_sink([this](const filter::Alert&) {
     admitted_.fetch_add(1, std::memory_order_relaxed);
   });
+  if (cfg_.predict) {
+    predict_issued_ctr_ =
+        &tenant_counter("wss_predict_issued_total", cfg.name);
+    predict_hits_ctr_ = &tenant_counter("wss_predict_hits_total", cfg.name);
+    predict_misses_ctr_ =
+        &tenant_counter("wss_predict_misses_total", cfg.name);
+    predict_false_alarms_ctr_ =
+        &tenant_counter("wss_predict_false_alarms_total", cfg.name);
+  }
 }
 
 Tenant::~Tenant() { close_and_join(); }
@@ -138,8 +150,30 @@ void Tenant::consume() {
     ingested_.fetch_add(got, std::memory_order_relaxed);
     ingested_ctr_.inc(got);
     watermark_.store(pipeline_.watermark(), std::memory_order_relaxed);
+    publish_predict_stats();
   }
   pipeline_.finish();
+  publish_predict_stats();
+}
+
+void Tenant::publish_predict_stats() {
+  const stream::PredictStage* stage = pipeline_.predict_stage();
+  if (stage == nullptr) return;
+  const stream::PredictStats s = stage->stats();
+  predict_issued_.store(s.issued, std::memory_order_relaxed);
+  predict_hits_.store(s.hits, std::memory_order_relaxed);
+  predict_misses_.store(s.misses, std::memory_order_relaxed);
+  predict_false_alarms_.store(s.false_alarms, std::memory_order_relaxed);
+  predict_incidents_.store(s.incidents, std::memory_order_relaxed);
+  predict_issued_ctr_->inc(s.issued - pub_predict_issued_);
+  predict_hits_ctr_->inc(s.hits - pub_predict_hits_);
+  predict_misses_ctr_->inc(s.misses - pub_predict_misses_);
+  predict_false_alarms_ctr_->inc(s.false_alarms -
+                                 pub_predict_false_alarms_);
+  pub_predict_issued_ = s.issued;
+  pub_predict_hits_ = s.hits;
+  pub_predict_misses_ = s.misses;
+  pub_predict_false_alarms_ = s.false_alarms;
 }
 
 void Tenant::close_and_join() {

@@ -55,6 +55,12 @@ struct TenantConfig {
   /// turning the tenant into a deterministic slow consumer for the
   /// backpressure suite (0 in production).
   std::uint64_t ingest_delay_us = 0;
+
+  /// Online failure prediction for this tenant's pipeline (the serve
+  /// --predict family maps onto these via tenant_defaults).
+  bool predict = false;
+  std::size_t predict_train = 4096;
+  util::TimeUs predict_horizon_us = 10 * util::kUsPerMin;
 };
 
 class Tenant {
@@ -141,12 +147,31 @@ class Tenant {
   std::size_t ring_size() const { return ring_.size(); }
   std::size_t ring_capacity() const { return ring_.capacity(); }
 
+  // Prediction live stats (zero unless config().predict).
+  bool predict_enabled() const { return cfg_.predict; }
+  std::uint64_t predict_issued() const {
+    return predict_issued_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t predict_hits() const {
+    return predict_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t predict_misses() const {
+    return predict_misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t predict_false_alarms() const {
+    return predict_false_alarms_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t predict_incidents() const {
+    return predict_incidents_.load(std::memory_order_relaxed);
+  }
+
   const std::string& name() const { return cfg_.name; }
   parse::SystemId system() const { return cfg_.system; }
   const TenantConfig& config() const { return cfg_; }
 
  private:
   void consume();
+  void publish_predict_stats();
 
   TenantConfig cfg_;
   stream::IngestRing ring_;
@@ -172,6 +197,24 @@ class Tenant {
   /// consumer for stamped lines (sampled 1-in-16; observe() is a
   /// bucket scan and the consumer is the throughput-critical side).
   obs::Histogram& ingest_latency_;
+
+  // Prediction stats mirrored for /status (consumer writes, any thread
+  // reads) and the per-tenant wss_predict_* counters (registered only
+  // when prediction is on; delta-published by the consumer against the
+  // pub_* baselines, which only the consumer touches).
+  std::atomic<std::uint64_t> predict_issued_{0};
+  std::atomic<std::uint64_t> predict_hits_{0};
+  std::atomic<std::uint64_t> predict_misses_{0};
+  std::atomic<std::uint64_t> predict_false_alarms_{0};
+  std::atomic<std::uint64_t> predict_incidents_{0};
+  obs::Counter* predict_issued_ctr_ = nullptr;
+  obs::Counter* predict_hits_ctr_ = nullptr;
+  obs::Counter* predict_misses_ctr_ = nullptr;
+  obs::Counter* predict_false_alarms_ctr_ = nullptr;
+  std::uint64_t pub_predict_issued_ = 0;
+  std::uint64_t pub_predict_hits_ = 0;
+  std::uint64_t pub_predict_misses_ = 0;
+  std::uint64_t pub_predict_false_alarms_ = 0;
 };
 
 }  // namespace wss::net

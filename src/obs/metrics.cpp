@@ -221,4 +221,10 @@ const std::vector<double>& latency_bounds_seconds() {
   return bounds;
 }
 
+const std::vector<double>& lead_time_bounds_seconds() {
+  static const std::vector<double> bounds = {1,   5,   15,   60,
+                                             300, 900, 3600, 14400};
+  return bounds;
+}
+
 }  // namespace wss::obs

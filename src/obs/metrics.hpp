@@ -306,4 +306,9 @@ Counter& labeled_counter(std::string_view base, std::string_view key,
 /// quadrupling. Shared by the stream ingest histogram and tests.
 const std::vector<double>& latency_bounds_seconds();
 
+/// Lead-time bucket bounds in seconds for prediction histograms:
+/// 1s..4h. Lead times are stream-time deltas (incident time minus
+/// prediction issue time), so the scale is operational, not I/O.
+const std::vector<double>& lead_time_bounds_seconds();
+
 }  // namespace wss::obs

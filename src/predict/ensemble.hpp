@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "predict/evaluate.hpp"
 #include "predict/predictor.hpp"
@@ -42,6 +43,31 @@ class EnsemblePredictor final : public Predictor {
   std::vector<Prediction> drain() override;
   void reset() override;
   std::string name() const override { return "ensemble"; }
+
+  /// Routing-table serialization; members serialize themselves (the
+  /// owner knows their concrete types).
+  template <class Writer>
+  void save_routing(Writer& w) const {
+    w.u64(static_cast<std::uint64_t>(routing_.size()));
+    for (const auto& [cat, idx] : routing_) {
+      w.u32(cat);
+      w.u64(static_cast<std::uint64_t>(idx));
+    }
+  }
+
+  template <class Reader>
+  void load_routing(Reader& r) {
+    routing_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto cat = static_cast<std::uint16_t>(r.u32());
+      const auto idx = static_cast<std::size_t>(r.u64());
+      if (idx >= members_.size()) {
+        throw std::runtime_error("ensemble: routed member index out of range");
+      }
+      routing_[cat] = idx;
+    }
+  }
 
  private:
   std::vector<std::unique_ptr<Predictor>> members_;

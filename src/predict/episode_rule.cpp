@@ -1,0 +1,38 @@
+#include "predict/episode_rule.hpp"
+
+namespace wss::predict {
+
+std::size_t EpisodeRulePredictor::fit(
+    const std::vector<filter::Alert>& training) {
+  for (const filter::Alert& a : training) miner_.observe(a);
+  miner_.clear_streaming_state();
+  return miner_.rules().size();
+}
+
+void EpisodeRulePredictor::observe(const filter::Alert& a) {
+  // The miner sees the alert first: the incident that fires a rule
+  // also counts toward that rule's own statistics, exactly as it
+  // would in a batch pass over the same stream.
+  if (!miner_.observe(a)) return;
+  for (const mine::EpisodeRule& rule : miner_.rules_from(a.category)) {
+    Prediction p;
+    p.issued_at = a.time;
+    p.category = rule.successor;
+    p.window_begin = a.time;
+    p.window_end = a.time + miner_.options().window_us;
+    out_.push_back(p);
+  }
+}
+
+std::vector<Prediction> EpisodeRulePredictor::drain() {
+  std::vector<Prediction> out;
+  out.swap(out_);
+  return out;
+}
+
+void EpisodeRulePredictor::reset() {
+  miner_.clear_streaming_state();
+  out_.clear();
+}
+
+}  // namespace wss::predict

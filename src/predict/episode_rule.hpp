@@ -1,0 +1,70 @@
+// Episode-rule predictor: the online-miner-backed ensemble member.
+//
+// Unlike PrecursorPredictor, whose (A -> B) pairs are frozen at fit()
+// time, this member consults mine::EpisodeMiner's *live* rule table:
+// rules keep accumulating support while the predictor runs, so a
+// correlation that only becomes significant after deployment starts
+// firing without a refit. Each alert first updates the miner; when the
+// alert begins an incident of category A, every current rule A -> B
+// above the support/confidence floors issues a B-prediction for the
+// episode window.
+#pragma once
+
+#include <algorithm>
+
+#include "mine/episodes.hpp"
+#include "predict/predictor.hpp"
+
+namespace wss::predict {
+
+/// Predicts successors of mined episode rules as they fire.
+class EpisodeRulePredictor final : public Predictor {
+ public:
+  explicit EpisodeRulePredictor(mine::EpisodeOptions opts = {})
+      : miner_(opts) {}
+
+  /// Streams `training` through the miner (pre-seeding the rule table
+  /// the way fit() pre-seeds the other members), then clears the
+  /// streaming position. Returns the number of rules above floors.
+  std::size_t fit(const std::vector<filter::Alert>& training);
+
+  const mine::EpisodeMiner& miner() const { return miner_; }
+
+  void observe(const filter::Alert& a) override;
+  std::vector<Prediction> drain() override;
+  void reset() override;
+  std::string name() const override { return "episode"; }
+
+  template <class Writer>
+  void save(Writer& w) const {
+    miner_.save(w);
+    w.u64(static_cast<std::uint64_t>(out_.size()));
+    for (const Prediction& p : out_) {
+      w.i64(p.issued_at);
+      w.u32(p.category);
+      w.i64(p.window_begin);
+      w.i64(p.window_end);
+    }
+  }
+
+  template <class Reader>
+  void load(Reader& r) {
+    miner_.load(r);
+    out_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Prediction p;
+      p.issued_at = r.i64();
+      p.category = static_cast<std::uint16_t>(r.u32());
+      p.window_begin = r.i64();
+      p.window_end = r.i64();
+      out_.push_back(p);
+    }
+  }
+
+ private:
+  mine::EpisodeMiner miner_;
+  std::vector<Prediction> out_;
+};
+
+}  // namespace wss::predict

@@ -11,7 +11,9 @@
 // must be matched to failure categories.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "predict/predictor.hpp"
 
@@ -46,7 +48,63 @@ class PeriodicPredictor final : public Predictor {
   void reset() override;
   std::string name() const override { return "periodic"; }
 
+  /// Checkpoint serialization (learned periods + streaming position;
+  /// unordered state in sorted key order for byte-stable output).
+  template <class Writer>
+  void save(Writer& w) const {
+    save_map(w, period_);
+    save_map(w, last_seen_);
+    w.u64(static_cast<std::uint64_t>(out_.size()));
+    for (const Prediction& p : out_) {
+      w.i64(p.issued_at);
+      w.u32(p.category);
+      w.i64(p.window_begin);
+      w.i64(p.window_end);
+    }
+  }
+
+  template <class Reader>
+  void load(Reader& r) {
+    load_map(r, period_);
+    load_map(r, last_seen_);
+    out_.clear();
+    const std::uint64_t k = r.u64();
+    for (std::uint64_t i = 0; i < k; ++i) {
+      Prediction p;
+      p.issued_at = r.i64();
+      p.category = static_cast<std::uint16_t>(r.u32());
+      p.window_begin = r.i64();
+      p.window_end = r.i64();
+      out_.push_back(p);
+    }
+  }
+
  private:
+  template <class Writer>
+  static void save_map(
+      Writer& w, const std::unordered_map<std::uint16_t, util::TimeUs>& m) {
+    std::vector<std::uint16_t> keys;
+    keys.reserve(m.size());
+    for (const auto& [cat, t] : m) keys.push_back(cat);
+    std::sort(keys.begin(), keys.end());
+    w.u64(static_cast<std::uint64_t>(keys.size()));
+    for (const std::uint16_t cat : keys) {
+      w.u32(cat);
+      w.i64(m.at(cat));
+    }
+  }
+
+  template <class Reader>
+  static void load_map(Reader& r,
+                       std::unordered_map<std::uint16_t, util::TimeUs>& m) {
+    m.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto cat = static_cast<std::uint16_t>(r.u32());
+      m[cat] = r.i64();
+    }
+  }
+
   PeriodicOptions opts_;
   std::unordered_map<std::uint16_t, util::TimeUs> period_;
   std::unordered_map<std::uint16_t, util::TimeUs> last_seen_;

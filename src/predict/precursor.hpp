@@ -9,6 +9,7 @@
 // A-incident issues a B-prediction.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 
@@ -45,6 +46,60 @@ class PrecursorPredictor final : public Predictor {
   std::vector<Prediction> drain() override;
   void reset() override;
   std::string name() const override { return "precursor"; }
+
+  /// Checkpoint serialization (learned pairs + streaming position;
+  /// unordered state in sorted key order for byte-stable output).
+  template <class Writer>
+  void save(Writer& w) const {
+    w.u64(static_cast<std::uint64_t>(pairs_.size()));
+    for (const auto& [a, b] : pairs_) {
+      w.u32(a);
+      w.u32(b);
+    }
+    std::vector<std::uint16_t> keys;
+    keys.reserve(last_seen_.size());
+    for (const auto& [cat, t] : last_seen_) keys.push_back(cat);
+    std::sort(keys.begin(), keys.end());
+    w.u64(static_cast<std::uint64_t>(keys.size()));
+    for (const std::uint16_t cat : keys) {
+      w.u32(cat);
+      w.i64(last_seen_.at(cat));
+    }
+    w.u64(static_cast<std::uint64_t>(out_.size()));
+    for (const Prediction& p : out_) {
+      w.i64(p.issued_at);
+      w.u32(p.category);
+      w.i64(p.window_begin);
+      w.i64(p.window_end);
+    }
+  }
+
+  template <class Reader>
+  void load(Reader& r) {
+    pairs_.clear();
+    const std::uint64_t np = r.u64();
+    for (std::uint64_t i = 0; i < np; ++i) {
+      const auto a = static_cast<std::uint16_t>(r.u32());
+      const auto b = static_cast<std::uint16_t>(r.u32());
+      pairs_.emplace(a, b);
+    }
+    last_seen_.clear();
+    const std::uint64_t nl = r.u64();
+    for (std::uint64_t i = 0; i < nl; ++i) {
+      const auto cat = static_cast<std::uint16_t>(r.u32());
+      last_seen_[cat] = r.i64();
+    }
+    out_.clear();
+    const std::uint64_t k = r.u64();
+    for (std::uint64_t i = 0; i < k; ++i) {
+      Prediction p;
+      p.issued_at = r.i64();
+      p.category = static_cast<std::uint16_t>(r.u32());
+      p.window_begin = r.i64();
+      p.window_end = r.i64();
+      out_.push_back(p);
+    }
+  }
 
  private:
   /// True if `a` begins a new incident of its category (both during

@@ -10,6 +10,7 @@
 // motivates the ensemble.
 #pragma once
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -41,6 +42,58 @@ class RateBurstPredictor final : public Predictor {
   std::vector<Prediction> drain() override;
   void reset() override;
   std::string name() const override { return "rate-burst"; }
+
+  /// Checkpoint serialization (templated so the predict layer does not
+  /// depend on the stream layer; unordered state is emitted in sorted
+  /// key order for byte-stable output).
+  template <class Writer>
+  void save(Writer& w) const {
+    std::vector<std::uint16_t> keys;
+    keys.reserve(state_.size());
+    for (const auto& [cat, st] : state_) keys.push_back(cat);
+    std::sort(keys.begin(), keys.end());
+    w.u64(static_cast<std::uint64_t>(keys.size()));
+    for (const std::uint16_t cat : keys) {
+      const State& st = state_.at(cat);
+      w.u32(cat);
+      w.u64(static_cast<std::uint64_t>(st.recent.size()));
+      for (const util::TimeUs t : st.recent) w.i64(t);
+      w.i64(st.last_fired);
+      w.u8(st.fired_any ? 1 : 0);
+    }
+    w.u64(static_cast<std::uint64_t>(out_.size()));
+    for (const Prediction& p : out_) {
+      w.i64(p.issued_at);
+      w.u32(p.category);
+      w.i64(p.window_begin);
+      w.i64(p.window_end);
+    }
+  }
+
+  template <class Reader>
+  void load(Reader& r) {
+    state_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto cat = static_cast<std::uint16_t>(r.u32());
+      State st;
+      const std::uint64_t m = r.u64();
+      for (std::uint64_t j = 0; j < m; ++j) st.recent.push_back(r.i64());
+      st.last_fired = r.i64();
+      st.fired_any = r.u8() != 0;
+      state_.emplace(cat, std::move(st));
+    }
+    out_.clear();
+    const std::uint64_t k = r.u64();
+    for (std::uint64_t i = 0; i < k; ++i) {
+      Prediction p;
+      p.issued_at = r.i64();
+      p.category = static_cast<std::uint16_t>(r.u32());
+      p.window_begin = r.i64();
+      p.window_end = r.i64();
+      out_.push_back(p);
+    }
+  }
 
  private:
   struct State {

@@ -74,6 +74,13 @@ void CheckpointReader::header() {
     throw std::runtime_error("checkpoint: bad magic (not a wss checkpoint)");
   }
   const std::uint32_t version = u32();
+  if (version == 2) {
+    // The one upgrade path users actually hit: a v2 file from a
+    // pre-prediction build. Name the cure, not just the number.
+    throw std::runtime_error(
+        "checkpoint: unsupported version 2 (v3 adds the prediction stage; "
+        "regenerate the checkpoint with this build)");
+  }
   if (version != kCheckpointVersion) {
     throw std::runtime_error("checkpoint: unsupported version " +
                              std::to_string(version));

@@ -31,8 +31,10 @@ namespace wss::stream {
 /// v2: adds the obs registry counter/gauge tables and the filter's
 /// per-category tallies + eviction count (restore-and-finish reports
 /// the same --metrics snapshot as an uninterrupted run).
+/// v3: adds the prediction stage -- PredictOptions always, and when
+/// prediction is enabled the full miner/predictor/pending state.
 inline constexpr std::uint32_t kCheckpointMagic = 0x57535343u;  // "WSSC"
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Little-endian fixed-width field writer.
 class CheckpointWriter {

@@ -43,9 +43,25 @@ StreamPipeline::StreamPipeline(parse::SystemId system,
   ctx_.system = system;
   ctx_.num_categories = cats_.size();
   ctx_.collect_source_tallies = opts.study.collect_source_tallies;
+  if (opts_.predict.enabled) {
+#ifdef WSS_PREDICT_OFF
+    throw std::runtime_error(
+        "prediction is compiled out in this build (WSS_PREDICT_OFF)");
+#else
+    predict_ = std::make_unique<PredictStage>(opts_.predict);
+#endif
+  }
+}
+
+void StreamPipeline::set_prediction_sink(PredictStage::PredictionSink sink) {
+  psink_ = std::move(sink);
+  if (predict_) predict_->set_sink(psink_);
 }
 
 void StreamPipeline::offer(const filter::Alert& a) {
+#ifndef WSS_PREDICT_OFF
+  if (predict_) predict_->observe(a, study_.has_ground_truth());
+#endif
   const bool admitted = filter_.offer(a);
   study_.on_filter_verdict(a, admitted);
   if (admitted && sink_) sink_(a);
@@ -187,12 +203,32 @@ void StreamPipeline::ingest_line(std::string_view line) {
 void StreamPipeline::publish_metrics() {
   flusher_.flush(scratch_);
   filter_.publish_metrics();
+  if (predict_) predict_->publish_metrics();
   StreamObs::get().watermark.set(study_.watermark());
 }
 
 void StreamPipeline::finish() {
+  if (predict_) predict_->finish();
   publish_metrics();
   study_.finish();
+}
+
+StreamSnapshot StreamPipeline::snapshot() const {
+  StreamSnapshot s = study_.snapshot();
+  if (predict_) {
+    const PredictStats ps = predict_->stats();
+    s.predict_enabled = true;
+    s.predict_fitted = ps.fitted;
+    s.predict_issued = ps.issued;
+    s.predict_hits = ps.hits;
+    s.predict_misses = ps.misses;
+    s.predict_false_alarms = ps.false_alarms;
+    s.predict_incidents = ps.incidents;
+    s.predict_rules = ps.rules;
+    s.predict_candidates = ps.candidates;
+    s.predict_routed = ps.routed;
+  }
+  return s;
 }
 
 void StreamPipeline::save(std::ostream& os) {
@@ -215,8 +251,17 @@ void StreamPipeline::save(std::ostream& os) {
   w.boolean(opts_.study.collect_source_tallies);
   w.boolean(opts_.strict_order);
 
+  // v3: the prediction stage travels too -- options always, state only
+  // when enabled.
+  w.boolean(opts_.predict.enabled);
+  w.u64(opts_.predict.train_alerts);
+  w.i64(opts_.predict.horizon_us);
+  w.u64(opts_.predict.max_candidates);
+  w.f64(opts_.predict.min_f1);
+
   study_.save(w);
   filter_.save(w);
+  if (predict_) predict_->save(w);
 
   w.i64(year_.year());
   w.u32(static_cast<std::uint32_t>(year_.last_month()));
@@ -253,14 +298,34 @@ void StreamPipeline::restore(std::istream& is) {
   so.collect_source_tallies = r.boolean();
   const bool strict = r.boolean();
 
+  PredictOptions po;
+  po.enabled = r.boolean();
+  po.train_alerts = static_cast<std::size_t>(r.u64());
+  po.horizon_us = r.i64();
+  po.max_candidates = static_cast<std::size_t>(r.u64());
+  po.min_f1 = r.f64();
+
   opts_.study = so;
   opts_.strict_order = strict;
+  opts_.predict = po;
   ctx_.collect_source_tallies = so.collect_source_tallies;
+
+  predict_.reset();
+  if (po.enabled) {
+#ifdef WSS_PREDICT_OFF
+    throw std::runtime_error(
+        "checkpoint has prediction state but this build has WSS_PREDICT_OFF");
+#else
+    predict_ = std::make_unique<PredictStage>(po);
+    if (psink_) predict_->set_sink(psink_);
+#endif
+  }
 
   study_ = StreamStudyState(system_, so);
   study_.load(r);
   filter_ = OnlineSimultaneousFilter(so.threshold_us, strict);
   filter_.load(r);
+  if (predict_) predict_->load(r);
 
   const int year = static_cast<int>(r.i64());
   const int last_month = static_cast<int>(r.u32());

@@ -36,8 +36,11 @@
 #include <map>
 #include <string>
 
+#include <memory>
+
 #include "logio/reader.hpp"
 #include "stream/online_filter.hpp"
+#include "stream/predict_stage.hpp"
 #include "stream/study_state.hpp"
 #include "tag/engine.hpp"
 #include "tag/metrics.hpp"
@@ -56,6 +59,9 @@ struct StreamPipelineOptions {
   /// Year seed for file-mode timestamp inference; 0 = the system
   /// spec's collection start year.
   int start_year = 0;
+
+  /// Online failure prediction (PredictStage); off by default.
+  PredictOptions predict;
 };
 
 /// Online counterpart of core::run_pipeline + filtered_alerts.
@@ -70,6 +76,10 @@ class StreamPipeline {
 
   void set_alert_sink(AlertSink sink) { sink_ = std::move(sink); }
 
+  /// Receives each issued prediction as soon as the predict stage
+  /// emits it. No-op unless options().predict.enabled.
+  void set_prediction_sink(PredictStage::PredictionSink sink);
+
   /// Simulated-stream mode: one event plus its rendered line, in
   /// stream order (the pair process_chunk would see).
   void ingest(const sim::SimEvent& e, std::string_view line);
@@ -81,12 +91,14 @@ class StreamPipeline {
   /// result. Idempotent.
   void finish();
 
-  StreamSnapshot snapshot() const { return study_.snapshot(); }
+  StreamSnapshot snapshot() const;
 
   std::uint64_t events() const { return study_.events(); }
   util::TimeUs watermark() const { return study_.watermark(); }
   const OnlineSimultaneousFilter& filter() const { return filter_; }
   const StreamStudyState& study() const { return study_; }
+  /// The prediction stage, or nullptr when prediction is off.
+  const PredictStage* predict_stage() const { return predict_.get(); }
   const StreamPipelineOptions& options() const { return opts_; }
   int year_rollovers() const { return year_.rollovers(); }
 
@@ -118,7 +130,13 @@ class StreamPipeline {
   core::detail::ChunkContext ctx_;
   StreamStudyState study_;
   OnlineSimultaneousFilter filter_;
+  /// Present iff opts_.predict.enabled (and the build has prediction
+  /// compiled in; WSS_PREDICT_OFF makes enabling a runtime error).
+  std::unique_ptr<PredictStage> predict_;
   AlertSink sink_;
+  /// Kept here as well so restore() (which rebuilds predict_) can
+  /// re-attach it -- sinks survive restore like the alert sink does.
+  PredictStage::PredictionSink psink_;
 
   // File-mode state: year inference + source-name interning (the
   // `wss analyze` scheme). The intern map is O(distinct sources) --

@@ -55,6 +55,23 @@ std::string render_snapshot(const StreamSnapshot& s) {
       util::with_commas(
           static_cast<std::int64_t>(s.filtered_by_type[2])).c_str());
 
+  if (s.predict_enabled) {
+    os << util::format(
+        "  predict%s: %s issued, %s hits / %s misses / %s false alarms "
+        "(%s incidents), %zu rules, %zu routed\n",
+        s.predict_fitted ? "" : " (training)",
+        util::with_commas(
+            static_cast<std::int64_t>(s.predict_issued)).c_str(),
+        util::with_commas(static_cast<std::int64_t>(s.predict_hits)).c_str(),
+        util::with_commas(
+            static_cast<std::int64_t>(s.predict_misses)).c_str(),
+        util::with_commas(
+            static_cast<std::int64_t>(s.predict_false_alarms)).c_str(),
+        util::with_commas(
+            static_cast<std::int64_t>(s.predict_incidents)).c_str(),
+        s.predict_rules, s.predict_routed);
+  }
+
   if (s.gap_count > 0) {
     os << util::format(
         "  interarrival (admitted): mean %.1fs sd %.1fs min %.1fs "

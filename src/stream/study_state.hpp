@@ -112,6 +112,18 @@ struct StreamSnapshot {
   // ---- Ingestion accounting (filled by the driver) ----
   std::uint64_t dropped = 0;
 
+  // ---- Prediction stage (filled by StreamPipeline when --predict) ----
+  bool predict_enabled = false;
+  bool predict_fitted = false;
+  std::uint64_t predict_issued = 0;
+  std::uint64_t predict_hits = 0;
+  std::uint64_t predict_misses = 0;
+  std::uint64_t predict_false_alarms = 0;
+  std::uint64_t predict_incidents = 0;
+  std::size_t predict_rules = 0;       ///< episode rules above floors
+  std::size_t predict_candidates = 0;  ///< miner candidate-table size
+  std::size_t predict_routed = 0;      ///< ensemble routed categories
+
   /// Cumulative per-category weighted rate (alerts/day of stream time);
   /// empty before the first event.
   std::vector<double> category_rates_per_day() const;
@@ -148,6 +160,7 @@ class StreamStudyState {
   const StreamStudyOptions& options() const { return opts_; }
 
   void mark_no_ground_truth() { has_ground_truth_ = false; }
+  bool has_ground_truth() const { return has_ground_truth_; }
 
   void save(CheckpointWriter& w) const;
   void load(CheckpointReader& r);

@@ -171,6 +171,62 @@ TEST_F(CliNegativeTest, MissingInputFileIsOneLineError) {
   EXPECT_EQ(std::count(msg.begin(), msg.end(), '\n'), 1) << msg;
 }
 
+// ---- Online prediction flags (stream/serve --predict family) ----
+
+TEST_F(CliNegativeTest, PredictSatelliteFlagsRequirePredict) {
+  for (const auto& cmd : {std::string("stream"), std::string("serve")}) {
+    SCOPED_TRACE(cmd);
+    EXPECT_EQ(run_tokens({cmd, "--system", "liberty", "--predict-train",
+                          "100"}),
+              2);
+    expect_one_line_error("require --predict");
+    EXPECT_EQ(run_tokens({cmd, "--system", "liberty", "--predict-horizon",
+                          "600"}),
+              2);
+    expect_one_line_error("require --predict");
+  }
+}
+
+TEST_F(CliNegativeTest, PredictTrainRejectsNonNumericAndZero) {
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--predict",
+                        "--predict-train", "many"}),
+            2);
+  expect_one_line_error("--predict-train wants a training alert count >= 1");
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--predict",
+                        "--predict-train", "0"}),
+            2);
+  expect_one_line_error("--predict-train wants a training alert count >= 1");
+}
+
+TEST_F(CliNegativeTest, PredictHorizonRejectsNonPositive) {
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--predict",
+                        "--predict-horizon", "0"}),
+            2);
+  expect_one_line_error("--predict-horizon wants a window in seconds > 0");
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--predict",
+                        "--predict-horizon", "-5"}),
+            2);
+  expect_one_line_error("--predict-horizon wants a window in seconds > 0");
+  EXPECT_EQ(run_tokens({"serve", "--predict", "--predict-horizon", "soon"}),
+            2);
+  expect_one_line_error("--predict-horizon wants a window in seconds > 0");
+}
+
+TEST_F(CliNegativeTest, PredictRestoreFromNonPredictCheckpointStillWorks) {
+  // Compatibility direction that must NOT error: a checkpoint written
+  // WITHOUT --predict restores into a --predict invocation (the
+  // checkpoint's own options win; v3 carries them explicitly).
+  const std::string ckpt = (dir_ / "plain.ckpt").string();
+  ASSERT_EQ(run_tokens({"stream", "--system", "liberty", "--cap", "200",
+                        "--chatter", "1000", "--checkpoint", ckpt}),
+            0)
+      << err_.str();
+  EXPECT_EQ(run_tokens({"stream", "--system", "liberty", "--cap", "200",
+                        "--chatter", "1000", "--predict", "--restore", ckpt}),
+            0)
+      << err_.str();
+}
+
 // ---- Distributed study commands (study --split-by, worker, merge) ----
 
 TEST_F(CliNegativeTest, StudySplitRejectsZeroSplits) {

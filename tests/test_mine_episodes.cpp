@@ -1,0 +1,302 @@
+// EpisodeMiner: bounded-state online episode mining, differentially
+// fuzzed against an unbounded in-test reference.
+//
+// The miner's contract is exactness-under-bounding: the candidate
+// table never exceeds max_candidates, evicted/refused pairs are banned
+// permanently, and every rule the bounded miner DOES emit carries
+// support/confidence/delay moments bit-identical to an unbounded
+// reference over the same stream (the bound trades recall, never
+// correctness). Eviction is deterministic (min support, key-order
+// tie-break), so two runs over one stream agree bit for bit.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "mine/episodes.hpp"
+#include "stream/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace wss::mine {
+namespace {
+
+// ---- Unbounded reference ----
+//
+// Same incident detection, same credit-once-per-predecessor-start
+// dedupe, same Welford update -- in the same order -- but no candidate
+// cap and no bans. Kept deliberately naive and separate from the
+// production code so a shared bug cannot hide.
+struct RefCandidate {
+  std::uint64_t support = 0;
+  util::TimeUs last_credited_start = 0;
+  double delay_mean_us = 0.0;
+  double delay_m2_us = 0.0;
+  util::TimeUs delay_min_us = 0;
+  util::TimeUs delay_max_us = 0;
+};
+
+class ReferenceMiner {
+ public:
+  explicit ReferenceMiner(EpisodeOptions opts) : opts_(opts) {}
+
+  void observe(const filter::Alert& a) {
+    const std::size_t b = a.category;
+    if (b >= last_alert_.size()) {
+      last_alert_.resize(b + 1, 0);
+      alert_seen_.resize(b + 1, 0);
+      start_seen_.resize(b + 1, 0);
+      last_start_.resize(b + 1, 0);
+      incident_count_.resize(b + 1, 0);
+    }
+    const bool fresh =
+        !alert_seen_[b] || a.time - last_alert_[b] >= opts_.incident_gap_us;
+    alert_seen_[b] = 1;
+    last_alert_[b] = a.time;
+    if (!fresh) return;
+    ++incident_count_[b];
+    for (std::size_t cat = 0; cat < last_start_.size(); ++cat) {
+      if (cat == b || !start_seen_[cat]) continue;
+      const util::TimeUs delay = a.time - last_start_[cat];
+      if (delay <= 0 || delay > opts_.window_us) continue;
+      const auto key = static_cast<std::uint32_t>(
+          cat * kMaxEpisodeCategories + b);
+      auto [it, inserted] = cands_.emplace(key, RefCandidate{});
+      RefCandidate& c = it->second;
+      if (inserted) {
+        c.delay_min_us = delay;
+        c.delay_max_us = delay;
+      }
+      if (!(c.support > 0 && c.last_credited_start == last_start_[cat])) {
+        c.last_credited_start = last_start_[cat];
+        ++c.support;
+        const double x = static_cast<double>(delay);
+        const double d = x - c.delay_mean_us;
+        c.delay_mean_us += d / static_cast<double>(c.support);
+        c.delay_m2_us += d * (x - c.delay_mean_us);
+        if (delay < c.delay_min_us) c.delay_min_us = delay;
+        if (delay > c.delay_max_us) c.delay_max_us = delay;
+      }
+    }
+    start_seen_[b] = 1;
+    last_start_[b] = a.time;
+  }
+
+  const RefCandidate* find(std::uint16_t pred, std::uint16_t succ) const {
+    const auto it = cands_.find(
+        static_cast<std::uint32_t>(pred) * kMaxEpisodeCategories + succ);
+    return it == cands_.end() ? nullptr : &it->second;
+  }
+
+  std::uint64_t incidents_of(std::uint16_t cat) const {
+    return cat < incident_count_.size() ? incident_count_[cat] : 0;
+  }
+
+ private:
+  EpisodeOptions opts_;
+  std::vector<std::uint8_t> alert_seen_;
+  std::vector<util::TimeUs> last_alert_;
+  std::vector<std::uint8_t> start_seen_;
+  std::vector<util::TimeUs> last_start_;
+  std::vector<std::uint64_t> incident_count_;
+  std::map<std::uint32_t, RefCandidate> cands_;
+};
+
+std::vector<filter::Alert> random_stream(std::uint64_t seed, std::size_t n,
+                                         std::uint16_t categories) {
+  util::Rng rng(seed);
+  std::vector<filter::Alert> out;
+  out.reserve(n);
+  util::TimeUs t = util::kUsPerSec;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Gaps span well below and well above the 30 s incident gap, so
+    // the stream mixes continuations and fresh incident starts.
+    t += static_cast<util::TimeUs>(rng.uniform_u64(90 * util::kUsPerSec));
+    filter::Alert a;
+    a.time = t;
+    a.category = static_cast<std::uint16_t>(rng.uniform_u64(categories));
+    a.source = static_cast<std::uint32_t>(rng.uniform_u64(16));
+    a.type = filter::AlertType::kIndeterminate;
+    a.weight = 1.0;
+    out.push_back(a);
+  }
+  return out;
+}
+
+EpisodeOptions fuzz_options(std::size_t max_candidates) {
+  EpisodeOptions o;
+  o.max_candidates = max_candidates;
+  // No floors: compare every tracked pair, not just the strong ones.
+  o.min_support = 1;
+  o.min_confidence = 0.0;
+  return o;
+}
+
+TEST(EpisodeMiner, BoundedRulesBitIdenticalToUnboundedReference) {
+  // Tight cap (32) against 40 categories => up to 1560 distinct pairs
+  // compete for 32 slots, forcing constant eviction/refusal traffic.
+  bool any_pressure = false;
+  for (const std::uint64_t seed : {11ull, 29ull, 101ull, 4242ull}) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed);
+    const auto alerts = random_stream(seed, 20000, 40);
+    const EpisodeOptions opts = fuzz_options(32);
+    EpisodeMiner bounded(opts);
+    ReferenceMiner reference(opts);
+    for (const auto& a : alerts) {
+      bounded.observe(a);
+      reference.observe(a);
+      ASSERT_LE(bounded.candidate_count(), opts.max_candidates);
+    }
+    if (bounded.evictions() > 0 || bounded.bans() > 0) any_pressure = true;
+
+    const auto rules = bounded.rules();
+    ASSERT_FALSE(rules.empty());
+    for (const auto& r : rules) {
+      const RefCandidate* ref = reference.find(r.predecessor, r.successor);
+      ASSERT_NE(ref, nullptr)
+          << "rule " << r.predecessor << "->" << r.successor
+          << " missing from the unbounded reference";
+      // Bit-exact on purpose: a tracked pair has been counted since
+      // its first occurrence, so its whole statistics agree.
+      EXPECT_EQ(r.support, ref->support);
+      EXPECT_EQ(r.incidents, reference.incidents_of(r.predecessor));
+      EXPECT_EQ(r.confidence,
+                static_cast<double>(ref->support) /
+                    static_cast<double>(reference.incidents_of(
+                        r.predecessor)));
+      EXPECT_EQ(r.delay_mean_s, ref->delay_mean_us / 1e6);
+      EXPECT_EQ(r.delay_min_s,
+                static_cast<double>(ref->delay_min_us) / 1e6);
+      EXPECT_EQ(r.delay_max_s,
+                static_cast<double>(ref->delay_max_us) / 1e6);
+    }
+  }
+  EXPECT_TRUE(any_pressure)
+      << "fuzz streams never filled the table -- the bound was not tested";
+}
+
+TEST(EpisodeMiner, EvictionIsDeterministicAcrossRuns) {
+  const auto alerts = random_stream(7, 15000, 48);
+  const EpisodeOptions opts = fuzz_options(24);
+  EpisodeMiner first(opts);
+  EpisodeMiner second(opts);
+  for (const auto& a : alerts) {
+    first.observe(a);
+    second.observe(a);
+  }
+  EXPECT_EQ(first.evictions(), second.evictions());
+  EXPECT_EQ(first.bans(), second.bans());
+  EXPECT_EQ(first.candidate_count(), second.candidate_count());
+  const auto ra = first.rules();
+  const auto rb = second.rules();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].predecessor, rb[i].predecessor);
+    EXPECT_EQ(ra[i].successor, rb[i].successor);
+    EXPECT_EQ(ra[i].support, rb[i].support);
+    EXPECT_EQ(ra[i].confidence, rb[i].confidence);
+    EXPECT_EQ(ra[i].delay_mean_s, rb[i].delay_mean_s);
+    EXPECT_EQ(ra[i].delay_stddev_s, rb[i].delay_stddev_s);
+  }
+}
+
+TEST(EpisodeMiner, CreditsOncePerPredecessorStart) {
+  EpisodeMiner m(fuzz_options(16));
+  const auto alert = [](util::TimeUs t, std::uint16_t cat) {
+    filter::Alert a;
+    a.time = t;
+    a.category = cat;
+    return a;
+  };
+  const util::TimeUs s = util::kUsPerSec;
+  EXPECT_TRUE(m.observe(alert(1000 * s, 0)));       // A incident
+  EXPECT_TRUE(m.observe(alert(1001 * s, 1)));       // B: credit A->B
+  EXPECT_TRUE(m.observe(alert(1040 * s, 1)));       // B again, same A start
+  auto rules = m.rules_from(0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].support, 1u);   // deduped: one credit per A start
+  EXPECT_EQ(rules[0].incidents, 1u);
+  EXPECT_EQ(rules[0].confidence, 1.0);
+
+  EXPECT_TRUE(m.observe(alert(2000 * s, 0)));       // new A incident
+  EXPECT_TRUE(m.observe(alert(2005 * s, 1)));       // credit again
+  rules = m.rules_from(0);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].support, 2u);
+  EXPECT_EQ(rules[0].incidents, 2u);
+  EXPECT_EQ(rules[0].delay_min_s, 1.0);
+  EXPECT_EQ(rules[0].delay_max_s, 5.0);
+}
+
+TEST(EpisodeMiner, IncidentGapSeparatesIncidents) {
+  EpisodeMiner m;
+  filter::Alert a;
+  a.category = 3;
+  a.time = 100 * util::kUsPerSec;
+  EXPECT_TRUE(m.observe(a));
+  a.time += 10 * util::kUsPerSec;   // inside the 30 s gap: same incident
+  EXPECT_FALSE(m.observe(a));
+  a.time += 29 * util::kUsPerSec;   // still within gap of the LAST alert
+  EXPECT_FALSE(m.observe(a));
+  a.time += 30 * util::kUsPerSec;   // quiet >= gap: new incident
+  EXPECT_TRUE(m.observe(a));
+  EXPECT_EQ(m.incident_count(), 2u);
+}
+
+TEST(EpisodeMiner, RejectsBadOptionsAndCategories) {
+  EpisodeOptions bad;
+  bad.window_us = 0;
+  EXPECT_THROW(EpisodeMiner{bad}, std::invalid_argument);
+  bad = {};
+  bad.incident_gap_us = -1;
+  EXPECT_THROW(EpisodeMiner{bad}, std::invalid_argument);
+  bad = {};
+  bad.max_candidates = 0;
+  EXPECT_THROW(EpisodeMiner{bad}, std::invalid_argument);
+
+  EpisodeMiner m;
+  filter::Alert a;
+  a.category = static_cast<std::uint16_t>(kMaxEpisodeCategories);
+  EXPECT_THROW(m.observe(a), std::invalid_argument);
+}
+
+TEST(EpisodeMiner, CheckpointRoundTripMidStream) {
+  const auto alerts = random_stream(99, 12000, 32);
+  const EpisodeOptions opts = fuzz_options(24);  // pressure => live bans
+  EpisodeMiner uninterrupted(opts);
+  EpisodeMiner first(opts);
+  const std::size_t cut = alerts.size() / 2 + 41;
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    uninterrupted.observe(alerts[i]);
+    if (i < cut) first.observe(alerts[i]);
+  }
+  ASSERT_GT(first.bans(), 0u) << "cut stream never engaged the bound";
+
+  std::stringstream buf;
+  stream::CheckpointWriter w(buf);
+  first.save(w);
+  EpisodeMiner resumed(opts);
+  stream::CheckpointReader r(buf);
+  resumed.load(r);
+  for (std::size_t i = cut; i < alerts.size(); ++i) resumed.observe(alerts[i]);
+
+  EXPECT_EQ(resumed.evictions(), uninterrupted.evictions());
+  EXPECT_EQ(resumed.bans(), uninterrupted.bans());
+  EXPECT_EQ(resumed.incident_count(), uninterrupted.incident_count());
+  const auto ra = resumed.rules();
+  const auto rb = uninterrupted.rules();
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].predecessor, rb[i].predecessor);
+    EXPECT_EQ(ra[i].successor, rb[i].successor);
+    EXPECT_EQ(ra[i].support, rb[i].support);
+    EXPECT_EQ(ra[i].confidence, rb[i].confidence);
+    EXPECT_EQ(ra[i].delay_mean_s, rb[i].delay_mean_s);
+    EXPECT_EQ(ra[i].delay_stddev_s, rb[i].delay_stddev_s);
+    EXPECT_EQ(ra[i].delay_min_s, rb[i].delay_min_s);
+    EXPECT_EQ(ra[i].delay_max_s, rb[i].delay_max_s);
+  }
+}
+
+}  // namespace
+}  // namespace wss::mine

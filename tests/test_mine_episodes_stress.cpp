@@ -1,0 +1,135 @@
+// Long-stream stress for the bounded episode miner: a million alerts
+// across 200 categories against a 512-entry candidate table. The
+// memory bound must hold at every step, and the exactness invariant
+// (emitted rules bit-identical to the unbounded reference) must
+// survive sustained eviction pressure -- not just the short streams
+// the unit suite throws at it.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mine/episodes.hpp"
+#include "util/rng.hpp"
+
+namespace wss::mine {
+namespace {
+
+struct RefCandidate {
+  std::uint64_t support = 0;
+  util::TimeUs last_credited_start = 0;
+  double delay_mean_us = 0.0;
+  util::TimeUs delay_min_us = 0;
+  util::TimeUs delay_max_us = 0;
+};
+
+/// Unbounded reference (support/confidence/mean/extrema only -- the
+/// stddev path is pinned by the unit-sized differential test).
+class ReferenceMiner {
+ public:
+  explicit ReferenceMiner(EpisodeOptions opts) : opts_(opts) {}
+
+  void observe(const filter::Alert& a) {
+    const std::size_t b = a.category;
+    if (b >= last_alert_.size()) {
+      last_alert_.resize(b + 1, 0);
+      alert_seen_.resize(b + 1, 0);
+      start_seen_.resize(b + 1, 0);
+      last_start_.resize(b + 1, 0);
+      incident_count_.resize(b + 1, 0);
+    }
+    const bool fresh =
+        !alert_seen_[b] || a.time - last_alert_[b] >= opts_.incident_gap_us;
+    alert_seen_[b] = 1;
+    last_alert_[b] = a.time;
+    if (!fresh) return;
+    ++incident_count_[b];
+    for (std::size_t cat = 0; cat < last_start_.size(); ++cat) {
+      if (cat == b || !start_seen_[cat]) continue;
+      const util::TimeUs delay = a.time - last_start_[cat];
+      if (delay <= 0 || delay > opts_.window_us) continue;
+      const auto key = static_cast<std::uint32_t>(
+          cat * kMaxEpisodeCategories + b);
+      auto [it, inserted] = cands_.emplace(key, RefCandidate{});
+      RefCandidate& c = it->second;
+      if (inserted) {
+        c.delay_min_us = delay;
+        c.delay_max_us = delay;
+      }
+      if (!(c.support > 0 && c.last_credited_start == last_start_[cat])) {
+        c.last_credited_start = last_start_[cat];
+        ++c.support;
+        const double x = static_cast<double>(delay);
+        c.delay_mean_us +=
+            (x - c.delay_mean_us) / static_cast<double>(c.support);
+        if (delay < c.delay_min_us) c.delay_min_us = delay;
+        if (delay > c.delay_max_us) c.delay_max_us = delay;
+      }
+    }
+    start_seen_[b] = 1;
+    last_start_[b] = a.time;
+  }
+
+  const RefCandidate* find(std::uint16_t pred, std::uint16_t succ) const {
+    const auto it = cands_.find(
+        static_cast<std::uint32_t>(pred) * kMaxEpisodeCategories + succ);
+    return it == cands_.end() ? nullptr : &it->second;
+  }
+
+  std::uint64_t incidents_of(std::uint16_t cat) const {
+    return cat < incident_count_.size() ? incident_count_[cat] : 0;
+  }
+
+ private:
+  EpisodeOptions opts_;
+  std::vector<std::uint8_t> alert_seen_;
+  std::vector<util::TimeUs> last_alert_;
+  std::vector<std::uint8_t> start_seen_;
+  std::vector<util::TimeUs> last_start_;
+  std::vector<std::uint64_t> incident_count_;
+  std::map<std::uint32_t, RefCandidate> cands_;
+};
+
+TEST(EpisodeMinerStress, MillionAlertStreamStaysBoundedAndExact) {
+  EpisodeOptions opts;
+  opts.max_candidates = 512;
+  opts.min_support = 1;
+  opts.min_confidence = 0.0;
+  EpisodeMiner bounded(opts);
+  ReferenceMiner reference(opts);
+
+  util::Rng rng(20250807);
+  util::TimeUs t = util::kUsPerSec;
+  filter::Alert a;
+  a.weight = 1.0;
+  constexpr std::size_t kAlerts = 1000000;
+  for (std::size_t i = 0; i < kAlerts; ++i) {
+    t += static_cast<util::TimeUs>(rng.uniform_u64(75 * util::kUsPerSec));
+    a.time = t;
+    a.category = static_cast<std::uint16_t>(rng.uniform_u64(200));
+    a.source = static_cast<std::uint32_t>(rng.uniform_u64(64));
+    bounded.observe(a);
+    reference.observe(a);
+    // The memory bound is unconditional -- checked every observe, a
+    // million times, not just at the end.
+    ASSERT_LE(bounded.candidate_count(), opts.max_candidates);
+  }
+
+  // 200 categories => up to 39800 pairs fought for 512 slots.
+  EXPECT_GT(bounded.bans(), 0u);
+
+  const auto rules = bounded.rules();
+  ASSERT_FALSE(rules.empty());
+  for (const auto& r : rules) {
+    const RefCandidate* ref = reference.find(r.predecessor, r.successor);
+    ASSERT_NE(ref, nullptr);
+    EXPECT_EQ(r.support, ref->support);
+    EXPECT_EQ(r.incidents, reference.incidents_of(r.predecessor));
+    EXPECT_EQ(r.delay_mean_s, ref->delay_mean_us / 1e6);
+    EXPECT_EQ(r.delay_min_s, static_cast<double>(ref->delay_min_us) / 1e6);
+    EXPECT_EQ(r.delay_max_s, static_cast<double>(ref->delay_max_us) / 1e6);
+  }
+}
+
+}  // namespace
+}  // namespace wss::mine

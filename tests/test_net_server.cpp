@@ -21,7 +21,9 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "sim/generator.hpp"
+#include "stream/pipeline.hpp"
 
 namespace wss::net {
 namespace {
@@ -526,6 +528,89 @@ TEST_F(NetServerTest, DrainWritesCheckpointsLoadableByWssStream) {
   EXPECT_NE(out.str().find("1"), std::string::npos);  // one event restored
   fs::remove_all(dir);
 }
+
+#ifndef WSS_PREDICT_OFF
+TEST_F(NetServerTest, PredictCountersReconcileWithInjectedIncidents) {
+  // A predict-enabled tenant fed a rendered Liberty stream over
+  // loopback TCP: the per-tenant wss_predict_* counters must equal
+  // what the same lines produce through a local StreamPipeline with
+  // the tenant's pipeline options, and hits + misses must equal the
+  // injected incident count (every incident decided exactly once).
+  sim::SimOptions gen;
+  gen.category_cap = 200;
+  gen.chatter_events = 4000;
+  const sim::Simulator sim(parse::SystemId::kLiberty, gen);
+  std::vector<std::string> lines;
+  const auto& events = sim.events();
+  lines.reserve(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    lines.push_back(sim.renderer().render(events[i], i));
+  }
+
+  TenantConfig cfg = tenant("predl", parse::SystemId::kLiberty);
+  cfg.predict = true;
+  cfg.predict_train = 50;
+
+  // Local reference: the tenant consumer is ingest_line over the
+  // delivered lines in order, so the same options over the same lines
+  // must land on identical prediction stats.
+  stream::StreamPipelineOptions popts;
+  popts.study.threshold_us = static_cast<util::TimeUs>(cfg.threshold_s * 1e6);
+  popts.study.window_us = static_cast<util::TimeUs>(cfg.window_s * 1e6);
+  popts.strict_order = false;
+  popts.start_year = cfg.start_year;
+  popts.predict.enabled = true;
+  popts.predict.train_alerts = cfg.predict_train;
+  popts.predict.horizon_us = cfg.predict_horizon_us;
+  stream::StreamPipeline reference(parse::SystemId::kLiberty, popts);
+  for (const auto& line : lines) reference.ingest_line(line);
+  reference.finish();
+  const stream::StreamSnapshot want = reference.snapshot();
+  ASSERT_GT(want.predict_incidents, 0u) << "stream injects no incidents; "
+                                           "the reconciliation would be vacuous";
+  ASSERT_TRUE(want.predict_fitted);
+
+  ServeOptions opts;
+  opts.tcp.push_back({0, "predl"});
+  opts.tenants.push_back(cfg);
+  opts.http_enabled = true;
+  start(std::move(opts));
+
+  SinkOptions sopts;
+  sopts.endpoint = {Transport::kTcp, "127.0.0.1", server_->tcp_port(0)};
+  SinkClient client(sopts);
+  for (const auto& line : lines) client.send(0, line);
+  client.close();
+  wait_status_contains("\"name\":\"predl\",\"system\":\"liberty\",\"delivered\":" +
+                       std::to_string(lines.size()));
+  // /status carries the live predict object for predict-enabled
+  // tenants (values keep moving until the drain, so presence only).
+  wait_status_contains("\"predict\":{\"issued\":");
+
+  const ServeReport report = stop();
+  const ServeTenantReport* t = find_tenant(report, "predl");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->ingested, lines.size());
+  EXPECT_EQ(t->dropped, 0u) << "drops would desync the reference stream";
+
+  // The drain published the final deltas; the registry counters are
+  // exactly what a last /metrics scrape would report.
+  const auto counter_value = [](const std::string& base) {
+    return obs::registry().counter(base + "{tenant=\"predl\"}").value();
+  };
+  const std::uint64_t issued = counter_value("wss_predict_issued_total");
+  const std::uint64_t hits = counter_value("wss_predict_hits_total");
+  const std::uint64_t misses = counter_value("wss_predict_misses_total");
+  const std::uint64_t false_alarms =
+      counter_value("wss_predict_false_alarms_total");
+  EXPECT_EQ(issued, want.predict_issued);
+  EXPECT_EQ(hits, want.predict_hits);
+  EXPECT_EQ(misses, want.predict_misses);
+  EXPECT_EQ(false_alarms, want.predict_false_alarms);
+  EXPECT_EQ(hits + misses, want.predict_incidents)
+      << "an incident went unaccounted (neither hit nor miss)";
+}
+#endif  // WSS_PREDICT_OFF
 
 TEST_F(NetServerTest, BindRequiresAnIngestListener) {
   ServeOptions opts;

@@ -62,6 +62,16 @@ void expect_snapshots_identical(const stream::StreamSnapshot& a,
   EXPECT_EQ(a.messages_in_window, b.messages_in_window);
   EXPECT_EQ(a.raw_alerts_in_window, b.raw_alerts_in_window);
   EXPECT_EQ(a.admitted_in_window, b.admitted_in_window);
+  EXPECT_EQ(a.predict_enabled, b.predict_enabled);
+  EXPECT_EQ(a.predict_fitted, b.predict_fitted);
+  EXPECT_EQ(a.predict_issued, b.predict_issued);
+  EXPECT_EQ(a.predict_hits, b.predict_hits);
+  EXPECT_EQ(a.predict_misses, b.predict_misses);
+  EXPECT_EQ(a.predict_false_alarms, b.predict_false_alarms);
+  EXPECT_EQ(a.predict_incidents, b.predict_incidents);
+  EXPECT_EQ(a.predict_rules, b.predict_rules);
+  EXPECT_EQ(a.predict_candidates, b.predict_candidates);
+  EXPECT_EQ(a.predict_routed, b.predict_routed);
 }
 
 struct Emitted {
@@ -158,6 +168,121 @@ TEST(StreamCheckpoint, FileModeRoundTrip) {
   resumed.finish();
 
   expect_snapshots_identical(resumed.snapshot(), uninterrupted.snapshot());
+}
+
+// ---- Prediction-stage state across the checkpoint ----
+
+struct PredictedStream {
+  std::vector<predict::Prediction> predictions;
+  void attach(stream::StreamPipeline& p) {
+    p.set_prediction_sink([this](const predict::Prediction& pr) {
+      predictions.push_back(pr);
+    });
+  }
+};
+
+void expect_prediction_splice(const PredictedStream& head,
+                              const PredictedStream& tail,
+                              const PredictedStream& full) {
+  ASSERT_EQ(head.predictions.size() + tail.predictions.size(),
+            full.predictions.size());
+  for (std::size_t i = 0; i < full.predictions.size(); ++i) {
+    const auto& got =
+        i < head.predictions.size()
+            ? head.predictions[i]
+            : tail.predictions[i - head.predictions.size()];
+    EXPECT_EQ(got.issued_at, full.predictions[i].issued_at) << "pred " << i;
+    EXPECT_EQ(got.category, full.predictions[i].category) << "pred " << i;
+    EXPECT_EQ(got.window_begin, full.predictions[i].window_begin)
+        << "pred " << i;
+    EXPECT_EQ(got.window_end, full.predictions[i].window_end) << "pred " << i;
+  }
+}
+
+TEST(StreamCheckpoint, PredictStateRoundTripsMidTrainingAndPostFit) {
+  sim::SimOptions opts;
+  opts.category_cap = 900;
+  opts.chatter_events = 4000;
+  const sim::Simulator simulator(parse::SystemId::kLiberty, opts);
+  const auto& events = simulator.events();
+  const std::size_t cut = events.size() / 2 + 137;
+  const std::size_t total_alerts = simulator.ground_truth_alerts().size();
+  ASSERT_GT(total_alerts, 100u);
+
+  // Two training sizes, chosen against the cut: a small one so the cut
+  // lands AFTER fit (live miner, routing, and pending windows cross
+  // the checkpoint) and a huge one so the cut lands MID-TRAINING (the
+  // training buffer itself crosses).
+  for (const std::size_t train_alerts :
+       {total_alerts / 10, total_alerts * 2}) {
+    SCOPED_TRACE(testing::Message() << "train_alerts " << train_alerts);
+    stream::StreamPipelineOptions popts;
+    popts.predict.enabled = true;
+    popts.predict.train_alerts = train_alerts;
+
+    stream::StreamPipeline uninterrupted(parse::SystemId::kLiberty, popts);
+    PredictedStream full;
+    full.attach(uninterrupted);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      uninterrupted.ingest(events[i],
+                           simulator.renderer().render(events[i], i));
+    }
+    uninterrupted.finish();
+
+    stream::StreamPipeline first(parse::SystemId::kLiberty, popts);
+    PredictedStream head;
+    head.attach(first);
+    for (std::size_t i = 0; i < cut; ++i) {
+      first.ingest(events[i], simulator.renderer().render(events[i], i));
+    }
+    std::stringstream checkpoint;
+    first.save(checkpoint);
+
+    stream::StreamPipeline resumed(parse::SystemId::kLiberty, popts);
+    PredictedStream tail;
+    tail.attach(resumed);  // sink survives restore (set before it)
+    resumed.restore(checkpoint);
+    for (std::size_t i = cut; i < events.size(); ++i) {
+      resumed.ingest(events[i], simulator.renderer().render(events[i], i));
+    }
+    resumed.finish();
+
+    expect_snapshots_identical(resumed.snapshot(), uninterrupted.snapshot());
+    expect_prediction_splice(head, tail, full);
+  }
+}
+
+TEST(StreamCheckpoint, PredictDisabledRoundTripStaysDisabled) {
+  stream::StreamPipeline p(parse::SystemId::kLiberty);
+  std::stringstream checkpoint;
+  p.save(checkpoint);
+  stream::StreamPipeline q(parse::SystemId::kLiberty);
+  q.restore(checkpoint);
+  EXPECT_FALSE(q.snapshot().predict_enabled);
+}
+
+TEST(StreamCheckpoint, RejectsV2WithUpgradeDiagnostic) {
+  stream::StreamPipeline p(parse::SystemId::kLiberty);
+  std::stringstream checkpoint;
+  p.save(checkpoint);
+  std::string bytes = checkpoint.str();
+  // The header is magic(u32 LE) then version(u32 LE): rewrite the
+  // version field to 2, as a pre-prediction build would have written.
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[4] = 2;
+  bytes[5] = bytes[6] = bytes[7] = 0;
+  std::stringstream v2(bytes);
+  stream::StreamPipeline q(parse::SystemId::kLiberty);
+  try {
+    q.restore(v2);
+    FAIL() << "v2 checkpoint was accepted";
+  } catch (const std::runtime_error& e) {
+    // One line, names the version AND the cure.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unsupported version 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("regenerate"), std::string::npos) << what;
+    EXPECT_EQ(what.find('\n'), std::string::npos) << what;
+  }
 }
 
 TEST(StreamCheckpoint, RejectsWrongSystem) {
